@@ -1,0 +1,85 @@
+// Command sectopk-bench regenerates the paper's evaluation artifacts: one
+// -exp flag per table/figure (see DESIGN.md's experiment index).
+//
+// Usage:
+//
+//	sectopk-bench -exp fig9                 # one experiment, scaled defaults
+//	sectopk-bench -exp all -rows 200        # the full evaluation sweep
+//	sectopk-bench -exp fig7 -keybits 512    # paper-like key size
+//	sectopk-bench -list                     # list experiment ids
+//
+// Markdown output (-md) emits tables ready for EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "", "experiment id (fig7, fig8, fig9, fig10, fig11, fig12, tab3, fig13, knn, fig14, ablation, or 'all')")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		keyBits  = flag.Int("keybits", 256, "Paillier modulus bits (paper-scale: 512)")
+		ehlS     = flag.Int("ehl-s", 3, "number of EHL+ digests s (paper: 5)")
+		rows     = flag.Int("rows", 120, "dataset rows after scaling")
+		maxDepth = flag.Int("maxdepth", 6, "depth cap for time-per-depth measurements")
+		seed     = flag.Int64("seed", 1, "dataset generator seed")
+		md       = flag.Bool("md", false, "emit markdown tables instead of text")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range bench.ExperimentIDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "sectopk-bench: -exp is required (try -list)")
+		os.Exit(2)
+	}
+
+	cfg := bench.Config{
+		KeyBits:      *keyBits,
+		EHLS:         *ehlS,
+		MaxScoreBits: 20,
+		Rows:         *rows,
+		MaxDepth:     *maxDepth,
+		Seed:         *seed,
+	}
+	if !*md {
+		cfg.Out = os.Stdout
+	}
+	rig, err := bench.NewRig(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sectopk-bench: %v\n", err)
+		os.Exit(1)
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = bench.ExperimentIDs()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		reports, err := bench.Run(rig, id)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sectopk-bench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		if *md {
+			for _, rep := range reports {
+				if err := rep.Markdown(os.Stdout); err != nil {
+					fmt.Fprintf(os.Stderr, "sectopk-bench: %v\n", err)
+					os.Exit(1)
+				}
+			}
+		}
+		fmt.Fprintf(os.Stderr, "[%s done in %s]\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

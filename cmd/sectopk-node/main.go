@@ -1,0 +1,303 @@
+// Command sectopk-node runs the paper's deployment roles as separate
+// processes (Section 3.2's architecture), using files for the artifacts a
+// real deployment would move between parties:
+//
+//	# Data owner: generate keys, encrypt a dataset, issue a token.
+//	sectopk-node owner -dir ./deploy -dataset insurance -rows 40 \
+//	    -attrs 0,1,2 -k 3
+//
+//	# Crypto cloud S2: serve the secret-key operations over TCP.
+//	sectopk-node s2 -dir ./deploy -listen 127.0.0.1:9042
+//
+//	# Data cloud S1: load the encrypted relation + token, run SecQuery
+//	# against S2, store the encrypted result.
+//	sectopk-node s1 -dir ./deploy -connect 127.0.0.1:9042 -mode e
+//
+//	# Client: decrypt the result with the owner's keys.
+//	sectopk-node reveal -dir ./deploy
+//
+// The owner's key file never travels to S1; the encrypted relation never
+// travels to S2.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/ehl"
+	"repro/internal/secio"
+	"repro/internal/transport"
+)
+
+const (
+	s2KeysFile   = "s2.keys"      // decryption keys -> crypto cloud only
+	pubKeyFile   = "public.key"   // public modulus -> data cloud
+	ownerFile    = "owner.bundle" // full scheme state -> stays with owner
+	relationFile = "relation.er"  // encrypted relation -> data cloud
+	tokenFile    = "query.tk"     // query trapdoor -> data cloud
+	resultFile   = "result.items" // encrypted result -> back to client
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "owner":
+		err = runOwner(os.Args[2:])
+	case "s2":
+		err = runS2(os.Args[2:])
+	case "s1":
+		err = runS1(os.Args[2:])
+	case "reveal":
+		err = runReveal(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sectopk-node %s: %v\n", os.Args[1], err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: sectopk-node {owner|s2|s1|reveal} [flags]")
+	os.Exit(2)
+}
+
+func runOwner(args []string) error {
+	fs := flag.NewFlagSet("owner", flag.ExitOnError)
+	dir := fs.String("dir", ".", "artifact directory")
+	name := fs.String("dataset", "insurance", "dataset spec (insurance|diabetes|PAMAP|synthetic)")
+	rows := fs.Int("rows", 40, "dataset rows")
+	seed := fs.Int64("seed", 1, "dataset seed")
+	keyBits := fs.Int("keybits", 256, "Paillier modulus bits")
+	attrsFlag := fs.String("attrs", "0,1,2", "queried attributes (comma separated)")
+	k := fs.Int("k", 3, "top-k")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var spec dataset.Spec
+	switch *name {
+	case "insurance":
+		spec = dataset.Insurance()
+	case "diabetes":
+		spec = dataset.Diabetes()
+	case "PAMAP":
+		spec = dataset.PAMAP()
+	case "synthetic":
+		spec = dataset.Synthetic()
+	default:
+		return fmt.Errorf("unknown dataset %q", *name)
+	}
+	rel, err := dataset.Generate(spec.WithN(*rows), *seed)
+	if err != nil {
+		return err
+	}
+	scheme, err := core.NewScheme(core.Params{
+		KeyBits: *keyBits, EHL: ehl.Params{Kind: ehl.KindPlus, S: 3}, MaxScoreBits: 20,
+	})
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		return err
+	}
+	start := time.Now()
+	er, err := scheme.EncryptRelation(rel)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("encrypted %s (%dx%d) in %s\n", rel.Name, rel.N(), rel.M(), time.Since(start).Round(time.Millisecond))
+	if err := secio.SaveKeyMaterial(filepath.Join(*dir, s2KeysFile), scheme.KeyMaterial()); err != nil {
+		return err
+	}
+	if err := secio.SavePublicKey(filepath.Join(*dir, pubKeyFile), scheme.PublicKey()); err != nil {
+		return err
+	}
+	if err := secio.SaveOwnerBundle(filepath.Join(*dir, ownerFile), scheme); err != nil {
+		return err
+	}
+	if err := secio.SaveRelation(filepath.Join(*dir, relationFile), er); err != nil {
+		return err
+	}
+	attrs, err := parseInts(*attrsFlag)
+	if err != nil {
+		return err
+	}
+	tk, err := scheme.Token(er, attrs, nil, *k)
+	if err != nil {
+		return err
+	}
+	tf, err := os.Create(filepath.Join(*dir, tokenFile))
+	if err != nil {
+		return err
+	}
+	if err := secio.WriteToken(tf, tk); err != nil {
+		tf.Close()
+		return err
+	}
+	if err := tf.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s, %s, %s, %s, %s under %s\n",
+		s2KeysFile, pubKeyFile, ownerFile, relationFile, tokenFile, *dir)
+	return nil
+}
+
+func runS2(args []string) error {
+	fs := flag.NewFlagSet("s2", flag.ExitOnError)
+	dir := fs.String("dir", ".", "artifact directory")
+	listen := fs.String("listen", "127.0.0.1:9042", "listen address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	keys, err := secio.LoadKeyMaterial(filepath.Join(*dir, s2KeysFile))
+	if err != nil {
+		return err
+	}
+	server, err := cloud.NewServer(keys, cloud.NewLedger())
+	if err != nil {
+		return err
+	}
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("crypto cloud S2 serving on %s (ctrl-c to stop)\n", l.Addr())
+	return transport.Serve(l, server)
+}
+
+func runS1(args []string) error {
+	fs := flag.NewFlagSet("s1", flag.ExitOnError)
+	dir := fs.String("dir", ".", "artifact directory")
+	connect := fs.String("connect", "127.0.0.1:9042", "S2 address")
+	mode := fs.String("mode", "e", "query mode: f|e|ba")
+	strict := fs.Bool("strict", true, "use strict NRA halting")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	er, err := secio.LoadRelation(filepath.Join(*dir, relationFile))
+	if err != nil {
+		return err
+	}
+	tf, err := os.Open(filepath.Join(*dir, tokenFile))
+	if err != nil {
+		return err
+	}
+	tk, err := secio.ReadToken(tf)
+	tf.Close()
+	if err != nil {
+		return err
+	}
+	conn, err := net.Dial("tcp", *connect)
+	if err != nil {
+		return fmt.Errorf("dialing S2: %w", err)
+	}
+	stats := transport.NewStats()
+	caller := transport.NewNetCaller(conn, stats)
+	defer caller.Close()
+	// S1 holds only the public key, provisioned by the owner.
+	pk, err := secio.LoadPublicKey(filepath.Join(*dir, pubKeyFile))
+	if err != nil {
+		return err
+	}
+	client, err := cloud.NewClient(caller, pk, cloud.NewLedger())
+	if err != nil {
+		return err
+	}
+	engine, err := core.NewEngine(client, er)
+	if err != nil {
+		return err
+	}
+	opts := core.Options{Halt: core.HaltPaper}
+	if *strict {
+		opts.Halt = core.HaltStrict
+	}
+	switch *mode {
+	case "f":
+		opts.Mode = core.QryF
+	case "e":
+		opts.Mode = core.QryE
+	case "ba":
+		opts.Mode = core.QryBa
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+	start := time.Now()
+	res, err := engine.SecQuery(tk, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("query done: depth=%d halted=%v elapsed=%s rounds=%d bytes=%d\n",
+		res.Depth, res.Halted, time.Since(start).Round(time.Millisecond), stats.Rounds(), stats.Bytes())
+	rf, err := os.Create(filepath.Join(*dir, resultFile))
+	if err != nil {
+		return err
+	}
+	if err := secio.WriteItems(rf, res.Items); err != nil {
+		rf.Close()
+		return err
+	}
+	return rf.Close()
+}
+
+func runReveal(args []string) error {
+	fs := flag.NewFlagSet("reveal", flag.ExitOnError)
+	dir := fs.String("dir", ".", "artifact directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	scheme, err := secio.LoadOwnerBundle(filepath.Join(*dir, ownerFile))
+	if err != nil {
+		return err
+	}
+	er, err := secio.LoadRelation(filepath.Join(*dir, relationFile))
+	if err != nil {
+		return err
+	}
+	rf, err := os.Open(filepath.Join(*dir, resultFile))
+	if err != nil {
+		return err
+	}
+	items, err := secio.ReadItems(rf)
+	rf.Close()
+	if err != nil {
+		return err
+	}
+	rev, err := scheme.NewRevealer(er.N)
+	if err != nil {
+		return err
+	}
+	revealed, err := rev.RevealTopK(items)
+	if err != nil {
+		return err
+	}
+	for rank, item := range revealed {
+		fmt.Printf("top-%d: object %d, score %d\n", rank+1, item.Obj, item.Worst)
+	}
+	return nil
+}
+
+func parseInts(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("parsing attribute list %q: %w", s, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

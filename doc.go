@@ -1,0 +1,12 @@
+// Package repro is a from-scratch Go reproduction of "Top-k Query
+// Processing on Encrypted Databases with Strong Security Guarantees"
+// (Meng, Zhu, Kollios — ICDE 2018): the SecTopK scheme, its EHL/EHL+
+// encrypted hash lists, the two-cloud sub-protocol suite, the secure
+// top-k join operator, and the full evaluation harness.
+//
+// See README.md for the architecture overview, DESIGN.md for the system
+// inventory and experiment index, and EXPERIMENTS.md for
+// paper-vs-measured results. The root-level benchmarks in bench_test.go
+// regenerate every table and figure of the paper's evaluation; the same
+// runners are reachable through cmd/sectopk-bench.
+package repro

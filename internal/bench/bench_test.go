@@ -1,0 +1,143 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+var (
+	rigOnce sync.Once
+	shared  *Rig
+)
+
+// tinyConfig keeps the smoke tests fast: minimal rows and depth caps.
+func tinyConfig() Config {
+	return Config{
+		KeyBits:      256,
+		EHLS:         2,
+		MaxScoreBits: 20,
+		Rows:         16,
+		MaxDepth:     2,
+		Seed:         1,
+	}
+}
+
+func getRig(t testing.TB) *Rig {
+	t.Helper()
+	rigOnce.Do(func() {
+		r, err := NewRig(tinyConfig())
+		if err != nil {
+			t.Fatalf("NewRig: %v", err)
+		}
+		shared = r
+	})
+	return shared
+}
+
+func TestReportRendering(t *testing.T) {
+	rep := &Report{
+		ID:     "figX",
+		Title:  "test table",
+		Header: []string{"a", "bb"},
+		Rows:   [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:  []string{"a note"},
+	}
+	var buf bytes.Buffer
+	if err := rep.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"figX", "test table", "333", "a note"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered output missing %q:\n%s", want, out)
+		}
+	}
+	var md bytes.Buffer
+	if err := rep.Markdown(&md); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(md.String(), "| a | bb |") {
+		t.Fatalf("markdown output malformed:\n%s", md.String())
+	}
+	if err := rep.Render(nil); err != nil {
+		t.Fatal("nil writer should be a no-op")
+	}
+	if err := rep.Markdown(nil); err != nil {
+		t.Fatal("nil writer should be a no-op")
+	}
+}
+
+func TestFormatHelpers(t *testing.T) {
+	if fmtDur(1500*time.Millisecond) != "1.50s" {
+		t.Fatalf("fmtDur seconds: %s", fmtDur(1500*time.Millisecond))
+	}
+	if !strings.HasSuffix(fmtDur(2500*time.Microsecond), "ms") {
+		t.Fatalf("fmtDur ms: %s", fmtDur(2500*time.Microsecond))
+	}
+	if !strings.HasSuffix(fmtDur(900*time.Nanosecond), "µs") {
+		t.Fatalf("fmtDur µs: %s", fmtDur(900*time.Nanosecond))
+	}
+	if fmtBytes(5) != "5B" || !strings.HasSuffix(fmtBytes(2048), "KB") || !strings.HasSuffix(fmtBytes(3<<20), "MB") {
+		t.Fatal("fmtBytes wrong")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	r := getRig(t)
+	if _, err := Run(r, "nope"); err == nil {
+		t.Fatal("expected unknown-experiment error")
+	}
+}
+
+func TestExperimentIDsCoverRegistry(t *testing.T) {
+	ids := ExperimentIDs()
+	if len(ids) != len(Registry) {
+		t.Fatalf("ExperimentIDs has %d entries, registry has %d", len(ids), len(Registry))
+	}
+	for _, id := range ids {
+		if Registry[id] == nil {
+			t.Fatalf("id %q not in registry", id)
+		}
+	}
+}
+
+// TestSmokeFastExperiments runs the cheaper experiments end to end with a
+// tiny configuration; the heavyweight query sweeps are exercised by the
+// root-level benchmarks instead.
+func TestSmokeFastExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench smoke tests are not short")
+	}
+	r := getRig(t)
+	for _, id := range []string{"fig7", "fig13", "tab3"} {
+		reports, err := Run(r, id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(reports) == 0 {
+			t.Fatalf("%s produced no reports", id)
+		}
+		for _, rep := range reports {
+			if len(rep.Rows) == 0 {
+				t.Fatalf("%s: report %s has no rows", id, rep.ID)
+			}
+		}
+	}
+}
+
+func TestSmokeKNNExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench smoke tests are not short")
+	}
+	r := getRig(t)
+	reports, err := Run(r, "knn")
+	if err != nil {
+		t.Fatalf("knn: %v", err)
+	}
+	if len(reports[0].Rows) == 0 {
+		t.Fatal("knn comparison produced no rows")
+	}
+}

@@ -1,0 +1,229 @@
+package cloud
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"math/big"
+
+	"repro/internal/dj"
+	"repro/internal/paillier"
+	"repro/internal/transport"
+)
+
+// Client is the data cloud S1's stub for talking to the crypto cloud S2.
+// It owns S1's ephemeral Paillier key pair (the pk' of Algorithm 7), whose
+// modulus is kept at least 2x+64 bits larger than the main modulus so that
+// blind bookkeeping (integer sums of additive blinds, one integer product
+// for the multiplicative join blind) never wraps before S1 reduces mod N.
+type Client struct {
+	caller transport.Caller
+	pk     *paillier.PublicKey
+	djPK   *dj.PublicKey
+	eph    *paillier.PrivateKey
+	ledger *Ledger
+}
+
+// NewClient builds S1's stub. The ledger records S1-side leakage
+// observations and may be nil.
+func NewClient(caller transport.Caller, pk *paillier.PublicKey, ledger *Ledger) (*Client, error) {
+	if caller == nil {
+		return nil, errors.New("cloud: nil caller")
+	}
+	if pk == nil {
+		return nil, errors.New("cloud: nil public key")
+	}
+	djPK, err := dj.NewPublicKey(pk, 2)
+	if err != nil {
+		return nil, err
+	}
+	ephBits := 2*pk.N.BitLen() + 64
+	eph, err := paillier.GenerateKey(rand.Reader, ephBits)
+	if err != nil {
+		return nil, fmt.Errorf("cloud: generating ephemeral key: %w", err)
+	}
+	return &Client{caller: caller, pk: pk, djPK: djPK, eph: eph, ledger: ledger}, nil
+}
+
+// PK returns the main Paillier public key.
+func (c *Client) PK() *paillier.PublicKey { return c.pk }
+
+// DJPK returns the degree-2 Damgård-Jurik public key.
+func (c *Client) DJPK() *dj.PublicKey { return c.djPK }
+
+// Ephemeral returns S1's ephemeral key pair.
+func (c *Client) Ephemeral() *paillier.PrivateKey { return c.eph }
+
+// Ledger returns S1's leakage ledger (may be nil).
+func (c *Client) Ledger() *Ledger { return c.ledger }
+
+func ctsToBig(cts []*paillier.Ciphertext) ([]*big.Int, error) {
+	out := make([]*big.Int, len(cts))
+	for i, c := range cts {
+		if c == nil || c.C == nil {
+			return nil, fmt.Errorf("cloud: nil ciphertext at %d", i)
+		}
+		out[i] = c.C
+	}
+	return out, nil
+}
+
+func djToBig(cts []*dj.Ciphertext) ([]*big.Int, error) {
+	out := make([]*big.Int, len(cts))
+	for i, c := range cts {
+		if c == nil || c.C == nil {
+			return nil, fmt.Errorf("cloud: nil ciphertext at %d", i)
+		}
+		out[i] = c.C
+	}
+	return out, nil
+}
+
+func bigToCts(vals []*big.Int) []*paillier.Ciphertext {
+	out := make([]*paillier.Ciphertext, len(vals))
+	for i, v := range vals {
+		out[i] = &paillier.Ciphertext{C: v}
+	}
+	return out
+}
+
+func bigToDJ(vals []*big.Int) []*dj.Ciphertext {
+	out := make([]*dj.Ciphertext, len(vals))
+	for i, v := range vals {
+		out[i] = &dj.Ciphertext{C: v}
+	}
+	return out
+}
+
+// EqBits sends randomized EHL differences and returns the hidden equality
+// bits E2(t_i).
+func (c *Client) EqBits(cts []*paillier.Ciphertext) ([]*dj.Ciphertext, error) {
+	if len(cts) == 0 {
+		return nil, nil
+	}
+	vals, err := ctsToBig(cts)
+	if err != nil {
+		return nil, err
+	}
+	var resp EqBitsReply
+	if err := c.caller.Call(MethodEqBits, &EqBitsRequest{Cts: vals}, &resp); err != nil {
+		return nil, err
+	}
+	if len(resp.Bits) != len(cts) {
+		return nil, fmt.Errorf("cloud: EqBits reply length %d != %d", len(resp.Bits), len(cts))
+	}
+	return bigToDJ(resp.Bits), nil
+}
+
+// Recover strips the outer layer from blinded double encryptions.
+func (c *Client) Recover(cts []*dj.Ciphertext) ([]*paillier.Ciphertext, error) {
+	if len(cts) == 0 {
+		return nil, nil
+	}
+	vals, err := djToBig(cts)
+	if err != nil {
+		return nil, err
+	}
+	var resp RecoverReply
+	if err := c.caller.Call(MethodRecover, &RecoverRequest{Cts: vals}, &resp); err != nil {
+		return nil, err
+	}
+	if len(resp.Cts) != len(cts) {
+		return nil, fmt.Errorf("cloud: Recover reply length %d != %d", len(resp.Cts), len(cts))
+	}
+	return bigToCts(resp.Cts), nil
+}
+
+// CompareSigns sends sign-blinded differences and returns each sign.
+func (c *Client) CompareSigns(cts []*paillier.Ciphertext) ([]bool, error) {
+	if len(cts) == 0 {
+		return nil, nil
+	}
+	vals, err := ctsToBig(cts)
+	if err != nil {
+		return nil, err
+	}
+	var resp CompareReply
+	if err := c.caller.Call(MethodCompare, &CompareRequest{Cts: vals}, &resp); err != nil {
+		return nil, err
+	}
+	if len(resp.Neg) != len(cts) {
+		return nil, fmt.Errorf("cloud: Compare reply length %d != %d", len(resp.Neg), len(cts))
+	}
+	return resp.Neg, nil
+}
+
+// CompareSignsHidden is CompareSigns with encrypted result bits.
+func (c *Client) CompareSignsHidden(cts []*paillier.Ciphertext) ([]*dj.Ciphertext, error) {
+	if len(cts) == 0 {
+		return nil, nil
+	}
+	vals, err := ctsToBig(cts)
+	if err != nil {
+		return nil, err
+	}
+	var resp CompareHiddenReply
+	if err := c.caller.Call(MethodCompareHidden, &CompareHiddenRequest{Cts: vals}, &resp); err != nil {
+		return nil, err
+	}
+	if len(resp.Bits) != len(cts) {
+		return nil, fmt.Errorf("cloud: CompareHidden reply length %d != %d", len(resp.Bits), len(cts))
+	}
+	return bigToDJ(resp.Bits), nil
+}
+
+// MultBlinded sends blinded factor pairs and returns the raw products
+// Enc((a+r_a)(b+r_b)).
+func (c *Client) MultBlinded(a, b []*paillier.Ciphertext) ([]*paillier.Ciphertext, error) {
+	if len(a) != len(b) {
+		return nil, fmt.Errorf("cloud: Mult length mismatch %d vs %d", len(a), len(b))
+	}
+	if len(a) == 0 {
+		return nil, nil
+	}
+	av, err := ctsToBig(a)
+	if err != nil {
+		return nil, err
+	}
+	bv, err := ctsToBig(b)
+	if err != nil {
+		return nil, err
+	}
+	var resp MultReply
+	if err := c.caller.Call(MethodMult, &MultRequest{A: av, B: bv}, &resp); err != nil {
+		return nil, err
+	}
+	if len(resp.Products) != len(a) {
+		return nil, fmt.Errorf("cloud: Mult reply length %d != %d", len(resp.Products), len(a))
+	}
+	return bigToCts(resp.Products), nil
+}
+
+// DedupRound executes one oblivious deduplication exchange. The request
+// must already be blinded and permuted; see protocols.SecDedup for the
+// full S1-side protocol.
+func (c *Client) DedupRound(req *DedupRequest) (*DedupReply, error) {
+	if req == nil {
+		return nil, errors.New("cloud: nil dedup request")
+	}
+	req.EphemeralN = c.eph.N
+	var resp DedupReply
+	if err := c.caller.Call(MethodDedup, req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// FilterRound executes one oblivious filter exchange for the join
+// pipeline; see protocols.SecFilter.
+func (c *Client) FilterRound(req *FilterRequest) (*FilterReply, error) {
+	if req == nil {
+		return nil, errors.New("cloud: nil filter request")
+	}
+	req.EphemeralN = c.eph.N
+	var resp FilterReply
+	if err := c.caller.Call(MethodFilter, req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}

@@ -1,0 +1,85 @@
+package cloud
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Event is one leakage observation recorded by a party during a protocol
+// round: what the party could compute from its view beyond the declared
+// ciphertexts.
+type Event struct {
+	Party  string // "S1" or "S2"
+	Method string // protocol round that produced the observation
+	Detail string // human-readable description of the observation
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("[%s] %s: %s", e.Party, e.Method, e.Detail)
+}
+
+// Ledger accumulates leakage events. The security tests assert that the
+// recorded views match the leakage functions of Section 9 (query pattern,
+// halting depth, per-depth equality pattern) and Section 10 (uniqueness
+// pattern for SecDupElim) — and nothing else.
+type Ledger struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewLedger returns an empty ledger.
+func NewLedger() *Ledger { return &Ledger{} }
+
+// Record appends an event. A nil ledger ignores the call, so recording is
+// always safe.
+func (l *Ledger) Record(party, method, format string, args ...any) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.events = append(l.events, Event{Party: party, Method: method, Detail: fmt.Sprintf(format, args...)})
+}
+
+// Events returns a copy of the recorded events.
+func (l *Ledger) Events() []Event {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Event, len(l.events))
+	copy(out, l.events)
+	return out
+}
+
+// Len returns the number of recorded events.
+func (l *Ledger) Len() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.events)
+}
+
+// Reset clears the ledger.
+func (l *Ledger) Reset() {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.events = nil
+}
+
+// ByMethod returns the events recorded for one method.
+func (l *Ledger) ByMethod(method string) []Event {
+	var out []Event
+	for _, e := range l.Events() {
+		if e.Method == method {
+			out = append(out, e)
+		}
+	}
+	return out
+}

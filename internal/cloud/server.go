@@ -1,0 +1,591 @@
+package cloud
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"math/big"
+
+	"repro/internal/dj"
+	"repro/internal/paillier"
+	"repro/internal/prf"
+	"repro/internal/transport"
+	"repro/internal/zmath"
+)
+
+// KeyMaterial is the secret key material the data owner provisions to the
+// crypto cloud S2 (Algorithm 2 line 10): the Paillier key pair and the
+// derived degree-2 Damgård-Jurik key.
+type KeyMaterial struct {
+	Paillier *paillier.PrivateKey
+	DJ       *dj.PrivateKey
+}
+
+// NewKeyMaterial generates fresh key material with the given Paillier
+// modulus size.
+func NewKeyMaterial(bits int) (*KeyMaterial, error) {
+	sk, err := paillier.GenerateKey(rand.Reader, bits)
+	if err != nil {
+		return nil, err
+	}
+	return KeyMaterialFromPaillier(sk)
+}
+
+// KeyMaterialFromPaillier derives the DJ key from an existing Paillier key.
+func KeyMaterialFromPaillier(sk *paillier.PrivateKey) (*KeyMaterial, error) {
+	djSK, err := dj.NewPrivateKey(sk, 2)
+	if err != nil {
+		return nil, err
+	}
+	return &KeyMaterial{Paillier: sk, DJ: djSK}, nil
+}
+
+// Server is the crypto cloud S2. It implements transport.Responder; each
+// Serve call is one protocol round. The server is stateless across rounds
+// apart from the leakage ledger.
+type Server struct {
+	keys   *KeyMaterial
+	ledger *Ledger
+}
+
+// NewServer builds S2 from its key material. ledger may be nil.
+func NewServer(keys *KeyMaterial, ledger *Ledger) (*Server, error) {
+	if keys == nil || keys.Paillier == nil || keys.DJ == nil {
+		return nil, errors.New("cloud: incomplete key material")
+	}
+	return &Server{keys: keys, ledger: ledger}, nil
+}
+
+// Ledger returns the server's leakage ledger (may be nil).
+func (s *Server) Ledger() *Ledger { return s.ledger }
+
+// Serve implements transport.Responder.
+func (s *Server) Serve(method string, body []byte) ([]byte, error) {
+	switch method {
+	case MethodEqBits:
+		var req EqBitsRequest
+		if err := transport.Decode(body, &req); err != nil {
+			return nil, fmt.Errorf("cloud: decoding %s: %w", method, err)
+		}
+		resp, err := s.eqBits(&req)
+		if err != nil {
+			return nil, err
+		}
+		return transport.Encode(resp)
+	case MethodRecover:
+		var req RecoverRequest
+		if err := transport.Decode(body, &req); err != nil {
+			return nil, fmt.Errorf("cloud: decoding %s: %w", method, err)
+		}
+		resp, err := s.recover(&req)
+		if err != nil {
+			return nil, err
+		}
+		return transport.Encode(resp)
+	case MethodCompare:
+		var req CompareRequest
+		if err := transport.Decode(body, &req); err != nil {
+			return nil, fmt.Errorf("cloud: decoding %s: %w", method, err)
+		}
+		resp, err := s.compare(&req)
+		if err != nil {
+			return nil, err
+		}
+		return transport.Encode(resp)
+	case MethodCompareHidden:
+		var req CompareHiddenRequest
+		if err := transport.Decode(body, &req); err != nil {
+			return nil, fmt.Errorf("cloud: decoding %s: %w", method, err)
+		}
+		resp, err := s.compareHidden(&req)
+		if err != nil {
+			return nil, err
+		}
+		return transport.Encode(resp)
+	case MethodMult:
+		var req MultRequest
+		if err := transport.Decode(body, &req); err != nil {
+			return nil, fmt.Errorf("cloud: decoding %s: %w", method, err)
+		}
+		resp, err := s.mult(&req)
+		if err != nil {
+			return nil, err
+		}
+		return transport.Encode(resp)
+	case MethodDedup:
+		var req DedupRequest
+		if err := transport.Decode(body, &req); err != nil {
+			return nil, fmt.Errorf("cloud: decoding %s: %w", method, err)
+		}
+		resp, err := s.dedup(&req)
+		if err != nil {
+			return nil, err
+		}
+		return transport.Encode(resp)
+	case MethodFilter:
+		var req FilterRequest
+		if err := transport.Decode(body, &req); err != nil {
+			return nil, fmt.Errorf("cloud: decoding %s: %w", method, err)
+		}
+		resp, err := s.filter(&req)
+		if err != nil {
+			return nil, err
+		}
+		return transport.Encode(resp)
+	default:
+		return nil, fmt.Errorf("cloud: unknown method %q", method)
+	}
+}
+
+// eqBits decrypts each randomized EHL difference and answers E2(t),
+// t = 1 iff the difference is zero (Algorithm 4, server side).
+func (s *Server) eqBits(req *EqBitsRequest) (*EqBitsReply, error) {
+	out := make([]*big.Int, len(req.Cts))
+	equal := 0
+	for i, c := range req.Cts {
+		m, err := s.keys.Paillier.Decrypt(&paillier.Ciphertext{C: c})
+		if err != nil {
+			return nil, fmt.Errorf("cloud: EqBits[%d]: %w", i, err)
+		}
+		t := zmath.Zero
+		if m.Sign() == 0 {
+			t = zmath.One
+			equal++
+		}
+		ct, err := s.keys.DJ.Encrypt(t)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = ct.C
+	}
+	s.ledger.Record("S2", MethodEqBits, "equality pattern: %d equal of %d pairs", equal, len(req.Cts))
+	return &EqBitsReply{Bits: out}, nil
+}
+
+// recover strips the outer DJ layer from each blinded double encryption
+// (Algorithm 5, server side).
+func (s *Server) recover(req *RecoverRequest) (*RecoverReply, error) {
+	out := make([]*big.Int, len(req.Cts))
+	for i, c := range req.Cts {
+		inner, err := s.keys.DJ.DecryptInner(&dj.Ciphertext{C: c})
+		if err != nil {
+			return nil, fmt.Errorf("cloud: Recover[%d]: %w", i, err)
+		}
+		out[i] = inner.C
+	}
+	s.ledger.Record("S2", MethodRecover, "recovered %d blinded ciphertexts", len(req.Cts))
+	return &RecoverReply{Cts: out}, nil
+}
+
+// compare decrypts each sign-blinded difference and reports its sign.
+func (s *Server) compare(req *CompareRequest) (*CompareReply, error) {
+	out := make([]bool, len(req.Cts))
+	for i, c := range req.Cts {
+		m, err := s.keys.Paillier.Decrypt(&paillier.Ciphertext{C: c})
+		if err != nil {
+			return nil, fmt.Errorf("cloud: Compare[%d]: %w", i, err)
+		}
+		out[i] = zmath.IsNegative(m, s.keys.Paillier.N)
+	}
+	s.ledger.Record("S2", MethodCompare, "compared %d blinded differences", len(req.Cts))
+	return &CompareReply{Neg: out}, nil
+}
+
+// compareHidden is compare with the result bit re-encrypted under DJ so
+// S1 learns nothing either.
+func (s *Server) compareHidden(req *CompareHiddenRequest) (*CompareHiddenReply, error) {
+	out := make([]*big.Int, len(req.Cts))
+	for i, c := range req.Cts {
+		m, err := s.keys.Paillier.Decrypt(&paillier.Ciphertext{C: c})
+		if err != nil {
+			return nil, fmt.Errorf("cloud: CompareHidden[%d]: %w", i, err)
+		}
+		t := zmath.Zero
+		if zmath.IsNegative(m, s.keys.Paillier.N) {
+			t = zmath.One
+		}
+		ct, err := s.keys.DJ.Encrypt(t)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = ct.C
+	}
+	s.ledger.Record("S2", MethodCompareHidden, "compared %d blinded differences (hidden)", len(req.Cts))
+	return &CompareHiddenReply{Bits: out}, nil
+}
+
+// mult decrypts blinded factor pairs and returns the encrypted products;
+// S1 strips the cross terms.
+func (s *Server) mult(req *MultRequest) (*MultReply, error) {
+	if len(req.A) != len(req.B) {
+		return nil, fmt.Errorf("cloud: Mult length mismatch %d vs %d", len(req.A), len(req.B))
+	}
+	pk := &s.keys.Paillier.PublicKey
+	out := make([]*big.Int, len(req.A))
+	for i := range req.A {
+		a, err := s.keys.Paillier.Decrypt(&paillier.Ciphertext{C: req.A[i]})
+		if err != nil {
+			return nil, fmt.Errorf("cloud: Mult a[%d]: %w", i, err)
+		}
+		b, err := s.keys.Paillier.Decrypt(&paillier.Ciphertext{C: req.B[i]})
+		if err != nil {
+			return nil, fmt.Errorf("cloud: Mult b[%d]: %w", i, err)
+		}
+		prod := new(big.Int).Mul(a, b)
+		prod.Mod(prod, pk.N)
+		ct, err := pk.Encrypt(prod)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = ct.C
+	}
+	s.ledger.Record("S2", MethodMult, "multiplied %d blinded pairs", len(req.A))
+	return &MultReply{Products: out}, nil
+}
+
+// unionFind is a tiny disjoint-set for grouping equal rows.
+type unionFind struct{ parent []int }
+
+func newUnionFind(n int) *unionFind {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return &unionFind{parent: p}
+}
+
+func (u *unionFind) find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+func (u *unionFind) union(a, b int) {
+	ra, rb := u.find(a), u.find(b)
+	if ra != rb {
+		if ra < rb {
+			u.parent[rb] = ra
+		} else {
+			u.parent[ra] = rb
+		}
+	}
+}
+
+func (s *Server) validateDedup(req *DedupRequest) error {
+	n := len(req.Rows)
+	if len(req.PairI) != len(req.PairJ) || len(req.PairI) != len(req.PairCts) {
+		return errors.New("cloud: Dedup pair arrays have mismatched lengths")
+	}
+	for k := range req.PairI {
+		if req.PairI[k] < 0 || req.PairI[k] >= n || req.PairJ[k] < 0 || req.PairJ[k] >= n {
+			return fmt.Errorf("cloud: Dedup pair %d out of range", k)
+		}
+		if req.PairCts[k] == nil {
+			return fmt.Errorf("cloud: Dedup pair %d has nil ciphertext", k)
+		}
+	}
+	for i, r := range req.Rows {
+		if len(r.Blinds) != len(r.EHL)+len(r.Scores) {
+			return fmt.Errorf("cloud: Dedup row %d blind vector length %d != %d slots",
+				i, len(r.Blinds), len(r.EHL)+len(r.Scores))
+		}
+	}
+	if req.Mode == DedupMerge {
+		cols := 0
+		if n > 0 {
+			cols = len(req.Rows[0].Scores)
+		}
+		for _, c := range req.MergeCols {
+			if c < 0 || c >= cols {
+				return fmt.Errorf("cloud: Dedup merge column %d out of range", c)
+			}
+		}
+	}
+	return nil
+}
+
+// dedup is the S2 side of SecDedup (Algorithm 7 lines 16-31) and its
+// SecDupElim / merge variants. Rows arrive blinded and permuted by S1;
+// the equality pattern of the permuted pair set is the only thing S2
+// learns (the leakage EP^d of Section 9).
+func (s *Server) dedup(req *DedupRequest) (*DedupReply, error) {
+	if err := s.validateDedup(req); err != nil {
+		return nil, err
+	}
+	pk := &s.keys.Paillier.PublicKey
+	ephPK, err := paillier.NewPublicKeyFromN(req.EphemeralN)
+	if err != nil {
+		return nil, fmt.Errorf("cloud: Dedup ephemeral key: %w", err)
+	}
+	n := len(req.Rows)
+	uf := newUnionFind(n)
+	equalPairs := 0
+	for k := range req.PairI {
+		m, err := s.keys.Paillier.Decrypt(&paillier.Ciphertext{C: req.PairCts[k]})
+		if err != nil {
+			return nil, fmt.Errorf("cloud: Dedup pair %d: %w", k, err)
+		}
+		if m.Sign() == 0 {
+			uf.union(req.PairI[k], req.PairJ[k])
+			equalPairs++
+		}
+	}
+	// Group rows; the representative is the smallest index in the
+	// (already random) permuted order, so the choice carries no signal.
+	groups := make(map[int][]int)
+	for i := 0; i < n; i++ {
+		r := uf.find(i)
+		groups[r] = append(groups[r], i)
+	}
+	s.ledger.Record("S2", MethodDedup, "mode=%s rows=%d equal-pairs=%d groups=%d",
+		req.Mode, n, equalPairs, len(groups))
+
+	sentinel := new(big.Int).Sub(pk.N, zmath.One) // Z = N-1 ≡ -1
+
+	// Assemble the surviving rows (pre re-blinding).
+	var rows []WireRow
+	for i := 0; i < n; i++ {
+		root := uf.find(i)
+		members := groups[root]
+		isRep := members[0] == i
+		switch req.Mode {
+		case DedupReplace:
+			if isRep {
+				rows = append(rows, req.Rows[i])
+				continue
+			}
+			// Replace with a random id and sentinel scores; the recorded
+			// blinds are fresh so S1's unblinding yields uniformly random
+			// digests and the sentinel value Z.
+			repl, err := s.sentinelRow(pk, ephPK, len(req.Rows[i].EHL), len(req.Rows[i].Scores), sentinel)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, *repl)
+		case DedupEliminate:
+			if isRep {
+				rows = append(rows, req.Rows[i])
+			}
+		case DedupMerge:
+			if !isRep {
+				continue
+			}
+			merged := req.Rows[i]
+			if len(members) > 1 {
+				mergedCopy := WireRow{
+					EHL:    append([]*big.Int(nil), merged.EHL...),
+					Scores: append([]*big.Int(nil), merged.Scores...),
+					Blinds: append([]*big.Int(nil), merged.Blinds...),
+				}
+				for _, col := range req.MergeCols {
+					for _, other := range members[1:] {
+						// Homomorphic sum of blinded scores...
+						sum := new(big.Int).Mul(mergedCopy.Scores[col], req.Rows[other].Scores[col])
+						sum.Mod(sum, pk.N2)
+						mergedCopy.Scores[col] = sum
+						// ...and of their blinds under the ephemeral key.
+						bIdx := len(merged.EHL) + col
+						bsum := new(big.Int).Mul(mergedCopy.Blinds[bIdx], req.Rows[other].Blinds[bIdx])
+						bsum.Mod(bsum, ephPK.N2)
+						mergedCopy.Blinds[bIdx] = bsum
+					}
+				}
+				merged = mergedCopy
+			}
+			rows = append(rows, merged)
+		default:
+			return nil, fmt.Errorf("cloud: unknown dedup mode %d", req.Mode)
+		}
+	}
+
+	// Re-blind every surviving row (Algorithm 7 lines 26-30) so S1 cannot
+	// tell which rows were touched, then re-permute (line 31).
+	for i := range rows {
+		if err := s.reblindRow(pk, ephPK, &rows[i]); err != nil {
+			return nil, err
+		}
+	}
+	perm, err := prf.RandomPerm(len(rows))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]WireRow, len(rows))
+	for i := range rows {
+		out[perm[i]] = rows[i]
+	}
+	return &DedupReply{Rows: out}, nil
+}
+
+// sentinelRow builds the replacement row for a duplicate in Replace mode:
+// random id digests and sentinel scores Z, with fresh recorded blinds.
+func (s *Server) sentinelRow(pk, ephPK *paillier.PublicKey, ehlWidth, scoreCols int, sentinel *big.Int) (*WireRow, error) {
+	row := WireRow{
+		EHL:    make([]*big.Int, ehlWidth),
+		Scores: make([]*big.Int, scoreCols),
+		Blinds: make([]*big.Int, ehlWidth+scoreCols),
+	}
+	for j := 0; j < ehlWidth; j++ {
+		u, err := zmath.RandInt(rand.Reader, pk.N)
+		if err != nil {
+			return nil, err
+		}
+		alpha, err := zmath.RandInt(rand.Reader, pk.N)
+		if err != nil {
+			return nil, err
+		}
+		// Store Enc(u + alpha); after S1 subtracts alpha the digest is the
+		// uniformly random u.
+		ct, err := pk.Encrypt(new(big.Int).Add(u, alpha))
+		if err != nil {
+			return nil, err
+		}
+		row.EHL[j] = ct.C
+		bct, err := ephPK.Encrypt(alpha)
+		if err != nil {
+			return nil, err
+		}
+		row.Blinds[j] = bct.C
+	}
+	for j := 0; j < scoreCols; j++ {
+		beta, err := zmath.RandInt(rand.Reader, pk.N)
+		if err != nil {
+			return nil, err
+		}
+		ct, err := pk.Encrypt(new(big.Int).Add(sentinel, beta))
+		if err != nil {
+			return nil, err
+		}
+		row.Scores[j] = ct.C
+		bct, err := ephPK.Encrypt(beta)
+		if err != nil {
+			return nil, err
+		}
+		row.Blinds[ehlWidth+j] = bct.C
+	}
+	return &row, nil
+}
+
+// reblindRow adds fresh additive blinds to every slot of the row and
+// accumulates them into the recorded blind vector, re-randomizing all
+// ciphertexts in the process.
+func (s *Server) reblindRow(pk, ephPK *paillier.PublicKey, row *WireRow) error {
+	apply := func(slot **big.Int, blind **big.Int) error {
+		delta, err := zmath.RandInt(rand.Reader, pk.N)
+		if err != nil {
+			return err
+		}
+		dct, err := pk.Encrypt(delta)
+		if err != nil {
+			return err
+		}
+		v := new(big.Int).Mul(*slot, dct.C)
+		v.Mod(v, pk.N2)
+		*slot = v
+		bct, err := ephPK.Encrypt(delta)
+		if err != nil {
+			return err
+		}
+		b := new(big.Int).Mul(*blind, bct.C)
+		b.Mod(b, ephPK.N2)
+		*blind = b
+		return nil
+	}
+	for j := range row.EHL {
+		if err := apply(&row.EHL[j], &row.Blinds[j]); err != nil {
+			return err
+		}
+	}
+	for j := range row.Scores {
+		if err := apply(&row.Scores[j], &row.Blinds[len(row.EHL)+j]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// filter is the S2 side of SecFilter (Algorithm 12 lines 11-23): drop the
+// rows whose multiplicatively blinded join score decrypts to zero, then
+// re-blind and re-permute the survivors.
+func (s *Server) filter(req *FilterRequest) (*FilterReply, error) {
+	pk := &s.keys.Paillier.PublicKey
+	ephPK, err := paillier.NewPublicKeyFromN(req.EphemeralN)
+	if err != nil {
+		return nil, fmt.Errorf("cloud: Filter ephemeral key: %w", err)
+	}
+	var rows []WireRow
+	for i, r := range req.Rows {
+		if len(r.Scores) == 0 || len(r.Blinds) != len(r.Scores) {
+			return nil, fmt.Errorf("cloud: Filter row %d malformed", i)
+		}
+		m, err := s.keys.Paillier.Decrypt(&paillier.Ciphertext{C: r.Scores[0]})
+		if err != nil {
+			return nil, fmt.Errorf("cloud: Filter row %d score: %w", i, err)
+		}
+		if m.Sign() == 0 {
+			continue // did not satisfy the join condition
+		}
+		rows = append(rows, r)
+	}
+	s.ledger.Record("S2", MethodFilter, "joined %d of %d candidate tuples", len(rows), len(req.Rows))
+
+	for i := range rows {
+		row := &rows[i]
+		// Multiplicative re-blind of the join score: s'' = s' * gamma,
+		// with the recorded inverse updated to r^{-1} * gamma^{-1}. The
+		// ephemeral modulus is at least twice the main modulus size, so
+		// the integer product never wraps and S1 can reduce mod N.
+		gamma, err := zmath.RandUnit(rand.Reader, pk.N)
+		if err != nil {
+			return nil, err
+		}
+		gammaInv, err := zmath.ModInverse(gamma, pk.N)
+		if err != nil {
+			return nil, err
+		}
+		v := new(big.Int).Exp(row.Scores[0], gamma, pk.N2)
+		// Re-randomize so the transformation is not a deterministic
+		// function of the input ciphertext.
+		z, err := pk.EncryptZero()
+		if err != nil {
+			return nil, err
+		}
+		v.Mul(v, z.C)
+		v.Mod(v, pk.N2)
+		row.Scores[0] = v
+		b := new(big.Int).Exp(row.Blinds[0], gammaInv, ephPK.N2)
+		row.Blinds[0] = b
+
+		// Additive re-blind of the payload columns.
+		for j := 1; j < len(row.Scores); j++ {
+			delta, err := zmath.RandInt(rand.Reader, pk.N)
+			if err != nil {
+				return nil, err
+			}
+			dct, err := pk.Encrypt(delta)
+			if err != nil {
+				return nil, err
+			}
+			sv := new(big.Int).Mul(row.Scores[j], dct.C)
+			sv.Mod(sv, pk.N2)
+			row.Scores[j] = sv
+			bct, err := ephPK.Encrypt(delta)
+			if err != nil {
+				return nil, err
+			}
+			bv := new(big.Int).Mul(row.Blinds[j], bct.C)
+			bv.Mod(bv, ephPK.N2)
+			row.Blinds[j] = bv
+		}
+	}
+	perm, err := prf.RandomPerm(len(rows))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]WireRow, len(rows))
+	for i := range rows {
+		out[perm[i]] = rows[i]
+	}
+	return &FilterReply{Rows: out}, nil
+}

@@ -1,0 +1,495 @@
+package core
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"math/big"
+	"math/bits"
+
+	"repro/internal/cloud"
+	"repro/internal/paillier"
+	"repro/internal/protocols"
+)
+
+// Mode selects the query-processing variant evaluated in Section 11.2.
+type Mode int
+
+const (
+	// QryF is the fully private baseline: SecDedup (replace mode) and the
+	// halting machinery run at every depth (Section 8).
+	QryF Mode = iota
+	// QryE swaps SecDedup for SecDupElim, shrinking the tracked list and
+	// leaking the uniqueness pattern UP^d to S1 (Section 10.1).
+	QryE
+	// QryBa batches deduplication/sorting/halting every p depths
+	// (Section 10.2).
+	QryBa
+)
+
+func (m Mode) String() string {
+	switch m {
+	case QryF:
+		return "Qry_F"
+	case QryE:
+		return "Qry_E"
+	case QryBa:
+		return "Qry_Ba"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// HaltPolicy selects the halting test.
+type HaltPolicy int
+
+const (
+	// HaltPaper is Algorithm 3 line 10 verbatim: compare the k-th worst
+	// against the (k+1)-th item's best. A relaxation of NRA's condition
+	// (see DESIGN.md errata).
+	HaltPaper HaltPolicy = iota
+	// HaltStrict restores NRA's guarantee: every tracked non-top-k bound
+	// and the unseen-object bound must be dominated.
+	HaltStrict
+)
+
+// SortStrategy selects how the worst-score ranking is maintained.
+type SortStrategy int
+
+const (
+	// SortTopK runs the O(k*l) oblivious selection (default; linear in k,
+	// matching the paper's reported scaling).
+	SortTopK SortStrategy = iota
+	// SortFull runs the full Batcher-network EncSort of [7], as Algorithm
+	// 3 line 9 states.
+	SortFull
+)
+
+// Options configures one SecQuery execution.
+type Options struct {
+	Mode Mode
+	Halt HaltPolicy
+	Sort SortStrategy
+	// BatchDepth is the batching parameter p (Qry_Ba only); the paper
+	// requires p >= k. Zero picks max(2k, 8).
+	BatchDepth int
+	// MaxDepth caps the scan for benchmarking time-per-depth; zero means
+	// scan to completion.
+	MaxDepth int
+}
+
+// QueryResult is the outcome of SecQuery: the encrypted top-k items
+// (column 0 = worst score), the number of depths scanned, and whether the
+// halting condition fired (false only when MaxDepth cut the scan short).
+type QueryResult struct {
+	Items  []protocols.Item
+	Depth  int
+	Halted bool
+}
+
+// Engine is the data cloud S1's query processor.
+type Engine struct {
+	client     *cloud.Client
+	er         *EncryptedRelation
+	seenTokens map[string]int
+}
+
+// NewEngine builds the S1 engine for an encrypted relation.
+func NewEngine(client *cloud.Client, er *EncryptedRelation) (*Engine, error) {
+	if client == nil {
+		return nil, errors.New("core: nil client")
+	}
+	if er == nil || len(er.Lists) == 0 {
+		return nil, errors.New("core: empty encrypted relation")
+	}
+	if er.MaxScoreBits <= 0 {
+		return nil, errors.New("core: encrypted relation missing MaxScoreBits")
+	}
+	return &Engine{client: client, er: er, seenTokens: map[string]int{}}, nil
+}
+
+// magBits bounds |W|, |B| magnitudes for comparison masking: m weighted
+// scores of MaxScoreBits bits each.
+func (e *Engine) magBits(tk *Token) int {
+	wBits := 1
+	for _, w := range tk.Weights {
+		if b := bits.Len64(uint64(w)); b > wBits {
+			wBits = b
+		}
+	}
+	mBits := bits.Len(uint(len(tk.Lists)))
+	return e.er.MaxScoreBits + wBits + mBits + 2
+}
+
+func (e *Engine) validateToken(tk *Token) error {
+	if tk == nil {
+		return errors.New("core: nil token")
+	}
+	if len(tk.Lists) == 0 {
+		return errors.New("core: token selects no lists")
+	}
+	for _, p := range tk.Lists {
+		if p < 0 || p >= len(e.er.Lists) {
+			return fmt.Errorf("core: token list position %d out of range", p)
+		}
+	}
+	if tk.Weights != nil && len(tk.Weights) != len(tk.Lists) {
+		return fmt.Errorf("core: token has %d weights for %d lists", len(tk.Weights), len(tk.Lists))
+	}
+	if tk.K <= 0 || tk.K > e.er.N {
+		return fmt.Errorf("core: token k=%d out of range", tk.K)
+	}
+	return nil
+}
+
+// recordQueryPattern logs the query-pattern leakage QP (Section 9): S1
+// observes whether a token repeats.
+func (e *Engine) recordQueryPattern(tk *Token) {
+	h := sha256.New()
+	fmt.Fprintf(h, "k=%d;", tk.K)
+	for _, l := range tk.Lists {
+		fmt.Fprintf(h, "%d,", l)
+	}
+	for _, w := range tk.Weights {
+		fmt.Fprintf(h, "w%d,", w)
+	}
+	key := string(h.Sum(nil))
+	e.seenTokens[key]++
+	e.client.Ledger().Record("S1", "Token", "query pattern: repeat #%d of this token (m=%d, k=%d)",
+		e.seenTokens[key], len(tk.Lists), tk.K)
+}
+
+// depthScore returns the (weight-scaled) encrypted score of list li at
+// depth d. Weights are applied by S1 via scalar multiplication, per
+// Section 7.
+func (e *Engine) depthScore(tk *Token, li, d int) (*paillier.Ciphertext, error) {
+	item := e.er.Lists[tk.Lists[li]][d]
+	if tk.Weights == nil {
+		return item.Score, nil
+	}
+	return e.client.PK().MulConst(item.Score, big.NewInt(tk.Weights[li]))
+}
+
+// SecQuery executes the top-k query (Algorithm 3) in the requested mode.
+func (e *Engine) SecQuery(tk *Token, opts Options) (*QueryResult, error) {
+	if err := e.validateToken(tk); err != nil {
+		return nil, err
+	}
+	e.recordQueryPattern(tk)
+	var res *QueryResult
+	var err error
+	if opts.Mode == QryBa {
+		res, err = e.queryBatched(tk, opts)
+	} else {
+		res, err = e.queryPerDepth(tk, opts)
+	}
+	if err != nil {
+		return nil, err
+	}
+	e.client.Ledger().Record("S1", "Query", "halting depth D_q = %d (halted=%v)", res.Depth, res.Halted)
+	return res, nil
+}
+
+// queryPerDepth is the per-depth pipeline shared by Qry_F and Qry_E.
+func (e *Engine) queryPerDepth(tk *Token, opts Options) (*QueryResult, error) {
+	m, k := len(tk.Lists), tk.K
+	magBits := e.magBits(tk)
+	dedupMode := cloud.DedupReplace
+	if opts.Mode == QryE {
+		dedupMode = cloud.DedupEliminate
+	}
+	maxD := e.er.N
+	if opts.MaxDepth > 0 && opts.MaxDepth < maxD {
+		maxD = opts.MaxDepth
+	}
+	histories := make([]protocols.ListHistory, m)
+	var T []protocols.Item
+	depth := 0
+	for d := 0; d < maxD; d++ {
+		depth = d + 1
+		depthItems := make([]protocols.DepthItem, m)
+		for i := 0; i < m; i++ {
+			score, err := e.depthScore(tk, i, d)
+			if err != nil {
+				return nil, err
+			}
+			it := e.er.Lists[tk.Lists[i]][d]
+			depthItems[i] = protocols.DepthItem{EHL: it.EHL, Score: score}
+			histories[i].EHLs = append(histories[i].EHLs, it.EHL)
+			histories[i].Scores = append(histories[i].Scores, score)
+		}
+		worst, err := protocols.SecWorstAll(e.client, depthItems)
+		if err != nil {
+			return nil, fmt.Errorf("core: depth %d SecWorst: %w", d, err)
+		}
+		best, err := protocols.SecBestAll(e.client, depthItems, histories)
+		if err != nil {
+			return nil, fmt.Errorf("core: depth %d SecBest: %w", d, err)
+		}
+		gamma := make([]protocols.Item, m)
+		for i := 0; i < m; i++ {
+			gamma[i] = protocols.Item{
+				EHL:    depthItems[i].EHL,
+				Scores: []*paillier.Ciphertext{worst[i], best[i]},
+			}
+		}
+		gamma, err = protocols.SecDedup(e.client, gamma, dedupMode, protocols.AllPairs(m), nil)
+		if err != nil {
+			return nil, fmt.Errorf("core: depth %d SecDedup: %w", d, err)
+		}
+		T, err = protocols.SecUpdate(e.client, T, gamma, dedupMode)
+		if err != nil {
+			return nil, fmt.Errorf("core: depth %d SecUpdate: %w", d, err)
+		}
+		if len(T) < k+1 {
+			continue
+		}
+		bottoms := make([]*paillier.Ciphertext, m)
+		for i := 0; i < m; i++ {
+			bottoms[i] = histories[i].Scores[len(histories[i].Scores)-1]
+		}
+		halted, ranked, err := e.checkHalt(T, k, magBits, opts, bottoms, nil)
+		if err != nil {
+			return nil, fmt.Errorf("core: depth %d halting check: %w", d, err)
+		}
+		T = ranked
+		if halted {
+			return &QueryResult{Items: T[:k], Depth: depth, Halted: true}, nil
+		}
+	}
+	return e.finalize(T, k, magBits, depth, maxD == e.er.N)
+}
+
+// queryBatched is Qry_Ba (Section 10.2): per-depth items carry only their
+// own score and a per-list seen indicator; every p depths the pending
+// items are merged into T with one score-summing dedup, then ranked and
+// halt-checked. Best bounds are computed exactly at the batch boundary
+// from the indicator vectors: B = W + sum_j (1 - v_j) * bottom_j.
+func (e *Engine) queryBatched(tk *Token, opts Options) (*QueryResult, error) {
+	m, k := len(tk.Lists), tk.K
+	magBits := e.magBits(tk)
+	p := opts.BatchDepth
+	if p == 0 {
+		p = 2 * k
+		if p < 8 {
+			p = 8
+		}
+	}
+	if p < k {
+		return nil, fmt.Errorf("core: batch depth p=%d must be >= k=%d (Section 10.2)", p, k)
+	}
+	maxD := e.er.N
+	if opts.MaxDepth > 0 && opts.MaxDepth < maxD {
+		maxD = opts.MaxDepth
+	}
+	pk := e.client.PK()
+	cols := 1 + m // [W, v_0..v_{m-1}]
+	mergeCols := make([]int, cols)
+	for i := range mergeCols {
+		mergeCols[i] = i
+	}
+	var T, pending []protocols.Item
+	var bottoms []*paillier.Ciphertext
+	depth := 0
+	for d := 0; d < maxD; d++ {
+		depth = d + 1
+		bottoms = make([]*paillier.Ciphertext, m)
+		for i := 0; i < m; i++ {
+			score, err := e.depthScore(tk, i, d)
+			if err != nil {
+				return nil, err
+			}
+			bottoms[i] = score
+			item := protocols.Item{EHL: e.er.Lists[tk.Lists[i]][d].EHL, Scores: make([]*paillier.Ciphertext, cols)}
+			item.Scores[0] = score
+			for j := 0; j < m; j++ {
+				v := int64(0)
+				if j == i {
+					v = 1
+				}
+				ct, err := pk.EncryptInt64(v)
+				if err != nil {
+					return nil, err
+				}
+				item.Scores[1+j] = ct
+			}
+			pending = append(pending, item)
+		}
+		if (d+1)%p != 0 && d != maxD-1 {
+			continue
+		}
+		// Batch boundary: merge pending into T with one score-summing
+		// dedup over (pending x pending) + (pending x T) pairs.
+		combined := append(append([]protocols.Item(nil), T...), pending...)
+		var pairs protocols.PairSet
+		base := len(T)
+		for i := 0; i < len(pending); i++ {
+			for j := i + 1; j < len(pending); j++ {
+				pairs.Pairs = append(pairs.Pairs, [2]int{base + i, base + j})
+			}
+			for j := 0; j < base; j++ {
+				pairs.Pairs = append(pairs.Pairs, [2]int{base + i, j})
+			}
+		}
+		var err error
+		T, err = protocols.SecDedup(e.client, combined, cloud.DedupMerge, pairs, mergeCols)
+		if err != nil {
+			return nil, fmt.Errorf("core: depth %d batch merge: %w", d, err)
+		}
+		pending = nil
+		if len(T) < k+1 {
+			continue
+		}
+		halted, ranked, err := e.checkHalt(T, k, magBits, opts, bottoms, e.batchBest(bottoms))
+		if err != nil {
+			return nil, fmt.Errorf("core: depth %d halting check: %w", d, err)
+		}
+		T = ranked
+		if halted {
+			return &QueryResult{Items: T[:k], Depth: depth, Halted: true}, nil
+		}
+	}
+	return e.finalize(T, k, magBits, depth, maxD == e.er.N)
+}
+
+// bestFunc computes exact best bounds for the given (ranked) items.
+type bestFunc func(items []protocols.Item) ([]*paillier.Ciphertext, error)
+
+// batchBest returns the Qry_Ba bound computer: for each item,
+// B = W + sum_j bottom_j - sum_j v_j * bottom_j, with the v_j * bottom_j
+// products resolved through one batched SecMult round.
+func (e *Engine) batchBest(bottoms []*paillier.Ciphertext) bestFunc {
+	return func(items []protocols.Item) ([]*paillier.Ciphertext, error) {
+		pk := e.client.PK()
+		m := len(bottoms)
+		sumBottoms, err := pk.EncryptZero()
+		if err != nil {
+			return nil, err
+		}
+		for _, b := range bottoms {
+			if sumBottoms, err = pk.Add(sumBottoms, b); err != nil {
+				return nil, err
+			}
+		}
+		var as, bs []*paillier.Ciphertext
+		for _, it := range items {
+			if len(it.Scores) != 1+m {
+				return nil, fmt.Errorf("core: batched item has %d columns, want %d", len(it.Scores), 1+m)
+			}
+			for j := 0; j < m; j++ {
+				as = append(as, it.Scores[1+j])
+				bs = append(bs, bottoms[j])
+			}
+		}
+		prods, err := protocols.SecMult(e.client, as, bs)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]*paillier.Ciphertext, len(items))
+		for i, it := range items {
+			b := it.Scores[0] // W
+			if b, err = pk.Add(b, sumBottoms); err != nil {
+				return nil, err
+			}
+			for j := 0; j < m; j++ {
+				neg, err := pk.Neg(prods[i*m+j])
+				if err != nil {
+					return nil, err
+				}
+				if b, err = pk.Add(b, neg); err != nil {
+					return nil, err
+				}
+			}
+			out[i] = b
+		}
+		return out, nil
+	}
+}
+
+// checkHalt ranks T by worst score and evaluates the halting condition.
+// When best is nil, stored best-bound columns (ColBest) are used (Qry_F /
+// Qry_E); otherwise best computes bounds on demand (Qry_Ba).
+func (e *Engine) checkHalt(T []protocols.Item, k, magBits int, opts Options, bottoms []*paillier.Ciphertext, best bestFunc) (bool, []protocols.Item, error) {
+	var ranked []protocols.Item
+	var err error
+	if opts.Sort == SortFull {
+		ranked, err = protocols.EncSort(e.client, T, protocols.ColWorst, true, magBits)
+	} else {
+		ranked, err = protocols.EncSelectTop(e.client, T, protocols.ColWorst, true, k+1, magBits)
+	}
+	if err != nil {
+		return false, nil, err
+	}
+	wk := ranked[k-1].Scores[protocols.ColWorst]
+	pk := e.client.PK()
+
+	var tail []protocols.Item
+	if opts.Halt == HaltPaper {
+		tail = ranked[k : k+1]
+	} else {
+		tail = ranked[k:]
+	}
+	var bounds []*paillier.Ciphertext
+	if best != nil {
+		if bounds, err = best(tail); err != nil {
+			return false, nil, err
+		}
+	} else {
+		for _, it := range tail {
+			bounds = append(bounds, it.Scores[protocols.ColBest])
+		}
+	}
+	if opts.Halt == HaltPaper {
+		// Faithful Algorithm 3 line 10: f = EncCompare(W_k, B_{k+1});
+		// halt iff f = 0, i.e. W_k > B_{k+1}.
+		f, err := protocols.EncCompare(e.client, wk, bounds[0], magBits)
+		if err != nil {
+			return false, nil, err
+		}
+		return !f, ranked, nil
+	}
+	// Strict NRA halting: every tracked non-top-k bound plus the
+	// unseen-object bound (sum of the current bottoms) must be dominated
+	// by W_k.
+	sum, err := pk.EncryptZero()
+	if err != nil {
+		return false, nil, err
+	}
+	for _, b := range bottoms {
+		if sum, err = pk.Add(sum, b); err != nil {
+			return false, nil, err
+		}
+	}
+	bounds = append(bounds, sum)
+	wks := make([]*paillier.Ciphertext, len(bounds))
+	for i := range wks {
+		wks[i] = wk
+	}
+	fs, err := protocols.EncCompareBatch(e.client, bounds, wks, magBits)
+	if err != nil {
+		return false, nil, err
+	}
+	for _, f := range fs {
+		if !f {
+			return false, ranked, nil
+		}
+	}
+	return true, ranked, nil
+}
+
+// finalize returns the best-effort top-k after the scan ended without the
+// halting condition firing. A full scan is exact (all bounds are tight at
+// depth n); a MaxDepth-capped scan is marked unhalted.
+func (e *Engine) finalize(T []protocols.Item, k, magBits, depth int, fullScan bool) (*QueryResult, error) {
+	if len(T) == 0 {
+		return &QueryResult{Depth: depth, Halted: fullScan}, nil
+	}
+	if k > len(T) {
+		k = len(T)
+	}
+	ranked, err := protocols.EncSelectTop(e.client, T, protocols.ColWorst, true, k, magBits)
+	if err != nil {
+		return nil, err
+	}
+	return &QueryResult{Items: ranked[:k], Depth: depth, Halted: fullScan}, nil
+}

@@ -1,0 +1,218 @@
+// Package dataset provides the relation model and the workload generators
+// for the evaluation. The paper (Section 11) uses three UCI datasets
+// (insurance 5822x13, diabetes 101767x10, PAMAP 376416x15) and a Gaussian
+// synthetic set (10^6 x 10).
+//
+// Substitution note (DESIGN.md): the module is offline, so the UCI sets
+// are replaced by seeded synthetic stand-ins with the same name, schema,
+// and qualitative value distributions. The protocol's per-depth cost
+// depends only on n, M, score ranges and duplicate/halting structure, all
+// of which are preserved.
+package dataset
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Relation is a plaintext relation of n objects with M numeric attributes
+// (the paper's n x M matrix view of R). Object i's id is its row index.
+type Relation struct {
+	Name string
+	Rows [][]int64
+}
+
+// N returns the number of objects.
+func (r *Relation) N() int { return len(r.Rows) }
+
+// M returns the number of attributes.
+func (r *Relation) M() int {
+	if len(r.Rows) == 0 {
+		return 0
+	}
+	return len(r.Rows[0])
+}
+
+// Validate checks rectangular shape and non-negative scores (the paper
+// assumes non-negative attribute values; Section 3.1).
+func (r *Relation) Validate() error {
+	if len(r.Rows) == 0 {
+		return errors.New("dataset: empty relation")
+	}
+	m := len(r.Rows[0])
+	if m == 0 {
+		return errors.New("dataset: relation has no attributes")
+	}
+	for i, row := range r.Rows {
+		if len(row) != m {
+			return fmt.Errorf("dataset: row %d has %d attributes, want %d", i, len(row), m)
+		}
+		for j, v := range row {
+			if v < 0 {
+				return fmt.Errorf("dataset: negative score at (%d,%d)", i, j)
+			}
+		}
+	}
+	return nil
+}
+
+// MaxScore returns the largest attribute value.
+func (r *Relation) MaxScore() int64 {
+	var out int64
+	for _, row := range r.Rows {
+		for _, v := range row {
+			if v > out {
+				out = v
+			}
+		}
+	}
+	return out
+}
+
+// Score evaluates the monotone linear ranking function F_W over the given
+// attributes and weights for object obj (Section 3.1).
+func (r *Relation) Score(obj int, attrs []int, weights []int64) int64 {
+	var s int64
+	for i, a := range attrs {
+		w := int64(1)
+		if weights != nil {
+			w = weights[i]
+		}
+		s += w * r.Rows[obj][a]
+	}
+	return s
+}
+
+// Shape describes a dataset's value distribution.
+type Shape int
+
+const (
+	// ShapeCategorical produces small-domain integers with heavy
+	// duplication (the insurance benchmark's sociodemographic fields).
+	ShapeCategorical Shape = iota
+	// ShapeSkewed produces long-tailed counts (diabetes utilization
+	// fields).
+	ShapeSkewed
+	// ShapeSensor produces wide-range correlated readings (PAMAP
+	// physical-activity monitoring).
+	ShapeSensor
+	// ShapeGaussian is the paper's synthetic set: Gaussian attribute
+	// values.
+	ShapeGaussian
+)
+
+// Spec describes a dataset to generate.
+type Spec struct {
+	Name     string
+	N        int
+	M        int
+	MaxScore int64
+	Shape    Shape
+	// Correlation in [0,1] blends a per-row quality factor into every
+	// attribute; higher values make top-k rows agree across attributes,
+	// which is what lets NRA-style algorithms halt early on real data.
+	Correlation float64
+}
+
+// The paper's four datasets at full scale.
+
+// Insurance is the UCI insurance benchmark stand-in (5822 x 13).
+func Insurance() Spec {
+	return Spec{Name: "insurance", N: 5822, M: 13, MaxScore: 9, Shape: ShapeCategorical, Correlation: 0.5}
+}
+
+// Diabetes is the UCI diabetes stand-in (101767 x 10).
+func Diabetes() Spec {
+	return Spec{Name: "diabetes", N: 101767, M: 10, MaxScore: 1000, Shape: ShapeSkewed, Correlation: 0.6}
+}
+
+// PAMAP is the UCI PAMAP physical-activity stand-in (376416 x 15).
+func PAMAP() Spec {
+	return Spec{Name: "PAMAP", N: 376416, M: 15, MaxScore: 10000, Shape: ShapeSensor, Correlation: 0.6}
+}
+
+// Synthetic is the paper's Gaussian synthetic dataset (10^6 x 10).
+func Synthetic() Spec {
+	return Spec{Name: "synthetic", N: 1_000_000, M: 10, MaxScore: 1000, Shape: ShapeGaussian, Correlation: 0.6}
+}
+
+// All returns the four evaluation datasets in the paper's order.
+func All() []Spec {
+	return []Spec{Insurance(), Diabetes(), PAMAP(), Synthetic()}
+}
+
+// WithN returns a copy scaled to n rows (benchmarks run scaled-down
+// versions by default; see EXPERIMENTS.md).
+func (s Spec) WithN(n int) Spec {
+	s.N = n
+	return s
+}
+
+// WithM returns a copy with m attributes.
+func (s Spec) WithM(m int) Spec {
+	s.M = m
+	return s
+}
+
+// Generate builds the relation deterministically from the seed.
+func Generate(spec Spec, seed int64) (*Relation, error) {
+	if spec.N <= 0 || spec.M <= 0 {
+		return nil, fmt.Errorf("dataset: invalid shape %dx%d", spec.N, spec.M)
+	}
+	if spec.MaxScore <= 0 {
+		return nil, fmt.Errorf("dataset: MaxScore must be positive, got %d", spec.MaxScore)
+	}
+	if spec.Correlation < 0 || spec.Correlation > 1 {
+		return nil, fmt.Errorf("dataset: correlation %f outside [0,1]", spec.Correlation)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rel := &Relation{Name: spec.Name, Rows: make([][]int64, spec.N)}
+	maxF := float64(spec.MaxScore)
+	for i := 0; i < spec.N; i++ {
+		row := make([]int64, spec.M)
+		// Per-row quality factor drives cross-attribute correlation.
+		quality := rng.Float64()
+		for j := 0; j < spec.M; j++ {
+			var base float64
+			switch spec.Shape {
+			case ShapeCategorical:
+				base = float64(rng.Intn(int(spec.MaxScore) + 1))
+			case ShapeSkewed:
+				// Exponential-ish long tail.
+				base = math.Min(maxF, rng.ExpFloat64()*maxF/4)
+			case ShapeSensor:
+				base = clamp(rng.NormFloat64()*maxF/6+maxF/2, 0, maxF)
+			case ShapeGaussian:
+				base = clamp(rng.NormFloat64()*maxF/6+maxF/2, 0, maxF)
+			default:
+				return nil, fmt.Errorf("dataset: unknown shape %d", spec.Shape)
+			}
+			blended := (1-spec.Correlation)*base + spec.Correlation*quality*maxF
+			row[j] = int64(clamp(blended, 0, maxF))
+		}
+		rel.Rows[i] = row
+	}
+	return rel, rel.Validate()
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// ScoreBits returns the number of bits needed for a single attribute
+// value of this spec (used to size comparison masks).
+func (s Spec) ScoreBits() int {
+	bits := 1
+	for v := s.MaxScore; v > 0; v >>= 1 {
+		bits++
+	}
+	return bits
+}

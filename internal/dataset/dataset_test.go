@@ -1,0 +1,147 @@
+package dataset
+
+import (
+	"testing"
+)
+
+func TestGenerateShapes(t *testing.T) {
+	for _, spec := range All() {
+		small := spec.WithN(200)
+		rel, err := Generate(small, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		if rel.N() != 200 || rel.M() != spec.M {
+			t.Fatalf("%s: shape %dx%d, want 200x%d", spec.Name, rel.N(), rel.M(), spec.M)
+		}
+		if rel.MaxScore() > spec.MaxScore {
+			t.Fatalf("%s: score %d exceeds cap %d", spec.Name, rel.MaxScore(), spec.MaxScore)
+		}
+		if err := rel.Validate(); err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := Synthetic().WithN(50)
+	a, err := Generate(spec, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(spec, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Rows {
+		for j := range a.Rows[i] {
+			if a.Rows[i][j] != b.Rows[i][j] {
+				t.Fatalf("not deterministic at (%d,%d)", i, j)
+			}
+		}
+	}
+	c, err := Generate(spec, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Rows {
+		for j := range a.Rows[i] {
+			if a.Rows[i][j] != c.Rows[i][j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(Spec{Name: "x", N: 0, M: 3, MaxScore: 5}, 1); err == nil {
+		t.Fatal("expected error for N=0")
+	}
+	if _, err := Generate(Spec{Name: "x", N: 3, M: 0, MaxScore: 5}, 1); err == nil {
+		t.Fatal("expected error for M=0")
+	}
+	if _, err := Generate(Spec{Name: "x", N: 3, M: 3, MaxScore: 0}, 1); err == nil {
+		t.Fatal("expected error for MaxScore=0")
+	}
+	if _, err := Generate(Spec{Name: "x", N: 3, M: 3, MaxScore: 5, Correlation: 2}, 1); err == nil {
+		t.Fatal("expected error for correlation > 1")
+	}
+	if _, err := Generate(Spec{Name: "x", N: 3, M: 3, MaxScore: 5, Shape: Shape(99)}, 1); err == nil {
+		t.Fatal("expected error for unknown shape")
+	}
+}
+
+func TestRelationValidate(t *testing.T) {
+	bad := &Relation{Name: "r", Rows: [][]int64{{1, 2}, {3}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected ragged-row error")
+	}
+	neg := &Relation{Name: "r", Rows: [][]int64{{1, -2}}}
+	if err := neg.Validate(); err == nil {
+		t.Fatal("expected negative-score error")
+	}
+	empty := &Relation{Name: "r"}
+	if err := empty.Validate(); err == nil {
+		t.Fatal("expected empty error")
+	}
+	noAttrs := &Relation{Name: "r", Rows: [][]int64{{}}}
+	if err := noAttrs.Validate(); err == nil {
+		t.Fatal("expected no-attribute error")
+	}
+}
+
+func TestScore(t *testing.T) {
+	rel := &Relation{Name: "r", Rows: [][]int64{{1, 2, 3}, {4, 5, 6}}}
+	if got := rel.Score(0, []int{0, 2}, nil); got != 4 {
+		t.Fatalf("unit weights: %d, want 4", got)
+	}
+	if got := rel.Score(1, []int{0, 1}, []int64{2, 3}); got != 23 {
+		t.Fatalf("weighted: %d, want 23", got)
+	}
+}
+
+func TestSpecHelpers(t *testing.T) {
+	s := Insurance().WithN(10).WithM(4)
+	if s.N != 10 || s.M != 4 || s.Name != "insurance" {
+		t.Fatalf("WithN/WithM broken: %+v", s)
+	}
+	if Synthetic().ScoreBits() < 10 {
+		t.Fatalf("ScoreBits too small: %d", Synthetic().ScoreBits())
+	}
+	if len(All()) != 4 {
+		t.Fatal("All() should return the paper's 4 datasets")
+	}
+}
+
+func TestCorrelationAffectsTopAgreement(t *testing.T) {
+	// With high correlation, the best object by one attribute should rank
+	// highly by others — the property that lets NRA halt early.
+	spec := Spec{Name: "c", N: 500, M: 4, MaxScore: 1000, Shape: ShapeGaussian, Correlation: 0.9}
+	rel, err := Generate(spec, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the top object by attribute 0 and check its ranks elsewhere
+	// are in the top half.
+	best, bestVal := 0, int64(-1)
+	for i := 0; i < rel.N(); i++ {
+		if rel.Rows[i][0] > bestVal {
+			best, bestVal = i, rel.Rows[i][0]
+		}
+	}
+	for j := 1; j < rel.M(); j++ {
+		rank := 0
+		for i := 0; i < rel.N(); i++ {
+			if rel.Rows[i][j] > rel.Rows[best][j] {
+				rank++
+			}
+		}
+		if rank > rel.N()/2 {
+			t.Fatalf("high-correlation top object ranks %d/%d on attribute %d", rank, rel.N(), j)
+		}
+	}
+}

@@ -1,0 +1,328 @@
+// Package dj implements the Damgård-Jurik generalization of the Paillier
+// cryptosystem (PKC 2001). For a degree parameter s >= 1, plaintexts live
+// in Z_{N^s} and ciphertexts in Z*_{N^{s+1}}; s = 1 recovers plain
+// Paillier.
+//
+// SecTopK uses s = 2 for its double-layer trick (Section 3.3 of the
+// paper): a first-layer Paillier ciphertext c = Enc(m) in Z_{N^2} is a
+// valid *plaintext* for the s = 2 scheme, and
+//
+//	E2(Enc(m1))^{Enc(m2)} = E2(Enc(m1) * Enc(m2) mod N^2) = E2(Enc(m1+m2))
+//
+// is the only homomorphic property the construction relies on. That
+// identity is exactly ExpConst below, applied with the inner ciphertext
+// as exponent.
+package dj
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"math/big"
+
+	"repro/internal/paillier"
+	"repro/internal/zmath"
+)
+
+var (
+	// ErrMessageRange is returned when a plaintext is outside [0, N^s).
+	ErrMessageRange = errors.New("dj: message outside [0, N^s)")
+	// ErrCiphertextRange is returned for ciphertexts outside (0, N^{s+1}).
+	ErrCiphertextRange = errors.New("dj: invalid ciphertext")
+	// ErrDegree is returned for an unsupported degree parameter.
+	ErrDegree = errors.New("dj: degree s must be >= 1")
+)
+
+// PublicKey is the Damgård-Jurik public key: the Paillier modulus N plus
+// the degree s and cached powers of N.
+type PublicKey struct {
+	N *big.Int
+	S int
+
+	NS  *big.Int // N^s, the plaintext modulus
+	NS1 *big.Int // N^{s+1}, the ciphertext modulus
+	// nPow[i] = N^i for i in [0, s+1]; shared by the decrypt extraction.
+	nPow []*big.Int
+}
+
+// PrivateKey carries the decryption exponent d with d = 1 mod N^s and
+// d = 0 mod lambda, plus the precomputed k!^{-1} mod N^s table used by the
+// plaintext extraction.
+type PrivateKey struct {
+	PublicKey
+	d *big.Int
+	// factInv[k] = (k!)^{-1} mod N^s for k in [0, s].
+	factInv []*big.Int
+}
+
+// Ciphertext is a DJ ciphertext: an element of Z*_{N^{s+1}}.
+type Ciphertext struct {
+	C *big.Int
+}
+
+// NewPublicKey derives the DJ public key of degree s from a Paillier
+// public key (same modulus N).
+func NewPublicKey(pk *paillier.PublicKey, s int) (*PublicKey, error) {
+	if s < 1 {
+		return nil, ErrDegree
+	}
+	out := &PublicKey{N: new(big.Int).Set(pk.N), S: s}
+	out.nPow = make([]*big.Int, s+2)
+	out.nPow[0] = big.NewInt(1)
+	for i := 1; i <= s+1; i++ {
+		out.nPow[i] = new(big.Int).Mul(out.nPow[i-1], out.N)
+	}
+	out.NS = out.nPow[s]
+	out.NS1 = out.nPow[s+1]
+	return out, nil
+}
+
+// NewPrivateKey derives the DJ private key of degree s from a Paillier
+// private key (shared factorization), as the paper's single data-owner key
+// setup does.
+func NewPrivateKey(sk *paillier.PrivateKey, s int) (*PrivateKey, error) {
+	pub, err := NewPublicKey(&sk.PublicKey, s)
+	if err != nil {
+		return nil, err
+	}
+	// CRT: d = 1 mod N^s, d = 0 mod lambda. gcd(N^s, lambda) = 1.
+	lambdaInv, err := zmath.ModInverse(sk.Lambda, pub.NS)
+	if err != nil {
+		return nil, fmt.Errorf("dj: lambda not invertible mod N^s: %w", err)
+	}
+	d := new(big.Int).Mul(sk.Lambda, lambdaInv) // = 1 mod N^s, = 0 mod lambda
+	out := &PrivateKey{PublicKey: *pub, d: d}
+	out.factInv = make([]*big.Int, s+1)
+	for k := 0; k <= s; k++ {
+		inv, err := zmath.ModInverse(zmath.Factorial(k), pub.NS)
+		if err != nil {
+			return nil, fmt.Errorf("dj: %d! not invertible mod N^s: %w", k, err)
+		}
+		out.factInv[k] = inv
+	}
+	return out, nil
+}
+
+func (pk *PublicKey) validateMessage(m *big.Int) (*big.Int, error) {
+	if m == nil {
+		return nil, ErrMessageRange
+	}
+	return new(big.Int).Mod(m, pk.NS), nil
+}
+
+func (pk *PublicKey) validateCiphertext(c *Ciphertext) error {
+	if c == nil || c.C == nil || c.C.Sign() <= 0 || c.C.Cmp(pk.NS1) >= 0 {
+		return ErrCiphertextRange
+	}
+	return nil
+}
+
+// Encrypt encrypts m in Z_{N^s}: c = (1+N)^m * r^{N^s} mod N^{s+1}.
+func (pk *PublicKey) Encrypt(m *big.Int) (*Ciphertext, error) {
+	r, err := zmath.RandUnit(rand.Reader, pk.N)
+	if err != nil {
+		return nil, fmt.Errorf("dj: sampling randomness: %w", err)
+	}
+	return pk.EncryptWithNonce(m, r)
+}
+
+// EncryptWithNonce encrypts m with caller-provided nonce r in Z*_N.
+func (pk *PublicKey) EncryptWithNonce(m, r *big.Int) (*Ciphertext, error) {
+	mm, err := pk.validateMessage(m)
+	if err != nil {
+		return nil, err
+	}
+	if r == nil || r.Sign() <= 0 || r.Cmp(pk.N) >= 0 {
+		return nil, errors.New("dj: nonce outside (0, N)")
+	}
+	gm := pk.expOnePlusN(mm)
+	rn := new(big.Int).Exp(r, pk.NS, pk.NS1)
+	c := gm.Mul(gm, rn)
+	c.Mod(c, pk.NS1)
+	return &Ciphertext{C: c}, nil
+}
+
+// EncryptInt64 is a convenience wrapper around Encrypt.
+func (pk *PublicKey) EncryptInt64(m int64) (*Ciphertext, error) {
+	return pk.Encrypt(big.NewInt(m))
+}
+
+// EncryptInner encrypts a first-layer Paillier ciphertext under the outer
+// DJ layer, i.e. builds E2(Enc(m)). Requires s >= 2 so the inner
+// ciphertext fits the plaintext space.
+func (pk *PublicKey) EncryptInner(inner *paillier.Ciphertext) (*Ciphertext, error) {
+	if pk.S < 2 {
+		return nil, fmt.Errorf("dj: EncryptInner needs s >= 2, have s = %d", pk.S)
+	}
+	if inner == nil || inner.C == nil {
+		return nil, ErrMessageRange
+	}
+	return pk.Encrypt(inner.C)
+}
+
+// expOnePlusN computes (1+N)^m mod N^{s+1} via the binomial expansion:
+// (1+N)^m = sum_{k=0..s} C(m,k) N^k mod N^{s+1}. The running term
+// C(m,k)*N^k is kept as an exact integer so the incremental division by k
+// stays exact (C(m,k-1)*(m-k+1) is always divisible by k); the sizes stay
+// small because s is tiny (2 in SecTopK).
+func (pk *PublicKey) expOnePlusN(m *big.Int) *big.Int {
+	out := big.NewInt(1)
+	term := big.NewInt(1) // C(m, k) * N^k, built incrementally, exact
+	mk := new(big.Int)
+	for k := 1; k <= pk.S; k++ {
+		// term *= (m - k + 1) * N / k, exact integer division
+		mk.Sub(m, big.NewInt(int64(k-1)))
+		term.Mul(term, mk)
+		term.Mul(term, pk.N)
+		term.Div(term, big.NewInt(int64(k)))
+		out.Add(out, term)
+	}
+	out.Mod(out, pk.NS1)
+	return out
+}
+
+// Decrypt recovers m in [0, N^s).
+func (sk *PrivateKey) Decrypt(c *Ciphertext) (*big.Int, error) {
+	if err := sk.validateCiphertext(c); err != nil {
+		return nil, err
+	}
+	// c^d = (1+N)^m mod N^{s+1} because d = 0 mod lambda kills the
+	// randomness and d = 1 mod N^s preserves m.
+	a := new(big.Int).Exp(c.C, sk.d, sk.NS1)
+	return sk.extract(a)
+}
+
+// DecryptInner decrypts the outer DJ layer and reinterprets the plaintext
+// as a first-layer Paillier ciphertext, i.e. E2(Enc(m)) -> Enc(m).
+func (sk *PrivateKey) DecryptInner(c *Ciphertext) (*paillier.Ciphertext, error) {
+	if sk.S < 2 {
+		return nil, fmt.Errorf("dj: DecryptInner needs s >= 2, have s = %d", sk.S)
+	}
+	m, err := sk.Decrypt(c)
+	if err != nil {
+		return nil, err
+	}
+	return &paillier.Ciphertext{C: m}, nil
+}
+
+// extract computes i from a = (1+N)^i mod N^{s+1} using the iterative
+// algorithm from the Damgård-Jurik paper (Section 4.2): recover i mod N^j
+// for j = 1..s by peeling binomial terms.
+func (sk *PrivateKey) extract(a *big.Int) (*big.Int, error) {
+	i := new(big.Int)
+	t1 := new(big.Int)
+	t2 := new(big.Int)
+	tmp := new(big.Int)
+	for j := 1; j <= sk.S; j++ {
+		nj := sk.nPow[j]
+		nj1 := sk.nPow[j+1]
+		// t1 = L(a mod N^{j+1}) = ((a mod N^{j+1}) - 1) / N
+		t1.Mod(a, nj1)
+		t1.Sub(t1, zmath.One)
+		if new(big.Int).Mod(t1, sk.N).Sign() != 0 {
+			return nil, errors.New("dj: ciphertext is not a valid (1+N)-power")
+		}
+		t1.Div(t1, sk.N)
+		t2.Set(i)
+		for k := 2; k <= j; k++ {
+			i.Sub(i, zmath.One)
+			t2.Mul(t2, i)
+			t2.Mod(t2, nj)
+			// t1 -= t2 * N^{k-1} / k!
+			tmp.Mul(t2, sk.nPow[k-1])
+			tmp.Mul(tmp, sk.factInv[k])
+			t1.Sub(t1, tmp)
+			t1.Mod(t1, nj)
+		}
+		i.Mod(t1, nj)
+	}
+	return i, nil
+}
+
+// Add returns E(x+y) = E(x) * E(y) mod N^{s+1}.
+func (pk *PublicKey) Add(a, b *Ciphertext) (*Ciphertext, error) {
+	if err := pk.validateCiphertext(a); err != nil {
+		return nil, err
+	}
+	if err := pk.validateCiphertext(b); err != nil {
+		return nil, err
+	}
+	c := new(big.Int).Mul(a.C, b.C)
+	c.Mod(c, pk.NS1)
+	return &Ciphertext{C: c}, nil
+}
+
+// ExpConst returns E(k*x) = E(x)^k for a plaintext exponent k in Z_{N^s}.
+// With k an inner Paillier ciphertext value this is the paper's layered
+// homomorphism E2(Enc(a))^{Enc(b)} = E2(Enc(a+b)).
+func (pk *PublicKey) ExpConst(a *Ciphertext, k *big.Int) (*Ciphertext, error) {
+	if err := pk.validateCiphertext(a); err != nil {
+		return nil, err
+	}
+	if k == nil {
+		return nil, ErrMessageRange
+	}
+	kk := new(big.Int).Mod(k, pk.NS)
+	c := new(big.Int).Exp(a.C, kk, pk.NS1)
+	return &Ciphertext{C: c}, nil
+}
+
+// ExpCipher is ExpConst with a first-layer Paillier ciphertext as the
+// exponent: E2(x)^{Enc(m)} = E2(x * Enc(m) mod N^2).
+func (pk *PublicKey) ExpCipher(a *Ciphertext, e *paillier.Ciphertext) (*Ciphertext, error) {
+	if e == nil || e.C == nil {
+		return nil, ErrMessageRange
+	}
+	return pk.ExpConst(a, e.C)
+}
+
+// Neg returns E(-x) = E(x)^{-1} mod N^{s+1}.
+func (pk *PublicKey) Neg(a *Ciphertext) (*Ciphertext, error) {
+	if err := pk.validateCiphertext(a); err != nil {
+		return nil, err
+	}
+	inv, err := zmath.ModInverse(a.C, pk.NS1)
+	if err != nil {
+		return nil, fmt.Errorf("dj: Neg: %w", err)
+	}
+	return &Ciphertext{C: inv}, nil
+}
+
+// Sub returns E(x-y).
+func (pk *PublicKey) Sub(a, b *Ciphertext) (*Ciphertext, error) {
+	nb, err := pk.Neg(b)
+	if err != nil {
+		return nil, err
+	}
+	return pk.Add(a, nb)
+}
+
+// OneMinus returns E(1-t), the complement used for encrypted selection
+// bits: E2(1) * E2(t)^{-1}.
+func (pk *PublicKey) OneMinus(t *Ciphertext) (*Ciphertext, error) {
+	one, err := pk.Encrypt(zmath.One)
+	if err != nil {
+		return nil, err
+	}
+	return pk.Sub(one, t)
+}
+
+// Rerandomize multiplies by a fresh encryption of zero.
+func (pk *PublicKey) Rerandomize(a *Ciphertext) (*Ciphertext, error) {
+	z, err := pk.Encrypt(zmath.Zero)
+	if err != nil {
+		return nil, err
+	}
+	return pk.Add(a, z)
+}
+
+// Clone returns a deep copy of the ciphertext.
+func (c *Ciphertext) Clone() *Ciphertext {
+	if c == nil || c.C == nil {
+		return nil
+	}
+	return &Ciphertext{C: new(big.Int).Set(c.C)}
+}
+
+// ByteLen returns the serialized size of a ciphertext under this key.
+func (pk *PublicKey) ByteLen() int { return (pk.NS1.BitLen() + 7) / 8 }

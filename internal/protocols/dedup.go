@@ -1,0 +1,207 @@
+package protocols
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"math/big"
+
+	"repro/internal/cloud"
+	"repro/internal/ehl"
+	"repro/internal/paillier"
+	"repro/internal/prf"
+	"repro/internal/zmath"
+)
+
+// PairSet enumerates which item pairs a dedup round should test for
+// equality. AllPairs is Algorithm 7's full upper triangle; Bipartite is
+// SecUpdate's block between newly appended items and the existing list.
+type PairSet struct {
+	Pairs [][2]int
+}
+
+// AllPairs returns the upper-triangle pair set over n items.
+func AllPairs(n int) PairSet {
+	var out PairSet
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			out.Pairs = append(out.Pairs, [2]int{i, j})
+		}
+	}
+	return out
+}
+
+// Bipartite returns the pair set {(a, b) : a in A, b in B}.
+func Bipartite(a, b []int) PairSet {
+	var out PairSet
+	for _, i := range a {
+		for _, j := range b {
+			out.Pairs = append(out.Pairs, [2]int{i, j})
+		}
+	}
+	return out
+}
+
+// SecDedup runs the oblivious deduplication protocol (Algorithm 7, plus
+// the SecDupElim variant of Section 10.1 and the score-merging variant
+// used by batched processing):
+//
+//  1. S1 computes randomized equality ciphertexts over the pair set from
+//     the *unblinded* EHLs;
+//  2. S1 additively blinds every slot of every item, encrypts the blind
+//     vector under its own ephemeral key, and permutes everything;
+//  3. one round with S2 replaces/eliminates/merges duplicates and
+//     re-blinds + re-permutes the survivors;
+//  4. S1 decrypts the returned blind vectors and removes them.
+//
+// S2 learns only the equality pattern of the permuted pair set; S1 learns
+// only the surviving row count (the uniqueness pattern UP^d, and only in
+// the eliminate/merge modes — replace mode preserves the count).
+func SecDedup(c *cloud.Client, items []Item, mode cloud.DedupMode, pairs PairSet, mergeCols []int) ([]Item, error) {
+	if len(items) == 0 {
+		return nil, nil
+	}
+	cols := len(items[0].Scores)
+	for i, it := range items {
+		if err := it.Validate(cols); err != nil {
+			return nil, fmt.Errorf("protocols: SecDedup item %d: %w", i, err)
+		}
+	}
+	pk := c.PK()
+	ephPK := &c.Ephemeral().PublicKey
+
+	// Step 1: equality ciphertexts over unblinded EHLs.
+	eqCts := make([]*big.Int, len(pairs.Pairs))
+	for k, p := range pairs.Pairs {
+		if p[0] < 0 || p[0] >= len(items) || p[1] < 0 || p[1] >= len(items) || p[0] == p[1] {
+			return nil, fmt.Errorf("protocols: SecDedup pair %v out of range", p)
+		}
+		ct, err := ehl.Sub(pk, items[p[0]].EHL, items[p[1]].EHL)
+		if err != nil {
+			return nil, fmt.Errorf("protocols: SecDedup eq %v: %w", p, err)
+		}
+		eqCts[k] = ct.C
+	}
+
+	// Step 2: blind and permute.
+	perm, err := prf.RandomPerm(len(items))
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]cloud.WireRow, len(items))
+	for i, it := range items {
+		row, err := blindItem(pk, ephPK, it)
+		if err != nil {
+			return nil, fmt.Errorf("protocols: SecDedup blinding item %d: %w", i, err)
+		}
+		rows[perm[i]] = *row
+	}
+	req := &cloud.DedupRequest{
+		Mode:      mode,
+		Rows:      rows,
+		MergeCols: mergeCols,
+	}
+	for k, p := range pairs.Pairs {
+		req.PairI = append(req.PairI, perm[p[0]])
+		req.PairJ = append(req.PairJ, perm[p[1]])
+		req.PairCts = append(req.PairCts, eqCts[k])
+	}
+
+	// Step 3: the oblivious round.
+	resp, err := c.DedupRound(req)
+	if err != nil {
+		return nil, err
+	}
+	if mode == cloud.DedupReplace && len(resp.Rows) != len(items) {
+		return nil, fmt.Errorf("protocols: replace-mode dedup changed row count %d -> %d", len(items), len(resp.Rows))
+	}
+	if mode != cloud.DedupReplace {
+		c.Ledger().Record("S1", cloud.MethodDedup, "uniqueness pattern: %d of %d items kept", len(resp.Rows), len(items))
+	}
+
+	// Step 4: unblind.
+	out := make([]Item, len(resp.Rows))
+	width := items[0].EHL.Width()
+	kind := items[0].EHL.Kind
+	for i, row := range resp.Rows {
+		it, err := unblindRow(pk, c.Ephemeral(), row, width, cols, kind)
+		if err != nil {
+			return nil, fmt.Errorf("protocols: SecDedup unblinding row %d: %w", i, err)
+		}
+		out[i] = *it
+	}
+	return out, nil
+}
+
+// blindItem additively blinds every slot and records the blinds under the
+// ephemeral key (Algorithm 7 lines 8-11).
+func blindItem(pk, ephPK *paillier.PublicKey, it Item) (*cloud.WireRow, error) {
+	row := &cloud.WireRow{}
+	for _, slot := range it.EHL.Cts {
+		alpha, err := zmath.RandInt(rand.Reader, pk.N)
+		if err != nil {
+			return nil, err
+		}
+		blinded, err := pk.AddPlain(slot, alpha)
+		if err != nil {
+			return nil, err
+		}
+		row.EHL = append(row.EHL, blinded.C)
+		bct, err := ephPK.Encrypt(alpha)
+		if err != nil {
+			return nil, err
+		}
+		row.Blinds = append(row.Blinds, bct.C)
+	}
+	for _, score := range it.Scores {
+		beta, err := zmath.RandInt(rand.Reader, pk.N)
+		if err != nil {
+			return nil, err
+		}
+		blinded, err := pk.AddPlain(score, beta)
+		if err != nil {
+			return nil, err
+		}
+		row.Scores = append(row.Scores, blinded.C)
+		bct, err := ephPK.Encrypt(beta)
+		if err != nil {
+			return nil, err
+		}
+		row.Blinds = append(row.Blinds, bct.C)
+	}
+	return row, nil
+}
+
+// unblindRow decrypts the blind vector with the ephemeral secret key and
+// removes the blinds (Algorithm 7 lines 32-35).
+func unblindRow(pk *paillier.PublicKey, eph *paillier.PrivateKey, row cloud.WireRow, ehlWidth, cols int, kind ehl.Kind) (*Item, error) {
+	if len(row.EHL) != ehlWidth || len(row.Scores) != cols || len(row.Blinds) != ehlWidth+cols {
+		return nil, errors.New("protocols: returned row has unexpected shape")
+	}
+	it := &Item{EHL: &ehl.List{Kind: kind}}
+	for i, slot := range row.EHL {
+		blind, err := eph.Decrypt(&paillier.Ciphertext{C: row.Blinds[i]})
+		if err != nil {
+			return nil, err
+		}
+		blind.Mod(blind, pk.N)
+		ct, err := pk.AddPlain(&paillier.Ciphertext{C: slot}, new(big.Int).Neg(blind))
+		if err != nil {
+			return nil, err
+		}
+		it.EHL.Cts = append(it.EHL.Cts, ct)
+	}
+	for i, slot := range row.Scores {
+		blind, err := eph.Decrypt(&paillier.Ciphertext{C: row.Blinds[ehlWidth+i]})
+		if err != nil {
+			return nil, err
+		}
+		blind.Mod(blind, pk.N)
+		ct, err := pk.AddPlain(&paillier.Ciphertext{C: slot}, new(big.Int).Neg(blind))
+		if err != nil {
+			return nil, err
+		}
+		it.Scores = append(it.Scores, ct)
+	}
+	return it, nil
+}

@@ -1,0 +1,136 @@
+package protocols
+
+import (
+	"crypto/rand"
+	"fmt"
+	"math/big"
+
+	"repro/internal/cloud"
+	"repro/internal/paillier"
+	"repro/internal/prf"
+	"repro/internal/zmath"
+)
+
+// JoinTuple is one candidate joined tuple produced by SecJoin: an
+// encrypted join score Enc(s) (zero iff the equi-join condition failed)
+// plus the encrypted attributes of the combined tuple.
+type JoinTuple struct {
+	Score *paillier.Ciphertext
+	Attrs []*paillier.Ciphertext
+}
+
+// Clone deep-copies the tuple.
+func (t JoinTuple) Clone() JoinTuple {
+	out := JoinTuple{Score: t.Score.Clone(), Attrs: make([]*paillier.Ciphertext, len(t.Attrs))}
+	for i, a := range t.Attrs {
+		out.Attrs[i] = a.Clone()
+	}
+	return out
+}
+
+// SecFilter removes the candidate tuples that did not satisfy the join
+// condition (Algorithm 12): S1 blinds the join score multiplicatively
+// (zero stays zero, nonzero becomes uniform) and the attributes
+// additively, ships the blind bookkeeping under its ephemeral key,
+// permutes, and lets S2 drop the zero rows, re-blind, and re-permute. S1
+// then removes the combined blinds. Both parties learn only the number of
+// surviving tuples.
+//
+// Join scores must be nonzero for genuinely joined tuples, which holds for
+// the paper's positive attribute domains.
+func SecFilter(c *cloud.Client, tuples []JoinTuple) ([]JoinTuple, error) {
+	if len(tuples) == 0 {
+		return nil, nil
+	}
+	pk := c.PK()
+	eph := c.Ephemeral()
+	nAttrs := len(tuples[0].Attrs)
+	rows := make([]cloud.WireRow, len(tuples))
+	perm, err := prf.RandomPerm(len(tuples))
+	if err != nil {
+		return nil, err
+	}
+	for i, t := range tuples {
+		if t.Score == nil || len(t.Attrs) != nAttrs {
+			return nil, fmt.Errorf("protocols: SecFilter tuple %d malformed", i)
+		}
+		r, err := zmath.RandUnit(rand.Reader, pk.N)
+		if err != nil {
+			return nil, err
+		}
+		rInv, err := zmath.ModInverse(r, pk.N)
+		if err != nil {
+			return nil, err
+		}
+		blindedScore, err := pk.MulConst(t.Score, r)
+		if err != nil {
+			return nil, err
+		}
+		if blindedScore, err = pk.Rerandomize(blindedScore); err != nil {
+			return nil, err
+		}
+		row := cloud.WireRow{Scores: []*big.Int{blindedScore.C}}
+		invCt, err := eph.PublicKey.Encrypt(rInv)
+		if err != nil {
+			return nil, err
+		}
+		row.Blinds = []*big.Int{invCt.C}
+		for _, attr := range t.Attrs {
+			delta, err := zmath.RandInt(rand.Reader, pk.N)
+			if err != nil {
+				return nil, err
+			}
+			blinded, err := pk.AddPlain(attr, delta)
+			if err != nil {
+				return nil, err
+			}
+			row.Scores = append(row.Scores, blinded.C)
+			dCt, err := eph.PublicKey.Encrypt(delta)
+			if err != nil {
+				return nil, err
+			}
+			row.Blinds = append(row.Blinds, dCt.C)
+		}
+		rows[perm[i]] = row
+	}
+
+	resp, err := c.FilterRound(&cloud.FilterRequest{Rows: rows})
+	if err != nil {
+		return nil, err
+	}
+	c.Ledger().Record("S1", cloud.MethodFilter, "join cardinality: %d of %d tuples", len(resp.Rows), len(tuples))
+
+	out := make([]JoinTuple, len(resp.Rows))
+	for i, row := range resp.Rows {
+		if len(row.Scores) != nAttrs+1 || len(row.Blinds) != nAttrs+1 {
+			return nil, fmt.Errorf("protocols: SecFilter reply row %d malformed", i)
+		}
+		// Unblind the score: the returned blind is the integer product
+		// r^{-1} * gamma^{-1} (below the ephemeral modulus by
+		// construction); reduce mod N and exponentiate.
+		invRaw, err := eph.Decrypt(&paillier.Ciphertext{C: row.Blinds[0]})
+		if err != nil {
+			return nil, err
+		}
+		invRaw.Mod(invRaw, pk.N)
+		score, err := pk.MulConst(&paillier.Ciphertext{C: row.Scores[0]}, invRaw)
+		if err != nil {
+			return nil, err
+		}
+		tuple := JoinTuple{Score: score}
+		for j := 0; j < nAttrs; j++ {
+			blind, err := eph.Decrypt(&paillier.Ciphertext{C: row.Blinds[j+1]})
+			if err != nil {
+				return nil, err
+			}
+			blind.Mod(blind, pk.N)
+			attr, err := pk.AddPlain(&paillier.Ciphertext{C: row.Scores[j+1]}, new(big.Int).Neg(blind))
+			if err != nil {
+				return nil, err
+			}
+			tuple.Attrs = append(tuple.Attrs, attr)
+		}
+		out[i] = tuple
+	}
+	return out, nil
+}

@@ -1,0 +1,237 @@
+// Package protocols implements the S1 side of the paper's two-party
+// sub-protocols (Section 8.2 and Section 10): RecoverEnc, EncCompare,
+// the encrypted-selection gadget, SecWorst, SecBest, SecDedup/SecDupElim,
+// SecUpdate, EncSort / top-k selection, SecMult, and SecFilter.
+//
+// All functions drive the crypto cloud S2 through a cloud.Client; every
+// value S2 sees is blinded and/or permuted first.
+package protocols
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"math/big"
+
+	"repro/internal/cloud"
+	"repro/internal/dj"
+	"repro/internal/ehl"
+	"repro/internal/paillier"
+	"repro/internal/zmath"
+)
+
+// Score column conventions for Item.Scores used by the query engine.
+const (
+	// ColWorst is the accumulated worst (lower-bound) score W.
+	ColWorst = 0
+	// ColBest is the best (upper-bound) score B.
+	ColBest = 1
+)
+
+// Item is an encrypted scored item E(I) = (EHL(o), Enc(W), Enc(B), ...):
+// an encrypted object id plus one or more encrypted score columns.
+type Item struct {
+	EHL    *ehl.List
+	Scores []*paillier.Ciphertext
+}
+
+// Clone deep-copies the item.
+func (it Item) Clone() Item {
+	out := Item{EHL: it.EHL.Clone(), Scores: make([]*paillier.Ciphertext, len(it.Scores))}
+	for i, s := range it.Scores {
+		out.Scores[i] = s.Clone()
+	}
+	return out
+}
+
+// Validate checks the item's shape.
+func (it Item) Validate(cols int) error {
+	if it.EHL == nil || len(it.EHL.Cts) == 0 {
+		return errors.New("protocols: item missing EHL")
+	}
+	if len(it.Scores) != cols {
+		return fmt.Errorf("protocols: item has %d score columns, want %d", len(it.Scores), cols)
+	}
+	for i, s := range it.Scores {
+		if s == nil || s.C == nil {
+			return fmt.Errorf("protocols: item score column %d is nil", i)
+		}
+	}
+	return nil
+}
+
+// RecoverEnc strips the outer DJ layer from each double encryption
+// E2(Enc(c)) with additive blinding (Algorithm 5), batched into a single
+// round: S1 blinds with Enc(r_i), S2 removes the outer layer, S1 divides
+// the blind back out.
+func RecoverEnc(c *cloud.Client, cts []*dj.Ciphertext) ([]*paillier.Ciphertext, error) {
+	if len(cts) == 0 {
+		return nil, nil
+	}
+	pk := c.PK()
+	djPK := c.DJPK()
+	blinded := make([]*dj.Ciphertext, len(cts))
+	blinds := make([]*paillier.Ciphertext, len(cts))
+	for i, ct := range cts {
+		r, err := zmath.RandInt(rand.Reader, pk.N)
+		if err != nil {
+			return nil, err
+		}
+		encR, err := pk.Encrypt(r)
+		if err != nil {
+			return nil, err
+		}
+		blinds[i] = encR
+		b, err := djPK.ExpCipher(ct, encR)
+		if err != nil {
+			return nil, fmt.Errorf("protocols: RecoverEnc blind %d: %w", i, err)
+		}
+		blinded[i] = b
+	}
+	recovered, err := c.Recover(blinded)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*paillier.Ciphertext, len(cts))
+	for i, rec := range recovered {
+		// The reply is exactly Enc(c_i) * Enc(r_i) as a group element;
+		// dividing by the same Enc(r_i) restores Enc(c_i).
+		inv, err := zmath.ModInverse(blinds[i].C, pk.N2)
+		if err != nil {
+			return nil, fmt.Errorf("protocols: RecoverEnc unblind %d: %w", i, err)
+		}
+		v := new(big.Int).Mul(rec.C, inv)
+		v.Mod(v, pk.N2)
+		out[i] = &paillier.Ciphertext{C: v}
+	}
+	return out, nil
+}
+
+// selector accumulates encrypted-selection jobs so a whole batch resolves
+// with one RecoverEnc round. Each job is the paper's gadget
+//
+//	E2(t)^{Enc(a)} * (E2(1)E2(t)^{-1})^{Enc(b)} = E2(Enc(t*a + (1-t)*b))
+//
+// which picks Enc(a) when t = 1 and Enc(b) when t = 0.
+type selector struct {
+	client *cloud.Client
+	jobs   []*dj.Ciphertext
+}
+
+func newSelector(c *cloud.Client) *selector { return &selector{client: c} }
+
+// addRaw queues an already-built E2(Enc(x)) for recovery and returns its
+// slot index.
+func (s *selector) addRaw(ct *dj.Ciphertext) int {
+	s.jobs = append(s.jobs, ct)
+	return len(s.jobs) - 1
+}
+
+// add queues select(t, a, b) and returns its slot index. notT must be
+// E2(1-t) (callers typically reuse it across selects on the same bit).
+func (s *selector) add(t, notT *dj.Ciphertext, a, b *paillier.Ciphertext) (int, error) {
+	djPK := s.client.DJPK()
+	termA, err := djPK.ExpCipher(t, a)
+	if err != nil {
+		return 0, err
+	}
+	termB, err := djPK.ExpCipher(notT, b)
+	if err != nil {
+		return 0, err
+	}
+	sum, err := djPK.Add(termA, termB)
+	if err != nil {
+		return 0, err
+	}
+	return s.addRaw(sum), nil
+}
+
+// resolve executes the batched RecoverEnc round.
+func (s *selector) resolve() ([]*paillier.Ciphertext, error) {
+	return RecoverEnc(s.client, s.jobs)
+}
+
+// oneMinusAll computes E2(1-t) for a batch of hidden bits.
+func oneMinusAll(c *cloud.Client, bits []*dj.Ciphertext) ([]*dj.Ciphertext, error) {
+	out := make([]*dj.Ciphertext, len(bits))
+	for i, b := range bits {
+		nb, err := c.DJPK().OneMinus(b)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = nb
+	}
+	return out, nil
+}
+
+// SecMult computes Enc(a_i * b_i) for each pair using the standard
+// additively blinded two-party multiplication: S1 sends Enc(a+r_a),
+// Enc(b+r_b); S2 returns Enc((a+r_a)(b+r_b)); S1 strips the cross terms
+// homomorphically. One round for the whole batch.
+func SecMult(c *cloud.Client, as, bs []*paillier.Ciphertext) ([]*paillier.Ciphertext, error) {
+	if len(as) != len(bs) {
+		return nil, fmt.Errorf("protocols: SecMult length mismatch %d vs %d", len(as), len(bs))
+	}
+	if len(as) == 0 {
+		return nil, nil
+	}
+	pk := c.PK()
+	blindedA := make([]*paillier.Ciphertext, len(as))
+	blindedB := make([]*paillier.Ciphertext, len(as))
+	ras := make([]*big.Int, len(as))
+	rbs := make([]*big.Int, len(as))
+	for i := range as {
+		ra, err := zmath.RandInt(rand.Reader, pk.N)
+		if err != nil {
+			return nil, err
+		}
+		rb, err := zmath.RandInt(rand.Reader, pk.N)
+		if err != nil {
+			return nil, err
+		}
+		ras[i], rbs[i] = ra, rb
+		if blindedA[i], err = pk.AddPlain(as[i], ra); err != nil {
+			return nil, err
+		}
+		// Re-randomize so S2 cannot link the blinded operands to
+		// ciphertexts it may have produced earlier.
+		if blindedA[i], err = pk.Rerandomize(blindedA[i]); err != nil {
+			return nil, err
+		}
+		if blindedB[i], err = pk.AddPlain(bs[i], rb); err != nil {
+			return nil, err
+		}
+		if blindedB[i], err = pk.Rerandomize(blindedB[i]); err != nil {
+			return nil, err
+		}
+	}
+	prods, err := c.MultBlinded(blindedA, blindedB)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*paillier.Ciphertext, len(as))
+	for i := range as {
+		// ab = (a+ra)(b+rb) - ra*b - rb*a - ra*rb
+		t1, err := pk.MulConst(bs[i], new(big.Int).Neg(ras[i]))
+		if err != nil {
+			return nil, err
+		}
+		t2, err := pk.MulConst(as[i], new(big.Int).Neg(rbs[i]))
+		if err != nil {
+			return nil, err
+		}
+		rr := new(big.Int).Mul(ras[i], rbs[i])
+		acc, err := pk.Add(prods[i], t1)
+		if err != nil {
+			return nil, err
+		}
+		if acc, err = pk.Add(acc, t2); err != nil {
+			return nil, err
+		}
+		if acc, err = pk.AddPlain(acc, new(big.Int).Neg(rr)); err != nil {
+			return nil, err
+		}
+		out[i] = acc
+	}
+	return out, nil
+}

@@ -1,0 +1,217 @@
+package protocols
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro/internal/cloud"
+	"repro/internal/dj"
+	"repro/internal/ehl"
+	"repro/internal/paillier"
+	"repro/internal/prf"
+)
+
+// SecUpdate merges the current depth's deduplicated items gamma into the
+// global encrypted list T (Algorithm 9). For every (new, existing) pair
+// with equality bit t:
+//
+//	existing.W += t * new.W          (accumulate the depth contribution)
+//	existing.B  = t*new.B + (1-t)*existing.B   (take the fresher bound)
+//	new.W      += t * existing.W_old (so both copies carry the merged total)
+//
+// after which the new items are appended and a bipartite dedup removes one
+// copy of each matched pair. In Replace mode (Qry_F) the duplicate slots
+// stay as sentinel rows, so |T| grows by |gamma| each depth, as in the
+// paper; in Eliminate mode (Qry_E) they are dropped.
+//
+// Extra score columns beyond W and B (engine payload such as per-list seen
+// indicators) are merged additively like W.
+func SecUpdate(c *cloud.Client, T, gamma []Item, mode cloud.DedupMode) ([]Item, error) {
+	if len(gamma) == 0 {
+		return T, nil
+	}
+	cols := len(gamma[0].Scores)
+	for i, it := range gamma {
+		if err := it.Validate(cols); err != nil {
+			return nil, fmt.Errorf("protocols: SecUpdate gamma[%d]: %w", i, err)
+		}
+	}
+	for i, it := range T {
+		if err := it.Validate(cols); err != nil {
+			return nil, fmt.Errorf("protocols: SecUpdate T[%d]: %w", i, err)
+		}
+	}
+	if len(T) == 0 {
+		// Nothing to merge with; gamma becomes the list.
+		return append([]Item(nil), gamma...), nil
+	}
+	pk := c.PK()
+
+	// One EqBits round over all (new, existing) pairs, permuted.
+	type pairRef struct{ g, t int }
+	var refs []pairRef
+	var eqCts []*paillier.Ciphertext
+	for gi := range gamma {
+		for ti := range T {
+			ct, err := ehl.Sub(pk, gamma[gi].EHL, T[ti].EHL)
+			if err != nil {
+				return nil, fmt.Errorf("protocols: SecUpdate eq(%d,%d): %w", gi, ti, err)
+			}
+			refs = append(refs, pairRef{gi, ti})
+			eqCts = append(eqCts, ct)
+		}
+	}
+	perm, err := prf.RandomPerm(len(eqCts))
+	if err != nil {
+		return nil, err
+	}
+	permuted := make([]*paillier.Ciphertext, len(eqCts))
+	for i := range eqCts {
+		permuted[perm[i]] = eqCts[i]
+	}
+	bitsPermuted, err := c.EqBits(permuted)
+	if err != nil {
+		return nil, err
+	}
+	bits := make([]*dj.Ciphertext, len(refs))
+	for i := range refs {
+		bits[i] = bitsPermuted[perm[i]]
+	}
+	notBits, err := oneMinusAll(c, bits)
+	if err != nil {
+		return nil, err
+	}
+
+	// Build all selection terms; resolve with one RecoverEnc round.
+	zero, err := pk.EncryptZero()
+	if err != nil {
+		return nil, err
+	}
+	djPK := c.DJPK()
+	one, err := djPK.Encrypt(big.NewInt(1))
+	if err != nil {
+		return nil, err
+	}
+	sel := newSelector(c)
+	type jobKind int
+	const (
+		jobExistingAdd jobKind = iota // add t*value to existing column
+		jobExistingSet                // overwrite existing col (composed select)
+		jobNewAdd                     // add t*value to new column
+	)
+	type job struct {
+		kind jobKind
+		item int // index into T or gamma depending on kind
+		col  int
+		slot int
+	}
+	var jobs []job
+	// bitIdx[g][t] locates the equality bit of pair (gamma g, existing t).
+	bitIdx := make(map[[2]int]int, len(refs))
+	for k, r := range refs {
+		bitIdx[[2]int{r.g, r.t}] = k
+	}
+	for k, r := range refs {
+		g, t := r.g, r.t
+		// Additive columns: W and any payload columns beyond B. Adding
+		// composes safely across pairs because at most one pair matches.
+		for col := 0; col < cols; col++ {
+			if col == ColBest {
+				continue
+			}
+			slot, err := sel.add(bits[k], notBits[k], gamma[g].Scores[col], zero)
+			if err != nil {
+				return nil, err
+			}
+			jobs = append(jobs, job{kind: jobExistingAdd, item: t, col: col, slot: slot})
+			slot, err = sel.add(bits[k], notBits[k], T[t].Scores[col], zero)
+			if err != nil {
+				return nil, err
+			}
+			jobs = append(jobs, job{kind: jobNewAdd, item: g, col: col, slot: slot})
+		}
+	}
+	// Best bound: replace with the fresher value when matched. This must
+	// compose across all gamma items of one existing entry at once —
+	// B' = sum_g t_g * B_g + (1 - sum_g t_g) * B_old — a per-pair select
+	// would let a later unmatched pair overwrite the refresh.
+	if cols > ColBest {
+		for ti := range T {
+			var term, tSum *dj.Ciphertext
+			for gi := range gamma {
+				k := bitIdx[[2]int{gi, ti}]
+				contrib, err := djPK.ExpCipher(bits[k], gamma[gi].Scores[ColBest])
+				if err != nil {
+					return nil, err
+				}
+				if term == nil {
+					term, tSum = contrib, bits[k]
+				} else {
+					if term, err = djPK.Add(term, contrib); err != nil {
+						return nil, err
+					}
+					if tSum, err = djPK.Add(tSum, bits[k]); err != nil {
+						return nil, err
+					}
+				}
+			}
+			notT, err := djPK.Sub(one, tSum)
+			if err != nil {
+				return nil, err
+			}
+			oldTerm, err := djPK.ExpCipher(notT, T[ti].Scores[ColBest])
+			if err != nil {
+				return nil, err
+			}
+			if term, err = djPK.Add(term, oldTerm); err != nil {
+				return nil, err
+			}
+			jobs = append(jobs, job{kind: jobExistingSet, item: ti, col: ColBest, slot: sel.addRaw(term)})
+		}
+	}
+	resolved, err := sel.resolve()
+	if err != nil {
+		return nil, err
+	}
+
+	// Apply updates on fresh copies.
+	newT := make([]Item, len(T))
+	for i := range T {
+		newT[i] = T[i].Clone()
+	}
+	newGamma := make([]Item, len(gamma))
+	for i := range gamma {
+		newGamma[i] = gamma[i].Clone()
+	}
+	for _, j := range jobs {
+		switch j.kind {
+		case jobExistingAdd:
+			sum, err := pk.Add(newT[j.item].Scores[j.col], resolved[j.slot])
+			if err != nil {
+				return nil, err
+			}
+			newT[j.item].Scores[j.col] = sum
+		case jobExistingSet:
+			newT[j.item].Scores[j.col] = resolved[j.slot]
+		case jobNewAdd:
+			sum, err := pk.Add(newGamma[j.item].Scores[j.col], resolved[j.slot])
+			if err != nil {
+				return nil, err
+			}
+			newGamma[j.item].Scores[j.col] = sum
+		}
+	}
+
+	// Append and run the bipartite dedup so each matched object survives
+	// exactly once (Algorithm 9 line 13).
+	combined := append(newT, newGamma...)
+	existingIdx := make([]int, len(newT))
+	for i := range newT {
+		existingIdx[i] = i
+	}
+	newIdx := make([]int, len(newGamma))
+	for i := range newGamma {
+		newIdx[i] = len(newT) + i
+	}
+	return SecDedup(c, combined, mode, Bipartite(newIdx, existingIdx), nil)
+}

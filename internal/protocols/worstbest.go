@@ -1,0 +1,284 @@
+package protocols
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cloud"
+	"repro/internal/dj"
+	"repro/internal/ehl"
+	"repro/internal/paillier"
+	"repro/internal/prf"
+	"repro/internal/zmath"
+)
+
+// DepthItem is one encrypted data item E(I) = (EHL(o), Enc(x)) read from a
+// sorted list at the current depth (Section 6's item layout).
+type DepthItem struct {
+	EHL   *ehl.List
+	Score *paillier.Ciphertext
+}
+
+// ListHistory is the prefix of a permuted sorted list seen so far: the
+// items at depths 0..d. The last entry's score is the list's current
+// bottom value (the best any unseen object can still achieve there).
+type ListHistory struct {
+	EHLs   []*ehl.List
+	Scores []*paillier.Ciphertext
+}
+
+func validateDepthItems(items []DepthItem) error {
+	if len(items) == 0 {
+		return errors.New("protocols: no depth items")
+	}
+	for i, it := range items {
+		if it.EHL == nil || it.Score == nil {
+			return fmt.Errorf("protocols: depth item %d incomplete", i)
+		}
+	}
+	return nil
+}
+
+// SecWorstAll is the SecWorst protocol (Algorithm 4) run for every item at
+// the current depth at once. The worst (lower-bound) contribution of this
+// depth for item i is its own score plus the scores of every other
+// same-depth item that carries the same object id:
+//
+//	W_i = x_i + sum_{j != i} t_ij * x_j,   t_ij = [o_i = o_j]
+//
+// The equality bits are obtained through one permuted EqBits round and the
+// selections resolve with one batched RecoverEnc round; S2's view is the
+// permuted equality pattern of the depth (leakage EP^d).
+func SecWorstAll(c *cloud.Client, items []DepthItem) ([]*paillier.Ciphertext, error) {
+	if err := validateDepthItems(items); err != nil {
+		return nil, err
+	}
+	pk := c.PK()
+	m := len(items)
+	if m == 1 {
+		return []*paillier.Ciphertext{items[0].Score.Clone()}, nil
+	}
+
+	// Upper-triangle pair set.
+	type pair struct{ i, j int }
+	var pairs []pair
+	var eqCts []*paillier.Ciphertext
+	for i := 0; i < m; i++ {
+		for j := i + 1; j < m; j++ {
+			ct, err := ehl.Sub(pk, items[i].EHL, items[j].EHL)
+			if err != nil {
+				return nil, fmt.Errorf("protocols: SecWorst eq(%d,%d): %w", i, j, err)
+			}
+			pairs = append(pairs, pair{i, j})
+			eqCts = append(eqCts, ct)
+		}
+	}
+	// Random permutation before shipping to S2, per Algorithm 4 line 2.
+	perm, err := prf.RandomPerm(len(pairs))
+	if err != nil {
+		return nil, err
+	}
+	permuted := make([]*paillier.Ciphertext, len(eqCts))
+	for i := range eqCts {
+		permuted[perm[i]] = eqCts[i]
+	}
+	bitsPermuted, err := c.EqBits(permuted)
+	if err != nil {
+		return nil, err
+	}
+	bits := make([]*dj.Ciphertext, len(pairs))
+	for i := range pairs {
+		bits[i] = bitsPermuted[perm[i]]
+	}
+	notBits, err := oneMinusAll(c, bits)
+	if err != nil {
+		return nil, err
+	}
+
+	// Queue t*x_j + (1-t)*0 for the (i<-j) direction and t*x_i + (1-t)*0
+	// for (j<-i); one recover round resolves everything.
+	zero, err := pk.EncryptZero()
+	if err != nil {
+		return nil, err
+	}
+	sel := newSelector(c)
+	type slotRef struct {
+		item int
+		slot int
+	}
+	var refs []slotRef
+	for k, p := range pairs {
+		slot, err := sel.add(bits[k], notBits[k], items[p.j].Score, zero)
+		if err != nil {
+			return nil, err
+		}
+		refs = append(refs, slotRef{item: p.i, slot: slot})
+		slot, err = sel.add(bits[k], notBits[k], items[p.i].Score, zero)
+		if err != nil {
+			return nil, err
+		}
+		refs = append(refs, slotRef{item: p.j, slot: slot})
+	}
+	resolved, err := sel.resolve()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*paillier.Ciphertext, m)
+	for i := range out {
+		out[i] = items[i].Score.Clone()
+	}
+	for _, r := range refs {
+		sum, err := pk.Add(out[r.item], resolved[r.slot])
+		if err != nil {
+			return nil, err
+		}
+		out[r.item] = sum
+	}
+	return out, nil
+}
+
+// SecBestAll is the SecBest protocol (Algorithm 6) run for every item at
+// the current depth at once. For the item of list i, the best
+// (upper-bound) score is its own value plus, for every other queried list
+// j, either the object's actual score in L_j if it already appeared there,
+// or L_j's current bottom value:
+//
+//	B_i = x_i + sum_{j != i} [ sum_e t_e * x_j^e + (1 - sum_e t_e) * bottom_j ]
+//
+// histories[j] must contain list j's seen prefix including the current
+// depth; item i must be the current-depth item of histories[i]. Two rounds
+// total: one permuted EqBits batch and one RecoverEnc batch.
+func SecBestAll(c *cloud.Client, items []DepthItem, histories []ListHistory) ([]*paillier.Ciphertext, error) {
+	if err := validateDepthItems(items); err != nil {
+		return nil, err
+	}
+	if len(histories) != len(items) {
+		return nil, fmt.Errorf("protocols: %d histories for %d items", len(histories), len(items))
+	}
+	for j, h := range histories {
+		if len(h.EHLs) == 0 || len(h.EHLs) != len(h.Scores) {
+			return nil, fmt.Errorf("protocols: history %d malformed", j)
+		}
+	}
+	pk := c.PK()
+	djPK := c.DJPK()
+	m := len(items)
+	if m == 1 {
+		return []*paillier.Ciphertext{items[0].Score.Clone()}, nil
+	}
+
+	// Equality ciphertexts for every (item i, other list j, depth e).
+	type ref struct{ i, j, e int }
+	var refs []ref
+	var eqCts []*paillier.Ciphertext
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			if j == i {
+				continue
+			}
+			for e := range histories[j].EHLs {
+				ct, err := ehl.Sub(pk, items[i].EHL, histories[j].EHLs[e])
+				if err != nil {
+					return nil, fmt.Errorf("protocols: SecBest eq(%d,%d,%d): %w", i, j, e, err)
+				}
+				refs = append(refs, ref{i, j, e})
+				eqCts = append(eqCts, ct)
+			}
+		}
+	}
+	perm, err := prf.RandomPerm(len(eqCts))
+	if err != nil {
+		return nil, err
+	}
+	permuted := make([]*paillier.Ciphertext, len(eqCts))
+	for i := range eqCts {
+		permuted[perm[i]] = eqCts[i]
+	}
+	bitsPermuted, err := c.EqBits(permuted)
+	if err != nil {
+		return nil, err
+	}
+	bits := make([]*dj.Ciphertext, len(refs))
+	for i := range refs {
+		bits[i] = bitsPermuted[perm[i]]
+	}
+
+	// For each (i, j): term = sum_e t_e*Enc(x_j^e) + (1 - sum_e t_e)*Enc(bottom_j),
+	// assembled under the outer layer and recovered in one batch.
+	one, err := djPK.Encrypt(zmath.One)
+	if err != nil {
+		return nil, err
+	}
+	sel := newSelector(c)
+	type slotRef struct {
+		item int
+		slot int
+	}
+	var slots []slotRef
+	// Group the refs per (i, j).
+	type key struct{ i, j int }
+	grouped := make(map[key][]int)
+	for idx, r := range refs {
+		grouped[key{r.i, r.j}] = append(grouped[key{r.i, r.j}], idx)
+	}
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			if j == i {
+				continue
+			}
+			idxs := grouped[key{i, j}]
+			bottom := histories[j].Scores[len(histories[j].Scores)-1]
+			// T = sum_e t_e as a DJ ciphertext; term accumulates
+			// sum_e t_e * Enc(x_j^e) under the outer layer.
+			tSum := (*dj.Ciphertext)(nil)
+			var term *dj.Ciphertext
+			for _, idx := range idxs {
+				e := refs[idx].e
+				contrib, err := djPK.ExpCipher(bits[idx], histories[j].Scores[e])
+				if err != nil {
+					return nil, err
+				}
+				if term == nil {
+					term = contrib
+					tSum = bits[idx]
+				} else {
+					if term, err = djPK.Add(term, contrib); err != nil {
+						return nil, err
+					}
+					if tSum, err = djPK.Add(tSum, bits[idx]); err != nil {
+						return nil, err
+					}
+				}
+			}
+			// (1 - T) * Enc(bottom_j)
+			notT, err := djPK.Sub(one, tSum)
+			if err != nil {
+				return nil, err
+			}
+			bottomTerm, err := djPK.ExpCipher(notT, bottom)
+			if err != nil {
+				return nil, err
+			}
+			if term, err = djPK.Add(term, bottomTerm); err != nil {
+				return nil, err
+			}
+			slots = append(slots, slotRef{item: i, slot: sel.addRaw(term)})
+		}
+	}
+	resolved, err := sel.resolve()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*paillier.Ciphertext, m)
+	for i := range out {
+		out[i] = items[i].Score.Clone()
+	}
+	for _, s := range slots {
+		sum, err := pk.Add(out[s.item], resolved[s.slot])
+		if err != nil {
+			return nil, err
+		}
+		out[s.item] = sum
+	}
+	return out, nil
+}

@@ -1,0 +1,121 @@
+package secio
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/protocols"
+)
+
+func TestKeyMaterialRoundTrip(t *testing.T) {
+	r := getRig(t)
+	keys := r.scheme.KeyMaterial()
+	var buf bytes.Buffer
+	if err := WriteKeyMaterial(&buf, keys); err != nil {
+		t.Fatalf("WriteKeyMaterial: %v", err)
+	}
+	loaded, err := ReadKeyMaterial(&buf)
+	if err != nil {
+		t.Fatalf("ReadKeyMaterial: %v", err)
+	}
+	if loaded.Paillier.N.Cmp(keys.Paillier.N) != 0 {
+		t.Fatal("modulus changed across serialization")
+	}
+	// The reloaded key must decrypt ciphertexts made under the original.
+	ct, err := keys.Paillier.PublicKey.EncryptInt64(4242)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := loaded.Paillier.Decrypt(ct)
+	if err != nil {
+		t.Fatalf("decrypt with reloaded key: %v", err)
+	}
+	if m.Int64() != 4242 {
+		t.Fatalf("reloaded key decrypted %v", m)
+	}
+	// And the DJ layer must work too.
+	dct, err := loaded.DJ.EncryptInt64(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dm, err := keys.DJ.Decrypt(dct); err != nil || dm.Int64() != 7 {
+		t.Fatalf("DJ cross-decrypt failed: %v %v", dm, err)
+	}
+	if err := WriteKeyMaterial(&buf, nil); err == nil {
+		t.Fatal("expected error for nil keys")
+	}
+}
+
+func TestKeyMaterialFilePermissions(t *testing.T) {
+	r := getRig(t)
+	path := filepath.Join(t.TempDir(), "owner.keys")
+	if err := SaveKeyMaterial(path, r.scheme.KeyMaterial()); err != nil {
+		t.Fatalf("SaveKeyMaterial: %v", err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Mode().Perm() != 0o600 {
+		t.Fatalf("key file permissions = %v, want 0600", info.Mode().Perm())
+	}
+	loaded, err := LoadKeyMaterial(path)
+	if err != nil {
+		t.Fatalf("LoadKeyMaterial: %v", err)
+	}
+	if loaded.Paillier.N.Cmp(r.scheme.KeyMaterial().Paillier.N) != 0 {
+		t.Fatal("loaded wrong key")
+	}
+	if _, err := LoadKeyMaterial(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}
+
+func TestItemsRoundTrip(t *testing.T) {
+	r := getRig(t)
+	er, err := r.scheme.EncryptRelation(testRelation())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk, err := r.scheme.Token(er, []int{0, 1, 2}, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := core.NewEngine(r.client, er)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := engine.SecQuery(tk, core.Options{Mode: core.QryE, Halt: core.HaltStrict})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteItems(&buf, res.Items); err != nil {
+		t.Fatalf("WriteItems: %v", err)
+	}
+	loaded, err := ReadItems(&buf)
+	if err != nil {
+		t.Fatalf("ReadItems: %v", err)
+	}
+	rev, err := r.scheme.NewRevealer(er.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	revealed, err := rev.RevealTopK(loaded)
+	if err != nil {
+		t.Fatalf("RevealTopK over loaded items: %v", err)
+	}
+	if revealed[0].Obj != 2 || revealed[0].Worst != 18 {
+		t.Fatalf("loaded result top-1 = %+v", revealed[0])
+	}
+	// Malformed item.
+	if err := WriteItems(&buf, []protocols.Item{{}}); err == nil {
+		t.Fatal("expected error for item without EHL")
+	}
+	if _, err := ReadItems(bytes.NewReader(nil)); err == nil {
+		t.Fatal("expected error for empty stream")
+	}
+}

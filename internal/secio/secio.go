@@ -1,0 +1,289 @@
+// Package secio serializes the system's persistent artifacts: encrypted
+// relations (the ER a data owner uploads to S1), encrypted join
+// relations, and query tokens. The format is a versioned gob stream, so
+// a stored ER can be loaded by a different process — the deployment shape
+// of Section 3.2 where the data owner uploads once and goes offline.
+//
+// Only public/encrypted material is ever serialized here; key material
+// stays with the owner and the crypto cloud.
+package secio
+
+import (
+	"bufio"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/ehl"
+	"repro/internal/join"
+	"repro/internal/paillier"
+)
+
+// magic identifies sectopk gob streams; version gates format changes.
+const (
+	magic   = "sectopk-er"
+	version = 1
+)
+
+// header leads every stream.
+type header struct {
+	Magic   string
+	Version int
+	Kind    string // "relation", "join-relation", "token"
+}
+
+// wireEncItem flattens one encrypted item.
+type wireEncItem struct {
+	EHL   []*big.Int
+	Score *big.Int
+}
+
+// wireRelation flattens core.EncryptedRelation.
+type wireRelation struct {
+	Name         string
+	N, M         int
+	EHLKind      int
+	EHLS         int
+	EHLH         int
+	MaxScoreBits int
+	Lists        [][]wireEncItem
+}
+
+// WriteRelation serializes an encrypted relation.
+func WriteRelation(w io.Writer, er *core.EncryptedRelation) error {
+	if er == nil {
+		return errors.New("secio: nil relation")
+	}
+	bw := bufio.NewWriter(w)
+	enc := gob.NewEncoder(bw)
+	if err := enc.Encode(header{Magic: magic, Version: version, Kind: "relation"}); err != nil {
+		return fmt.Errorf("secio: writing header: %w", err)
+	}
+	wr := wireRelation{
+		Name: er.Name, N: er.N, M: er.M,
+		EHLKind: int(er.EHLParams.Kind), EHLS: er.EHLParams.S, EHLH: er.EHLParams.H,
+		MaxScoreBits: er.MaxScoreBits,
+		Lists:        make([][]wireEncItem, len(er.Lists)),
+	}
+	for i, list := range er.Lists {
+		wl := make([]wireEncItem, len(list))
+		for j, it := range list {
+			if it.EHL == nil || it.Score == nil {
+				return fmt.Errorf("secio: incomplete item at (%d,%d)", i, j)
+			}
+			w := wireEncItem{Score: it.Score.C}
+			for _, ct := range it.EHL.Cts {
+				w.EHL = append(w.EHL, ct.C)
+			}
+			wl[j] = w
+		}
+		wr.Lists[i] = wl
+	}
+	if err := enc.Encode(&wr); err != nil {
+		return fmt.Errorf("secio: writing relation: %w", err)
+	}
+	return bw.Flush()
+}
+
+// ReadRelation deserializes an encrypted relation.
+func ReadRelation(r io.Reader) (*core.EncryptedRelation, error) {
+	dec := gob.NewDecoder(bufio.NewReader(r))
+	var h header
+	if err := dec.Decode(&h); err != nil {
+		return nil, fmt.Errorf("secio: reading header: %w", err)
+	}
+	if err := h.check("relation"); err != nil {
+		return nil, err
+	}
+	var wr wireRelation
+	if err := dec.Decode(&wr); err != nil {
+		return nil, fmt.Errorf("secio: reading relation: %w", err)
+	}
+	params := ehl.Params{Kind: ehl.Kind(wr.EHLKind), S: wr.EHLS, H: wr.EHLH}
+	if err := params.Validate(); err != nil {
+		return nil, fmt.Errorf("secio: stored EHL params invalid: %w", err)
+	}
+	er := &core.EncryptedRelation{
+		Name: wr.Name, N: wr.N, M: wr.M,
+		EHLParams: params, MaxScoreBits: wr.MaxScoreBits,
+		Lists: make([][]core.EncItem, len(wr.Lists)),
+	}
+	if len(wr.Lists) != wr.M {
+		return nil, fmt.Errorf("secio: stored relation has %d lists for M=%d", len(wr.Lists), wr.M)
+	}
+	for i, wl := range wr.Lists {
+		if len(wl) != wr.N {
+			return nil, fmt.Errorf("secio: list %d has %d items for N=%d", i, len(wl), wr.N)
+		}
+		list := make([]core.EncItem, len(wl))
+		for j, w := range wl {
+			if w.Score == nil || len(w.EHL) != params.Width() {
+				return nil, fmt.Errorf("secio: malformed item at (%d,%d)", i, j)
+			}
+			l := &ehl.List{Kind: params.Kind}
+			for _, v := range w.EHL {
+				l.Cts = append(l.Cts, &paillier.Ciphertext{C: v})
+			}
+			list[j] = core.EncItem{EHL: l, Score: &paillier.Ciphertext{C: w.Score}}
+		}
+		er.Lists[i] = list
+	}
+	return er, nil
+}
+
+func (h header) check(kind string) error {
+	if h.Magic != magic {
+		return fmt.Errorf("secio: not a sectopk stream (magic %q)", h.Magic)
+	}
+	if h.Version != version {
+		return fmt.Errorf("secio: unsupported version %d (want %d)", h.Version, version)
+	}
+	if h.Kind != kind {
+		return fmt.Errorf("secio: stream holds %q, expected %q", h.Kind, kind)
+	}
+	return nil
+}
+
+// SaveRelation writes the relation to a file.
+func SaveRelation(path string, er *core.EncryptedRelation) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteRelation(f, er); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadRelation reads a relation from a file.
+func LoadRelation(path string) (*core.EncryptedRelation, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadRelation(f)
+}
+
+// wireJoinAttr flattens one encrypted join attribute cell.
+type wireJoinAttr struct {
+	EHL   []*big.Int
+	Value *big.Int
+}
+
+// wireJoinRelation flattens join.EncRelation.
+type wireJoinRelation struct {
+	Name    string
+	N, M    int
+	EHLKind int
+	EHLS    int
+	EHLH    int
+	Tuples  [][]wireJoinAttr
+}
+
+// WriteJoinRelation serializes an encrypted join relation.
+func WriteJoinRelation(w io.Writer, er *join.EncRelation, params ehl.Params) error {
+	if er == nil {
+		return errors.New("secio: nil join relation")
+	}
+	bw := bufio.NewWriter(w)
+	enc := gob.NewEncoder(bw)
+	if err := enc.Encode(header{Magic: magic, Version: version, Kind: "join-relation"}); err != nil {
+		return err
+	}
+	wr := wireJoinRelation{
+		Name: er.Name, N: er.N, M: er.M,
+		EHLKind: int(params.Kind), EHLS: params.S, EHLH: params.H,
+		Tuples: make([][]wireJoinAttr, len(er.Tuples)),
+	}
+	for i, tuple := range er.Tuples {
+		wt := make([]wireJoinAttr, len(tuple))
+		for j, a := range tuple {
+			if a.EHL == nil || a.Value == nil {
+				return fmt.Errorf("secio: incomplete join attr at (%d,%d)", i, j)
+			}
+			wa := wireJoinAttr{Value: a.Value.C}
+			for _, ct := range a.EHL.Cts {
+				wa.EHL = append(wa.EHL, ct.C)
+			}
+			wt[j] = wa
+		}
+		wr.Tuples[i] = wt
+	}
+	if err := enc.Encode(&wr); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadJoinRelation deserializes an encrypted join relation.
+func ReadJoinRelation(r io.Reader) (*join.EncRelation, ehl.Params, error) {
+	dec := gob.NewDecoder(bufio.NewReader(r))
+	var h header
+	if err := dec.Decode(&h); err != nil {
+		return nil, ehl.Params{}, err
+	}
+	if err := h.check("join-relation"); err != nil {
+		return nil, ehl.Params{}, err
+	}
+	var wr wireJoinRelation
+	if err := dec.Decode(&wr); err != nil {
+		return nil, ehl.Params{}, err
+	}
+	params := ehl.Params{Kind: ehl.Kind(wr.EHLKind), S: wr.EHLS, H: wr.EHLH}
+	if err := params.Validate(); err != nil {
+		return nil, ehl.Params{}, err
+	}
+	er := &join.EncRelation{Name: wr.Name, N: wr.N, M: wr.M, Tuples: make([][]join.EncAttr, len(wr.Tuples))}
+	for i, wt := range wr.Tuples {
+		tuple := make([]join.EncAttr, len(wt))
+		for j, wa := range wt {
+			if wa.Value == nil || len(wa.EHL) != params.Width() {
+				return nil, ehl.Params{}, fmt.Errorf("secio: malformed join attr at (%d,%d)", i, j)
+			}
+			l := &ehl.List{Kind: params.Kind}
+			for _, v := range wa.EHL {
+				l.Cts = append(l.Cts, &paillier.Ciphertext{C: v})
+			}
+			tuple[j] = join.EncAttr{EHL: l, Value: &paillier.Ciphertext{C: wa.Value}}
+		}
+		er.Tuples[i] = tuple
+	}
+	return er, params, nil
+}
+
+// WriteToken serializes a query token (what an authorized client sends to
+// S1).
+func WriteToken(w io.Writer, tk *core.Token) error {
+	if tk == nil {
+		return errors.New("secio: nil token")
+	}
+	enc := gob.NewEncoder(w)
+	if err := enc.Encode(header{Magic: magic, Version: version, Kind: "token"}); err != nil {
+		return err
+	}
+	return enc.Encode(tk)
+}
+
+// ReadToken deserializes a query token.
+func ReadToken(r io.Reader) (*core.Token, error) {
+	dec := gob.NewDecoder(r)
+	var h header
+	if err := dec.Decode(&h); err != nil {
+		return nil, err
+	}
+	if err := h.check("token"); err != nil {
+		return nil, err
+	}
+	var tk core.Token
+	if err := dec.Decode(&tk); err != nil {
+		return nil, err
+	}
+	return &tk, nil
+}

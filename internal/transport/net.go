@@ -1,0 +1,205 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// Frame format (both directions):
+//
+//	request:  uvarint(len(method)) method uvarint(len(body)) body
+//	response: status byte (0 ok, 1 error) uvarint(len(payload)) payload
+//
+// where an error payload is the error string. One goroutine per
+// connection; calls on one connection are serialized, which matches the
+// strictly sequential round structure of the protocols.
+
+const (
+	statusOK  = 0
+	statusErr = 1
+)
+
+// maxFrame bounds a single frame to keep a corrupted length prefix from
+// allocating unbounded memory.
+const maxFrame = 1 << 30
+
+// NetCaller is a Caller over a net.Conn (TCP loopback, unix socket, or
+// net.Pipe). It is safe for concurrent use; calls are serialized.
+type NetCaller struct {
+	mu    sync.Mutex
+	conn  net.Conn
+	r     *bufio.Reader
+	w     *bufio.Writer
+	stats *Stats
+}
+
+// NewNetCaller wraps an established connection to S2.
+func NewNetCaller(conn net.Conn, stats *Stats) *NetCaller {
+	return &NetCaller{
+		conn:  conn,
+		r:     bufio.NewReader(conn),
+		w:     bufio.NewWriter(conn),
+		stats: stats,
+	}
+}
+
+// Call implements Caller.
+func (c *NetCaller) Call(method string, req, resp any) error {
+	body, err := Encode(req)
+	if err != nil {
+		return fmt.Errorf("transport: encoding %s request: %w", method, err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := writeFrame(c.w, []byte(method), body); err != nil {
+		return fmt.Errorf("transport: sending %s: %w", method, err)
+	}
+	status, payload, err := readReply(c.r)
+	if err != nil {
+		return fmt.Errorf("transport: receiving %s reply: %w", method, err)
+	}
+	if c.stats != nil {
+		c.stats.Record(method, len(body)+len(method), len(payload)+1)
+	}
+	if status == statusErr {
+		return fmt.Errorf("transport: %s: remote error: %s", method, payload)
+	}
+	if resp == nil {
+		return nil
+	}
+	if err := Decode(payload, resp); err != nil {
+		return fmt.Errorf("transport: decoding %s response: %w", method, err)
+	}
+	return nil
+}
+
+// Close closes the underlying connection.
+func (c *NetCaller) Close() error { return c.conn.Close() }
+
+func writeFrame(w *bufio.Writer, method, body []byte) error {
+	var lenBuf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lenBuf[:], uint64(len(method)))
+	if _, err := w.Write(lenBuf[:n]); err != nil {
+		return err
+	}
+	if _, err := w.Write(method); err != nil {
+		return err
+	}
+	n = binary.PutUvarint(lenBuf[:], uint64(len(body)))
+	if _, err := w.Write(lenBuf[:n]); err != nil {
+		return err
+	}
+	if _, err := w.Write(body); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+func readFrame(r *bufio.Reader) (method, body []byte, err error) {
+	mlen, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	if mlen > maxFrame {
+		return nil, nil, errors.New("transport: oversized method frame")
+	}
+	method = make([]byte, mlen)
+	if _, err := io.ReadFull(r, method); err != nil {
+		return nil, nil, err
+	}
+	blen, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	if blen > maxFrame {
+		return nil, nil, errors.New("transport: oversized body frame")
+	}
+	body = make([]byte, blen)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, nil, err
+	}
+	return method, body, nil
+}
+
+func writeReply(w *bufio.Writer, status byte, payload []byte) error {
+	if err := w.WriteByte(status); err != nil {
+		return err
+	}
+	var lenBuf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lenBuf[:], uint64(len(payload)))
+	if _, err := w.Write(lenBuf[:n]); err != nil {
+		return err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+func readReply(r *bufio.Reader) (status byte, payload []byte, err error) {
+	status, err = r.ReadByte()
+	if err != nil {
+		return 0, nil, err
+	}
+	plen, err := binary.ReadUvarint(r)
+	if err != nil {
+		return 0, nil, err
+	}
+	if plen > maxFrame {
+		return 0, nil, errors.New("transport: oversized reply frame")
+	}
+	payload = make([]byte, plen)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return status, payload, nil
+}
+
+// ServeConn serves a single connection until it closes or a transport
+// error occurs. Handler errors are reported to the peer, not returned.
+func ServeConn(conn net.Conn, responder Responder) error {
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	for {
+		method, body, err := readFrame(r)
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		out, herr := responder.Serve(string(method), body)
+		if herr != nil {
+			if err := writeReply(w, statusErr, []byte(herr.Error())); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := writeReply(w, statusOK, out); err != nil {
+			return err
+		}
+	}
+}
+
+// Serve accepts connections from the listener and serves each in its own
+// goroutine until the listener closes.
+func Serve(l net.Listener, responder Responder) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		go func() {
+			defer conn.Close()
+			_ = ServeConn(conn, responder)
+		}()
+	}
+}

@@ -1,0 +1,203 @@
+// Package transport carries the request/response rounds between the data
+// cloud S1 and the crypto cloud S2 (Section 3.2's architecture). Every
+// protocol round is one Call. The package provides:
+//
+//   - a Caller/Responder pair with gob serialization, so the exact wire
+//     bytes are counted even for the in-process transport;
+//   - Stats, the per-method byte/round accounting that regenerates the
+//     paper's communication results (Table 3, Figure 13);
+//   - a LinkModel that converts counted traffic into estimated latency
+//     under an assumed bandwidth/RTT, mirroring Section 11.2.5's 50 Mbps
+//     analysis;
+//   - a framed TCP/pipe transport for running S1 and S2 as genuinely
+//     separate processes.
+package transport
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Responder is the server side: S2 handles one method call.
+type Responder interface {
+	Serve(method string, body []byte) ([]byte, error)
+}
+
+// Caller is the client side: S1 issues one protocol round.
+type Caller interface {
+	Call(method string, req, resp any) error
+}
+
+// MethodStats aggregates traffic for a single method.
+type MethodStats struct {
+	Calls         int64
+	BytesSent     int64
+	BytesReceived int64
+}
+
+// Stats aggregates traffic over a link. All methods are safe for
+// concurrent use.
+type Stats struct {
+	mu       sync.Mutex
+	total    MethodStats
+	byMethod map[string]*MethodStats
+}
+
+// NewStats returns an empty counter set.
+func NewStats() *Stats {
+	return &Stats{byMethod: make(map[string]*MethodStats)}
+}
+
+// Record adds one round of the given method with the given payload sizes.
+func (s *Stats) Record(method string, sent, received int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.total.Calls++
+	s.total.BytesSent += int64(sent)
+	s.total.BytesReceived += int64(received)
+	m := s.byMethod[method]
+	if m == nil {
+		m = &MethodStats{}
+		s.byMethod[method] = m
+	}
+	m.Calls++
+	m.BytesSent += int64(sent)
+	m.BytesReceived += int64(received)
+}
+
+// Total returns the aggregate counters.
+func (s *Stats) Total() MethodStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total
+}
+
+// Rounds returns the number of request/response rounds recorded.
+func (s *Stats) Rounds() int64 { return s.Total().Calls }
+
+// Bytes returns total bytes in both directions.
+func (s *Stats) Bytes() int64 {
+	t := s.Total()
+	return t.BytesSent + t.BytesReceived
+}
+
+// Method returns a copy of the counters for one method.
+func (s *Stats) Method(name string) MethodStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if m := s.byMethod[name]; m != nil {
+		return *m
+	}
+	return MethodStats{}
+}
+
+// Methods returns the method names seen, sorted.
+func (s *Stats) Methods() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.byMethod))
+	for k := range s.byMethod {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Reset zeroes all counters.
+func (s *Stats) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.total = MethodStats{}
+	s.byMethod = make(map[string]*MethodStats)
+}
+
+// Snapshot returns a printable summary.
+func (s *Stats) Snapshot() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "rounds=%d sent=%dB recv=%dB", s.total.Calls, s.total.BytesSent, s.total.BytesReceived)
+	return b.String()
+}
+
+// LinkModel estimates wall-clock latency for counted traffic, the way
+// Section 11.2.5 derives latency from bandwidth ("assuming a standard
+// 50 Mbps LAN setting").
+type LinkModel struct {
+	BandwidthBitsPerSec float64
+	RTT                 time.Duration
+}
+
+// LAN50Mbps is the link the paper assumes for Table 3.
+func LAN50Mbps() LinkModel {
+	return LinkModel{BandwidthBitsPerSec: 50e6, RTT: time.Millisecond}
+}
+
+// Latency returns the modeled network time for the recorded traffic.
+func (l LinkModel) Latency(s *Stats) time.Duration {
+	t := s.Total()
+	if l.BandwidthBitsPerSec <= 0 {
+		return time.Duration(t.Calls) * l.RTT
+	}
+	bits := float64(t.BytesSent+t.BytesReceived) * 8
+	seconds := bits / l.BandwidthBitsPerSec
+	return time.Duration(seconds*float64(time.Second)) + time.Duration(t.Calls)*l.RTT
+}
+
+// Local is the in-process Caller: it gob-serializes both directions (so
+// the byte counts are the true wire sizes) and dispatches to the
+// Responder directly.
+type Local struct {
+	responder Responder
+	stats     *Stats
+}
+
+// NewLocal wires a Caller to a Responder in the same process. stats may be
+// nil to disable accounting.
+func NewLocal(r Responder, stats *Stats) *Local {
+	return &Local{responder: r, stats: stats}
+}
+
+// Call implements Caller.
+func (l *Local) Call(method string, req, resp any) error {
+	if l.responder == nil {
+		return errors.New("transport: local caller has no responder")
+	}
+	body, err := Encode(req)
+	if err != nil {
+		return fmt.Errorf("transport: encoding %s request: %w", method, err)
+	}
+	out, err := l.responder.Serve(method, body)
+	if l.stats != nil {
+		l.stats.Record(method, len(body), len(out))
+	}
+	if err != nil {
+		return fmt.Errorf("transport: %s: %w", method, err)
+	}
+	if resp == nil {
+		return nil
+	}
+	if err := Decode(out, resp); err != nil {
+		return fmt.Errorf("transport: decoding %s response: %w", method, err)
+	}
+	return nil
+}
+
+// Encode gob-encodes a value.
+func Encode(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode gob-decodes into v (a pointer).
+func Decode(b []byte, v any) error {
+	return gob.NewDecoder(bytes.NewReader(b)).Decode(v)
+}

@@ -1,0 +1,210 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// echoResponder implements Responder for tests: "echo" returns the body,
+// "fail" returns an error, "double" decodes an int and doubles it.
+type echoResponder struct{}
+
+func (echoResponder) Serve(method string, body []byte) ([]byte, error) {
+	switch method {
+	case "echo":
+		return body, nil
+	case "fail":
+		return nil, errors.New("handler exploded")
+	case "double":
+		var v int
+		if err := Decode(body, &v); err != nil {
+			return nil, err
+		}
+		return Encode(v * 2)
+	default:
+		return nil, fmt.Errorf("unknown method %q", method)
+	}
+}
+
+func TestLocalCallRoundTrip(t *testing.T) {
+	stats := NewStats()
+	c := NewLocal(echoResponder{}, stats)
+	var out int
+	if err := c.Call("double", 21, &out); err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if out != 42 {
+		t.Fatalf("double(21) = %d", out)
+	}
+	if stats.Rounds() != 1 {
+		t.Fatalf("rounds = %d, want 1", stats.Rounds())
+	}
+	if stats.Bytes() <= 0 {
+		t.Fatal("expected nonzero byte count")
+	}
+}
+
+func TestLocalCallError(t *testing.T) {
+	c := NewLocal(echoResponder{}, nil)
+	var out int
+	err := c.Call("fail", 1, &out)
+	if err == nil || !strings.Contains(err.Error(), "handler exploded") {
+		t.Fatalf("expected handler error, got %v", err)
+	}
+	if err := c.Call("nope", 1, &out); err == nil {
+		t.Fatal("expected unknown-method error")
+	}
+}
+
+func TestLocalNilResponder(t *testing.T) {
+	c := NewLocal(nil, nil)
+	if err := c.Call("echo", 1, nil); err == nil {
+		t.Fatal("expected error for nil responder")
+	}
+}
+
+func TestLocalNilResponse(t *testing.T) {
+	c := NewLocal(echoResponder{}, nil)
+	if err := c.Call("echo", "hello", nil); err != nil {
+		t.Fatalf("nil resp should be allowed: %v", err)
+	}
+}
+
+func TestStatsPerMethod(t *testing.T) {
+	s := NewStats()
+	s.Record("a", 10, 20)
+	s.Record("a", 1, 2)
+	s.Record("b", 5, 5)
+	if got := s.Method("a"); got.Calls != 2 || got.BytesSent != 11 || got.BytesReceived != 22 {
+		t.Fatalf("method a stats wrong: %+v", got)
+	}
+	if got := s.Method("missing"); got.Calls != 0 {
+		t.Fatalf("missing method should be zero: %+v", got)
+	}
+	if ms := s.Methods(); len(ms) != 2 || ms[0] != "a" || ms[1] != "b" {
+		t.Fatalf("Methods() = %v", ms)
+	}
+	if s.Bytes() != 43 {
+		t.Fatalf("Bytes = %d, want 43", s.Bytes())
+	}
+	if !strings.Contains(s.Snapshot(), "rounds=3") {
+		t.Fatalf("Snapshot = %q", s.Snapshot())
+	}
+	s.Reset()
+	if s.Rounds() != 0 || s.Bytes() != 0 {
+		t.Fatal("Reset did not zero counters")
+	}
+}
+
+func TestLinkModelLatency(t *testing.T) {
+	s := NewStats()
+	// 50 Mbps: 6.25 MB/s. 625_000 bytes -> 0.1 s transfer.
+	s.Record("x", 300_000, 325_000)
+	l := LinkModel{BandwidthBitsPerSec: 50e6, RTT: 2 * time.Millisecond}
+	got := l.Latency(s)
+	want := 100*time.Millisecond + 2*time.Millisecond
+	if diff := got - want; diff < -time.Millisecond || diff > time.Millisecond {
+		t.Fatalf("latency = %v, want about %v", got, want)
+	}
+	// Zero-bandwidth model falls back to RTT-only.
+	l0 := LinkModel{RTT: 5 * time.Millisecond}
+	if got := l0.Latency(s); got != 5*time.Millisecond {
+		t.Fatalf("rtt-only latency = %v", got)
+	}
+	if LAN50Mbps().BandwidthBitsPerSec != 50e6 {
+		t.Fatal("LAN50Mbps bandwidth wrong")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	type payload struct {
+		A int
+		B string
+		C []int64
+	}
+	in := payload{A: 7, B: "x", C: []int64{1, 2, 3}}
+	b, err := Encode(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	if err := Decode(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.A != in.A || out.B != in.B || len(out.C) != 3 {
+		t.Fatalf("round trip mismatch: %+v", out)
+	}
+}
+
+func TestNetCallerOverPipe(t *testing.T) {
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	go func() {
+		_ = ServeConn(c2, echoResponder{})
+	}()
+	stats := NewStats()
+	caller := NewNetCaller(c1, stats)
+	var out int
+	if err := caller.Call("double", 100, &out); err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if out != 200 {
+		t.Fatalf("double(100) = %d", out)
+	}
+	var s string
+	if err := caller.Call("echo", "ping", &s); err != nil {
+		t.Fatalf("echo: %v", err)
+	}
+	if s != "ping" {
+		t.Fatalf("echo = %q", s)
+	}
+	if stats.Rounds() != 2 {
+		t.Fatalf("rounds = %d, want 2", stats.Rounds())
+	}
+	// Remote handler errors surface as call errors but keep the
+	// connection usable.
+	if err := caller.Call("fail", 1, nil); err == nil || !strings.Contains(err.Error(), "handler exploded") {
+		t.Fatalf("expected remote error, got %v", err)
+	}
+	if err := caller.Call("double", 2, &out); err != nil || out != 4 {
+		t.Fatalf("connection unusable after remote error: %v", err)
+	}
+}
+
+func TestNetCallerOverTCP(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer l.Close()
+	go func() { _ = Serve(l, echoResponder{}) }()
+
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	caller := NewNetCaller(conn, NewStats())
+	defer caller.Close()
+	var out int
+	if err := caller.Call("double", 8, &out); err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if out != 16 {
+		t.Fatalf("double(8) = %d", out)
+	}
+}
+
+func TestNetCallerClosedConn(t *testing.T) {
+	c1, c2 := net.Pipe()
+	caller := NewNetCaller(c1, nil)
+	c2.Close()
+	c1.Close()
+	var out int
+	if err := caller.Call("double", 8, &out); err == nil {
+		t.Fatal("expected error on closed connection")
+	}
+}

@@ -1,0 +1,122 @@
+// Package zmath provides small number-theoretic helpers shared by the
+// Paillier and Damgård-Jurik implementations and by the two-party
+// protocols: uniform sampling in Z_N and Z*_N, the signed interpretation
+// of residues used for encrypted comparisons, and checked modular inverses.
+package zmath
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+)
+
+// Common small constants. Callers must treat these as read-only.
+var (
+	Zero = big.NewInt(0)
+	One  = big.NewInt(1)
+	Two  = big.NewInt(2)
+)
+
+// ErrNotInvertible is returned when a modular inverse does not exist.
+var ErrNotInvertible = errors.New("zmath: element is not invertible")
+
+// RandInt returns a uniform random integer in [0, n).
+func RandInt(rnd io.Reader, n *big.Int) (*big.Int, error) {
+	if n.Sign() <= 0 {
+		return nil, fmt.Errorf("zmath: RandInt bound must be positive, got %v", n)
+	}
+	return rand.Int(rnd, n)
+}
+
+// RandRange returns a uniform random integer in [lo, hi).
+func RandRange(rnd io.Reader, lo, hi *big.Int) (*big.Int, error) {
+	if lo.Cmp(hi) >= 0 {
+		return nil, fmt.Errorf("zmath: RandRange empty range [%v, %v)", lo, hi)
+	}
+	width := new(big.Int).Sub(hi, lo)
+	r, err := rand.Int(rnd, width)
+	if err != nil {
+		return nil, err
+	}
+	return r.Add(r, lo), nil
+}
+
+// RandUnit returns a uniform random element of Z*_n (invertible mod n).
+// For an RSA-style modulus n = pq with large primes, the expected number
+// of retries is negligible.
+func RandUnit(rnd io.Reader, n *big.Int) (*big.Int, error) {
+	if n.Cmp(Two) < 0 {
+		return nil, fmt.Errorf("zmath: RandUnit modulus must be >= 2, got %v", n)
+	}
+	gcd := new(big.Int)
+	for i := 0; i < 128; i++ {
+		r, err := rand.Int(rnd, n)
+		if err != nil {
+			return nil, err
+		}
+		if r.Sign() == 0 {
+			continue
+		}
+		if gcd.GCD(nil, nil, r, n); gcd.Cmp(One) == 0 {
+			return r, nil
+		}
+	}
+	return nil, errors.New("zmath: RandUnit failed to find an invertible element")
+}
+
+// ModInverse returns a^{-1} mod n, or ErrNotInvertible when gcd(a, n) != 1.
+func ModInverse(a, n *big.Int) (*big.Int, error) {
+	inv := new(big.Int).ModInverse(a, n)
+	if inv == nil {
+		return nil, ErrNotInvertible
+	}
+	return inv, nil
+}
+
+// Signed maps a residue v in [0, n) to its signed representative in
+// (-n/2, n/2]. This is the convention under which the dedup sentinel
+// Z = n-1 reads as -1 and sinks below every non-negative score.
+func Signed(v, n *big.Int) *big.Int {
+	out := new(big.Int).Mod(v, n)
+	half := new(big.Int).Rsh(n, 1)
+	if out.Cmp(half) > 0 {
+		out.Sub(out, n)
+	}
+	return out
+}
+
+// IsNegative reports whether the residue v in [0, n) represents a negative
+// value under the signed interpretation.
+func IsNegative(v, n *big.Int) bool {
+	return Signed(v, n).Sign() < 0
+}
+
+// Lcm returns lcm(a, b).
+func Lcm(a, b *big.Int) *big.Int {
+	gcd := new(big.Int).GCD(nil, nil, a, b)
+	out := new(big.Int).Div(a, gcd)
+	return out.Mul(out, b)
+}
+
+// CRTPair combines residues (a mod p, b mod q) for coprime p, q into the
+// unique residue mod p*q using precomputed pInvModQ = p^{-1} mod q.
+func CRTPair(a, b, p, q, pInvModQ *big.Int) *big.Int {
+	// x = a + p * ((b - a) * pInv mod q)
+	t := new(big.Int).Sub(b, a)
+	t.Mul(t, pInvModQ)
+	t.Mod(t, q)
+	t.Mul(t, p)
+	return t.Add(t, a)
+}
+
+// Factorial returns k! as a big.Int. Used by the Damgård-Jurik plaintext
+// extraction, where k stays tiny (k <= s).
+func Factorial(k int) *big.Int {
+	out := big.NewInt(1)
+	for i := 2; i <= k; i++ {
+		out.Mul(out, big.NewInt(int64(i)))
+	}
+	return out
+}
