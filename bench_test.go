@@ -8,10 +8,18 @@
 package repro_test
 
 import (
+	"crypto/rand"
+	"math/big"
 	"sync"
 	"testing"
 
 	"repro/internal/bench"
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/ehl"
+	"repro/internal/paillier"
+	"repro/internal/transport"
 )
 
 var (
@@ -90,5 +98,113 @@ func BenchmarkKNNComparison(b *testing.B) { runExperiment(b, "knn") }
 func BenchmarkFig14_Join(b *testing.B) { runExperiment(b, "fig14") }
 
 // BenchmarkAblation_DesignChoices runs the halting-policy, ranking
-// strategy, and EHL-structure ablations from DESIGN.md.
+// strategy, and EHL-structure ablations.
 func BenchmarkAblation_DesignChoices(b *testing.B) { runExperiment(b, "ablation") }
+
+var (
+	benchKeyOnce sync.Once
+	benchKey     *paillier.PrivateKey
+	benchKeyErr  error
+)
+
+func sharedKey(b *testing.B) *paillier.PrivateKey {
+	b.Helper()
+	benchKeyOnce.Do(func() {
+		benchKey, benchKeyErr = paillier.GenerateKey(rand.Reader, 512)
+	})
+	if benchKeyErr != nil {
+		b.Fatalf("key: %v", benchKeyErr)
+	}
+	return benchKey
+}
+
+// BenchmarkBatchEncrypt measures paillier.EncryptBatch throughput for the
+// serial path (Parallelism 1), the worker-pooled path (all cores), and the
+// pooled path with the background nonce pool pre-warmed — the operation
+// the parallel execution core was built around.
+func BenchmarkBatchEncrypt(b *testing.B) {
+	pk := &sharedKey(b).PublicKey
+	const batch = 64
+	ms := make([]*big.Int, batch)
+	for i := range ms {
+		ms[i] = big.NewInt(int64(i * 7))
+	}
+	run := func(name string, enc paillier.Encryptor, par int) {
+		b.Run(name, func(b *testing.B) {
+			b.ReportMetric(float64(batch), "cts/op")
+			for i := 0; i < b.N; i++ {
+				if _, err := paillier.EncryptBatch(enc, ms, par); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	run("serial", pk, 1)
+	run("parallel", pk, 0)
+	pool := paillier.NewNoncePool(pk, 2, 4*batch)
+	defer pool.Close()
+	run("parallel-pooled", pool, 0)
+}
+
+// BenchmarkSecQueryParallel runs the same SecQuery end to end with every
+// layer at Parallelism 1 (the exact pre-parallel serial path) and at
+// Parallelism 0 (all cores, nonce pools on), sharing one key pair so only
+// the execution substrate differs.
+func BenchmarkSecQueryParallel(b *testing.B) {
+	keys, err := cloud.KeyMaterialFromPaillier(sharedKey(b))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rel, err := dataset.Generate(dataset.Spec{
+		Name: "bench", N: 24, M: 3, MaxScore: 200,
+		Shape: dataset.ShapeGaussian, Correlation: 0.8,
+	}, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, par := range []int{1, 0} {
+		name := "serial"
+		if par == 0 {
+			name = "parallel"
+		}
+		b.Run(name, func(b *testing.B) {
+			scheme, err := core.NewSchemeFromKeys(core.Params{
+				KeyBits: 512, EHL: ehl.Params{Kind: ehl.KindPlus, S: 3},
+				MaxScoreBits: 20, Parallelism: par,
+			}, keys)
+			if err != nil {
+				b.Fatal(err)
+			}
+			er, err := scheme.EncryptRelation(rel)
+			if err != nil {
+				b.Fatal(err)
+			}
+			server, err := cloud.NewServer(keys, nil, cloud.WithParallelism(par))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer server.Close()
+			client, err := cloud.NewClient(transport.NewLocal(server, transport.NewStats()),
+				scheme.PublicKey(), nil, cloud.WithParallelism(par))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer client.Close()
+			tk, err := scheme.Token(er, []int{0, 1, 2}, nil, 3)
+			if err != nil {
+				b.Fatal(err)
+			}
+			engine, err := core.NewEngine(client, er)
+			if err != nil {
+				b.Fatal(err)
+			}
+			opts := core.Options{Mode: core.QryE, Halt: core.HaltStrict, MaxDepth: 4, Parallelism: par}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := engine.SecQuery(tk, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

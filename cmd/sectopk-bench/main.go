@@ -29,6 +29,7 @@ func main() {
 		rows     = flag.Int("rows", 120, "dataset rows after scaling")
 		maxDepth = flag.Int("maxdepth", 6, "depth cap for time-per-depth measurements")
 		seed     = flag.Int64("seed", 1, "dataset generator seed")
+		par      = flag.Int("parallelism", 0, "worker goroutines per layer (0 = all cores, 1 = serial)")
 		md       = flag.Bool("md", false, "emit markdown tables instead of text")
 	)
 	flag.Parse()
@@ -51,6 +52,7 @@ func main() {
 		Rows:         *rows,
 		MaxDepth:     *maxDepth,
 		Seed:         *seed,
+		Parallelism:  *par,
 	}
 	if !*md {
 		cfg.Out = os.Stdout
@@ -60,6 +62,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "sectopk-bench: %v\n", err)
 		os.Exit(1)
 	}
+	defer rig.Close()
 
 	ids := []string{*exp}
 	if *exp == "all" {

@@ -84,6 +84,7 @@ func runOwner(args []string) error {
 	keyBits := fs.Int("keybits", 256, "Paillier modulus bits")
 	attrsFlag := fs.String("attrs", "0,1,2", "queried attributes (comma separated)")
 	k := fs.Int("k", 3, "top-k")
+	par := fs.Int("parallelism", 0, "encryption worker goroutines (0 = all cores, 1 = serial)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -106,6 +107,7 @@ func runOwner(args []string) error {
 	}
 	scheme, err := core.NewScheme(core.Params{
 		KeyBits: *keyBits, EHL: ehl.Params{Kind: ehl.KindPlus, S: 3}, MaxScoreBits: 20,
+		Parallelism: *par,
 	})
 	if err != nil {
 		return err
@@ -159,6 +161,7 @@ func runS2(args []string) error {
 	fs := flag.NewFlagSet("s2", flag.ExitOnError)
 	dir := fs.String("dir", ".", "artifact directory")
 	listen := fs.String("listen", "127.0.0.1:9042", "listen address")
+	par := fs.Int("parallelism", 0, "handler worker goroutines (0 = all cores, 1 = serial)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -166,10 +169,11 @@ func runS2(args []string) error {
 	if err != nil {
 		return err
 	}
-	server, err := cloud.NewServer(keys, cloud.NewLedger())
+	server, err := cloud.NewServer(keys, cloud.NewLedger(), cloud.WithParallelism(*par))
 	if err != nil {
 		return err
 	}
+	defer server.Close()
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
 		return err
@@ -184,6 +188,7 @@ func runS1(args []string) error {
 	connect := fs.String("connect", "127.0.0.1:9042", "S2 address")
 	mode := fs.String("mode", "e", "query mode: f|e|ba")
 	strict := fs.Bool("strict", true, "use strict NRA halting")
+	par := fs.Int("parallelism", 0, "S1 worker goroutines (0 = all cores, 1 = serial)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -212,15 +217,16 @@ func runS1(args []string) error {
 	if err != nil {
 		return err
 	}
-	client, err := cloud.NewClient(caller, pk, cloud.NewLedger())
+	client, err := cloud.NewClient(caller, pk, cloud.NewLedger(), cloud.WithParallelism(*par))
 	if err != nil {
 		return err
 	}
+	defer client.Close()
 	engine, err := core.NewEngine(client, er)
 	if err != nil {
 		return err
 	}
-	opts := core.Options{Halt: core.HaltPaper}
+	opts := core.Options{Halt: core.HaltPaper, Parallelism: *par}
 	if *strict {
 		opts.Halt = core.HaltStrict
 	}

@@ -4,9 +4,9 @@
 // encrypted hash lists, the two-cloud sub-protocol suite, the secure
 // top-k join operator, and the full evaluation harness.
 //
-// See README.md for the architecture overview, DESIGN.md for the system
-// inventory and experiment index, and EXPERIMENTS.md for
-// paper-vs-measured results. The root-level benchmarks in bench_test.go
-// regenerate every table and figure of the paper's evaluation; the same
-// runners are reachable through cmd/sectopk-bench.
+// See README.md for the architecture overview, the layer diagram, and
+// the Parallelism knob that tunes the worker-pooled execution core. The
+// root-level benchmarks in bench_test.go regenerate every table and
+// figure of the paper's evaluation; the same runners are reachable
+// through cmd/sectopk-bench.
 package repro

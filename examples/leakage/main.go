@@ -36,12 +36,14 @@ func main() {
 	if err != nil {
 		log.Fatalf("server: %v", err)
 	}
+	defer server.Close()
 	s1Ledger := cloud.NewLedger()
 	stats := transport.NewStats()
 	client, err := cloud.NewClient(transport.NewLocal(server, stats), scheme.PublicKey(), s1Ledger)
 	if err != nil {
 		log.Fatalf("client: %v", err)
 	}
+	defer client.Close()
 
 	tk, err := scheme.Token(er, []int{0, 1, 2}, nil, 2)
 	if err != nil {

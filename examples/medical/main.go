@@ -57,10 +57,12 @@ func main() {
 	if err != nil {
 		log.Fatalf("server: %v", err)
 	}
+	defer server.Close()
 	client, err := cloud.NewClient(transport.NewLocal(server, transport.NewStats()), scheme.PublicKey(), cloud.NewLedger())
 	if err != nil {
 		log.Fatalf("client: %v", err)
 	}
+	defer client.Close()
 
 	// Dr. Alice requests a token for ORDER BY chol + thalach STOP AFTER 2.
 	tk, err := scheme.Token(er, []int{attrChol, attrThalach}, nil, 2)

@@ -45,11 +45,13 @@ func main() {
 	if err != nil {
 		log.Fatalf("server: %v", err)
 	}
+	defer server.Close()
 	stats := transport.NewStats()
 	client, err := cloud.NewClient(transport.NewLocal(server, stats), scheme.PublicKey(), cloud.NewLedger())
 	if err != nil {
 		log.Fatalf("client: %v", err)
 	}
+	defer client.Close()
 
 	// 3. An authorized client asks for the top-2 by the sum of all three
 	//    attributes and sends the token to S1.

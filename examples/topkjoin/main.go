@@ -53,11 +53,13 @@ func main() {
 	if err != nil {
 		log.Fatalf("server: %v", err)
 	}
+	defer server.Close()
 	stats := transport.NewStats()
 	client, err := cloud.NewClient(transport.NewLocal(server, stats), scheme.PublicKey(), cloud.NewLedger())
 	if err != nil {
 		log.Fatalf("client: %v", err)
 	}
+	defer client.Close()
 
 	// Join on dept (attr 0 = attr 0), score by rating + budget
 	// (attr 1 + attr 1), project headcount and projects.

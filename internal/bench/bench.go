@@ -33,6 +33,10 @@ type Config struct {
 	MaxDepth int
 	// Seed feeds the dataset generators.
 	Seed int64
+	// Parallelism bounds worker goroutines in every layer (owner
+	// encryption, S1 blinding, S2 handlers): 0 = all cores, 1 = the exact
+	// serial pre-parallel behavior.
+	Parallelism int
 	// Out receives the rendered tables; nil discards.
 	Out io.Writer
 }

@@ -33,20 +33,23 @@ func NewRig(cfg Config) (*Rig, error) {
 		KeyBits:      cfg.KeyBits,
 		EHL:          ehl.Params{Kind: ehl.KindPlus, S: cfg.EHLS},
 		MaxScoreBits: cfg.MaxScoreBits,
+		Parallelism:  cfg.Parallelism,
 	}
 	scheme, err := core.NewScheme(params)
 	if err != nil {
 		return nil, fmt.Errorf("bench: scheme: %w", err)
 	}
 	s2led := cloud.NewLedger()
-	server, err := cloud.NewServer(scheme.KeyMaterial(), s2led)
+	server, err := cloud.NewServer(scheme.KeyMaterial(), s2led, cloud.WithParallelism(cfg.Parallelism))
 	if err != nil {
 		return nil, fmt.Errorf("bench: server: %w", err)
 	}
 	stats := transport.NewStats()
 	s1led := cloud.NewLedger()
-	client, err := cloud.NewClient(transport.NewLocal(server, stats), scheme.PublicKey(), s1led)
+	client, err := cloud.NewClient(transport.NewLocal(server, stats), scheme.PublicKey(), s1led,
+		cloud.WithParallelism(cfg.Parallelism))
 	if err != nil {
+		server.Close()
 		return nil, fmt.Errorf("bench: client: %w", err)
 	}
 	return &Rig{
@@ -54,6 +57,12 @@ func NewRig(cfg Config) (*Rig, error) {
 		Stats: stats, S1Led: s1led, S2Led: s2led,
 		erCache: map[string]*core.EncryptedRelation{},
 	}, nil
+}
+
+// Close releases the rig's background nonce pools.
+func (r *Rig) Close() {
+	r.Client.Close()
+	r.Server.Close()
 }
 
 // scaledSpec applies the run's row scaling to a dataset spec.

@@ -16,17 +16,27 @@ import (
 // modulus is kept at least 2x+64 bits larger than the main modulus so that
 // blind bookkeeping (integer sums of additive blinds, one integer product
 // for the multiplicative join blind) never wraps before S1 reduces mod N.
+//
+// The client also carries S1's parallelism knob and nonce-precompute
+// pools; the protocols layer reads them through Parallelism, Enc, and
+// EphEnc so every S1-side blinding loop shares one configuration.
 type Client struct {
 	caller transport.Caller
 	pk     *paillier.PublicKey
 	djPK   *dj.PublicKey
 	eph    *paillier.PrivateKey
 	ledger *Ledger
+	par    int
+	pkEnc  paillier.Encryptor
+	ephEnc paillier.Encryptor
+	djEnc  dj.Encryptor
+	close  []func()
 }
 
 // NewClient builds S1's stub. The ledger records S1-side leakage
-// observations and may be nil.
-func NewClient(caller transport.Caller, pk *paillier.PublicKey, ledger *Ledger) (*Client, error) {
+// observations and may be nil. Call Close when done to release the
+// background nonce pools.
+func NewClient(caller transport.Caller, pk *paillier.PublicKey, ledger *Ledger, opts ...Option) (*Client, error) {
 	if caller == nil {
 		return nil, errors.New("cloud: nil caller")
 	}
@@ -42,7 +52,31 @@ func NewClient(caller transport.Caller, pk *paillier.PublicKey, ledger *Ledger) 
 	if err != nil {
 		return nil, fmt.Errorf("cloud: generating ephemeral key: %w", err)
 	}
-	return &Client{caller: caller, pk: pk, djPK: djPK, eph: eph, ledger: ledger}, nil
+	cfg := buildConfig(opts)
+	c := &Client{caller: caller, pk: pk, djPK: djPK, eph: eph, ledger: ledger, par: cfg.parallelism}
+	var closer func()
+	c.pkEnc, closer = cfg.newPaillierEnc(pk)
+	if closer != nil {
+		c.close = append(c.close, closer)
+	}
+	c.ephEnc, closer = cfg.newPaillierEnc(&eph.PublicKey)
+	if closer != nil {
+		c.close = append(c.close, closer)
+	}
+	c.djEnc, closer = cfg.newDJEnc(djPK)
+	if closer != nil {
+		c.close = append(c.close, closer)
+	}
+	return c, nil
+}
+
+// Close stops the client's background nonce pools. The client stays
+// usable afterwards (encryptions compute nonces inline).
+func (c *Client) Close() {
+	for _, f := range c.close {
+		f()
+	}
+	c.close = nil
 }
 
 // PK returns the main Paillier public key.
@@ -56,6 +90,21 @@ func (c *Client) Ephemeral() *paillier.PrivateKey { return c.eph }
 
 // Ledger returns S1's leakage ledger (may be nil).
 func (c *Client) Ledger() *Ledger { return c.ledger }
+
+// Parallelism returns S1's parallelism knob (0 = all cores, 1 = serial).
+func (c *Client) Parallelism() int { return c.par }
+
+// Enc returns the encryption surface for the main public key (pooled when
+// pooling is enabled).
+func (c *Client) Enc() paillier.Encryptor { return c.pkEnc }
+
+// EphEnc returns the encryption surface for the ephemeral key — the
+// hottest client-side operation, since the ephemeral modulus is more than
+// twice the size of the main one.
+func (c *Client) EphEnc() paillier.Encryptor { return c.ephEnc }
+
+// DJEnc returns the encryption surface for the Damgård-Jurik layer.
+func (c *Client) DJEnc() dj.Encryptor { return c.djEnc }
 
 func ctsToBig(cts []*paillier.Ciphertext) ([]*big.Int, error) {
 	out := make([]*big.Int, len(cts))

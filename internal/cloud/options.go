@@ -1,0 +1,88 @@
+package cloud
+
+import (
+	"runtime"
+
+	"repro/internal/dj"
+	"repro/internal/paillier"
+	"repro/internal/parallel"
+)
+
+// Option configures a Server or Client at construction time. Both parties
+// share one option vocabulary so deployments tune them uniformly.
+type Option func(*config)
+
+type config struct {
+	parallelism int
+	noPools     bool
+}
+
+// WithParallelism sets the party's parallelism knob: 0 (the default) uses
+// all cores, 1 reproduces the serial pre-parallel behavior exactly, n caps
+// foreground worker goroutines at n. Note the background nonce-pool
+// fillers (up to 4 per pool, see poolWorkers) run in addition to this
+// cap; combine with WithoutNoncePools for a hard concurrency bound.
+func WithParallelism(n int) Option {
+	return func(c *config) { c.parallelism = n }
+}
+
+// WithoutNoncePools disables the background nonce-precompute pools even at
+// parallelism != 1 (useful for memory-constrained deployments and for
+// benchmarking the pools' contribution in isolation).
+func WithoutNoncePools() Option {
+	return func(c *config) { c.noPools = true }
+}
+
+func buildConfig(opts []Option) config {
+	var c config
+	for _, o := range opts {
+		o(&c)
+	}
+	return c
+}
+
+// poolsEnabled reports whether background nonce pools should run: they
+// are off at parallelism 1 (so the serial path stays byte-for-byte
+// identical to the pre-parallel implementation) and on single-core hosts,
+// where background precompute can only steal cycles from the foreground
+// rounds it is meant to feed.
+func (c config) poolsEnabled() bool {
+	return !c.noPools && c.parallelism != 1 && runtime.GOMAXPROCS(0) > 1
+}
+
+// poolWorkers sizes a pool's background filler count, scaled to (but not
+// deducted from) the foreground worker budget and capped low so
+// precompute never starves foreground rounds.
+func (c config) poolWorkers() int {
+	w := parallel.Workers(c.parallelism) / 2
+	if w < 1 {
+		w = 1
+	}
+	if w > 4 {
+		w = 4
+	}
+	return w
+}
+
+// poolCapacity bounds how far ahead the fillers may run.
+const poolCapacity = 128
+
+// newPaillierEnc returns the encryption surface for pk under this config:
+// a background pool when enabled, the plain key otherwise. The returned
+// closer is non-nil only when a pool was started.
+func (c config) newPaillierEnc(pk *paillier.PublicKey) (paillier.Encryptor, func()) {
+	if !c.poolsEnabled() {
+		return pk, nil
+	}
+	pool := paillier.NewNoncePool(pk, c.poolWorkers(), poolCapacity)
+	return pool, pool.Close
+}
+
+// newDJEnc is newPaillierEnc for the Damgård-Jurik layer.
+func (c config) newDJEnc(pk *dj.PublicKey) (dj.Encryptor, func()) {
+	if !c.poolsEnabled() {
+		return pk, nil
+	}
+	pool := dj.NewNoncePool(pk, c.poolWorkers(), poolCapacity)
+	return pool, pool.Close
+}

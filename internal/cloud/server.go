@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/dj"
 	"repro/internal/paillier"
+	"repro/internal/parallel"
 	"repro/internal/prf"
 	"repro/internal/transport"
 	"repro/internal/zmath"
@@ -42,22 +43,69 @@ func KeyMaterialFromPaillier(sk *paillier.PrivateKey) (*KeyMaterial, error) {
 
 // Server is the crypto cloud S2. It implements transport.Responder; each
 // Serve call is one protocol round. The server is stateless across rounds
-// apart from the leakage ledger.
+// apart from the leakage ledger and the nonce-precompute pools.
+//
+// Every per-ciphertext loop in the handlers runs on the shared parallel
+// substrate, bounded by the WithParallelism option; encryptions draw from
+// background nonce pools unless pooling is disabled (parallelism 1, or
+// WithoutNoncePools).
 type Server struct {
 	keys   *KeyMaterial
 	ledger *Ledger
+	par    int
+	pkEnc  paillier.Encryptor
+	djEnc  dj.Encryptor
+	close  []func()
 }
 
-// NewServer builds S2 from its key material. ledger may be nil.
-func NewServer(keys *KeyMaterial, ledger *Ledger) (*Server, error) {
+// NewServer builds S2 from its key material. ledger may be nil. Call Close
+// when done to release the background nonce pools.
+func NewServer(keys *KeyMaterial, ledger *Ledger, opts ...Option) (*Server, error) {
 	if keys == nil || keys.Paillier == nil || keys.DJ == nil {
 		return nil, errors.New("cloud: incomplete key material")
 	}
-	return &Server{keys: keys, ledger: ledger}, nil
+	cfg := buildConfig(opts)
+	s := &Server{keys: keys, ledger: ledger, par: cfg.parallelism}
+	var closer func()
+	s.pkEnc, closer = cfg.newPaillierEnc(&keys.Paillier.PublicKey)
+	if closer != nil {
+		s.close = append(s.close, closer)
+	}
+	s.djEnc, closer = cfg.newDJEnc(&keys.DJ.PublicKey)
+	if closer != nil {
+		s.close = append(s.close, closer)
+	}
+	return s, nil
+}
+
+// Close stops the server's background nonce pools. The server stays usable
+// afterwards (encryptions compute nonces inline).
+func (s *Server) Close() {
+	for _, c := range s.close {
+		c()
+	}
+	s.close = nil
 }
 
 // Ledger returns the server's leakage ledger (may be nil).
 func (s *Server) Ledger() *Ledger { return s.ledger }
+
+// Parallelism returns the server's parallelism knob (0 = all cores).
+func (s *Server) Parallelism() int { return s.par }
+
+// decryptRaw decrypts a batch of raw ciphertext values in parallel via
+// the paillier batch helper.
+func (s *Server) decryptRaw(cts []*big.Int, label string) ([]*big.Int, error) {
+	wrapped := make([]*paillier.Ciphertext, len(cts))
+	for i, c := range cts {
+		wrapped[i] = &paillier.Ciphertext{C: c}
+	}
+	out, err := s.keys.Paillier.DecryptBatch(wrapped, s.par)
+	if err != nil {
+		return nil, fmt.Errorf("cloud: %s: %w", label, err)
+	}
+	return out, nil
+}
 
 // Serve implements transport.Responder.
 func (s *Server) Serve(method string, body []byte) ([]byte, error) {
@@ -138,25 +186,34 @@ func (s *Server) Serve(method string, body []byte) ([]byte, error) {
 }
 
 // eqBits decrypts each randomized EHL difference and answers E2(t),
-// t = 1 iff the difference is zero (Algorithm 4, server side).
+// t = 1 iff the difference is zero (Algorithm 4, server side). The
+// decryptions and the reply encryptions each fan out over the worker pool.
 func (s *Server) eqBits(req *EqBitsRequest) (*EqBitsReply, error) {
-	out := make([]*big.Int, len(req.Cts))
+	ms, err := s.decryptRaw(req.Cts, "EqBits")
+	if err != nil {
+		return nil, err
+	}
+	ts := make([]*big.Int, len(ms))
 	equal := 0
-	for i, c := range req.Cts {
-		m, err := s.keys.Paillier.Decrypt(&paillier.Ciphertext{C: c})
-		if err != nil {
-			return nil, fmt.Errorf("cloud: EqBits[%d]: %w", i, err)
-		}
-		t := zmath.Zero
+	for i, m := range ms {
 		if m.Sign() == 0 {
-			t = zmath.One
+			ts[i] = zmath.One
 			equal++
+		} else {
+			ts[i] = zmath.Zero
 		}
-		ct, err := s.keys.DJ.Encrypt(t)
+	}
+	out := make([]*big.Int, len(ts))
+	err = parallel.ForEach(s.par, len(ts), func(i int) error {
+		ct, err := s.djEnc.Encrypt(ts[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
 		out[i] = ct.C
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	s.ledger.Record("S2", MethodEqBits, "equality pattern: %d equal of %d pairs", equal, len(req.Cts))
 	return &EqBitsReply{Bits: out}, nil
@@ -165,13 +222,17 @@ func (s *Server) eqBits(req *EqBitsRequest) (*EqBitsReply, error) {
 // recover strips the outer DJ layer from each blinded double encryption
 // (Algorithm 5, server side).
 func (s *Server) recover(req *RecoverRequest) (*RecoverReply, error) {
-	out := make([]*big.Int, len(req.Cts))
+	wrapped := make([]*dj.Ciphertext, len(req.Cts))
 	for i, c := range req.Cts {
-		inner, err := s.keys.DJ.DecryptInner(&dj.Ciphertext{C: c})
-		if err != nil {
-			return nil, fmt.Errorf("cloud: Recover[%d]: %w", i, err)
-		}
-		out[i] = inner.C
+		wrapped[i] = &dj.Ciphertext{C: c}
+	}
+	inner, err := s.keys.DJ.DecryptInnerBatch(wrapped, s.par)
+	if err != nil {
+		return nil, fmt.Errorf("cloud: Recover: %w", err)
+	}
+	out := make([]*big.Int, len(inner))
+	for i, ct := range inner {
+		out[i] = ct.C
 	}
 	s.ledger.Record("S2", MethodRecover, "recovered %d blinded ciphertexts", len(req.Cts))
 	return &RecoverReply{Cts: out}, nil
@@ -179,12 +240,12 @@ func (s *Server) recover(req *RecoverRequest) (*RecoverReply, error) {
 
 // compare decrypts each sign-blinded difference and reports its sign.
 func (s *Server) compare(req *CompareRequest) (*CompareReply, error) {
-	out := make([]bool, len(req.Cts))
-	for i, c := range req.Cts {
-		m, err := s.keys.Paillier.Decrypt(&paillier.Ciphertext{C: c})
-		if err != nil {
-			return nil, fmt.Errorf("cloud: Compare[%d]: %w", i, err)
-		}
+	ms, err := s.decryptRaw(req.Cts, "Compare")
+	if err != nil {
+		return nil, err
+	}
+	out := make([]bool, len(ms))
+	for i, m := range ms {
 		out[i] = zmath.IsNegative(m, s.keys.Paillier.N)
 	}
 	s.ledger.Record("S2", MethodCompare, "compared %d blinded differences", len(req.Cts))
@@ -194,21 +255,25 @@ func (s *Server) compare(req *CompareRequest) (*CompareReply, error) {
 // compareHidden is compare with the result bit re-encrypted under DJ so
 // S1 learns nothing either.
 func (s *Server) compareHidden(req *CompareHiddenRequest) (*CompareHiddenReply, error) {
-	out := make([]*big.Int, len(req.Cts))
-	for i, c := range req.Cts {
-		m, err := s.keys.Paillier.Decrypt(&paillier.Ciphertext{C: c})
-		if err != nil {
-			return nil, fmt.Errorf("cloud: CompareHidden[%d]: %w", i, err)
-		}
+	ms, err := s.decryptRaw(req.Cts, "CompareHidden")
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*big.Int, len(ms))
+	err = parallel.ForEach(s.par, len(ms), func(i int) error {
 		t := zmath.Zero
-		if zmath.IsNegative(m, s.keys.Paillier.N) {
+		if zmath.IsNegative(ms[i], s.keys.Paillier.N) {
 			t = zmath.One
 		}
-		ct, err := s.keys.DJ.Encrypt(t)
+		ct, err := s.djEnc.Encrypt(t)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		out[i] = ct.C
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	s.ledger.Record("S2", MethodCompareHidden, "compared %d blinded differences (hidden)", len(req.Cts))
 	return &CompareHiddenReply{Bits: out}, nil
@@ -222,22 +287,26 @@ func (s *Server) mult(req *MultRequest) (*MultReply, error) {
 	}
 	pk := &s.keys.Paillier.PublicKey
 	out := make([]*big.Int, len(req.A))
-	for i := range req.A {
+	err := parallel.ForEach(s.par, len(req.A), func(i int) error {
 		a, err := s.keys.Paillier.Decrypt(&paillier.Ciphertext{C: req.A[i]})
 		if err != nil {
-			return nil, fmt.Errorf("cloud: Mult a[%d]: %w", i, err)
+			return fmt.Errorf("cloud: Mult a[%d]: %w", i, err)
 		}
 		b, err := s.keys.Paillier.Decrypt(&paillier.Ciphertext{C: req.B[i]})
 		if err != nil {
-			return nil, fmt.Errorf("cloud: Mult b[%d]: %w", i, err)
+			return fmt.Errorf("cloud: Mult b[%d]: %w", i, err)
 		}
 		prod := new(big.Int).Mul(a, b)
 		prod.Mod(prod, pk.N)
-		ct, err := pk.Encrypt(prod)
+		ct, err := s.pkEnc.Encrypt(prod)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		out[i] = ct.C
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	s.ledger.Record("S2", MethodMult, "multiplied %d blinded pairs", len(req.A))
 	return &MultReply{Products: out}, nil
@@ -309,7 +378,8 @@ func (s *Server) validateDedup(req *DedupRequest) error {
 // dedup is the S2 side of SecDedup (Algorithm 7 lines 16-31) and its
 // SecDupElim / merge variants. Rows arrive blinded and permuted by S1;
 // the equality pattern of the permuted pair set is the only thing S2
-// learns (the leakage EP^d of Section 9).
+// learns (the leakage EP^d of Section 9). The pair decryptions, sentinel
+// construction, and re-blinding all fan out over the worker pool.
 func (s *Server) dedup(req *DedupRequest) (*DedupReply, error) {
 	if err := s.validateDedup(req); err != nil {
 		return nil, err
@@ -320,13 +390,13 @@ func (s *Server) dedup(req *DedupRequest) (*DedupReply, error) {
 		return nil, fmt.Errorf("cloud: Dedup ephemeral key: %w", err)
 	}
 	n := len(req.Rows)
+	pairMs, err := s.decryptRaw(req.PairCts, "Dedup pair")
+	if err != nil {
+		return nil, err
+	}
 	uf := newUnionFind(n)
 	equalPairs := 0
-	for k := range req.PairI {
-		m, err := s.keys.Paillier.Decrypt(&paillier.Ciphertext{C: req.PairCts[k]})
-		if err != nil {
-			return nil, fmt.Errorf("cloud: Dedup pair %d: %w", k, err)
-		}
+	for k, m := range pairMs {
 		if m.Sign() == 0 {
 			uf.union(req.PairI[k], req.PairJ[k])
 			equalPairs++
@@ -344,6 +414,31 @@ func (s *Server) dedup(req *DedupRequest) (*DedupReply, error) {
 
 	sentinel := new(big.Int).Sub(pk.N, zmath.One) // Z = N-1 ≡ -1
 
+	// Replace mode rebuilds every duplicate as a sentinel row; those rows
+	// are independent, so construct them ahead of assembly in parallel.
+	var sentinels []*WireRow
+	if req.Mode == DedupReplace {
+		sentinels = make([]*WireRow, n)
+		var dups []int
+		for i := 0; i < n; i++ {
+			if groups[uf.find(i)][0] != i {
+				dups = append(dups, i)
+			}
+		}
+		err := parallel.ForEach(s.par, len(dups), func(k int) error {
+			i := dups[k]
+			repl, err := s.sentinelRow(pk, ephPK, len(req.Rows[i].EHL), len(req.Rows[i].Scores), sentinel)
+			if err != nil {
+				return err
+			}
+			sentinels[i] = repl
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
 	// Assemble the surviving rows (pre re-blinding).
 	var rows []WireRow
 	for i := 0; i < n; i++ {
@@ -359,11 +454,7 @@ func (s *Server) dedup(req *DedupRequest) (*DedupReply, error) {
 			// Replace with a random id and sentinel scores; the recorded
 			// blinds are fresh so S1's unblinding yields uniformly random
 			// digests and the sentinel value Z.
-			repl, err := s.sentinelRow(pk, ephPK, len(req.Rows[i].EHL), len(req.Rows[i].Scores), sentinel)
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, *repl)
+			rows = append(rows, *sentinels[i])
 		case DedupEliminate:
 			if isRep {
 				rows = append(rows, req.Rows[i])
@@ -401,11 +492,13 @@ func (s *Server) dedup(req *DedupRequest) (*DedupReply, error) {
 	}
 
 	// Re-blind every surviving row (Algorithm 7 lines 26-30) so S1 cannot
-	// tell which rows were touched, then re-permute (line 31).
-	for i := range rows {
-		if err := s.reblindRow(pk, ephPK, &rows[i]); err != nil {
-			return nil, err
-		}
+	// tell which rows were touched, then re-permute (line 31). Rows are
+	// independent, so the re-blinding fans out row-per-worker.
+	err = parallel.ForEach(s.par, len(rows), func(i int) error {
+		return s.reblindRow(pk, ephPK, &rows[i])
+	})
+	if err != nil {
+		return nil, err
 	}
 	perm, err := prf.RandomPerm(len(rows))
 	if err != nil {
@@ -437,7 +530,7 @@ func (s *Server) sentinelRow(pk, ephPK *paillier.PublicKey, ehlWidth, scoreCols 
 		}
 		// Store Enc(u + alpha); after S1 subtracts alpha the digest is the
 		// uniformly random u.
-		ct, err := pk.Encrypt(new(big.Int).Add(u, alpha))
+		ct, err := s.pkEnc.Encrypt(new(big.Int).Add(u, alpha))
 		if err != nil {
 			return nil, err
 		}
@@ -453,7 +546,7 @@ func (s *Server) sentinelRow(pk, ephPK *paillier.PublicKey, ehlWidth, scoreCols 
 		if err != nil {
 			return nil, err
 		}
-		ct, err := pk.Encrypt(new(big.Int).Add(sentinel, beta))
+		ct, err := s.pkEnc.Encrypt(new(big.Int).Add(sentinel, beta))
 		if err != nil {
 			return nil, err
 		}
@@ -476,7 +569,7 @@ func (s *Server) reblindRow(pk, ephPK *paillier.PublicKey, row *WireRow) error {
 		if err != nil {
 			return err
 		}
-		dct, err := pk.Encrypt(delta)
+		dct, err := s.pkEnc.Encrypt(delta)
 		if err != nil {
 			return err
 		}
@@ -507,30 +600,40 @@ func (s *Server) reblindRow(pk, ephPK *paillier.PublicKey, row *WireRow) error {
 
 // filter is the S2 side of SecFilter (Algorithm 12 lines 11-23): drop the
 // rows whose multiplicatively blinded join score decrypts to zero, then
-// re-blind and re-permute the survivors.
+// re-blind and re-permute the survivors. Score decryptions and per-row
+// re-blinding fan out over the worker pool.
 func (s *Server) filter(req *FilterRequest) (*FilterReply, error) {
 	pk := &s.keys.Paillier.PublicKey
 	ephPK, err := paillier.NewPublicKeyFromN(req.EphemeralN)
 	if err != nil {
 		return nil, fmt.Errorf("cloud: Filter ephemeral key: %w", err)
 	}
-	var rows []WireRow
-	for i, r := range req.Rows {
+	scores := make([]*big.Int, len(req.Rows))
+	err = parallel.ForEach(s.par, len(req.Rows), func(i int) error {
+		r := req.Rows[i]
 		if len(r.Scores) == 0 || len(r.Blinds) != len(r.Scores) {
-			return nil, fmt.Errorf("cloud: Filter row %d malformed", i)
+			return fmt.Errorf("cloud: Filter row %d malformed", i)
 		}
 		m, err := s.keys.Paillier.Decrypt(&paillier.Ciphertext{C: r.Scores[0]})
 		if err != nil {
-			return nil, fmt.Errorf("cloud: Filter row %d score: %w", i, err)
+			return fmt.Errorf("cloud: Filter row %d score: %w", i, err)
 		}
-		if m.Sign() == 0 {
+		scores[i] = m
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []WireRow
+	for i, r := range req.Rows {
+		if scores[i].Sign() == 0 {
 			continue // did not satisfy the join condition
 		}
 		rows = append(rows, r)
 	}
 	s.ledger.Record("S2", MethodFilter, "joined %d of %d candidate tuples", len(rows), len(req.Rows))
 
-	for i := range rows {
+	err = parallel.ForEach(s.par, len(rows), func(i int) error {
 		row := &rows[i]
 		// Multiplicative re-blind of the join score: s'' = s' * gamma,
 		// with the recorded inverse updated to r^{-1} * gamma^{-1}. The
@@ -538,18 +641,18 @@ func (s *Server) filter(req *FilterRequest) (*FilterReply, error) {
 		// the integer product never wraps and S1 can reduce mod N.
 		gamma, err := zmath.RandUnit(rand.Reader, pk.N)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		gammaInv, err := zmath.ModInverse(gamma, pk.N)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		v := new(big.Int).Exp(row.Scores[0], gamma, pk.N2)
 		// Re-randomize so the transformation is not a deterministic
 		// function of the input ciphertext.
-		z, err := pk.EncryptZero()
+		z, err := s.pkEnc.EncryptZero()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		v.Mul(v, z.C)
 		v.Mod(v, pk.N2)
@@ -561,23 +664,27 @@ func (s *Server) filter(req *FilterRequest) (*FilterReply, error) {
 		for j := 1; j < len(row.Scores); j++ {
 			delta, err := zmath.RandInt(rand.Reader, pk.N)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			dct, err := pk.Encrypt(delta)
+			dct, err := s.pkEnc.Encrypt(delta)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			sv := new(big.Int).Mul(row.Scores[j], dct.C)
 			sv.Mod(sv, pk.N2)
 			row.Scores[j] = sv
 			bct, err := ephPK.Encrypt(delta)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			bv := new(big.Int).Mul(row.Blinds[j], bct.C)
 			bv.Mod(bv, ephPK.N2)
 			row.Blinds[j] = bv
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	perm, err := prf.RandomPerm(len(rows))
 	if err != nil {

@@ -160,6 +160,9 @@ func TestPaperExampleWithFullSort(t *testing.T) {
 }
 
 func TestStrictHaltingMatchesGroundTruthAcrossModes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("three-mode ground-truth sweep is slow; skipped in -short mode")
+	}
 	r := getRig(t)
 	spec := dataset.Spec{Name: "corr", N: 24, M: 3, MaxScore: 400, Shape: dataset.ShapeGaussian, Correlation: 0.85}
 	rel, err := dataset.Generate(spec, 11)

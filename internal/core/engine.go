@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/cloud"
 	"repro/internal/paillier"
+	"repro/internal/parallel"
 	"repro/internal/protocols"
 )
 
@@ -76,6 +77,13 @@ type Options struct {
 	// MaxDepth caps the scan for benchmarking time-per-depth; zero means
 	// scan to completion.
 	MaxDepth int
+	// Parallelism bounds the engine's own worker goroutines: 0 inherits
+	// the client's knob (which defaults to all cores), 1 reproduces the
+	// serial pre-parallel behavior exactly, n caps workers at n. The
+	// sub-protocol layers read the client's knob directly, so for a fully
+	// serial query construct the cloud.Client with
+	// cloud.WithParallelism(1) as well.
+	Parallelism int
 }
 
 // QueryResult is the outcome of SecQuery: the encrypted top-k items
@@ -106,6 +114,15 @@ func NewEngine(client *cloud.Client, er *EncryptedRelation) (*Engine, error) {
 		return nil, errors.New("core: encrypted relation missing MaxScoreBits")
 	}
 	return &Engine{client: client, er: er, seenTokens: map[string]int{}}, nil
+}
+
+// par resolves the effective engine parallelism for one query: the
+// query's own knob when set, the client's otherwise.
+func (e *Engine) par(opts Options) int {
+	if opts.Parallelism != 0 {
+		return opts.Parallelism
+	}
+	return e.client.Parallelism()
 }
 
 // magBits bounds |W|, |B| magnitudes for comparison masking: m weighted
@@ -208,15 +225,21 @@ func (e *Engine) queryPerDepth(tk *Token, opts Options) (*QueryResult, error) {
 	for d := 0; d < maxD; d++ {
 		depth = d + 1
 		depthItems := make([]protocols.DepthItem, m)
-		for i := 0; i < m; i++ {
+		err := parallel.ForEach(e.par(opts), m, func(i int) error {
 			score, err := e.depthScore(tk, i, d)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			it := e.er.Lists[tk.Lists[i]][d]
 			depthItems[i] = protocols.DepthItem{EHL: it.EHL, Score: score}
-			histories[i].EHLs = append(histories[i].EHLs, it.EHL)
-			histories[i].Scores = append(histories[i].Scores, score)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < m; i++ {
+			histories[i].EHLs = append(histories[i].EHLs, depthItems[i].EHL)
+			histories[i].Scores = append(histories[i].Scores, depthItems[i].Score)
 		}
 		worst, err := protocols.SecWorstAll(e.client, depthItems)
 		if err != nil {
@@ -282,7 +305,6 @@ func (e *Engine) queryBatched(tk *Token, opts Options) (*QueryResult, error) {
 	if opts.MaxDepth > 0 && opts.MaxDepth < maxD {
 		maxD = opts.MaxDepth
 	}
-	pk := e.client.PK()
 	cols := 1 + m // [W, v_0..v_{m-1}]
 	mergeCols := make([]int, cols)
 	for i := range mergeCols {
@@ -294,27 +316,35 @@ func (e *Engine) queryBatched(tk *Token, opts Options) (*QueryResult, error) {
 	for d := 0; d < maxD; d++ {
 		depth = d + 1
 		bottoms = make([]*paillier.Ciphertext, m)
-		for i := 0; i < m; i++ {
+		// Each list's depth item needs 1+m encryptions (score + indicator
+		// vector); the m items build in parallel.
+		depthItems := make([]protocols.Item, m)
+		err := parallel.ForEach(e.par(opts), m, func(i int) error {
 			score, err := e.depthScore(tk, i, d)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			bottoms[i] = score
 			item := protocols.Item{EHL: e.er.Lists[tk.Lists[i]][d].EHL, Scores: make([]*paillier.Ciphertext, cols)}
 			item.Scores[0] = score
 			for j := 0; j < m; j++ {
-				v := int64(0)
+				v := big.NewInt(0)
 				if j == i {
-					v = 1
+					v = big.NewInt(1)
 				}
-				ct, err := pk.EncryptInt64(v)
+				ct, err := e.client.Enc().Encrypt(v)
 				if err != nil {
-					return nil, err
+					return err
 				}
 				item.Scores[1+j] = ct
 			}
-			pending = append(pending, item)
+			depthItems[i] = item
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
+		pending = append(pending, depthItems...)
 		if (d+1)%p != 0 && d != maxD-1 {
 			continue
 		}
@@ -331,7 +361,6 @@ func (e *Engine) queryBatched(tk *Token, opts Options) (*QueryResult, error) {
 				pairs.Pairs = append(pairs.Pairs, [2]int{base + i, j})
 			}
 		}
-		var err error
 		T, err = protocols.SecDedup(e.client, combined, cloud.DedupMerge, pairs, mergeCols)
 		if err != nil {
 			return nil, fmt.Errorf("core: depth %d batch merge: %w", d, err)
@@ -340,7 +369,7 @@ func (e *Engine) queryBatched(tk *Token, opts Options) (*QueryResult, error) {
 		if len(T) < k+1 {
 			continue
 		}
-		halted, ranked, err := e.checkHalt(T, k, magBits, opts, bottoms, e.batchBest(bottoms))
+		halted, ranked, err := e.checkHalt(T, k, magBits, opts, bottoms, e.batchBest(bottoms, e.par(opts)))
 		if err != nil {
 			return nil, fmt.Errorf("core: depth %d halting check: %w", d, err)
 		}
@@ -357,12 +386,13 @@ type bestFunc func(items []protocols.Item) ([]*paillier.Ciphertext, error)
 
 // batchBest returns the Qry_Ba bound computer: for each item,
 // B = W + sum_j bottom_j - sum_j v_j * bottom_j, with the v_j * bottom_j
-// products resolved through one batched SecMult round.
-func (e *Engine) batchBest(bottoms []*paillier.Ciphertext) bestFunc {
+// products resolved through one batched SecMult round and the per-item
+// bound assembly fanned out over par workers.
+func (e *Engine) batchBest(bottoms []*paillier.Ciphertext, par int) bestFunc {
 	return func(items []protocols.Item) ([]*paillier.Ciphertext, error) {
 		pk := e.client.PK()
 		m := len(bottoms)
-		sumBottoms, err := pk.EncryptZero()
+		sumBottoms, err := e.client.Enc().EncryptZero()
 		if err != nil {
 			return nil, err
 		}
@@ -386,21 +416,26 @@ func (e *Engine) batchBest(bottoms []*paillier.Ciphertext) bestFunc {
 			return nil, err
 		}
 		out := make([]*paillier.Ciphertext, len(items))
-		for i, it := range items {
-			b := it.Scores[0] // W
+		err = parallel.ForEach(par, len(items), func(i int) error {
+			b := items[i].Scores[0] // W
+			var err error
 			if b, err = pk.Add(b, sumBottoms); err != nil {
-				return nil, err
+				return err
 			}
 			for j := 0; j < m; j++ {
 				neg, err := pk.Neg(prods[i*m+j])
 				if err != nil {
-					return nil, err
+					return err
 				}
 				if b, err = pk.Add(b, neg); err != nil {
-					return nil, err
+					return err
 				}
 			}
 			out[i] = b
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
 		return out, nil
 	}
@@ -451,7 +486,7 @@ func (e *Engine) checkHalt(T []protocols.Item, k, magBits int, opts Options, bot
 	// Strict NRA halting: every tracked non-top-k bound plus the
 	// unseen-object bound (sum of the current bottoms) must be dominated
 	// by W_k.
-	sum, err := pk.EncryptZero()
+	sum, err := e.client.Enc().EncryptZero()
 	if err != nil {
 		return false, nil, err
 	}

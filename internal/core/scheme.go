@@ -16,15 +16,14 @@ import (
 	"errors"
 	"fmt"
 	"math/big"
-	"runtime"
 	"sort"
 	"strings"
-	"sync"
 
 	"repro/internal/cloud"
 	"repro/internal/dataset"
 	"repro/internal/ehl"
 	"repro/internal/paillier"
+	"repro/internal/parallel"
 	"repro/internal/prf"
 	"repro/internal/protocols"
 )
@@ -40,6 +39,10 @@ type Params struct {
 	// MaxScoreBits bounds a single attribute value: scores must lie in
 	// [0, 2^MaxScoreBits). Used to size comparison masks.
 	MaxScoreBits int
+	// Parallelism bounds the data owner's encryption workers (0 = all
+	// cores, 1 = serial), matching the knob convention of the cloud and
+	// engine layers.
+	Parallelism int
 }
 
 // DefaultParams returns the evaluation configuration: EHL+ with s = 5 and
@@ -195,7 +198,7 @@ func (er *EncryptedRelation) ByteSize(pk *paillier.PublicKey) int64 {
 // EncryptRelation implements Enc (Algorithm 2): sort each attribute list
 // descending, encrypt ids with EHL and scores with Paillier, and permute
 // the lists with the PRP P_K. Encryption parallelizes across items the
-// way the paper's 64-thread setup does.
+// way the paper's 64-thread setup does, bounded by Params.Parallelism.
 func (s *Scheme) EncryptRelation(rel *dataset.Relation) (*EncryptedRelation, error) {
 	if rel == nil {
 		return nil, errors.New("core: nil relation")
@@ -226,56 +229,33 @@ func (s *Scheme) EncryptRelation(rel *dataset.Relation) (*EncryptedRelation, err
 		Lists:        make([][]EncItem, m),
 	}
 
-	type job struct{ list, depth int }
-	jobs := make(chan job, 256)
-	errCh := make(chan error, 1)
-	var wg sync.WaitGroup
+	permuted := make([]int, m)
 	for j := 0; j < m; j++ {
 		pj, err := perm.Apply(j)
 		if err != nil {
 			return nil, err
 		}
+		permuted[j] = pj
 		er.Lists[pj] = make([]EncItem, n)
 	}
-	workers := runtime.GOMAXPROCS(0)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for jb := range jobs {
-				entry := lists[jb.list][jb.depth]
-				l, err := s.hasher.Build(uint64(entry.obj))
-				if err != nil {
-					select {
-					case errCh <- err:
-					default:
-					}
-					return
-				}
-				ct, err := s.PublicKey().EncryptInt64(entry.score)
-				if err != nil {
-					select {
-					case errCh <- err:
-					default:
-					}
-					return
-				}
-				pj, _ := perm.Apply(jb.list)
-				er.Lists[pj][jb.depth] = EncItem{EHL: l, Score: ct}
-			}
-		}()
-	}
-	for j := 0; j < m; j++ {
-		for d := 0; d < n; d++ {
-			jobs <- job{list: j, depth: d}
+	// One job per (list, depth) cell on the shared worker substrate; each
+	// cell owns its output slot, so no synchronization is needed.
+	err = parallel.ForEach(s.params.Parallelism, m*n, func(idx int) error {
+		j, d := idx/n, idx%n
+		entry := lists[j][d]
+		l, err := s.hasher.Build(uint64(entry.obj))
+		if err != nil {
+			return err
 		}
-	}
-	close(jobs)
-	wg.Wait()
-	select {
-	case err := <-errCh:
+		ct, err := s.PublicKey().EncryptInt64(entry.score)
+		if err != nil {
+			return err
+		}
+		er.Lists[permuted[j]][d] = EncItem{EHL: l, Score: ct}
+		return nil
+	})
+	if err != nil {
 		return nil, fmt.Errorf("core: encrypting relation: %w", err)
-	default:
 	}
 	return er, nil
 }

@@ -14,6 +14,9 @@ import (
 // TestClassicEHLEngine runs the full pipeline with the H-slot classic EHL
 // instead of EHL+ (the paper's Section 5 fallback structure).
 func TestClassicEHLEngine(t *testing.T) {
+	if testing.Short() {
+		t.Skip("classic-EHL engine sweep is slow; skipped in -short mode")
+	}
 	r := getRig(t)
 	scheme, err := NewSchemeFromKeys(Params{
 		KeyBits: 256,
@@ -61,6 +64,9 @@ func TestClassicEHLEngine(t *testing.T) {
 // random relations and checks the answers against the exhaustive ground
 // truth, exercising duplicate-heavy and tie-heavy data.
 func TestRandomRelationsAcrossSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed sweep is slow; skipped in -short mode")
+	}
 	r := getRig(t)
 	spec := dataset.Spec{Name: "rnd", N: 14, M: 3, MaxScore: 12, Shape: dataset.ShapeCategorical, Correlation: 0.4}
 	for seed := int64(1); seed <= 4; seed++ {
@@ -96,6 +102,9 @@ func TestRandomRelationsAcrossSeeds(t *testing.T) {
 // the per-depth engine under strict halting: both must return the same
 // top-k score multiset.
 func TestQryBaMatchesQryEOnSameData(t *testing.T) {
+	if testing.Short() {
+		t.Skip("engine cross-check is slow; skipped in -short mode")
+	}
 	r := getRig(t)
 	spec := dataset.Spec{Name: "xchk", N: 16, M: 3, MaxScore: 80, Shape: dataset.ShapeGaussian, Correlation: 0.8}
 	rel, err := dataset.Generate(spec, 3)
@@ -129,6 +138,9 @@ func TestQryBaMatchesQryEOnSameData(t *testing.T) {
 // TestRepeatedQueriesAreStable runs the same token three times; results
 // must be identical despite all the fresh protocol randomness.
 func TestRepeatedQueriesAreStable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("triple-query stability check is slow; skipped in -short mode")
+	}
 	r := getRig(t)
 	er := encryptFig3(t, r)
 	tk, err := r.scheme.Token(er, []int{0, 1, 2}, nil, 2)

@@ -1,0 +1,139 @@
+package dj
+
+import (
+	"crypto/rand"
+	"fmt"
+	"math/big"
+
+	"repro/internal/paillier"
+	"repro/internal/parallel"
+	"repro/internal/zmath"
+)
+
+// Encryptor is the DJ encryption surface shared by PublicKey and
+// NoncePool, mirroring paillier.Encryptor.
+type Encryptor interface {
+	Encrypt(m *big.Int) (*Ciphertext, error)
+	Rerandomize(a *Ciphertext) (*Ciphertext, error)
+	Key() *PublicKey
+}
+
+// Key returns the public key itself, making PublicKey an Encryptor.
+func (pk *PublicKey) Key() *PublicKey { return pk }
+
+// encryptWithRN assembles E(m) from a precomputed nonce power
+// rn = r^{N^s} mod N^{s+1}.
+func (pk *PublicKey) encryptWithRN(m, rn *big.Int) (*Ciphertext, error) {
+	mm, err := pk.validateMessage(m)
+	if err != nil {
+		return nil, err
+	}
+	gm := pk.expOnePlusN(mm)
+	c := gm.Mul(gm, rn)
+	c.Mod(c, pk.NS1)
+	return &Ciphertext{C: c}, nil
+}
+
+// noncePower samples a fresh r in Z*_N and returns r^{N^s} mod N^{s+1},
+// the modular exponentiation that dominates DJ encryption.
+func (pk *PublicKey) noncePower() (*big.Int, error) {
+	r, err := zmath.RandUnit(rand.Reader, pk.N)
+	if err != nil {
+		return nil, fmt.Errorf("dj: sampling randomness: %w", err)
+	}
+	return new(big.Int).Exp(r, pk.NS, pk.NS1), nil
+}
+
+// EncryptBatch encrypts every message with fresh randomness over at most
+// parallel.Workers(par) goroutines (0 = all cores, 1 = serial).
+func EncryptBatch(enc Encryptor, ms []*big.Int, par int) ([]*Ciphertext, error) {
+	return parallel.MapErr(par, ms, func(_ int, m *big.Int) (*Ciphertext, error) {
+		return enc.Encrypt(m)
+	})
+}
+
+// EncryptWithNonceBatch encrypts ms[i] under rs[i]; deterministic given
+// the nonces.
+func (pk *PublicKey) EncryptWithNonceBatch(ms, rs []*big.Int, par int) ([]*Ciphertext, error) {
+	if len(ms) != len(rs) {
+		return nil, fmt.Errorf("dj: %d messages for %d nonces", len(ms), len(rs))
+	}
+	return parallel.MapErr(par, ms, func(i int, m *big.Int) (*Ciphertext, error) {
+		return pk.EncryptWithNonce(m, rs[i])
+	})
+}
+
+// RerandomizeBatch re-randomizes every ciphertext.
+func RerandomizeBatch(enc Encryptor, cts []*Ciphertext, par int) ([]*Ciphertext, error) {
+	return parallel.MapErr(par, cts, func(_ int, c *Ciphertext) (*Ciphertext, error) {
+		return enc.Rerandomize(c)
+	})
+}
+
+// DecryptBatch decrypts every ciphertext. Errors carry the failing index.
+func (sk *PrivateKey) DecryptBatch(cts []*Ciphertext, par int) ([]*big.Int, error) {
+	return parallel.MapErr(par, cts, func(i int, c *Ciphertext) (*big.Int, error) {
+		m, err := sk.Decrypt(c)
+		if err != nil {
+			return nil, fmt.Errorf("dj: DecryptBatch[%d]: %w", i, err)
+		}
+		return m, nil
+	})
+}
+
+// DecryptInnerBatch strips the outer DJ layer from every ciphertext.
+// Errors carry the failing index.
+func (sk *PrivateKey) DecryptInnerBatch(cts []*Ciphertext, par int) ([]*paillier.Ciphertext, error) {
+	return parallel.MapErr(par, cts, func(i int, c *Ciphertext) (*paillier.Ciphertext, error) {
+		inner, err := sk.DecryptInner(c)
+		if err != nil {
+			return nil, fmt.Errorf("dj: DecryptInnerBatch[%d]: %w", i, err)
+		}
+		return inner, nil
+	})
+}
+
+// NoncePool precomputes DJ nonce powers r^{N^s} mod N^{s+1} on background
+// goroutines; drained pools fall back inline, so pooling never changes
+// results. See parallel.Pool for the shared machinery.
+type NoncePool struct {
+	pk   *PublicKey
+	pool *parallel.Pool[*big.Int]
+}
+
+// NewNoncePool starts workers filler goroutines maintaining up to capacity
+// precomputed nonce powers. Close must be called to release them.
+func NewNoncePool(pk *PublicKey, workers, capacity int) *NoncePool {
+	return &NoncePool{pk: pk, pool: parallel.NewPool(workers, capacity, pk.noncePower)}
+}
+
+// Close stops the background fillers; the pool stays usable (inline path).
+func (np *NoncePool) Close() { np.pool.Close() }
+
+func (np *NoncePool) get() (*big.Int, error) {
+	if rn, ok := np.pool.Get(); ok {
+		return rn, nil
+	}
+	return np.pk.noncePower()
+}
+
+// Key returns the underlying public key.
+func (np *NoncePool) Key() *PublicKey { return np.pk }
+
+// Encrypt encrypts m using a pooled nonce power.
+func (np *NoncePool) Encrypt(m *big.Int) (*Ciphertext, error) {
+	rn, err := np.get()
+	if err != nil {
+		return nil, err
+	}
+	return np.pk.encryptWithRN(m, rn)
+}
+
+// Rerandomize multiplies by a pooled fresh encryption of zero.
+func (np *NoncePool) Rerandomize(a *Ciphertext) (*Ciphertext, error) {
+	z, err := np.Encrypt(zmath.Zero)
+	if err != nil {
+		return nil, err
+	}
+	return np.pk.Add(a, z)
+}

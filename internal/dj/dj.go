@@ -300,11 +300,17 @@ func (pk *PublicKey) Sub(a, b *Ciphertext) (*Ciphertext, error) {
 // OneMinus returns E(1-t), the complement used for encrypted selection
 // bits: E2(1) * E2(t)^{-1}.
 func (pk *PublicKey) OneMinus(t *Ciphertext) (*Ciphertext, error) {
-	one, err := pk.Encrypt(zmath.One)
+	return OneMinusEnc(pk, t)
+}
+
+// OneMinusEnc is OneMinus with an explicit encryption surface, so hot
+// paths can draw the E(1) from a nonce pool.
+func OneMinusEnc(enc Encryptor, t *Ciphertext) (*Ciphertext, error) {
+	one, err := enc.Encrypt(zmath.One)
 	if err != nil {
 		return nil, err
 	}
-	return pk.Sub(one, t)
+	return enc.Key().Sub(one, t)
 }
 
 // Rerandomize multiplies by a fresh encryption of zero.

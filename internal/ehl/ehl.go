@@ -238,10 +238,17 @@ func compatible(a, b *List) error {
 // objects are equal (up to the structure's false-positive rate) and a
 // uniformly random value otherwise.
 func Sub(pk *paillier.PublicKey, a, b *List) (*paillier.Ciphertext, error) {
+	return SubEnc(pk, a, b)
+}
+
+// SubEnc is Sub with an explicit encryption surface, so hot paths can
+// draw the leading zero-encryption from a nonce pool.
+func SubEnc(enc paillier.Encryptor, a, b *List) (*paillier.Ciphertext, error) {
 	if err := compatible(a, b); err != nil {
 		return nil, err
 	}
-	acc, err := pk.Encrypt(zmath.Zero)
+	pk := enc.Key()
+	acc, err := enc.EncryptZero()
 	if err != nil {
 		return nil, err
 	}

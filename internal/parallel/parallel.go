@@ -1,0 +1,100 @@
+// Package parallel is the shared parallel-execution substrate: a bounded
+// worker pool over index ranges that every per-element big.Int loop in the
+// crypto, protocol, cloud, and engine layers runs on.
+//
+// The parallelism knob follows one convention everywhere:
+//
+//	0  use all cores (runtime.GOMAXPROCS)
+//	1  strictly serial, in index order — byte-for-byte the behavior of a
+//	   plain for loop, so serial/parallel equivalence is testable
+//	n  at most n worker goroutines
+//
+// Work items must be independent; ForEach gives each invocation exclusive
+// ownership of its index, so writing out[i] from fn(i) is race-free.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a parallelism knob to a concrete worker count:
+// 0 (or negative) means all cores, otherwise the knob itself.
+func Workers(p int) int {
+	if p <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return p
+}
+
+// ForEach runs fn(i) for every i in [0, n) on at most Workers(p)
+// goroutines. With p == 1 (or n < 2, or a single available core) it
+// degenerates to a plain serial loop in index order. The first error stops
+// further scheduling and is returned; in-flight items finish first.
+func ForEach(p, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := Workers(p)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next     atomic.Int64
+		firstErr atomic.Value
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || firstErr.Load() != nil {
+					return
+				}
+				if err := fn(i); err != nil {
+					firstErr.CompareAndSwap(nil, errBox{err})
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if v := firstErr.Load(); v != nil {
+		return v.(errBox).err
+	}
+	return nil
+}
+
+// errBox wraps an error so atomic.Value never sees inconsistently typed
+// values (CompareAndSwap requires a consistent concrete type).
+type errBox struct{ err error }
+
+// MapErr applies fn to every element of in and collects the results in
+// order, scheduling on ForEach with the same knob semantics.
+func MapErr[T, U any](p int, in []T, fn func(i int, v T) (U, error)) ([]U, error) {
+	out := make([]U, len(in))
+	err := ForEach(p, len(in), func(i int) error {
+		v, err := fn(i, in[i])
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

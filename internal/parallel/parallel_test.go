@@ -1,0 +1,109 @@
+package parallel
+
+import (
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(1); got != 1 {
+		t.Errorf("Workers(1) = %d, want 1", got)
+	}
+	if got := Workers(7); got != 7 {
+		t.Errorf("Workers(7) = %d, want 7", got)
+	}
+}
+
+func TestForEachCoversEveryIndex(t *testing.T) {
+	for _, p := range []int{0, 1, 2, 8} {
+		n := 257
+		hits := make([]int32, n)
+		err := ForEach(p, n, func(i int) error {
+			atomic.AddInt32(&hits[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("p=%d: unexpected error %v", p, err)
+		}
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("p=%d: index %d hit %d times", p, i, h)
+			}
+		}
+	}
+}
+
+func TestForEachSerialOrder(t *testing.T) {
+	var order []int
+	err := ForEach(1, 10, func(i int) error {
+		order = append(order, i) // no locking: p=1 must be single-goroutine
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial order broken at %d: got %v", i, order)
+		}
+	}
+}
+
+func TestForEachError(t *testing.T) {
+	sentinel := errors.New("boom")
+	for _, p := range []int{1, 4} {
+		var calls atomic.Int32
+		err := ForEach(p, 1000, func(i int) error {
+			calls.Add(1)
+			if i == 3 {
+				return sentinel
+			}
+			return nil
+		})
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("p=%d: got %v, want sentinel", p, err)
+		}
+		// Scheduling must stop early; allow in-flight slack.
+		if c := calls.Load(); c > 900 {
+			t.Fatalf("p=%d: %d calls after error, scheduling did not stop", p, c)
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	if err := ForEach(4, 0, func(int) error { return errors.New("never") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapErr(t *testing.T) {
+	in := make([]int, 100)
+	for i := range in {
+		in[i] = i
+	}
+	out, err := MapErr(8, in, func(i, v int) (int, error) { return v * v, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+	if _, err := MapErr(8, in, func(i, v int) (int, error) {
+		if v == 42 {
+			return 0, errors.New("boom")
+		}
+		return v, nil
+	}); err == nil {
+		t.Fatal("expected error")
+	}
+}

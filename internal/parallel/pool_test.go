@@ -1,0 +1,67 @@
+package parallel
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolLazyStartAndGet(t *testing.T) {
+	var fills atomic.Int32
+	p := NewPool(2, 4, func() (int, error) {
+		fills.Add(1)
+		return 7, nil
+	})
+	// No Get yet: fillers must not have started.
+	time.Sleep(20 * time.Millisecond)
+	if n := fills.Load(); n != 0 {
+		t.Fatalf("pool filled %d values before first Get", n)
+	}
+	// First Get may or may not find a value (fillers just started), but
+	// shortly after, values must flow.
+	p.Get()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if v, ok := p.Get(); ok {
+			if v != 7 {
+				t.Fatalf("pool yielded %d, want 7", v)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("pool never produced a value after first Get")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	p.Close()
+	p.Close() // idempotent
+}
+
+func TestPoolCloseBeforeUse(t *testing.T) {
+	var fills atomic.Int32
+	p := NewPool(2, 4, func() (int, error) {
+		fills.Add(1)
+		return 1, nil
+	})
+	p.Close()
+	if _, ok := p.Get(); ok {
+		t.Fatal("closed-before-use pool produced a value")
+	}
+	time.Sleep(20 * time.Millisecond)
+	if n := fills.Load(); n != 0 {
+		t.Fatalf("closed-before-use pool ran %d fills", n)
+	}
+}
+
+func TestPoolFillErrorDegradesToInline(t *testing.T) {
+	p := NewPool(1, 2, func() (int, error) {
+		return 0, errors.New("rand broke")
+	})
+	defer p.Close()
+	p.Get() // starts the filler, which dies on the error
+	time.Sleep(20 * time.Millisecond)
+	if _, ok := p.Get(); ok {
+		t.Fatal("erroring pool produced a value")
+	}
+}

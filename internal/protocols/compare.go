@@ -8,6 +8,7 @@ import (
 	"repro/internal/cloud"
 	"repro/internal/dj"
 	"repro/internal/paillier"
+	"repro/internal/parallel"
 	"repro/internal/zmath"
 )
 
@@ -27,10 +28,11 @@ import (
 // maskedDiff builds Enc(±r(2a-2b-1)) and returns the ciphertext plus the
 // sign flip that was applied. magBits bounds |a|,|b| so the mask range can
 // be chosen with r*|d| < N/2.
-func maskedDiff(pk *paillier.PublicKey, a, b *paillier.Ciphertext, magBits int) (*paillier.Ciphertext, bool, error) {
+func maskedDiff(enc paillier.Encryptor, a, b *paillier.Ciphertext, magBits int) (*paillier.Ciphertext, bool, error) {
 	if magBits <= 0 {
 		return nil, false, fmt.Errorf("protocols: magnitude bits must be positive, got %d", magBits)
 	}
+	pk := enc.Key()
 	// |d| = |2a - 2b - 1| < 2^{magBits+2}; keep r*|d| below N/2.
 	kappa := pk.N.BitLen() - magBits - 4
 	if kappa < 16 {
@@ -70,7 +72,7 @@ func maskedDiff(pk *paillier.PublicKey, a, b *paillier.Ciphertext, magBits int) 
 	}
 	// Fresh randomness so S2 cannot correlate the mask with earlier
 	// ciphertexts.
-	if masked, err = pk.Rerandomize(masked); err != nil {
+	if masked, err = enc.Rerandomize(masked); err != nil {
 		return nil, false, err
 	}
 	return masked, flip, nil
@@ -93,15 +95,18 @@ func EncCompareBatch(c *cloud.Client, as, bs []*paillier.Ciphertext, magBits int
 	if len(as) == 0 {
 		return nil, nil
 	}
-	pk := c.PK()
 	masked := make([]*paillier.Ciphertext, len(as))
 	flips := make([]bool, len(as))
-	for i := range as {
-		m, flip, err := maskedDiff(pk, as[i], bs[i], magBits)
+	err := parallel.ForEach(c.Parallelism(), len(as), func(i int) error {
+		m, flip, err := maskedDiff(c.Enc(), as[i], bs[i], magBits)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		masked[i], flips[i] = m, flip
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	negs, err := c.CompareSigns(masked)
 	if err != nil {
@@ -125,29 +130,37 @@ func EncCompareHiddenBatch(c *cloud.Client, as, bs []*paillier.Ciphertext, magBi
 	if len(as) == 0 {
 		return nil, nil
 	}
-	pk := c.PK()
 	masked := make([]*paillier.Ciphertext, len(as))
 	flips := make([]bool, len(as))
-	for i := range as {
-		m, flip, err := maskedDiff(pk, as[i], bs[i], magBits)
+	err := parallel.ForEach(c.Parallelism(), len(as), func(i int) error {
+		m, flip, err := maskedDiff(c.Enc(), as[i], bs[i], magBits)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		masked[i], flips[i] = m, flip
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	bits, err := c.CompareSignsHidden(masked)
 	if err != nil {
 		return nil, err
 	}
-	for i := range bits {
-		if flips[i] {
-			// Undo the sign flip homomorphically: t = 1 - neg.
-			nb, err := c.DJPK().OneMinus(bits[i])
-			if err != nil {
-				return nil, err
-			}
-			bits[i] = nb
+	err = parallel.ForEach(c.Parallelism(), len(bits), func(i int) error {
+		if !flips[i] {
+			return nil
 		}
+		// Undo the sign flip homomorphically: t = 1 - neg.
+		nb, err := dj.OneMinusEnc(c.DJEnc(), bits[i])
+		if err != nil {
+			return err
+		}
+		bits[i] = nb
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return bits, nil
 }

@@ -9,6 +9,7 @@ import (
 	"repro/internal/cloud"
 	"repro/internal/ehl"
 	"repro/internal/paillier"
+	"repro/internal/parallel"
 	"repro/internal/prf"
 	"repro/internal/zmath"
 )
@@ -68,33 +69,42 @@ func SecDedup(c *cloud.Client, items []Item, mode cloud.DedupMode, pairs PairSet
 		}
 	}
 	pk := c.PK()
-	ephPK := &c.Ephemeral().PublicKey
 
-	// Step 1: equality ciphertexts over unblinded EHLs.
-	eqCts := make([]*big.Int, len(pairs.Pairs))
-	for k, p := range pairs.Pairs {
+	// Step 1: equality ciphertexts over unblinded EHLs, built in parallel.
+	for _, p := range pairs.Pairs {
 		if p[0] < 0 || p[0] >= len(items) || p[1] < 0 || p[1] >= len(items) || p[0] == p[1] {
 			return nil, fmt.Errorf("protocols: SecDedup pair %v out of range", p)
 		}
-		ct, err := ehl.Sub(pk, items[p[0]].EHL, items[p[1]].EHL)
+	}
+	eqCts, err := parallel.MapErr(c.Parallelism(), pairs.Pairs, func(_ int, p [2]int) (*big.Int, error) {
+		ct, err := ehl.SubEnc(c.Enc(), items[p[0]].EHL, items[p[1]].EHL)
 		if err != nil {
 			return nil, fmt.Errorf("protocols: SecDedup eq %v: %w", p, err)
 		}
-		eqCts[k] = ct.C
+		return ct.C, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
-	// Step 2: blind and permute.
+	// Step 2: blind and permute. Blinding encrypts every slot's blind
+	// under the oversized ephemeral key — the hottest S1-side loop in the
+	// dedup round — so items fan out item-per-worker.
 	perm, err := prf.RandomPerm(len(items))
 	if err != nil {
 		return nil, err
 	}
 	rows := make([]cloud.WireRow, len(items))
-	for i, it := range items {
-		row, err := blindItem(pk, ephPK, it)
+	err = parallel.ForEach(c.Parallelism(), len(items), func(i int) error {
+		row, err := blindItem(pk, c.EphEnc(), items[i])
 		if err != nil {
-			return nil, fmt.Errorf("protocols: SecDedup blinding item %d: %w", i, err)
+			return fmt.Errorf("protocols: SecDedup blinding item %d: %w", i, err)
 		}
 		rows[perm[i]] = *row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	req := &cloud.DedupRequest{
 		Mode:      mode,
@@ -119,23 +129,28 @@ func SecDedup(c *cloud.Client, items []Item, mode cloud.DedupMode, pairs PairSet
 		c.Ledger().Record("S1", cloud.MethodDedup, "uniqueness pattern: %d of %d items kept", len(resp.Rows), len(items))
 	}
 
-	// Step 4: unblind.
+	// Step 4: unblind, row-per-worker (each row decrypts its whole blind
+	// vector under the ephemeral key).
 	out := make([]Item, len(resp.Rows))
 	width := items[0].EHL.Width()
 	kind := items[0].EHL.Kind
-	for i, row := range resp.Rows {
-		it, err := unblindRow(pk, c.Ephemeral(), row, width, cols, kind)
+	err = parallel.ForEach(c.Parallelism(), len(resp.Rows), func(i int) error {
+		it, err := unblindRow(pk, c.Ephemeral(), resp.Rows[i], width, cols, kind)
 		if err != nil {
-			return nil, fmt.Errorf("protocols: SecDedup unblinding row %d: %w", i, err)
+			return fmt.Errorf("protocols: SecDedup unblinding row %d: %w", i, err)
 		}
 		out[i] = *it
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
 // blindItem additively blinds every slot and records the blinds under the
 // ephemeral key (Algorithm 7 lines 8-11).
-func blindItem(pk, ephPK *paillier.PublicKey, it Item) (*cloud.WireRow, error) {
+func blindItem(pk *paillier.PublicKey, ephEnc paillier.Encryptor, it Item) (*cloud.WireRow, error) {
 	row := &cloud.WireRow{}
 	for _, slot := range it.EHL.Cts {
 		alpha, err := zmath.RandInt(rand.Reader, pk.N)
@@ -147,7 +162,7 @@ func blindItem(pk, ephPK *paillier.PublicKey, it Item) (*cloud.WireRow, error) {
 			return nil, err
 		}
 		row.EHL = append(row.EHL, blinded.C)
-		bct, err := ephPK.Encrypt(alpha)
+		bct, err := ephEnc.Encrypt(alpha)
 		if err != nil {
 			return nil, err
 		}
@@ -163,7 +178,7 @@ func blindItem(pk, ephPK *paillier.PublicKey, it Item) (*cloud.WireRow, error) {
 			return nil, err
 		}
 		row.Scores = append(row.Scores, blinded.C)
-		bct, err := ephPK.Encrypt(beta)
+		bct, err := ephEnc.Encrypt(beta)
 		if err != nil {
 			return nil, err
 		}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/cloud"
 	"repro/internal/paillier"
+	"repro/internal/parallel"
 	"repro/internal/prf"
 	"repro/internal/zmath"
 )
@@ -54,44 +55,51 @@ func SecFilter(c *cloud.Client, tuples []JoinTuple) ([]JoinTuple, error) {
 		if t.Score == nil || len(t.Attrs) != nAttrs {
 			return nil, fmt.Errorf("protocols: SecFilter tuple %d malformed", i)
 		}
+	}
+	err = parallel.ForEach(c.Parallelism(), len(tuples), func(i int) error {
+		t := tuples[i]
 		r, err := zmath.RandUnit(rand.Reader, pk.N)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		rInv, err := zmath.ModInverse(r, pk.N)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		blindedScore, err := pk.MulConst(t.Score, r)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		if blindedScore, err = pk.Rerandomize(blindedScore); err != nil {
-			return nil, err
+		if blindedScore, err = c.Enc().Rerandomize(blindedScore); err != nil {
+			return err
 		}
 		row := cloud.WireRow{Scores: []*big.Int{blindedScore.C}}
-		invCt, err := eph.PublicKey.Encrypt(rInv)
+		invCt, err := c.EphEnc().Encrypt(rInv)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row.Blinds = []*big.Int{invCt.C}
 		for _, attr := range t.Attrs {
 			delta, err := zmath.RandInt(rand.Reader, pk.N)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			blinded, err := pk.AddPlain(attr, delta)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			row.Scores = append(row.Scores, blinded.C)
-			dCt, err := eph.PublicKey.Encrypt(delta)
+			dCt, err := c.EphEnc().Encrypt(delta)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			row.Blinds = append(row.Blinds, dCt.C)
 		}
 		rows[perm[i]] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	resp, err := c.FilterRound(&cloud.FilterRequest{Rows: rows})
@@ -101,36 +109,41 @@ func SecFilter(c *cloud.Client, tuples []JoinTuple) ([]JoinTuple, error) {
 	c.Ledger().Record("S1", cloud.MethodFilter, "join cardinality: %d of %d tuples", len(resp.Rows), len(tuples))
 
 	out := make([]JoinTuple, len(resp.Rows))
-	for i, row := range resp.Rows {
+	err = parallel.ForEach(c.Parallelism(), len(resp.Rows), func(i int) error {
+		row := resp.Rows[i]
 		if len(row.Scores) != nAttrs+1 || len(row.Blinds) != nAttrs+1 {
-			return nil, fmt.Errorf("protocols: SecFilter reply row %d malformed", i)
+			return fmt.Errorf("protocols: SecFilter reply row %d malformed", i)
 		}
 		// Unblind the score: the returned blind is the integer product
 		// r^{-1} * gamma^{-1} (below the ephemeral modulus by
 		// construction); reduce mod N and exponentiate.
 		invRaw, err := eph.Decrypt(&paillier.Ciphertext{C: row.Blinds[0]})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		invRaw.Mod(invRaw, pk.N)
 		score, err := pk.MulConst(&paillier.Ciphertext{C: row.Scores[0]}, invRaw)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		tuple := JoinTuple{Score: score}
 		for j := 0; j < nAttrs; j++ {
 			blind, err := eph.Decrypt(&paillier.Ciphertext{C: row.Blinds[j+1]})
 			if err != nil {
-				return nil, err
+				return err
 			}
 			blind.Mod(blind, pk.N)
 			attr, err := pk.AddPlain(&paillier.Ciphertext{C: row.Scores[j+1]}, new(big.Int).Neg(blind))
 			if err != nil {
-				return nil, err
+				return err
 			}
 			tuple.Attrs = append(tuple.Attrs, attr)
 		}
 		out[i] = tuple
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -17,6 +17,7 @@ import (
 	"repro/internal/dj"
 	"repro/internal/ehl"
 	"repro/internal/paillier"
+	"repro/internal/parallel"
 	"repro/internal/zmath"
 )
 
@@ -63,7 +64,8 @@ func (it Item) Validate(cols int) error {
 // RecoverEnc strips the outer DJ layer from each double encryption
 // E2(Enc(c)) with additive blinding (Algorithm 5), batched into a single
 // round: S1 blinds with Enc(r_i), S2 removes the outer layer, S1 divides
-// the blind back out.
+// the blind back out. Blinding and unblinding fan out over the client's
+// worker budget.
 func RecoverEnc(c *cloud.Client, cts []*dj.Ciphertext) ([]*paillier.Ciphertext, error) {
 	if len(cts) == 0 {
 		return nil, nil
@@ -72,39 +74,41 @@ func RecoverEnc(c *cloud.Client, cts []*dj.Ciphertext) ([]*paillier.Ciphertext, 
 	djPK := c.DJPK()
 	blinded := make([]*dj.Ciphertext, len(cts))
 	blinds := make([]*paillier.Ciphertext, len(cts))
-	for i, ct := range cts {
+	err := parallel.ForEach(c.Parallelism(), len(cts), func(i int) error {
 		r, err := zmath.RandInt(rand.Reader, pk.N)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		encR, err := pk.Encrypt(r)
+		encR, err := c.Enc().Encrypt(r)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		blinds[i] = encR
-		b, err := djPK.ExpCipher(ct, encR)
+		b, err := djPK.ExpCipher(cts[i], encR)
 		if err != nil {
-			return nil, fmt.Errorf("protocols: RecoverEnc blind %d: %w", i, err)
+			return fmt.Errorf("protocols: RecoverEnc blind %d: %w", i, err)
 		}
 		blinded[i] = b
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	recovered, err := c.Recover(blinded)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]*paillier.Ciphertext, len(cts))
-	for i, rec := range recovered {
-		// The reply is exactly Enc(c_i) * Enc(r_i) as a group element;
-		// dividing by the same Enc(r_i) restores Enc(c_i).
+	// The reply is exactly Enc(c_i) * Enc(r_i) as a group element;
+	// dividing by the same Enc(r_i) restores Enc(c_i).
+	return parallel.MapErr(c.Parallelism(), recovered, func(i int, rec *paillier.Ciphertext) (*paillier.Ciphertext, error) {
 		inv, err := zmath.ModInverse(blinds[i].C, pk.N2)
 		if err != nil {
 			return nil, fmt.Errorf("protocols: RecoverEnc unblind %d: %w", i, err)
 		}
 		v := new(big.Int).Mul(rec.C, inv)
 		v.Mod(v, pk.N2)
-		out[i] = &paillier.Ciphertext{C: v}
-	}
-	return out, nil
+		return &paillier.Ciphertext{C: v}, nil
+	})
 }
 
 // selector accumulates encrypted-selection jobs so a whole batch resolves
@@ -113,9 +117,22 @@ func RecoverEnc(c *cloud.Client, cts []*dj.Ciphertext) ([]*paillier.Ciphertext, 
 //	E2(t)^{Enc(a)} * (E2(1)E2(t)^{-1})^{Enc(b)} = E2(Enc(t*a + (1-t)*b))
 //
 // which picks Enc(a) when t = 1 and Enc(b) when t = 0.
+//
+// add and addRaw only queue; the layered exponentiations — the dominant
+// S1-side cost, since the exponent is a full first-layer ciphertext — are
+// deferred to resolve, which builds every queued term in parallel before
+// the single recovery round.
 type selector struct {
 	client *cloud.Client
-	jobs   []*dj.Ciphertext
+	jobs   []selJob
+}
+
+// selJob is one queued selection. raw short-circuits term construction for
+// callers that assembled the outer-layer ciphertext themselves.
+type selJob struct {
+	raw     *dj.Ciphertext
+	t, notT *dj.Ciphertext
+	a, b    *paillier.Ciphertext
 }
 
 func newSelector(c *cloud.Client) *selector { return &selector{client: c} }
@@ -123,45 +140,48 @@ func newSelector(c *cloud.Client) *selector { return &selector{client: c} }
 // addRaw queues an already-built E2(Enc(x)) for recovery and returns its
 // slot index.
 func (s *selector) addRaw(ct *dj.Ciphertext) int {
-	s.jobs = append(s.jobs, ct)
+	s.jobs = append(s.jobs, selJob{raw: ct})
 	return len(s.jobs) - 1
 }
 
 // add queues select(t, a, b) and returns its slot index. notT must be
 // E2(1-t) (callers typically reuse it across selects on the same bit).
-func (s *selector) add(t, notT *dj.Ciphertext, a, b *paillier.Ciphertext) (int, error) {
-	djPK := s.client.DJPK()
-	termA, err := djPK.ExpCipher(t, a)
-	if err != nil {
-		return 0, err
-	}
-	termB, err := djPK.ExpCipher(notT, b)
-	if err != nil {
-		return 0, err
-	}
-	sum, err := djPK.Add(termA, termB)
-	if err != nil {
-		return 0, err
-	}
-	return s.addRaw(sum), nil
+// Queueing cannot fail; construction errors surface from resolve.
+func (s *selector) add(t, notT *dj.Ciphertext, a, b *paillier.Ciphertext) int {
+	s.jobs = append(s.jobs, selJob{t: t, notT: notT, a: a, b: b})
+	return len(s.jobs) - 1
 }
 
-// resolve executes the batched RecoverEnc round.
+// resolve builds every queued selection term in parallel and executes the
+// batched RecoverEnc round.
 func (s *selector) resolve() ([]*paillier.Ciphertext, error) {
-	return RecoverEnc(s.client, s.jobs)
-}
-
-// oneMinusAll computes E2(1-t) for a batch of hidden bits.
-func oneMinusAll(c *cloud.Client, bits []*dj.Ciphertext) ([]*dj.Ciphertext, error) {
-	out := make([]*dj.Ciphertext, len(bits))
-	for i, b := range bits {
-		nb, err := c.DJPK().OneMinus(b)
+	djPK := s.client.DJPK()
+	terms, err := parallel.MapErr(s.client.Parallelism(), s.jobs, func(_ int, j selJob) (*dj.Ciphertext, error) {
+		if j.raw != nil {
+			return j.raw, nil
+		}
+		termA, err := djPK.ExpCipher(j.t, j.a)
 		if err != nil {
 			return nil, err
 		}
-		out[i] = nb
+		termB, err := djPK.ExpCipher(j.notT, j.b)
+		if err != nil {
+			return nil, err
+		}
+		return djPK.Add(termA, termB)
+	})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return RecoverEnc(s.client, terms)
+}
+
+// oneMinusAll computes E2(1-t) for a batch of hidden bits, drawing the
+// E2(1) encryptions from the client's DJ nonce pool.
+func oneMinusAll(c *cloud.Client, bits []*dj.Ciphertext) ([]*dj.Ciphertext, error) {
+	return parallel.MapErr(c.Parallelism(), bits, func(_ int, b *dj.Ciphertext) (*dj.Ciphertext, error) {
+		return dj.OneMinusEnc(c.DJEnc(), b)
+	})
 }
 
 // SecMult computes Enc(a_i * b_i) for each pair using the standard
@@ -180,58 +200,66 @@ func SecMult(c *cloud.Client, as, bs []*paillier.Ciphertext) ([]*paillier.Cipher
 	blindedB := make([]*paillier.Ciphertext, len(as))
 	ras := make([]*big.Int, len(as))
 	rbs := make([]*big.Int, len(as))
-	for i := range as {
+	err := parallel.ForEach(c.Parallelism(), len(as), func(i int) error {
 		ra, err := zmath.RandInt(rand.Reader, pk.N)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		rb, err := zmath.RandInt(rand.Reader, pk.N)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		ras[i], rbs[i] = ra, rb
 		if blindedA[i], err = pk.AddPlain(as[i], ra); err != nil {
-			return nil, err
+			return err
 		}
 		// Re-randomize so S2 cannot link the blinded operands to
 		// ciphertexts it may have produced earlier.
-		if blindedA[i], err = pk.Rerandomize(blindedA[i]); err != nil {
-			return nil, err
+		if blindedA[i], err = c.Enc().Rerandomize(blindedA[i]); err != nil {
+			return err
 		}
 		if blindedB[i], err = pk.AddPlain(bs[i], rb); err != nil {
-			return nil, err
+			return err
 		}
-		if blindedB[i], err = pk.Rerandomize(blindedB[i]); err != nil {
-			return nil, err
+		if blindedB[i], err = c.Enc().Rerandomize(blindedB[i]); err != nil {
+			return err
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	prods, err := c.MultBlinded(blindedA, blindedB)
 	if err != nil {
 		return nil, err
 	}
 	out := make([]*paillier.Ciphertext, len(as))
-	for i := range as {
+	err = parallel.ForEach(c.Parallelism(), len(as), func(i int) error {
 		// ab = (a+ra)(b+rb) - ra*b - rb*a - ra*rb
 		t1, err := pk.MulConst(bs[i], new(big.Int).Neg(ras[i]))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		t2, err := pk.MulConst(as[i], new(big.Int).Neg(rbs[i]))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		rr := new(big.Int).Mul(ras[i], rbs[i])
 		acc, err := pk.Add(prods[i], t1)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if acc, err = pk.Add(acc, t2); err != nil {
-			return nil, err
+			return err
 		}
 		if acc, err = pk.AddPlain(acc, new(big.Int).Neg(rr)); err != nil {
-			return nil, err
+			return err
 		}
 		out[i] = acc
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -9,6 +9,7 @@ import (
 	"repro/internal/dj"
 	"repro/internal/ehl"
 	"repro/internal/paillier"
+	"repro/internal/parallel"
 )
 
 // EncSort realizes the EncSort building block of [7] ("sorting behind the
@@ -40,26 +41,29 @@ func EncSort(c *cloud.Client, items []Item, col int, desc bool, magBits int) ([]
 			return nil, fmt.Errorf("protocols: EncSort item %d: %w", i, err)
 		}
 	}
-	pk := c.PK()
 
 	// Pad to the next power of two with items whose key sorts last.
 	p2 := 1
 	for p2 < n {
 		p2 <<= 1
 	}
-	work := make([]Item, 0, p2)
-	work = append(work, items...)
+	work := make([]Item, p2)
+	copy(work, items)
 	if p2 > n {
 		padKey := new(big.Int).Lsh(big.NewInt(1), uint(magBits)+1)
 		if desc {
 			padKey.Neg(padKey)
 		}
-		for i := n; i < p2; i++ {
-			pad, err := sentinelItem(pk, items[0], padKey)
+		err := parallel.ForEach(c.Parallelism(), p2-n, func(i int) error {
+			pad, err := sentinelItem(c.Enc(), items[0], padKey)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			work = append(work, *pad)
+			work[n+i] = *pad
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
 	}
 
@@ -74,15 +78,15 @@ func EncSort(c *cloud.Client, items []Item, col int, desc bool, magBits int) ([]
 
 // sentinelItem builds a pad item shaped like the template with the given
 // key value; non-key columns are zero and the id is random.
-func sentinelItem(pk *paillier.PublicKey, template Item, key *big.Int) (*Item, error) {
+func sentinelItem(enc paillier.Encryptor, template Item, key *big.Int) (*Item, error) {
 	params := ehl.Params{Kind: template.EHL.Kind, S: template.EHL.Width(), H: template.EHL.Width()}
-	id, err := ehl.RandomList(pk, params)
+	id, err := ehl.RandomList(enc.Key(), params)
 	if err != nil {
 		return nil, err
 	}
 	out := &Item{EHL: id}
 	for range template.Scores {
-		ct, err := pk.Encrypt(key)
+		ct, err := enc.Encrypt(key)
 		if err != nil {
 			return nil, err
 		}
@@ -180,31 +184,18 @@ func runGateLayer(c *cloud.Client, work []Item, layer []gate, col int, desc bool
 		slot  int
 	}
 	var refs []slotRef
-	queue := func(k int, t, notT *dj.Ciphertext, a, b *paillier.Ciphertext, side int, isEHL bool, idx int) error {
-		slot, err := sel.add(t, notT, a, b)
-		if err != nil {
-			return err
-		}
-		refs = append(refs, slotRef{gate: k, side: side, isEHL: isEHL, idx: idx, slot: slot})
-		return nil
+	queue := func(k int, t, notT *dj.Ciphertext, a, b *paillier.Ciphertext, side int, isEHL bool, idx int) {
+		refs = append(refs, slotRef{gate: k, side: side, isEHL: isEHL, idx: idx, slot: sel.add(t, notT, a, b)})
 	}
 	for k, g := range layer {
 		I, J := work[g.i], work[g.j]
 		for idx := range I.EHL.Cts {
-			if err := queue(k, bits[k], notBits[k], I.EHL.Cts[idx], J.EHL.Cts[idx], 0, true, idx); err != nil {
-				return err
-			}
-			if err := queue(k, bits[k], notBits[k], J.EHL.Cts[idx], I.EHL.Cts[idx], 1, true, idx); err != nil {
-				return err
-			}
+			queue(k, bits[k], notBits[k], I.EHL.Cts[idx], J.EHL.Cts[idx], 0, true, idx)
+			queue(k, bits[k], notBits[k], J.EHL.Cts[idx], I.EHL.Cts[idx], 1, true, idx)
 		}
 		for idx := range I.Scores {
-			if err := queue(k, bits[k], notBits[k], I.Scores[idx], J.Scores[idx], 0, false, idx); err != nil {
-				return err
-			}
-			if err := queue(k, bits[k], notBits[k], J.Scores[idx], I.Scores[idx], 1, false, idx); err != nil {
-				return err
-			}
+			queue(k, bits[k], notBits[k], I.Scores[idx], J.Scores[idx], 0, false, idx)
+			queue(k, bits[k], notBits[k], J.Scores[idx], I.Scores[idx], 1, false, idx)
 		}
 	}
 	resolved, err := sel.resolve()

@@ -8,6 +8,7 @@ import (
 	"repro/internal/dj"
 	"repro/internal/ehl"
 	"repro/internal/paillier"
+	"repro/internal/parallel"
 	"repro/internal/prf"
 )
 
@@ -47,19 +48,24 @@ func SecUpdate(c *cloud.Client, T, gamma []Item, mode cloud.DedupMode) ([]Item, 
 	}
 	pk := c.PK()
 
-	// One EqBits round over all (new, existing) pairs, permuted.
+	// One EqBits round over all (new, existing) pairs, permuted. The
+	// equality ciphertexts build in parallel.
 	type pairRef struct{ g, t int }
 	var refs []pairRef
-	var eqCts []*paillier.Ciphertext
 	for gi := range gamma {
 		for ti := range T {
-			ct, err := ehl.Sub(pk, gamma[gi].EHL, T[ti].EHL)
-			if err != nil {
-				return nil, fmt.Errorf("protocols: SecUpdate eq(%d,%d): %w", gi, ti, err)
-			}
 			refs = append(refs, pairRef{gi, ti})
-			eqCts = append(eqCts, ct)
 		}
+	}
+	eqCts, err := parallel.MapErr(c.Parallelism(), refs, func(_ int, r pairRef) (*paillier.Ciphertext, error) {
+		ct, err := ehl.SubEnc(c.Enc(), gamma[r.g].EHL, T[r.t].EHL)
+		if err != nil {
+			return nil, fmt.Errorf("protocols: SecUpdate eq(%d,%d): %w", r.g, r.t, err)
+		}
+		return ct, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	perm, err := prf.RandomPerm(len(eqCts))
 	if err != nil {
@@ -83,12 +89,12 @@ func SecUpdate(c *cloud.Client, T, gamma []Item, mode cloud.DedupMode) ([]Item, 
 	}
 
 	// Build all selection terms; resolve with one RecoverEnc round.
-	zero, err := pk.EncryptZero()
+	zero, err := c.Enc().EncryptZero()
 	if err != nil {
 		return nil, err
 	}
 	djPK := c.DJPK()
-	one, err := djPK.Encrypt(big.NewInt(1))
+	one, err := c.DJEnc().Encrypt(big.NewInt(1))
 	if err != nil {
 		return nil, err
 	}
@@ -119,53 +125,55 @@ func SecUpdate(c *cloud.Client, T, gamma []Item, mode cloud.DedupMode) ([]Item, 
 			if col == ColBest {
 				continue
 			}
-			slot, err := sel.add(bits[k], notBits[k], gamma[g].Scores[col], zero)
-			if err != nil {
-				return nil, err
-			}
-			jobs = append(jobs, job{kind: jobExistingAdd, item: t, col: col, slot: slot})
-			slot, err = sel.add(bits[k], notBits[k], T[t].Scores[col], zero)
-			if err != nil {
-				return nil, err
-			}
-			jobs = append(jobs, job{kind: jobNewAdd, item: g, col: col, slot: slot})
+			jobs = append(jobs,
+				job{kind: jobExistingAdd, item: t, col: col, slot: sel.add(bits[k], notBits[k], gamma[g].Scores[col], zero)},
+				job{kind: jobNewAdd, item: g, col: col, slot: sel.add(bits[k], notBits[k], T[t].Scores[col], zero)})
 		}
 	}
 	// Best bound: replace with the fresher value when matched. This must
 	// compose across all gamma items of one existing entry at once —
 	// B' = sum_g t_g * B_g + (1 - sum_g t_g) * B_old — a per-pair select
-	// would let a later unmatched pair overwrite the refresh.
+	// would let a later unmatched pair overwrite the refresh. Each entry's
+	// exponentiation chain is independent, so they build in parallel.
 	if cols > ColBest {
-		for ti := range T {
+		terms := make([]*dj.Ciphertext, len(T))
+		err := parallel.ForEach(c.Parallelism(), len(T), func(ti int) error {
 			var term, tSum *dj.Ciphertext
 			for gi := range gamma {
 				k := bitIdx[[2]int{gi, ti}]
 				contrib, err := djPK.ExpCipher(bits[k], gamma[gi].Scores[ColBest])
 				if err != nil {
-					return nil, err
+					return err
 				}
 				if term == nil {
 					term, tSum = contrib, bits[k]
 				} else {
 					if term, err = djPK.Add(term, contrib); err != nil {
-						return nil, err
+						return err
 					}
 					if tSum, err = djPK.Add(tSum, bits[k]); err != nil {
-						return nil, err
+						return err
 					}
 				}
 			}
 			notT, err := djPK.Sub(one, tSum)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			oldTerm, err := djPK.ExpCipher(notT, T[ti].Scores[ColBest])
 			if err != nil {
-				return nil, err
+				return err
 			}
 			if term, err = djPK.Add(term, oldTerm); err != nil {
-				return nil, err
+				return err
 			}
+			terms[ti] = term
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for ti, term := range terms {
 			jobs = append(jobs, job{kind: jobExistingSet, item: ti, col: ColBest, slot: sel.addRaw(term)})
 		}
 	}

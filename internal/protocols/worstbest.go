@@ -8,6 +8,7 @@ import (
 	"repro/internal/dj"
 	"repro/internal/ehl"
 	"repro/internal/paillier"
+	"repro/internal/parallel"
 	"repro/internal/prf"
 	"repro/internal/zmath"
 )
@@ -59,19 +60,24 @@ func SecWorstAll(c *cloud.Client, items []DepthItem) ([]*paillier.Ciphertext, er
 		return []*paillier.Ciphertext{items[0].Score.Clone()}, nil
 	}
 
-	// Upper-triangle pair set.
+	// Upper-triangle pair set; the randomized equality ciphertexts are
+	// independent, so they build in parallel.
 	type pair struct{ i, j int }
 	var pairs []pair
-	var eqCts []*paillier.Ciphertext
 	for i := 0; i < m; i++ {
 		for j := i + 1; j < m; j++ {
-			ct, err := ehl.Sub(pk, items[i].EHL, items[j].EHL)
-			if err != nil {
-				return nil, fmt.Errorf("protocols: SecWorst eq(%d,%d): %w", i, j, err)
-			}
 			pairs = append(pairs, pair{i, j})
-			eqCts = append(eqCts, ct)
 		}
+	}
+	eqCts, err := parallel.MapErr(c.Parallelism(), pairs, func(_ int, p pair) (*paillier.Ciphertext, error) {
+		ct, err := ehl.SubEnc(c.Enc(), items[p.i].EHL, items[p.j].EHL)
+		if err != nil {
+			return nil, fmt.Errorf("protocols: SecWorst eq(%d,%d): %w", p.i, p.j, err)
+		}
+		return ct, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	// Random permutation before shipping to S2, per Algorithm 4 line 2.
 	perm, err := prf.RandomPerm(len(pairs))
@@ -97,7 +103,7 @@ func SecWorstAll(c *cloud.Client, items []DepthItem) ([]*paillier.Ciphertext, er
 
 	// Queue t*x_j + (1-t)*0 for the (i<-j) direction and t*x_i + (1-t)*0
 	// for (j<-i); one recover round resolves everything.
-	zero, err := pk.EncryptZero()
+	zero, err := c.Enc().EncryptZero()
 	if err != nil {
 		return nil, err
 	}
@@ -108,16 +114,9 @@ func SecWorstAll(c *cloud.Client, items []DepthItem) ([]*paillier.Ciphertext, er
 	}
 	var refs []slotRef
 	for k, p := range pairs {
-		slot, err := sel.add(bits[k], notBits[k], items[p.j].Score, zero)
-		if err != nil {
-			return nil, err
-		}
-		refs = append(refs, slotRef{item: p.i, slot: slot})
-		slot, err = sel.add(bits[k], notBits[k], items[p.i].Score, zero)
-		if err != nil {
-			return nil, err
-		}
-		refs = append(refs, slotRef{item: p.j, slot: slot})
+		refs = append(refs,
+			slotRef{item: p.i, slot: sel.add(bits[k], notBits[k], items[p.j].Score, zero)},
+			slotRef{item: p.j, slot: sel.add(bits[k], notBits[k], items[p.i].Score, zero)})
 	}
 	resolved, err := sel.resolve()
 	if err != nil {
@@ -167,24 +166,30 @@ func SecBestAll(c *cloud.Client, items []DepthItem, histories []ListHistory) ([]
 		return []*paillier.Ciphertext{items[0].Score.Clone()}, nil
 	}
 
-	// Equality ciphertexts for every (item i, other list j, depth e).
+	// Equality ciphertexts for every (item i, other list j, depth e),
+	// built in parallel — this is the largest S1-side batch of the
+	// per-depth pipeline (m*(m-1)*depth randomized equality operators).
 	type ref struct{ i, j, e int }
 	var refs []ref
-	var eqCts []*paillier.Ciphertext
 	for i := 0; i < m; i++ {
 		for j := 0; j < m; j++ {
 			if j == i {
 				continue
 			}
 			for e := range histories[j].EHLs {
-				ct, err := ehl.Sub(pk, items[i].EHL, histories[j].EHLs[e])
-				if err != nil {
-					return nil, fmt.Errorf("protocols: SecBest eq(%d,%d,%d): %w", i, j, e, err)
-				}
 				refs = append(refs, ref{i, j, e})
-				eqCts = append(eqCts, ct)
 			}
 		}
+	}
+	eqCts, err := parallel.MapErr(c.Parallelism(), refs, func(_ int, r ref) (*paillier.Ciphertext, error) {
+		ct, err := ehl.SubEnc(c.Enc(), items[r.i].EHL, histories[r.j].EHLs[r.e])
+		if err != nil {
+			return nil, fmt.Errorf("protocols: SecBest eq(%d,%d,%d): %w", r.i, r.j, r.e, err)
+		}
+		return ct, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	perm, err := prf.RandomPerm(len(eqCts))
 	if err != nil {
@@ -204,8 +209,69 @@ func SecBestAll(c *cloud.Client, items []DepthItem, histories []ListHistory) ([]
 	}
 
 	// For each (i, j): term = sum_e t_e*Enc(x_j^e) + (1 - sum_e t_e)*Enc(bottom_j),
-	// assembled under the outer layer and recovered in one batch.
-	one, err := djPK.Encrypt(zmath.One)
+	// assembled under the outer layer and recovered in one batch. The
+	// (i, j) groups are independent, so their exponentiation chains — the
+	// dominant S1-side cost here — build in parallel.
+	one, err := c.DJEnc().Encrypt(zmath.One)
+	if err != nil {
+		return nil, err
+	}
+	// Group the refs per (i, j), in deterministic (i, j) order.
+	type key struct{ i, j int }
+	grouped := make(map[key][]int)
+	for idx, r := range refs {
+		grouped[key{r.i, r.j}] = append(grouped[key{r.i, r.j}], idx)
+	}
+	var keys []key
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			if j != i {
+				keys = append(keys, key{i, j})
+			}
+		}
+	}
+	terms := make([]*dj.Ciphertext, len(keys))
+	err = parallel.ForEach(c.Parallelism(), len(keys), func(g int) error {
+		j := keys[g].j
+		idxs := grouped[keys[g]]
+		bottom := histories[j].Scores[len(histories[j].Scores)-1]
+		// T = sum_e t_e as a DJ ciphertext; term accumulates
+		// sum_e t_e * Enc(x_j^e) under the outer layer.
+		tSum := (*dj.Ciphertext)(nil)
+		var term *dj.Ciphertext
+		for _, idx := range idxs {
+			e := refs[idx].e
+			contrib, err := djPK.ExpCipher(bits[idx], histories[j].Scores[e])
+			if err != nil {
+				return err
+			}
+			if term == nil {
+				term = contrib
+				tSum = bits[idx]
+			} else {
+				if term, err = djPK.Add(term, contrib); err != nil {
+					return err
+				}
+				if tSum, err = djPK.Add(tSum, bits[idx]); err != nil {
+					return err
+				}
+			}
+		}
+		// (1 - T) * Enc(bottom_j)
+		notT, err := djPK.Sub(one, tSum)
+		if err != nil {
+			return err
+		}
+		bottomTerm, err := djPK.ExpCipher(notT, bottom)
+		if err != nil {
+			return err
+		}
+		if term, err = djPK.Add(term, bottomTerm); err != nil {
+			return err
+		}
+		terms[g] = term
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -215,55 +281,8 @@ func SecBestAll(c *cloud.Client, items []DepthItem, histories []ListHistory) ([]
 		slot int
 	}
 	var slots []slotRef
-	// Group the refs per (i, j).
-	type key struct{ i, j int }
-	grouped := make(map[key][]int)
-	for idx, r := range refs {
-		grouped[key{r.i, r.j}] = append(grouped[key{r.i, r.j}], idx)
-	}
-	for i := 0; i < m; i++ {
-		for j := 0; j < m; j++ {
-			if j == i {
-				continue
-			}
-			idxs := grouped[key{i, j}]
-			bottom := histories[j].Scores[len(histories[j].Scores)-1]
-			// T = sum_e t_e as a DJ ciphertext; term accumulates
-			// sum_e t_e * Enc(x_j^e) under the outer layer.
-			tSum := (*dj.Ciphertext)(nil)
-			var term *dj.Ciphertext
-			for _, idx := range idxs {
-				e := refs[idx].e
-				contrib, err := djPK.ExpCipher(bits[idx], histories[j].Scores[e])
-				if err != nil {
-					return nil, err
-				}
-				if term == nil {
-					term = contrib
-					tSum = bits[idx]
-				} else {
-					if term, err = djPK.Add(term, contrib); err != nil {
-						return nil, err
-					}
-					if tSum, err = djPK.Add(tSum, bits[idx]); err != nil {
-						return nil, err
-					}
-				}
-			}
-			// (1 - T) * Enc(bottom_j)
-			notT, err := djPK.Sub(one, tSum)
-			if err != nil {
-				return nil, err
-			}
-			bottomTerm, err := djPK.ExpCipher(notT, bottom)
-			if err != nil {
-				return nil, err
-			}
-			if term, err = djPK.Add(term, bottomTerm); err != nil {
-				return nil, err
-			}
-			slots = append(slots, slotRef{item: i, slot: sel.addRaw(term)})
-		}
+	for g, k := range keys {
+		slots = append(slots, slotRef{item: k.i, slot: sel.addRaw(terms[g])})
 	}
 	resolved, err := sel.resolve()
 	if err != nil {
