@@ -6,9 +6,13 @@
 //	sectopk-bench -exp fig9                 # one experiment, scaled defaults
 //	sectopk-bench -exp all -rows 200        # the full evaluation sweep
 //	sectopk-bench -exp fig7 -keybits 512    # paper-like key size
+//	sectopk-bench -exp micro                # crypto hot paths -> BENCH_<date>.json
 //	sectopk-bench -list                     # list experiment ids
 //
-// Markdown output (-md) emits tables ready for EXPERIMENTS.md.
+// Markdown output (-md) emits tables ready for EXPERIMENTS.md. The micro
+// experiment additionally writes a machine-readable BENCH_<date>.json
+// (op, ns/op, key bits, knob settings) so the perf trajectory is tracked
+// across PRs; -json overrides its path.
 package main
 
 import (
@@ -22,19 +26,22 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "", "experiment id (fig7, fig8, fig9, fig10, fig11, fig12, tab3, fig13, knn, fig14, ablation, or 'all')")
-		list     = flag.Bool("list", false, "list experiment ids and exit")
-		keyBits  = flag.Int("keybits", 256, "Paillier modulus bits (paper-scale: 512)")
-		ehlS     = flag.Int("ehl-s", 3, "number of EHL+ digests s (paper: 5)")
-		rows     = flag.Int("rows", 120, "dataset rows after scaling")
-		maxDepth = flag.Int("maxdepth", 6, "depth cap for time-per-depth measurements")
-		seed     = flag.Int64("seed", 1, "dataset generator seed")
-		par      = flag.Int("parallelism", 0, "worker goroutines per layer (0 = all cores, 1 = serial)")
-		md       = flag.Bool("md", false, "emit markdown tables instead of text")
+		exp       = flag.String("exp", "", "experiment id (micro, fig7, fig8, fig9, fig10, fig11, fig12, tab3, fig13, knn, fig14, ablation, or 'all')")
+		list      = flag.Bool("list", false, "list experiment ids and exit")
+		keyBits   = flag.Int("keybits", 256, "Paillier modulus bits (paper-scale: 512)")
+		ehlS      = flag.Int("ehl-s", 3, "number of EHL+ digests s (paper: 5)")
+		rows      = flag.Int("rows", 120, "dataset rows after scaling")
+		maxDepth  = flag.Int("maxdepth", 6, "depth cap for time-per-depth measurements")
+		seed      = flag.Int64("seed", 1, "dataset generator seed")
+		par       = flag.Int("parallelism", 0, "worker goroutines per layer (0 = all cores, 1 = serial)")
+		fastNonce = flag.Bool("fast-nonce", false, "enable the short-exponent fixed-base nonce path in every layer (extra assumption; see DESIGN.md)")
+		md        = flag.Bool("md", false, "emit markdown tables instead of text")
+		jsonPath  = flag.String("json", "", "output path for the micro experiment's JSON record (default BENCH_<date>.json)")
 	)
 	flag.Parse()
 
 	if *list {
+		fmt.Println("micro")
 		for _, id := range bench.ExperimentIDs() {
 			fmt.Println(id)
 		}
@@ -53,10 +60,17 @@ func main() {
 		MaxDepth:     *maxDepth,
 		Seed:         *seed,
 		Parallelism:  *par,
+		FastNonce:    *fastNonce,
 	}
 	if !*md {
 		cfg.Out = os.Stdout
 	}
+
+	if *exp == "micro" {
+		runMicro(cfg, *md, *jsonPath)
+		return
+	}
+
 	rig, err := bench.NewRig(cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sectopk-bench: %v\n", err)
@@ -85,4 +99,33 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "[%s done in %s]\n", id, time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// runMicro measures the crypto hot paths and writes the machine-readable
+// BENCH_<date>.json perf record alongside the human-readable table.
+func runMicro(cfg bench.Config, md bool, jsonPath string) {
+	start := time.Now()
+	rep, err := bench.RunMicro(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sectopk-bench: micro: %v\n", err)
+		os.Exit(1)
+	}
+	table := rep.Report()
+	var renderErr error
+	if md {
+		renderErr = table.Markdown(os.Stdout)
+	} else {
+		renderErr = table.Render(os.Stdout)
+	}
+	if renderErr != nil {
+		fmt.Fprintf(os.Stderr, "sectopk-bench: %v\n", renderErr)
+		os.Exit(1)
+	}
+	path, err := rep.SaveJSON(jsonPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sectopk-bench: writing perf record: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "[micro done in %s; perf record -> %s]\n",
+		time.Since(start).Round(time.Millisecond), path)
 }

@@ -85,6 +85,7 @@ func runOwner(args []string) error {
 	attrsFlag := fs.String("attrs", "0,1,2", "queried attributes (comma separated)")
 	k := fs.Int("k", 3, "top-k")
 	par := fs.Int("parallelism", 0, "encryption worker goroutines (0 = all cores, 1 = serial)")
+	fastNonce := fs.Bool("fast-nonce", false, "short-exponent fixed-base nonce path (extra assumption; see DESIGN.md)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -107,7 +108,7 @@ func runOwner(args []string) error {
 	}
 	scheme, err := core.NewScheme(core.Params{
 		KeyBits: *keyBits, EHL: ehl.Params{Kind: ehl.KindPlus, S: 3}, MaxScoreBits: 20,
-		Parallelism: *par,
+		Parallelism: *par, FastNonce: *fastNonce,
 	})
 	if err != nil {
 		return err
@@ -162,6 +163,7 @@ func runS2(args []string) error {
 	dir := fs.String("dir", ".", "artifact directory")
 	listen := fs.String("listen", "127.0.0.1:9042", "listen address")
 	par := fs.Int("parallelism", 0, "handler worker goroutines (0 = all cores, 1 = serial)")
+	fastNonce := fs.Bool("fast-nonce", false, "short-exponent fixed-base nonce path (extra assumption; see DESIGN.md)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -169,7 +171,8 @@ func runS2(args []string) error {
 	if err != nil {
 		return err
 	}
-	server, err := cloud.NewServer(keys, cloud.NewLedger(), cloud.WithParallelism(*par))
+	server, err := cloud.NewServer(keys, cloud.NewLedger(),
+		cloud.WithParallelism(*par), cloud.WithFastNonce(*fastNonce))
 	if err != nil {
 		return err
 	}
@@ -189,6 +192,7 @@ func runS1(args []string) error {
 	mode := fs.String("mode", "e", "query mode: f|e|ba")
 	strict := fs.Bool("strict", true, "use strict NRA halting")
 	par := fs.Int("parallelism", 0, "S1 worker goroutines (0 = all cores, 1 = serial)")
+	fastNonce := fs.Bool("fast-nonce", false, "short-exponent fixed-base nonce path (extra assumption; see DESIGN.md)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -217,7 +221,8 @@ func runS1(args []string) error {
 	if err != nil {
 		return err
 	}
-	client, err := cloud.NewClient(caller, pk, cloud.NewLedger(), cloud.WithParallelism(*par))
+	client, err := cloud.NewClient(caller, pk, cloud.NewLedger(),
+		cloud.WithParallelism(*par), cloud.WithFastNonce(*fastNonce))
 	if err != nil {
 		return err
 	}

@@ -37,6 +37,9 @@ type Config struct {
 	// encryption, S1 blinding, S2 handlers): 0 = all cores, 1 = the exact
 	// serial pre-parallel behavior.
 	Parallelism int
+	// FastNonce opts every layer into the short-exponent fixed-base nonce
+	// path (see cloud.WithFastNonce for the assumption it carries).
+	FastNonce bool
 	// Out receives the rendered tables; nil discards.
 	Out io.Writer
 }

@@ -1,0 +1,228 @@
+package bench
+
+import (
+	"crypto/rand"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/big"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/dj"
+	"repro/internal/paillier"
+	"repro/internal/zmath"
+)
+
+// MicroResult is one measured micro-operation.
+type MicroResult struct {
+	// Op names the operation and the nonce path it ran on, e.g.
+	// "paillier/encrypt/crt".
+	Op      string  `json:"op"`
+	NsPerOp float64 `json:"ns_per_op"`
+	Iters   int     `json:"iters"`
+}
+
+// MicroReport is the machine-readable record sectopk-bench emits as
+// BENCH_<date>.json so the perf trajectory is tracked across PRs.
+type MicroReport struct {
+	Date       string            `json:"date"`
+	KeyBits    int               `json:"key_bits"`
+	GoMaxProcs int               `json:"gomaxprocs"`
+	Knobs      map[string]string `json:"knobs"`
+	Results    []MicroResult     `json:"results"`
+}
+
+// microBudget is the per-operation wall-clock budget; long enough for
+// stable medians on RSA-sized moduli, short enough for a CI smoke step.
+const microBudget = 75 * time.Millisecond
+
+// invBatch is the element count for the batch-vs-loop inversion
+// comparison; it appears in the emitted op names.
+const invBatch = 64
+
+// timeOp measures f's steady-state cost: one warm-up call, then repeated
+// calls until the budget elapses.
+func timeOp(f func() error) (MicroResult, error) {
+	if err := f(); err != nil {
+		return MicroResult{}, err
+	}
+	var iters int
+	start := time.Now()
+	for time.Since(start) < microBudget {
+		if err := f(); err != nil {
+			return MicroResult{}, err
+		}
+		iters++
+	}
+	elapsed := time.Since(start)
+	return MicroResult{NsPerOp: float64(elapsed.Nanoseconds()) / float64(iters), Iters: iters}, nil
+}
+
+// RunMicro measures the crypto hot paths this codebase optimizes — nonce
+// generation on the spec / CRT / fast paths for both cryptosystems,
+// key-holder decryption, and batch vs loop modular inversion — and
+// returns the machine-readable report.
+func RunMicro(cfg Config) (*MicroReport, error) {
+	sk, err := paillier.GenerateKey(rand.Reader, cfg.KeyBits)
+	if err != nil {
+		return nil, fmt.Errorf("bench: micro key: %w", err)
+	}
+	pk := &sk.PublicKey
+	djSK, err := dj.NewPrivateKey(sk, 2)
+	if err != nil {
+		return nil, err
+	}
+	djPK := &djSK.PublicKey
+	fastPK, err := paillier.NewFastEncryptor(pk, 0)
+	if err != nil {
+		return nil, err
+	}
+	fastDJ, err := dj.NewFastEncryptor(djPK, 0)
+	if err != nil {
+		return nil, err
+	}
+	crtPK := sk.CRTEncryptor()
+	crtDJ := djSK.CRTEncryptor()
+
+	// The knobs recorded here are the measurement parameters that
+	// actually shaped this run. The micro experiment deliberately ignores
+	// Config.FastNonce/Parallelism: it always measures the spec, CRT, and
+	// fast paths side by side, single-threaded, so records stay
+	// comparable across PRs regardless of CLI flags.
+	rep := &MicroReport{
+		Date:       time.Now().Format("2006-01-02"),
+		KeyBits:    cfg.KeyBits,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Knobs: map[string]string{
+			"fast_nonce_bits":   fmt.Sprint(paillier.FastNonceBits),
+			"fast_nonce_window": fmt.Sprint(paillier.FastNonceWindow),
+			"inv_batch":         fmt.Sprint(invBatch),
+			"budget_ms":         fmt.Sprint(microBudget.Milliseconds()),
+		},
+	}
+
+	m := big.NewInt(123456789)
+	specCT, err := pk.Encrypt(m)
+	if err != nil {
+		return nil, err
+	}
+	djCT, err := djPK.Encrypt(m)
+	if err != nil {
+		return nil, err
+	}
+
+	// Batch-inversion comparison operands: blind-sized units mod N^2.
+	units := make([]*big.Int, invBatch)
+	for i := range units {
+		u, err := zmath.RandUnit(rand.Reader, pk.N2)
+		if err != nil {
+			return nil, err
+		}
+		units[i] = u
+	}
+
+	ops := []struct {
+		name string
+		f    func() error
+	}{
+		{"paillier/encrypt/spec", func() error { _, err := pk.Encrypt(m); return err }},
+		{"paillier/encrypt/crt", func() error { _, err := crtPK.Encrypt(m); return err }},
+		{"paillier/encrypt/fast", func() error { _, err := fastPK.Encrypt(m); return err }},
+		{"paillier/decrypt", func() error { _, err := sk.Decrypt(specCT); return err }},
+		{"dj/encrypt/spec", func() error { _, err := djPK.Encrypt(m); return err }},
+		{"dj/encrypt/crt", func() error { _, err := crtDJ.Encrypt(m); return err }},
+		{"dj/encrypt/fast", func() error { _, err := fastDJ.Encrypt(m); return err }},
+		{"dj/decrypt", func() error { _, err := djSK.Decrypt(djCT); return err }},
+		{fmt.Sprintf("zmath/inverse-loop/%d", invBatch), func() error {
+			for _, u := range units {
+				if _, err := zmath.ModInverse(u, pk.N2); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+		{fmt.Sprintf("zmath/inverse-batch/%d", invBatch), func() error {
+			_, err := zmath.BatchModInverse(units, pk.N2)
+			return err
+		}},
+	}
+	for _, op := range ops {
+		res, err := timeOp(op.f)
+		if err != nil {
+			return nil, fmt.Errorf("bench: micro %s: %w", op.name, err)
+		}
+		res.Op = op.name
+		rep.Results = append(rep.Results, res)
+	}
+	return rep, nil
+}
+
+// WriteJSON emits the report as indented JSON.
+func (r *MicroReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// SaveJSON writes the report to path (BENCH_<date>.json when path is
+// empty) and returns the path written.
+func (r *MicroReport) SaveJSON(path string) (string, error) {
+	if path == "" {
+		path = fmt.Sprintf("BENCH_%s.json", r.Date)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	if err := r.WriteJSON(f); err != nil {
+		f.Close()
+		return "", err
+	}
+	return path, f.Close()
+}
+
+// Report renders the micro measurements as a bench table, with the
+// spec-path baseline ratio alongside each fast path.
+func (r *MicroReport) Report() *Report {
+	base := map[string]float64{}
+	for _, res := range r.Results {
+		base[res.Op] = res.NsPerOp
+	}
+	ratio := func(op, spec string) string {
+		b, ok := base[spec]
+		if !ok || base[op] == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.2fx", b/base[op])
+	}
+	out := &Report{
+		ID:     "micro",
+		Title:  fmt.Sprintf("crypto hot paths (%d-bit keys)", r.KeyBits),
+		Header: []string{"op", "ns/op", "vs spec"},
+	}
+	for _, res := range r.Results {
+		spec := ""
+		switch res.Op {
+		case "paillier/encrypt/crt", "paillier/encrypt/fast":
+			spec = "paillier/encrypt/spec"
+		case "dj/encrypt/crt", "dj/encrypt/fast":
+			spec = "dj/encrypt/spec"
+		case fmt.Sprintf("zmath/inverse-batch/%d", invBatch):
+			spec = fmt.Sprintf("zmath/inverse-loop/%d", invBatch)
+		}
+		vs := "-"
+		if spec != "" {
+			vs = ratio(res.Op, spec)
+		}
+		out.Rows = append(out.Rows, []string{
+			res.Op,
+			fmt.Sprintf("%.0f", res.NsPerOp),
+			vs,
+		})
+	}
+	out.Notes = append(out.Notes,
+		fmt.Sprintf("knobs: %v; gomaxprocs=%d; emitted as BENCH_%s.json", r.Knobs, r.GoMaxProcs, r.Date))
+	return out
+}

@@ -34,20 +34,22 @@ func NewRig(cfg Config) (*Rig, error) {
 		EHL:          ehl.Params{Kind: ehl.KindPlus, S: cfg.EHLS},
 		MaxScoreBits: cfg.MaxScoreBits,
 		Parallelism:  cfg.Parallelism,
+		FastNonce:    cfg.FastNonce,
 	}
 	scheme, err := core.NewScheme(params)
 	if err != nil {
 		return nil, fmt.Errorf("bench: scheme: %w", err)
 	}
 	s2led := cloud.NewLedger()
-	server, err := cloud.NewServer(scheme.KeyMaterial(), s2led, cloud.WithParallelism(cfg.Parallelism))
+	server, err := cloud.NewServer(scheme.KeyMaterial(), s2led,
+		cloud.WithParallelism(cfg.Parallelism), cloud.WithFastNonce(cfg.FastNonce))
 	if err != nil {
 		return nil, fmt.Errorf("bench: server: %w", err)
 	}
 	stats := transport.NewStats()
 	s1led := cloud.NewLedger()
 	client, err := cloud.NewClient(transport.NewLocal(server, stats), scheme.PublicKey(), s1led,
-		cloud.WithParallelism(cfg.Parallelism))
+		cloud.WithParallelism(cfg.Parallelism), cloud.WithFastNonce(cfg.FastNonce))
 	if err != nil {
 		server.Close()
 		return nil, fmt.Errorf("bench: client: %w", err)

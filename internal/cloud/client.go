@@ -54,16 +54,31 @@ func NewClient(caller transport.Caller, pk *paillier.PublicKey, ledger *Ledger, 
 	}
 	cfg := buildConfig(opts)
 	c := &Client{caller: caller, pk: pk, djPK: djPK, eph: eph, ledger: ledger, par: cfg.parallelism}
+	// S1 holds only the ephemeral private key: the main and DJ surfaces
+	// get the fast-nonce table when opted in (spec path otherwise), while
+	// the ephemeral surface — the hottest client-side one, with a modulus
+	// more than twice the main size — additionally defaults to CRT.
 	var closer func()
-	c.pkEnc, closer = cfg.newPaillierEnc(pk)
+	c.pkEnc, closer, err = cfg.newPaillierEnc(pk, nil)
+	if err != nil {
+		return nil, err
+	}
 	if closer != nil {
 		c.close = append(c.close, closer)
 	}
-	c.ephEnc, closer = cfg.newPaillierEnc(&eph.PublicKey)
+	c.ephEnc, closer, err = cfg.newPaillierEnc(&eph.PublicKey, eph)
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
 	if closer != nil {
 		c.close = append(c.close, closer)
 	}
-	c.djEnc, closer = cfg.newDJEnc(djPK)
+	c.djEnc, closer, err = cfg.newDJEnc(djPK, nil)
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
 	if closer != nil {
 		c.close = append(c.close, closer)
 	}

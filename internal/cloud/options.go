@@ -15,6 +15,8 @@ type Option func(*config)
 type config struct {
 	parallelism int
 	noPools     bool
+	fastNonce   bool
+	crtOff      bool
 }
 
 // WithParallelism sets the party's parallelism knob: 0 (the default) uses
@@ -31,6 +33,26 @@ func WithParallelism(n int) Option {
 // benchmarking the pools' contribution in isolation).
 func WithoutNoncePools() Option {
 	return func(c *config) { c.noPools = true }
+}
+
+// WithFastNonce toggles the short-exponent fixed-base nonce path
+// (paillier.FastEncryptor / dj.FastEncryptor) for every encryption
+// surface the party owns. Off by default: the fast path rests on the
+// standard short-exponent/subgroup indistinguishability assumption on top
+// of DCR, so it is strictly opt-in (see DESIGN.md "Precomputation fast
+// paths"). When enabled it takes precedence over the CRT path — it is
+// faster, and applies even to surfaces without the private key.
+func WithFastNonce(on bool) Option {
+	return func(c *config) { c.fastNonce = on }
+}
+
+// WithCRTNonce toggles the CRT nonce fast path for surfaces whose private
+// key the party holds (S2's main and DJ keys, S1's ephemeral key). On by
+// default: the CRT split is assumption-free and bit-compatible with the
+// spec path, ~2-3x cheaper per nonce. Turn it off to benchmark the spec
+// path or to pin down a suspected CRT-related miscomputation.
+func WithCRTNonce(on bool) Option {
+	return func(c *config) { c.crtOff = !on }
 }
 
 func buildConfig(opts []Option) config {
@@ -67,22 +89,61 @@ func (c config) poolWorkers() int {
 // poolCapacity bounds how far ahead the fillers may run.
 const poolCapacity = 128
 
-// newPaillierEnc returns the encryption surface for pk under this config:
-// a background pool when enabled, the plain key otherwise. The returned
-// closer is non-nil only when a pool was started.
-func (c config) newPaillierEnc(pk *paillier.PublicKey) (paillier.Encryptor, func()) {
-	if !c.poolsEnabled() {
-		return pk, nil
+// paillierSurface is what every Paillier nonce producer offers: the
+// Encryptor methods the protocols consume plus the NonceSource feed a
+// pool can buffer.
+type paillierSurface interface {
+	paillier.Encryptor
+	paillier.NonceSource
+}
+
+// newPaillierEnc returns the encryption surface for pk under this config.
+// sk may be nil (the party does not hold the private key). Precedence:
+// fast-nonce table (opt-in) > CRT split (default when sk is present) >
+// spec path; a background pool wraps whichever base was picked when
+// pooling is enabled. The returned closer is non-nil only when a pool was
+// started.
+func (c config) newPaillierEnc(pk *paillier.PublicKey, sk *paillier.PrivateKey) (paillier.Encryptor, func(), error) {
+	var base paillierSurface = pk
+	switch {
+	case c.fastNonce:
+		fast, err := paillier.NewFastEncryptor(pk, 0)
+		if err != nil {
+			return nil, nil, err
+		}
+		base = fast
+	case sk != nil && !c.crtOff:
+		base = sk.CRTEncryptor()
 	}
-	pool := paillier.NewNoncePool(pk, c.poolWorkers(), poolCapacity)
-	return pool, pool.Close
+	if !c.poolsEnabled() {
+		return base, nil, nil
+	}
+	pool := paillier.NewNoncePool(base, c.poolWorkers(), poolCapacity)
+	return pool, pool.Close, nil
+}
+
+// djSurface mirrors paillierSurface for the Damgård-Jurik layer.
+type djSurface interface {
+	dj.Encryptor
+	dj.NonceSource
 }
 
 // newDJEnc is newPaillierEnc for the Damgård-Jurik layer.
-func (c config) newDJEnc(pk *dj.PublicKey) (dj.Encryptor, func()) {
-	if !c.poolsEnabled() {
-		return pk, nil
+func (c config) newDJEnc(pk *dj.PublicKey, sk *dj.PrivateKey) (dj.Encryptor, func(), error) {
+	var base djSurface = pk
+	switch {
+	case c.fastNonce:
+		fast, err := dj.NewFastEncryptor(pk, 0)
+		if err != nil {
+			return nil, nil, err
+		}
+		base = fast
+	case sk != nil && !c.crtOff:
+		base = sk.CRTEncryptor()
 	}
-	pool := dj.NewNoncePool(pk, c.poolWorkers(), poolCapacity)
-	return pool, pool.Close
+	if !c.poolsEnabled() {
+		return base, nil, nil
+	}
+	pool := dj.NewNoncePool(base, c.poolWorkers(), poolCapacity)
+	return pool, pool.Close, nil
 }

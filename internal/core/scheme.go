@@ -43,6 +43,13 @@ type Params struct {
 	// cores, 1 = serial), matching the knob convention of the cloud and
 	// engine layers.
 	Parallelism int
+	// FastNonce opts the owner's bulk encryption into the short-exponent
+	// fixed-base nonce path (paillier.FastEncryptor). Off by default: it
+	// rests on the short-exponent/subgroup assumption (see DESIGN.md
+	// "Precomputation fast paths"). When off, the owner still uses the
+	// assumption-free CRT split — it holds the private key — which is
+	// bit-compatible with the spec path.
+	FastNonce bool
 }
 
 // DefaultParams returns the evaluation configuration: EHL+ with s = 5 and
@@ -72,6 +79,18 @@ type Scheme struct {
 	master  prf.Key // EHL master key (kappa_1..kappa_s derive from it)
 	permKey prf.Key // PRP key K for list permutation
 	hasher  *ehl.Hasher
+	// enc is the owner's bulk-encryption surface: the CRT nonce split by
+	// default (the owner holds the factorization), the fast-nonce table
+	// when Params.FastNonce is set.
+	enc paillier.Encryptor
+}
+
+// ownerEncryptor picks the owner's encryption surface for the params.
+func ownerEncryptor(params Params, keys *cloud.KeyMaterial) (paillier.Encryptor, error) {
+	if params.FastNonce {
+		return paillier.NewFastEncryptor(&keys.Paillier.PublicKey, 0)
+	}
+	return keys.Paillier.CRTEncryptor(), nil
 }
 
 // NewScheme generates fresh key material.
@@ -107,7 +126,11 @@ func NewSchemeFromKeys(params Params, keys *cloud.KeyMaterial) (*Scheme, error) 
 	if err != nil {
 		return nil, err
 	}
-	return &Scheme{params: params, keys: keys, master: master, permKey: permKey, hasher: hasher}, nil
+	enc, err := ownerEncryptor(params, keys)
+	if err != nil {
+		return nil, err
+	}
+	return &Scheme{params: params, keys: keys, master: master, permKey: permKey, hasher: hasher, enc: enc}, nil
 }
 
 // Secrets carries the owner's symmetric secrets: the EHL master key the
@@ -145,12 +168,17 @@ func RestoreScheme(params Params, keys *cloud.KeyMaterial, secrets Secrets) (*Sc
 	if err != nil {
 		return nil, err
 	}
+	enc, err := ownerEncryptor(params, keys)
+	if err != nil {
+		return nil, err
+	}
 	return &Scheme{
 		params:  params,
 		keys:    keys,
 		master:  append(prf.Key(nil), secrets.Master...),
 		permKey: append(prf.Key(nil), secrets.Perm...),
 		hasher:  hasher,
+		enc:     enc,
 	}, nil
 }
 
@@ -247,7 +275,7 @@ func (s *Scheme) EncryptRelation(rel *dataset.Relation) (*EncryptedRelation, err
 		if err != nil {
 			return err
 		}
-		ct, err := s.PublicKey().EncryptInt64(entry.score)
+		ct, err := s.enc.Encrypt(big.NewInt(entry.score))
 		if err != nil {
 			return err
 		}

@@ -1,7 +1,6 @@
 package dj
 
 import (
-	"crypto/rand"
 	"fmt"
 	"math/big"
 
@@ -32,16 +31,6 @@ func (pk *PublicKey) encryptWithRN(m, rn *big.Int) (*Ciphertext, error) {
 	c := gm.Mul(gm, rn)
 	c.Mod(c, pk.NS1)
 	return &Ciphertext{C: c}, nil
-}
-
-// noncePower samples a fresh r in Z*_N and returns r^{N^s} mod N^{s+1},
-// the modular exponentiation that dominates DJ encryption.
-func (pk *PublicKey) noncePower() (*big.Int, error) {
-	r, err := zmath.RandUnit(rand.Reader, pk.N)
-	if err != nil {
-		return nil, fmt.Errorf("dj: sampling randomness: %w", err)
-	}
-	return new(big.Int).Exp(r, pk.NS, pk.NS1), nil
 }
 
 // EncryptBatch encrypts every message with fresh randomness over at most
@@ -95,16 +84,18 @@ func (sk *PrivateKey) DecryptInnerBatch(cts []*Ciphertext, par int) ([]*paillier
 
 // NoncePool precomputes DJ nonce powers r^{N^s} mod N^{s+1} on background
 // goroutines; drained pools fall back inline, so pooling never changes
-// results. See parallel.Pool for the shared machinery.
+// results. The powers come from any NonceSource (spec path, CRT, or
+// fast-nonce table). See parallel.Pool for the shared machinery.
 type NoncePool struct {
-	pk   *PublicKey
+	src  NonceSource
 	pool *parallel.Pool[*big.Int]
 }
 
 // NewNoncePool starts workers filler goroutines maintaining up to capacity
-// precomputed nonce powers. Close must be called to release them.
-func NewNoncePool(pk *PublicKey, workers, capacity int) *NoncePool {
-	return &NoncePool{pk: pk, pool: parallel.NewPool(workers, capacity, pk.noncePower)}
+// precomputed nonce powers drawn from src. Close must be called to
+// release them.
+func NewNoncePool(src NonceSource, workers, capacity int) *NoncePool {
+	return &NoncePool{src: src, pool: parallel.NewPool(workers, capacity, src.NoncePower)}
 }
 
 // Close stops the background fillers; the pool stays usable (inline path).
@@ -114,11 +105,15 @@ func (np *NoncePool) get() (*big.Int, error) {
 	if rn, ok := np.pool.Get(); ok {
 		return rn, nil
 	}
-	return np.pk.noncePower()
+	return np.src.NoncePower()
 }
 
 // Key returns the underlying public key.
-func (np *NoncePool) Key() *PublicKey { return np.pk }
+func (np *NoncePool) Key() *PublicKey { return np.src.Key() }
+
+// NoncePower returns a pooled nonce power (inline when drained), making
+// the pool itself a NonceSource.
+func (np *NoncePool) NoncePower() (*big.Int, error) { return np.get() }
 
 // Encrypt encrypts m using a pooled nonce power.
 func (np *NoncePool) Encrypt(m *big.Int) (*Ciphertext, error) {
@@ -126,7 +121,7 @@ func (np *NoncePool) Encrypt(m *big.Int) (*Ciphertext, error) {
 	if err != nil {
 		return nil, err
 	}
-	return np.pk.encryptWithRN(m, rn)
+	return np.Key().encryptWithRN(m, rn)
 }
 
 // Rerandomize multiplies by a pooled fresh encryption of zero.
@@ -135,5 +130,5 @@ func (np *NoncePool) Rerandomize(a *Ciphertext) (*Ciphertext, error) {
 	if err != nil {
 		return nil, err
 	}
-	return np.pk.Add(a, z)
+	return np.Key().Add(a, z)
 }

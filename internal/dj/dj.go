@@ -47,12 +47,24 @@ type PublicKey struct {
 
 // PrivateKey carries the decryption exponent d with d = 1 mod N^s and
 // d = 0 mod lambda, plus the precomputed k!^{-1} mod N^s table used by the
-// plaintext extraction.
+// plaintext extraction and the CRT caches that split the dominating
+// c^d mod N^{s+1} exponentiation into two half-width ones.
 type PrivateKey struct {
 	PublicKey
 	d *big.Int
 	// factInv[k] = (k!)^{-1} mod N^s for k in [0, s].
 	factInv []*big.Int
+
+	// CRT decryption caches derived from the factorization N = p*q:
+	// c^d mod p^{s+1} needs only d mod |Z*_{p^{s+1}}| = p^s(p-1), which is
+	// s/(s+1) the width of d, over a modulus half the width of N^{s+1}.
+	p, q         *big.Int
+	ps1, qs1     *big.Int // p^{s+1}, q^{s+1}
+	dp, dq       *big.Int // d mod p^s(p-1), d mod q^s(q-1)
+	ps1InvModQs1 *big.Int // p^{s+1}^{-1} mod q^{s+1}
+	// ordP, ordQ are the unit-group orders p^s(p-1), q^s(q-1), kept for
+	// the CRT nonce encryptor's exponent reduction.
+	ordP, ordQ *big.Int
 }
 
 // Ciphertext is a DJ ciphertext: an element of Z*_{N^{s+1}}.
@@ -99,6 +111,22 @@ func NewPrivateKey(sk *paillier.PrivateKey, s int) (*PrivateKey, error) {
 			return nil, fmt.Errorf("dj: %d! not invertible mod N^s: %w", k, err)
 		}
 		out.factInv[k] = inv
+	}
+	// CRT caches (the factorization rides along from the Paillier key).
+	out.p = new(big.Int).Set(sk.P)
+	out.q = new(big.Int).Set(sk.Q)
+	out.ps1 = new(big.Int).Exp(sk.P, big.NewInt(int64(s+1)), nil)
+	out.qs1 = new(big.Int).Exp(sk.Q, big.NewInt(int64(s+1)), nil)
+	pm1 := new(big.Int).Sub(sk.P, zmath.One)
+	qm1 := new(big.Int).Sub(sk.Q, zmath.One)
+	out.ordP = new(big.Int).Exp(sk.P, big.NewInt(int64(s)), nil)
+	out.ordP.Mul(out.ordP, pm1)
+	out.ordQ = new(big.Int).Exp(sk.Q, big.NewInt(int64(s)), nil)
+	out.ordQ.Mul(out.ordQ, qm1)
+	out.dp = new(big.Int).Mod(d, out.ordP)
+	out.dq = new(big.Int).Mod(d, out.ordQ)
+	if out.ps1InvModQs1, err = zmath.ModInverse(out.ps1, out.qs1); err != nil {
+		return nil, fmt.Errorf("dj: p^{s+1} not invertible mod q^{s+1}: %w", err)
 	}
 	return out, nil
 }
@@ -188,8 +216,20 @@ func (sk *PrivateKey) Decrypt(c *Ciphertext) (*big.Int, error) {
 	}
 	// c^d = (1+N)^m mod N^{s+1} because d = 0 mod lambda kills the
 	// randomness and d = 1 mod N^s preserves m.
-	a := new(big.Int).Exp(c.C, sk.d, sk.NS1)
-	return sk.extract(a)
+	return sk.extract(sk.powD(c.C))
+}
+
+// powD computes c^d mod N^{s+1} by CRT: two exponentiations over the
+// half-width moduli p^{s+1}, q^{s+1} with d reduced mod the respective
+// unit-group orders, recombined with the precomputed inverse. For s = 2
+// this replaces one 2n-bit exponent over a 3n-bit modulus with two
+// 1.5n-bit exponents over 1.5n-bit moduli (~2.7x fewer word
+// multiplications). Bit-identical to the direct exponentiation for every
+// c in Z*_{N^{s+1}}.
+func (sk *PrivateKey) powD(c *big.Int) *big.Int {
+	ap := new(big.Int).Exp(new(big.Int).Mod(c, sk.ps1), sk.dp, sk.ps1)
+	aq := new(big.Int).Exp(new(big.Int).Mod(c, sk.qs1), sk.dq, sk.qs1)
+	return zmath.CRTPair(ap, aq, sk.ps1, sk.qs1, sk.ps1InvModQs1)
 }
 
 // DecryptInner decrypts the outer DJ layer and reinterprets the plaintext

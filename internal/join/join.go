@@ -9,6 +9,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math/big"
 	"sort"
 
 	"repro/internal/cloud"
@@ -40,6 +41,9 @@ type Scheme struct {
 	keys    *cloud.KeyMaterial
 	hasher  *ehl.Hasher
 	permKey prf.Key
+	// enc is the owner's bulk-encryption surface: the assumption-free CRT
+	// nonce split, since the owner holds the factorization.
+	enc paillier.Encryptor
 }
 
 // NewScheme generates fresh key material.
@@ -74,7 +78,10 @@ func NewSchemeFromKeys(params Params, keys *cloud.KeyMaterial) (*Scheme, error) 
 	if err != nil {
 		return nil, err
 	}
-	return &Scheme{params: params, keys: keys, hasher: hasher, permKey: permKey}, nil
+	return &Scheme{
+		params: params, keys: keys, hasher: hasher, permKey: permKey,
+		enc: keys.Paillier.CRTEncryptor(),
+	}, nil
 }
 
 // KeyMaterial returns the secret keys for provisioning S2.
@@ -124,7 +131,6 @@ func (s *Scheme) EncryptRelation(rel *dataset.Relation) (*EncRelation, error) {
 		return nil, err
 	}
 	out := &EncRelation{Name: rel.Name, N: rel.N(), M: rel.M(), Tuples: make([][]EncAttr, rel.N())}
-	pk := s.PublicKey()
 	for i := 0; i < rel.N(); i++ {
 		tuple := make([]EncAttr, rel.M())
 		for j := 0; j < rel.M(); j++ {
@@ -136,7 +142,7 @@ func (s *Scheme) EncryptRelation(rel *dataset.Relation) (*EncRelation, error) {
 			if err != nil {
 				return nil, err
 			}
-			ct, err := pk.EncryptInt64(rel.Rows[i][j])
+			ct, err := s.enc.Encrypt(big.NewInt(rel.Rows[i][j]))
 			if err != nil {
 				return nil, err
 			}

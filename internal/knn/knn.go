@@ -14,6 +14,7 @@ package knn
 import (
 	"errors"
 	"fmt"
+	"math/big"
 
 	"repro/internal/cloud"
 	"repro/internal/dataset"
@@ -28,6 +29,9 @@ type Scheme struct {
 	keys         *cloud.KeyMaterial
 	hasher       *ehl.Hasher
 	maxScoreBits int
+	// enc is the owner's bulk-encryption surface: the assumption-free CRT
+	// nonce split, since the owner holds the factorization.
+	enc paillier.Encryptor
 }
 
 // NewScheme builds the owner over existing key material.
@@ -46,7 +50,10 @@ func NewScheme(keys *cloud.KeyMaterial, ehlParams ehl.Params, maxScoreBits int) 
 	if err != nil {
 		return nil, err
 	}
-	return &Scheme{keys: keys, hasher: hasher, maxScoreBits: maxScoreBits}, nil
+	return &Scheme{
+		keys: keys, hasher: hasher, maxScoreBits: maxScoreBits,
+		enc: keys.Paillier.CRTEncryptor(),
+	}, nil
 }
 
 // EncRecord is one encrypted record: an id tag plus Enc(x_j) for every
@@ -77,7 +84,6 @@ func (s *Scheme) Encrypt(rel *dataset.Relation) (*EncDatabase, error) {
 	if max := rel.MaxScore(); max >= 1<<uint(s.maxScoreBits) {
 		return nil, fmt.Errorf("knn: score %d exceeds maxScoreBits=%d", max, s.maxScoreBits)
 	}
-	pk := &s.keys.Paillier.PublicKey
 	out := &EncDatabase{Name: rel.Name, N: rel.N(), M: rel.M()}
 	for i := 0; i < rel.N(); i++ {
 		rec := EncRecord{}
@@ -87,7 +93,7 @@ func (s *Scheme) Encrypt(rel *dataset.Relation) (*EncDatabase, error) {
 		}
 		rec.ID = id
 		for j := 0; j < rel.M(); j++ {
-			ct, err := pk.EncryptInt64(rel.Rows[i][j])
+			ct, err := s.enc.Encrypt(big.NewInt(rel.Rows[i][j]))
 			if err != nil {
 				return nil, err
 			}
@@ -178,10 +184,11 @@ func (e *Engine) Query(q []int64, k int) ([]protocols.Item, error) {
 	}
 	pk := e.client.PK()
 	// Encrypt the query point: in [21] the querier ships Enc(q) and the
-	// clouds compute on it without learning q.
+	// clouds compute on it without learning q. The client's configured
+	// encryption surface (pooled / fast-nonce) serves the encryptions.
 	encQ := make([]*paillier.Ciphertext, e.db.M)
 	for j, v := range q {
-		ct, err := pk.EncryptInt64(v)
+		ct, err := e.client.Enc().Encrypt(big.NewInt(v))
 		if err != nil {
 			return nil, err
 		}

@@ -1,7 +1,6 @@
 package paillier
 
 import (
-	"crypto/rand"
 	"fmt"
 	"math/big"
 
@@ -36,16 +35,6 @@ func (pk *PublicKey) encryptWithRN(m, rn *big.Int) (*Ciphertext, error) {
 	c := gm.Mul(gm, rn)
 	c.Mod(c, pk.N2)
 	return &Ciphertext{C: c}, nil
-}
-
-// noncePower samples a fresh r in Z*_N and returns r^N mod N^2, the
-// modular exponentiation that dominates every encryption.
-func (pk *PublicKey) noncePower() (*big.Int, error) {
-	r, err := zmath.RandUnit(rand.Reader, pk.N)
-	if err != nil {
-		return nil, fmt.Errorf("paillier: sampling randomness: %w", err)
-	}
-	return new(big.Int).Exp(r, pk.N, pk.N2), nil
 }
 
 // EncryptBatch encrypts every message with fresh randomness, fanning the
@@ -116,18 +105,22 @@ func (sk *PrivateKey) DecryptSignedBatch(cts []*Ciphertext, par int) ([]*big.Int
 
 // NoncePool precomputes nonce powers r^N mod N^2 — the single hottest
 // operation in the system — on background goroutines so foreground
-// encryptions reduce to two modular multiplications. A drained pool
-// falls back to computing inline, so the pool is purely a throughput
-// optimization and never changes results.
+// encryptions reduce to two modular multiplications. The powers come from
+// any NonceSource: the spec path (a *PublicKey), the key holder's CRT
+// split, or the fast-nonce table, so pooling composes with the
+// precomputation fast paths. A drained pool falls back to computing
+// inline, so the pool is purely a throughput optimization and never
+// changes results.
 type NoncePool struct {
-	pk   *PublicKey
+	src  NonceSource
 	pool *parallel.Pool[*big.Int]
 }
 
 // NewNoncePool starts workers filler goroutines maintaining up to capacity
-// precomputed nonce powers. Close must be called to release them.
-func NewNoncePool(pk *PublicKey, workers, capacity int) *NoncePool {
-	return &NoncePool{pk: pk, pool: parallel.NewPool(workers, capacity, pk.noncePower)}
+// precomputed nonce powers drawn from src. Close must be called to
+// release them.
+func NewNoncePool(src NonceSource, workers, capacity int) *NoncePool {
+	return &NoncePool{src: src, pool: parallel.NewPool(workers, capacity, src.NoncePower)}
 }
 
 // Close stops the background fillers. Safe to call once; the pool remains
@@ -140,11 +133,15 @@ func (np *NoncePool) get() (*big.Int, error) {
 	if rn, ok := np.pool.Get(); ok {
 		return rn, nil
 	}
-	return np.pk.noncePower()
+	return np.src.NoncePower()
 }
 
 // Key returns the underlying public key.
-func (np *NoncePool) Key() *PublicKey { return np.pk }
+func (np *NoncePool) Key() *PublicKey { return np.src.Key() }
+
+// NoncePower returns a pooled nonce power (inline when drained), making
+// the pool itself a NonceSource.
+func (np *NoncePool) NoncePower() (*big.Int, error) { return np.get() }
 
 // Encrypt encrypts m using a pooled nonce power.
 func (np *NoncePool) Encrypt(m *big.Int) (*Ciphertext, error) {
@@ -152,7 +149,7 @@ func (np *NoncePool) Encrypt(m *big.Int) (*Ciphertext, error) {
 	if err != nil {
 		return nil, err
 	}
-	return np.pk.encryptWithRN(m, rn)
+	return np.Key().encryptWithRN(m, rn)
 }
 
 // EncryptZero returns a fresh encryption of zero from the pool.
@@ -166,5 +163,5 @@ func (np *NoncePool) Rerandomize(a *Ciphertext) (*Ciphertext, error) {
 	if err != nil {
 		return nil, err
 	}
-	return np.pk.Add(a, z)
+	return np.Key().Add(a, z)
 }

@@ -1,0 +1,195 @@
+package paillier
+
+import (
+	"crypto/rand"
+	"math/big"
+	"testing"
+
+	"repro/internal/zmath"
+)
+
+// TestCRTNoncePowerMatchesSpec pins bit-identical equivalence of the CRT
+// split against the spec-path exponentiation on fixed nonces.
+func TestCRTNoncePowerMatchesSpec(t *testing.T) {
+	sk := testKey(t)
+	enc := sk.CRTEncryptor()
+	for i := 0; i < 25; i++ {
+		r, err := zmath.RandUnit(rand.Reader, sk.N)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := new(big.Int).Exp(r, sk.N, sk.N2)
+		if got := enc.noncePowerOf(r); got.Cmp(want) != 0 {
+			t.Fatalf("CRT nonce power differs from spec for r=%v", r)
+		}
+	}
+}
+
+// TestCRTNoncePowerIsNthResidue pins the distribution invariant of the
+// direct subgroup sampler: every drawn nonce power is a unit whose order
+// divides phi(N), i.e. a genuine N-th residue mod N^2 — exactly the set
+// the spec path draws from.
+func TestCRTNoncePowerIsNthResidue(t *testing.T) {
+	sk := testKey(t)
+	enc := sk.CRTEncryptor()
+	phi := new(big.Int).Mul(new(big.Int).Sub(sk.P, zmath.One), new(big.Int).Sub(sk.Q, zmath.One))
+	gcd := new(big.Int)
+	for i := 0; i < 10; i++ {
+		x, err := enc.NoncePower()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gcd.GCD(nil, nil, x, sk.N2); gcd.Cmp(zmath.One) != 0 {
+			t.Fatal("nonce power is not a unit")
+		}
+		if new(big.Int).Exp(x, phi, sk.N2).Cmp(zmath.One) != 0 {
+			t.Fatal("nonce power is not an N-th residue")
+		}
+	}
+}
+
+// TestCRTEncryptorRoundTrip checks CRT-path ciphertexts decrypt to the
+// plaintext and stay probabilistic.
+func TestCRTEncryptorRoundTrip(t *testing.T) {
+	sk := testKey(t)
+	enc := sk.CRTEncryptor()
+	if enc.Key() != &sk.PublicKey {
+		t.Fatal("Key() should return the underlying public key")
+	}
+	for _, m := range []int64{0, 1, 42, 1 << 40, -1} {
+		c1, err := enc.Encrypt(big.NewInt(m))
+		if err != nil {
+			t.Fatalf("Encrypt(%d): %v", m, err)
+		}
+		c2, err := enc.Encrypt(big.NewInt(m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c1.C.Cmp(c2.C) == 0 {
+			t.Errorf("CRT encryption of %d is deterministic", m)
+		}
+		got, err := sk.DecryptSigned(c1)
+		if err != nil {
+			t.Fatalf("Decrypt: %v", err)
+		}
+		if got.Int64() != m {
+			t.Errorf("round trip %d -> %v", m, got)
+		}
+	}
+	z, err := enc.EncryptZero()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m, err := sk.Decrypt(z); err != nil || m.Sign() != 0 {
+		t.Fatalf("EncryptZero decrypts to %v (%v)", m, err)
+	}
+	c, err := enc.Encrypt(big.NewInt(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := enc.Rerandomize(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.C.Cmp(c.C) == 0 {
+		t.Error("Rerandomize returned the same ciphertext")
+	}
+	if m, _ := sk.Decrypt(rr); m.Int64() != 7 {
+		t.Errorf("rerandomized ciphertext decrypts to %v", m)
+	}
+}
+
+// TestFastEncryptorRoundTrip checks fast-nonce ciphertexts decrypt
+// identically to the spec path and remain probabilistic.
+func TestFastEncryptorRoundTrip(t *testing.T) {
+	sk := testKey(t)
+	enc, err := NewFastEncryptor(&sk.PublicKey, 0)
+	if err != nil {
+		t.Fatalf("NewFastEncryptor: %v", err)
+	}
+	if enc.ExpBits() != FastNonceBits {
+		t.Errorf("default ExpBits = %d, want %d", enc.ExpBits(), FastNonceBits)
+	}
+	for _, m := range []int64{0, 1, 42, 1 << 40, -1} {
+		c1, err := enc.Encrypt(big.NewInt(m))
+		if err != nil {
+			t.Fatalf("Encrypt(%d): %v", m, err)
+		}
+		c2, err := enc.Encrypt(big.NewInt(m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c1.C.Cmp(c2.C) == 0 {
+			t.Errorf("fast-nonce encryption of %d is deterministic", m)
+		}
+		got, err := sk.DecryptSigned(c1)
+		if err != nil {
+			t.Fatalf("Decrypt: %v", err)
+		}
+		if got.Int64() != m {
+			t.Errorf("round trip %d -> %v", m, got)
+		}
+	}
+	// Fast-path ciphertexts must compose homomorphically with spec-path
+	// ones — they live in the same group.
+	a, err := enc.Encrypt(big.NewInt(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sk.PublicKey.Encrypt(big.NewInt(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := sk.PublicKey.Add(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m, _ := sk.Decrypt(sum); m.Int64() != 42 {
+		t.Errorf("fast+spec homomorphic sum = %v, want 42", m)
+	}
+	rr, err := enc.Rerandomize(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.C.Cmp(a.C) == 0 {
+		t.Error("Rerandomize returned the same ciphertext")
+	}
+	if m, _ := sk.Decrypt(rr); m.Int64() != 30 {
+		t.Errorf("rerandomized ciphertext decrypts to %v", m)
+	}
+}
+
+func TestFastEncryptorRejectsShortExponent(t *testing.T) {
+	sk := testKey(t)
+	if _, err := NewFastEncryptor(&sk.PublicKey, 64); err == nil {
+		t.Fatal("expected error for a 64-bit short exponent")
+	}
+}
+
+// TestNoncePoolOverFastSources checks the pool composes with both fast
+// paths: pooled encryptions still decrypt correctly.
+func TestNoncePoolOverFastSources(t *testing.T) {
+	sk := testKey(t)
+	fast, err := NewFastEncryptor(&sk.PublicKey, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, src := range map[string]NonceSource{
+		"spec": &sk.PublicKey,
+		"crt":  sk.CRTEncryptor(),
+		"fast": fast,
+	} {
+		pool := NewNoncePool(src, 1, 8)
+		for i := 0; i < 12; i++ {
+			ct, err := pool.Encrypt(big.NewInt(int64(i)))
+			if err != nil {
+				t.Fatalf("%s pooled Encrypt: %v", name, err)
+			}
+			m, err := sk.Decrypt(ct)
+			if err != nil || m.Int64() != int64(i) {
+				t.Fatalf("%s pooled round trip %d -> %v (%v)", name, i, m, err)
+			}
+		}
+		pool.Close()
+	}
+}

@@ -53,6 +53,7 @@ type PrivateKey struct {
 	pOrder     *big.Int // p-1
 	qOrder     *big.Int // q-1
 	hp, hq     *big.Int // CRT decryption multipliers
+	pInvModQ   *big.Int // p^{-1} mod q for plaintext recombination
 	p2InvModQ2 *big.Int // p^2^{-1} mod q^2 for recombination
 	Lambda     *big.Int // lcm(p-1, q-1); exposed for the DJ extension
 }
@@ -137,6 +138,9 @@ func newPrivateKey(p, q *big.Int) (*PrivateKey, error) {
 	}
 	if sk.hq, err = zmath.ModInverse(hq, q); err != nil {
 		return nil, fmt.Errorf("paillier: hq not invertible: %w", err)
+	}
+	if sk.pInvModQ, err = zmath.ModInverse(p, q); err != nil {
+		return nil, fmt.Errorf("paillier: p not invertible mod q: %w", err)
 	}
 	if sk.p2InvModQ2, err = zmath.ModInverse(sk.p2, sk.q2); err != nil {
 		return nil, fmt.Errorf("paillier: p^2 not invertible mod q^2: %w", err)
@@ -237,8 +241,7 @@ func (sk *PrivateKey) Decrypt(c *Ciphertext) (*big.Int, error) {
 	mq.Mul(mq, sk.hq)
 	mq.Mod(mq, sk.Q)
 
-	pInvModQ := new(big.Int).ModInverse(sk.P, sk.Q)
-	return zmath.CRTPair(mp, mq, sk.P, sk.Q, pInvModQ), nil
+	return zmath.CRTPair(mp, mq, sk.P, sk.Q, sk.pInvModQ), nil
 }
 
 // DecryptSigned decrypts and maps the result to (-N/2, N/2].

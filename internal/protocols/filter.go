@@ -56,16 +56,23 @@ func SecFilter(c *cloud.Client, tuples []JoinTuple) ([]JoinTuple, error) {
 			return nil, fmt.Errorf("protocols: SecFilter tuple %d malformed", i)
 		}
 	}
-	err = parallel.ForEach(c.Parallelism(), len(tuples), func(i int) error {
-		t := tuples[i]
+	// Sample every multiplicative blind up front and invert them in one
+	// Montgomery batch inversion instead of an extended GCD per tuple.
+	rs := make([]*big.Int, len(tuples))
+	for i := range rs {
 		r, err := zmath.RandUnit(rand.Reader, pk.N)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		rInv, err := zmath.ModInverse(r, pk.N)
-		if err != nil {
-			return err
-		}
+		rs[i] = r
+	}
+	rInvs, err := zmath.BatchModInverse(rs, pk.N)
+	if err != nil {
+		return nil, fmt.Errorf("protocols: SecFilter blinds: %w", err)
+	}
+	err = parallel.ForEach(c.Parallelism(), len(tuples), func(i int) error {
+		t := tuples[i]
+		r, rInv := rs[i], rInvs[i]
 		blindedScore, err := pk.MulConst(t.Score, r)
 		if err != nil {
 			return err

@@ -99,13 +99,19 @@ func RecoverEnc(c *cloud.Client, cts []*dj.Ciphertext) ([]*paillier.Ciphertext, 
 		return nil, err
 	}
 	// The reply is exactly Enc(c_i) * Enc(r_i) as a group element;
-	// dividing by the same Enc(r_i) restores Enc(c_i).
+	// dividing by the same Enc(r_i) restores Enc(c_i). All the inverses
+	// come from one Montgomery batch inversion (1 inversion + 3 mults per
+	// ciphertext instead of an extended-GCD each).
+	blindVals := make([]*big.Int, len(blinds))
+	for i, b := range blinds {
+		blindVals[i] = b.C
+	}
+	invs, err := zmath.BatchModInverse(blindVals, pk.N2)
+	if err != nil {
+		return nil, fmt.Errorf("protocols: RecoverEnc unblind: %w", err)
+	}
 	return parallel.MapErr(c.Parallelism(), recovered, func(i int, rec *paillier.Ciphertext) (*paillier.Ciphertext, error) {
-		inv, err := zmath.ModInverse(blinds[i].C, pk.N2)
-		if err != nil {
-			return nil, fmt.Errorf("protocols: RecoverEnc unblind %d: %w", i, err)
-		}
-		v := new(big.Int).Mul(rec.C, inv)
+		v := new(big.Int).Mul(rec.C, invs[i])
 		v.Mod(v, pk.N2)
 		return &paillier.Ciphertext{C: v}, nil
 	})

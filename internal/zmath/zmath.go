@@ -120,3 +120,158 @@ func Factorial(k int) *big.Int {
 	}
 	return out
 }
+
+// SampleSubgroupPower draws a uniform element of the image of the
+// e-power map on Z*_m for a prime-power modulus m = prime^k: sample a
+// uniform unit s (a non-unit appears only with probability 1/prime, so
+// the retry loop is all but dead code) and return s^e mod m. The crypto
+// layers use it to sample nonce powers directly from the N-th-residue
+// subgroup's CRT components.
+func SampleSubgroupPower(rnd io.Reader, m, prime, e *big.Int) (*big.Int, error) {
+	for i := 0; i < 128; i++ {
+		s, err := RandInt(rnd, m)
+		if err != nil {
+			return nil, err
+		}
+		if s.Sign() == 0 || new(big.Int).Mod(s, prime).Sign() == 0 {
+			continue
+		}
+		return new(big.Int).Exp(s, e, m), nil
+	}
+	return nil, errors.New("zmath: subgroup sampling failed to find a unit")
+}
+
+// BatchModInverse computes xs[i]^{-1} mod n for every element with a
+// single modular inversion plus 3(len-1) multiplications (Montgomery's
+// batch-inversion trick): prefix products are accumulated forward, the
+// running product is inverted once, and the individual inverses fall out
+// walking backward. Inversions mod an RSA-sized modulus cost tens of
+// multiplications, so for the per-ciphertext unblinding loops this is a
+// large constant-factor win. Returns ErrNotInvertible if any element
+// shares a factor with n (the error does not identify which, matching the
+// all-or-nothing usage in the protocols).
+func BatchModInverse(xs []*big.Int, n *big.Int) ([]*big.Int, error) {
+	if len(xs) == 0 {
+		return nil, nil
+	}
+	// prefix[i] = xs[0] * ... * xs[i] mod n
+	prefix := make([]*big.Int, len(xs))
+	acc := new(big.Int).Mod(xs[0], n)
+	prefix[0] = acc
+	for i := 1; i < len(xs); i++ {
+		acc = new(big.Int).Mul(acc, xs[i])
+		acc.Mod(acc, n)
+		prefix[i] = acc
+	}
+	inv := new(big.Int).ModInverse(prefix[len(xs)-1], n)
+	if inv == nil {
+		return nil, ErrNotInvertible
+	}
+	out := make([]*big.Int, len(xs))
+	for i := len(xs) - 1; i > 0; i-- {
+		// inv currently holds (xs[0]*...*xs[i])^{-1}.
+		out[i] = new(big.Int).Mul(inv, prefix[i-1])
+		out[i].Mod(out[i], n)
+		inv.Mul(inv, xs[i])
+		inv.Mod(inv, n)
+	}
+	out[0] = inv
+	return out, nil
+}
+
+// FixedBaseTable precomputes the 2^w-ary fixed-base exponentiation table
+// for one (base, modulus) pair: entries base^(i * 2^(w*j)) mod m for every
+// window j below maxBits/w and every window value i in [1, 2^w). Exp then
+// needs only one multiplication per nonzero window — about maxBits/w
+// multiplications and no squarings — versus the ~1.5*|e| multiplications
+// of a square-and-multiply ladder. Build cost is one table (~maxBits/w *
+// 2^w multiplications), amortized when the same base is exponentiated many
+// times, which is exactly the fast-nonce workload: one fixed base h^N per
+// key, thousands of short exponents per query.
+//
+// The table is read-only after construction and safe for concurrent Exp
+// calls.
+type FixedBaseTable struct {
+	m       *big.Int
+	window  uint
+	maxBits int
+	// pow[j][i-1] = base^(i << (window*j)) mod m
+	pow [][]*big.Int
+}
+
+// NewFixedBaseTable builds the table for exponents up to maxBits bits.
+// window must be in [1, 16]; 6 is a good default for 256..512-bit
+// exponents.
+func NewFixedBaseTable(base, m *big.Int, window uint, maxBits int) (*FixedBaseTable, error) {
+	if m == nil || m.Cmp(Two) < 0 {
+		return nil, fmt.Errorf("zmath: fixed-base modulus must be >= 2")
+	}
+	if base == nil || base.Sign() <= 0 {
+		return nil, fmt.Errorf("zmath: fixed-base base must be positive")
+	}
+	if window < 1 || window > 16 {
+		return nil, fmt.Errorf("zmath: fixed-base window %d out of range [1,16]", window)
+	}
+	if maxBits < 1 {
+		return nil, fmt.Errorf("zmath: fixed-base maxBits must be positive, got %d", maxBits)
+	}
+	windows := (maxBits + int(window) - 1) / int(window)
+	t := &FixedBaseTable{
+		m:       new(big.Int).Set(m),
+		window:  window,
+		maxBits: maxBits,
+		pow:     make([][]*big.Int, windows),
+	}
+	size := 1 << window
+	// g walks base^(2^(w*j)) across windows; each row is filled by
+	// repeated multiplication with the row's generator.
+	g := new(big.Int).Mod(base, m)
+	for j := 0; j < windows; j++ {
+		row := make([]*big.Int, size-1)
+		row[0] = new(big.Int).Set(g)
+		for i := 2; i < size; i++ {
+			prev := row[i-2]
+			e := new(big.Int).Mul(prev, g)
+			row[i-1] = e.Mod(e, m)
+		}
+		t.pow[j] = row
+		if j+1 < windows {
+			// Advance the generator: g <- g^(2^w).
+			next := new(big.Int).Mul(row[size-2], g)
+			g = next.Mod(next, m)
+		}
+	}
+	return t, nil
+}
+
+// MaxBits returns the largest exponent bit length the table supports.
+func (t *FixedBaseTable) MaxBits() int { return t.maxBits }
+
+// Exp returns base^e mod m for 0 <= e < 2^maxBits, using one table lookup
+// and multiplication per nonzero window of e.
+func (t *FixedBaseTable) Exp(e *big.Int) (*big.Int, error) {
+	if e == nil || e.Sign() < 0 {
+		return nil, fmt.Errorf("zmath: fixed-base exponent must be non-negative")
+	}
+	if e.BitLen() > t.maxBits {
+		return nil, fmt.Errorf("zmath: fixed-base exponent %d bits exceeds table limit %d", e.BitLen(), t.maxBits)
+	}
+	out := big.NewInt(1)
+	mask := uint(1<<t.window) - 1
+	bits := e.BitLen()
+	for j := 0; j*int(t.window) < bits; j++ {
+		// Extract window j of the exponent.
+		var idx uint
+		base := j * int(t.window)
+		for b := 0; b < int(t.window); b++ {
+			idx |= uint(e.Bit(base+b)) << b
+		}
+		idx &= mask
+		if idx == 0 {
+			continue
+		}
+		out.Mul(out, t.pow[j][idx-1])
+		out.Mod(out, t.m)
+	}
+	return out, nil
+}
