@@ -8,6 +8,7 @@
 package repro_test
 
 import (
+	"context"
 	"crypto/rand"
 	"math/big"
 	"sync"
@@ -210,7 +211,7 @@ func BenchmarkSecQueryParallel(b *testing.B) {
 			opts := core.Options{Mode: core.QryE, Halt: core.HaltStrict, MaxDepth: 4, Parallelism: par}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := engine.SecQuery(tk, opts); err != nil {
+				if _, err := engine.SecQuery(context.Background(), tk, opts); err != nil {
 					b.Fatal(err)
 				}
 			}

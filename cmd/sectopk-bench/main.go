@@ -13,6 +13,12 @@
 // experiment additionally writes a machine-readable BENCH_<date>.json
 // (op, ns/op, key bits, knob settings) so the perf trajectory is tracked
 // across PRs; -json overrides its path.
+//
+// Unlike sectopk-node and the examples — which sit entirely on the
+// public sectopk API — this binary deliberately drives internal/bench:
+// the evaluation harness measures implementation internals (fixed
+// tokens, per-method wire stats, leakage ledgers, crypto micro-paths)
+// that a stable public facade intentionally does not expose.
 package main
 
 import (

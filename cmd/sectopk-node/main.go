@@ -1,6 +1,7 @@
 // Command sectopk-node runs the paper's deployment roles as separate
-// processes (Section 3.2's architecture), using files for the artifacts a
-// real deployment would move between parties:
+// processes (Section 3.2's architecture) on the public sectopk API,
+// using files for the artifacts a real deployment would move between
+// parties:
 //
 //	# Data owner: generate keys, encrypt a dataset, issue a token.
 //	sectopk-node owner -dir ./deploy -dataset insurance -rows 40 \
@@ -9,40 +10,38 @@
 //	# Crypto cloud S2: serve the secret-key operations over TCP.
 //	sectopk-node s2 -dir ./deploy -listen 127.0.0.1:9042
 //
-//	# Data cloud S1: load the encrypted relation + token, run SecQuery
-//	# against S2, store the encrypted result.
+//	# Data cloud S1: load the encrypted relation + token, run a query
+//	# session against S2, store the encrypted result.
 //	sectopk-node s1 -dir ./deploy -connect 127.0.0.1:9042 -mode e
 //
 //	# Client: decrypt the result with the owner's keys.
 //	sectopk-node reveal -dir ./deploy
 //
 // The owner's key file never travels to S1; the encrypted relation never
-// travels to S2.
+// travels to S2. Both cloud roles honor SIGINT/SIGTERM by canceling the
+// serving/query context, which stops a query within one protocol round.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
-	"repro/internal/cloud"
-	"repro/internal/core"
-	"repro/internal/dataset"
-	"repro/internal/ehl"
-	"repro/internal/secio"
-	"repro/internal/transport"
+	"repro/sectopk"
 )
 
 const (
 	s2KeysFile   = "s2.keys"      // decryption keys -> crypto cloud only
-	pubKeyFile   = "public.key"   // public modulus -> data cloud
 	ownerFile    = "owner.bundle" // full scheme state -> stays with owner
-	relationFile = "relation.er"  // encrypted relation -> data cloud
+	relationFile = "relation.er"  // encrypted relation (+ public key) -> data cloud
 	tokenFile    = "query.tk"     // query trapdoor -> data cloud
 	resultFile   = "result.items" // encrypted result -> back to client
 )
@@ -51,14 +50,16 @@ func main() {
 	if len(os.Args) < 2 {
 		usage()
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
 	var err error
 	switch os.Args[1] {
 	case "owner":
 		err = runOwner(os.Args[2:])
 	case "s2":
-		err = runS2(os.Args[2:])
+		err = runS2(ctx, os.Args[2:])
 	case "s1":
-		err = runS1(os.Args[2:])
+		err = runS1(ctx, os.Args[2:])
 	case "reveal":
 		err = runReveal(os.Args[2:])
 	default:
@@ -75,6 +76,14 @@ func usage() {
 	os.Exit(2)
 }
 
+// commonOpts maps shared flags to facade options.
+func commonOpts(par int, fastNonce bool) []sectopk.Option {
+	return []sectopk.Option{
+		sectopk.WithParallelism(par),
+		sectopk.WithFastNonce(fastNonce),
+	}
+}
+
 func runOwner(args []string) error {
 	fs := flag.NewFlagSet("owner", flag.ExitOnError)
 	dir := fs.String("dir", ".", "artifact directory")
@@ -89,27 +98,16 @@ func runOwner(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	var spec dataset.Spec
-	switch *name {
-	case "insurance":
-		spec = dataset.Insurance()
-	case "diabetes":
-		spec = dataset.Diabetes()
-	case "PAMAP":
-		spec = dataset.PAMAP()
-	case "synthetic":
-		spec = dataset.Synthetic()
-	default:
-		return fmt.Errorf("unknown dataset %q", *name)
-	}
-	rel, err := dataset.Generate(spec.WithN(*rows), *seed)
+	rel, err := sectopk.GenerateDataset(*name, *rows, *seed)
 	if err != nil {
 		return err
 	}
-	scheme, err := core.NewScheme(core.Params{
-		KeyBits: *keyBits, EHL: ehl.Params{Kind: ehl.KindPlus, S: 3}, MaxScoreBits: 20,
-		Parallelism: *par, FastNonce: *fastNonce,
-	})
+	opts := append(commonOpts(*par, *fastNonce),
+		sectopk.WithKeyBits(*keyBits),
+		sectopk.WithEHLDigests(3),
+		sectopk.WithMaxScoreBits(20),
+	)
+	owner, err := sectopk.NewOwner(opts...)
 	if err != nil {
 		return err
 	}
@@ -117,78 +115,72 @@ func runOwner(args []string) error {
 		return err
 	}
 	start := time.Now()
-	er, err := scheme.EncryptRelation(rel)
+	er, err := owner.Encrypt(rel)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("encrypted %s (%dx%d) in %s\n", rel.Name, rel.N(), rel.M(), time.Since(start).Round(time.Millisecond))
-	if err := secio.SaveKeyMaterial(filepath.Join(*dir, s2KeysFile), scheme.KeyMaterial()); err != nil {
+	fmt.Printf("encrypted %s (%dx%d) in %s\n", er.Name(), er.Rows(), er.Attributes(),
+		time.Since(start).Round(time.Millisecond))
+	if err := owner.Keys().Save(filepath.Join(*dir, s2KeysFile)); err != nil {
 		return err
 	}
-	if err := secio.SavePublicKey(filepath.Join(*dir, pubKeyFile), scheme.PublicKey()); err != nil {
+	if err := owner.Save(filepath.Join(*dir, ownerFile)); err != nil {
 		return err
 	}
-	if err := secio.SaveOwnerBundle(filepath.Join(*dir, ownerFile), scheme); err != nil {
-		return err
-	}
-	if err := secio.SaveRelation(filepath.Join(*dir, relationFile), er); err != nil {
+	if err := er.Save(filepath.Join(*dir, relationFile)); err != nil {
 		return err
 	}
 	attrs, err := parseInts(*attrsFlag)
 	if err != nil {
 		return err
 	}
-	tk, err := scheme.Token(er, attrs, nil, *k)
+	tk, err := owner.Token(er, sectopk.Query{Attrs: attrs, K: *k})
 	if err != nil {
 		return err
 	}
-	tf, err := os.Create(filepath.Join(*dir, tokenFile))
-	if err != nil {
+	if err := tk.Save(filepath.Join(*dir, tokenFile)); err != nil {
 		return err
 	}
-	if err := secio.WriteToken(tf, tk); err != nil {
-		tf.Close()
-		return err
-	}
-	if err := tf.Close(); err != nil {
-		return err
-	}
-	fmt.Printf("wrote %s, %s, %s, %s, %s under %s\n",
-		s2KeysFile, pubKeyFile, ownerFile, relationFile, tokenFile, *dir)
+	fmt.Printf("wrote %s, %s, %s, %s under %s\n",
+		s2KeysFile, ownerFile, relationFile, tokenFile, *dir)
 	return nil
 }
 
-func runS2(args []string) error {
+func runS2(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("s2", flag.ExitOnError)
 	dir := fs.String("dir", ".", "artifact directory")
 	listen := fs.String("listen", "127.0.0.1:9042", "listen address")
+	relation := fs.String("relation", "default", "relation ID to register the keys under")
 	par := fs.Int("parallelism", 0, "handler worker goroutines (0 = all cores, 1 = serial)")
 	fastNonce := fs.Bool("fast-nonce", false, "short-exponent fixed-base nonce path (extra assumption; see DESIGN.md)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	keys, err := secio.LoadKeyMaterial(filepath.Join(*dir, s2KeysFile))
+	keys, err := sectopk.LoadKeys(filepath.Join(*dir, s2KeysFile))
 	if err != nil {
 		return err
 	}
-	server, err := cloud.NewServer(keys, cloud.NewLedger(),
-		cloud.WithParallelism(*par), cloud.WithFastNonce(*fastNonce))
-	if err != nil {
+	cc := sectopk.NewCryptoCloud(commonOpts(*par, *fastNonce)...)
+	defer cc.Close()
+	if err := cc.Register(*relation, keys); err != nil {
 		return err
 	}
-	defer server.Close()
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("crypto cloud S2 serving on %s (ctrl-c to stop)\n", l.Addr())
-	return transport.Serve(l, server)
+	fmt.Printf("crypto cloud S2 serving relation %q on %s (ctrl-c to stop)\n", *relation, l.Addr())
+	if err := cc.Serve(ctx, l); err != nil && ctx.Err() == nil {
+		return err
+	}
+	return nil
 }
 
-func runS1(args []string) error {
+func runS1(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("s1", flag.ExitOnError)
 	dir := fs.String("dir", ".", "artifact directory")
 	connect := fs.String("connect", "127.0.0.1:9042", "S2 address")
+	relation := fs.String("relation", "default", "relation ID registered on S2")
 	mode := fs.String("mode", "e", "query mode: f|e|ba")
 	strict := fs.Bool("strict", true, "use strict NRA halting")
 	par := fs.Int("parallelism", 0, "S1 worker goroutines (0 = all cores, 1 = serial)")
@@ -196,71 +188,50 @@ func runS1(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	er, err := secio.LoadRelation(filepath.Join(*dir, relationFile))
+	er, err := sectopk.LoadEncryptedRelation(filepath.Join(*dir, relationFile))
 	if err != nil {
 		return err
 	}
-	tf, err := os.Open(filepath.Join(*dir, tokenFile))
+	tk, err := sectopk.LoadToken(filepath.Join(*dir, tokenFile))
 	if err != nil {
 		return err
 	}
-	tk, err := secio.ReadToken(tf)
-	tf.Close()
-	if err != nil {
-		return err
-	}
-	conn, err := net.Dial("tcp", *connect)
-	if err != nil {
-		return fmt.Errorf("dialing S2: %w", err)
-	}
-	stats := transport.NewStats()
-	caller := transport.NewNetCaller(conn, stats)
-	defer caller.Close()
-	// S1 holds only the public key, provisioned by the owner.
-	pk, err := secio.LoadPublicKey(filepath.Join(*dir, pubKeyFile))
-	if err != nil {
-		return err
-	}
-	client, err := cloud.NewClient(caller, pk, cloud.NewLedger(),
-		cloud.WithParallelism(*par), cloud.WithFastNonce(*fastNonce))
-	if err != nil {
-		return err
-	}
-	defer client.Close()
-	engine, err := core.NewEngine(client, er)
-	if err != nil {
-		return err
-	}
-	opts := core.Options{Halt: core.HaltPaper, Parallelism: *par}
-	if *strict {
-		opts.Halt = core.HaltStrict
-	}
+	var qmode sectopk.Mode
 	switch *mode {
 	case "f":
-		opts.Mode = core.QryF
+		qmode = sectopk.ModeFull
 	case "e":
-		opts.Mode = core.QryE
+		qmode = sectopk.ModeEliminate
 	case "ba":
-		opts.Mode = core.QryBa
+		qmode = sectopk.ModeBatched
 	default:
 		return fmt.Errorf("unknown mode %q", *mode)
 	}
+	halt := sectopk.HaltingPaper
+	if *strict {
+		halt = sectopk.HaltingStrict
+	}
+	dc := sectopk.NewDataCloud(commonOpts(*par, *fastNonce)...)
+	defer dc.Close()
+	if err := dc.Dial(ctx, *connect); err != nil {
+		return err
+	}
+	if err := dc.Host(ctx, *relation, er); err != nil {
+		return err
+	}
+	sess, err := dc.NewSession(*relation, tk, sectopk.WithMode(qmode), sectopk.WithHalting(halt))
+	if err != nil {
+		return err
+	}
 	start := time.Now()
-	res, err := engine.SecQuery(tk, opts)
+	res, err := sess.Execute(ctx)
 	if err != nil {
 		return err
 	}
+	tr := sess.Traffic()
 	fmt.Printf("query done: depth=%d halted=%v elapsed=%s rounds=%d bytes=%d\n",
-		res.Depth, res.Halted, time.Since(start).Round(time.Millisecond), stats.Rounds(), stats.Bytes())
-	rf, err := os.Create(filepath.Join(*dir, resultFile))
-	if err != nil {
-		return err
-	}
-	if err := secio.WriteItems(rf, res.Items); err != nil {
-		rf.Close()
-		return err
-	}
-	return rf.Close()
+		res.Depth, res.Halted, time.Since(start).Round(time.Millisecond), tr.Rounds, tr.Bytes)
+	return res.Save(filepath.Join(*dir, resultFile))
 }
 
 func runReveal(args []string) error {
@@ -269,33 +240,24 @@ func runReveal(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	scheme, err := secio.LoadOwnerBundle(filepath.Join(*dir, ownerFile))
+	owner, err := sectopk.LoadOwner(filepath.Join(*dir, ownerFile))
 	if err != nil {
 		return err
 	}
-	er, err := secio.LoadRelation(filepath.Join(*dir, relationFile))
+	er, err := sectopk.LoadEncryptedRelation(filepath.Join(*dir, relationFile))
 	if err != nil {
 		return err
 	}
-	rf, err := os.Open(filepath.Join(*dir, resultFile))
+	res, err := sectopk.LoadEncryptedResult(filepath.Join(*dir, resultFile))
 	if err != nil {
 		return err
 	}
-	items, err := secio.ReadItems(rf)
-	rf.Close()
-	if err != nil {
-		return err
-	}
-	rev, err := scheme.NewRevealer(er.N)
-	if err != nil {
-		return err
-	}
-	revealed, err := rev.RevealTopK(items)
+	revealed, err := owner.Reveal(er, res)
 	if err != nil {
 		return err
 	}
 	for rank, item := range revealed {
-		fmt.Printf("top-%d: object %d, score %d\n", rank+1, item.Obj, item.Worst)
+		fmt.Printf("top-%d: object %d, score %d\n", rank+1, item.Object, item.Score)
 	}
 	return nil
 }

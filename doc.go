@@ -4,6 +4,11 @@
 // encrypted hash lists, the two-cloud sub-protocol suite, the secure
 // top-k join operator, and the full evaluation harness.
 //
+// The stable entry point is the repro/sectopk package — the public v1
+// API exposing the four deployment roles (Owner, CryptoCloud, DataCloud,
+// Session) with context-first calls, typed errors, and a versioned wire
+// protocol. Everything under internal/ is implementation.
+//
 // See README.md for the architecture overview, the layer diagram, and
 // the Parallelism knob that tunes the worker-pooled execution core. The
 // root-level benchmarks in bench_test.go regenerate every table and

@@ -1,73 +1,74 @@
 // Leakage: run a query and print exactly what each cloud could observe —
 // the CQA leakage profile of Section 9 (query pattern and halting depth
 // for S1, per-round equality patterns for S2) plus the uniqueness pattern
-// Section 10.1 trades for Qry_E's speed.
+// Section 10.1 trades for Qry_E's speed — all through the public API's
+// LeakageEvents surfaces.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/cloud"
-	"repro/internal/core"
-	"repro/internal/dataset"
-	"repro/internal/ehl"
-	"repro/internal/transport"
+	"repro/sectopk"
 )
 
 func main() {
-	scheme, err := core.NewScheme(core.Params{
-		KeyBits: 256, EHL: ehl.Params{Kind: ehl.KindPlus, S: 3}, MaxScoreBits: 20,
-	})
+	ctx := context.Background()
+	owner, err := sectopk.NewOwner(
+		sectopk.WithKeyBits(256),
+		sectopk.WithEHLDigests(3),
+		sectopk.WithMaxScoreBits(20),
+	)
 	if err != nil {
-		log.Fatalf("scheme: %v", err)
+		log.Fatalf("owner: %v", err)
 	}
-	rel, err := dataset.Generate(dataset.Insurance().WithN(12), 7)
+	rel, err := sectopk.GenerateDataset("insurance", 12, 7)
 	if err != nil {
 		log.Fatalf("dataset: %v", err)
 	}
-	er, err := scheme.EncryptRelation(rel)
+	er, err := owner.Encrypt(rel)
 	if err != nil {
 		log.Fatalf("encrypt: %v", err)
 	}
 
-	s2Ledger := cloud.NewLedger()
-	server, err := cloud.NewServer(scheme.KeyMaterial(), s2Ledger)
-	if err != nil {
-		log.Fatalf("server: %v", err)
+	cc := sectopk.NewCryptoCloud()
+	defer cc.Close()
+	if err := cc.Register("insurance", owner.Keys()); err != nil {
+		log.Fatalf("register: %v", err)
 	}
-	defer server.Close()
-	s1Ledger := cloud.NewLedger()
-	stats := transport.NewStats()
-	client, err := cloud.NewClient(transport.NewLocal(server, stats), scheme.PublicKey(), s1Ledger)
-	if err != nil {
-		log.Fatalf("client: %v", err)
+	dc := sectopk.NewDataCloud()
+	defer dc.Close()
+	if err := dc.ConnectLocal(ctx, cc); err != nil {
+		log.Fatalf("connect: %v", err)
 	}
-	defer client.Close()
+	if err := dc.Host(ctx, "insurance", er); err != nil {
+		log.Fatalf("host: %v", err)
+	}
 
-	tk, err := scheme.Token(er, []int{0, 1, 2}, nil, 2)
+	// Run the same query twice: the second run should surface in the
+	// query-pattern leakage.
+	tk, err := owner.Token(er, sectopk.Query{Attrs: []int{0, 1, 2}, K: 2})
 	if err != nil {
 		log.Fatalf("token: %v", err)
 	}
-	engine, err := core.NewEngine(client, er)
-	if err != nil {
-		log.Fatalf("engine: %v", err)
-	}
-	// Run the same query twice: the second run should surface in the
-	// query-pattern leakage.
 	for i := 0; i < 2; i++ {
-		if _, err := engine.SecQuery(tk, core.Options{Mode: core.QryE, Halt: core.HaltPaper}); err != nil {
+		sess, err := dc.NewSession("insurance", tk, sectopk.WithMode(sectopk.ModeEliminate))
+		if err != nil {
+			log.Fatalf("session: %v", err)
+		}
+		if _, err := sess.Execute(ctx); err != nil {
 			log.Fatalf("query: %v", err)
 		}
 	}
 
 	fmt.Println("=== S1 (data cloud) view — L1_Query = (QP, D_q) plus Qry_E's UP^d ===")
-	for _, ev := range s1Ledger.Events() {
+	for _, ev := range dc.LeakageEvents() {
 		fmt.Println(" ", ev)
 	}
 	fmt.Println()
 	fmt.Println("=== S2 (crypto cloud) view — L2_Query = {EP^d} ===")
-	events := s2Ledger.Events()
+	events := cc.LeakageEvents()
 	max := 12
 	for i, ev := range events {
 		if i >= max {
@@ -77,6 +78,7 @@ func main() {
 		fmt.Println(" ", ev)
 	}
 	fmt.Println()
+	tr := dc.Traffic()
 	fmt.Printf("traffic: %d rounds, %d bytes total — every payload blinded or permuted\n",
-		stats.Rounds(), stats.Bytes())
+		tr.Rounds, tr.Bytes)
 }

@@ -1,18 +1,15 @@
 // Medical: the paper's motivating Example 1.1 — an authorized doctor runs
 // SELECT * FROM patients ORDER BY chol + thalach STOP AFTER 2 over an
-// encrypted heart-disease table. The expected top-2 are the records of
-// David and Emma.
+// encrypted heart-disease table, through the public sectopk API. The
+// expected top-2 are the records of David and Emma.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/cloud"
-	"repro/internal/core"
-	"repro/internal/dataset"
-	"repro/internal/ehl"
-	"repro/internal/transport"
+	"repro/sectopk"
 )
 
 // Attribute layout of the patients relation (Table 1 of the paper).
@@ -25,8 +22,9 @@ const (
 )
 
 func main() {
+	ctx := context.Background()
 	names := []string{"Bob", "Celvin", "David", "Emma", "Flora"}
-	patients := &dataset.Relation{
+	patients := &sectopk.Relation{
 		Name: "patients",
 		Rows: [][]int64{
 			// age, id, trestbps, chol, thalach
@@ -41,58 +39,63 @@ func main() {
 	// The data owner (the hospital) encrypts the table before
 	// outsourcing; HIPAA-style compliance means the cloud sees only
 	// ciphertexts.
-	scheme, err := core.NewScheme(core.Params{
-		KeyBits: 256, EHL: ehl.Params{Kind: ehl.KindPlus, S: 3}, MaxScoreBits: 16,
-	})
+	owner, err := sectopk.NewOwner(
+		sectopk.WithKeyBits(256),
+		sectopk.WithEHLDigests(3),
+		sectopk.WithMaxScoreBits(16),
+	)
 	if err != nil {
-		log.Fatalf("scheme: %v", err)
+		log.Fatalf("owner: %v", err)
 	}
-	er, err := scheme.EncryptRelation(patients)
+	er, err := owner.Encrypt(patients)
 	if err != nil {
 		log.Fatalf("encrypt: %v", err)
 	}
 
 	// Two non-colluding clouds: S2 holds the keys, S1 holds the data.
-	server, err := cloud.NewServer(scheme.KeyMaterial(), cloud.NewLedger())
-	if err != nil {
-		log.Fatalf("server: %v", err)
+	cc := sectopk.NewCryptoCloud()
+	defer cc.Close()
+	if err := cc.Register("patients", owner.Keys()); err != nil {
+		log.Fatalf("register: %v", err)
 	}
-	defer server.Close()
-	client, err := cloud.NewClient(transport.NewLocal(server, transport.NewStats()), scheme.PublicKey(), cloud.NewLedger())
-	if err != nil {
-		log.Fatalf("client: %v", err)
+	dc := sectopk.NewDataCloud()
+	defer dc.Close()
+	if err := dc.ConnectLocal(ctx, cc); err != nil {
+		log.Fatalf("connect: %v", err)
 	}
-	defer client.Close()
+	if err := dc.Host(ctx, "patients", er); err != nil {
+		log.Fatalf("host: %v", err)
+	}
 
-	// Dr. Alice requests a token for ORDER BY chol + thalach STOP AFTER 2.
-	tk, err := scheme.Token(er, []int{attrChol, attrThalach}, nil, 2)
+	// Dr. Alice requests a token for ORDER BY chol + thalach STOP AFTER 2
+	// and S1 runs the fully private Qry_F variant.
+	tk, err := owner.Token(er, sectopk.Query{Attrs: []int{attrChol, attrThalach}, K: 2})
 	if err != nil {
 		log.Fatalf("token: %v", err)
 	}
-	engine, err := core.NewEngine(client, er)
+	sess, err := dc.NewSession("patients", tk,
+		sectopk.WithMode(sectopk.ModeFull),
+		sectopk.WithHalting(sectopk.HaltingStrict),
+	)
 	if err != nil {
-		log.Fatalf("engine: %v", err)
+		log.Fatalf("session: %v", err)
 	}
-	res, err := engine.SecQuery(tk, core.Options{Mode: core.QryF, Halt: core.HaltStrict})
+	res, err := sess.Execute(ctx)
 	if err != nil {
 		log.Fatalf("query: %v", err)
 	}
 
-	rev, err := scheme.NewRevealer(er.N)
-	if err != nil {
-		log.Fatalf("revealer: %v", err)
-	}
-	revealed, err := rev.RevealTopK(res.Items)
+	results, err := owner.Reveal(er, res)
 	if err != nil {
 		log.Fatalf("reveal: %v", err)
 	}
 	fmt.Println("top-2 patients by chol + thalach:")
-	for rank, item := range revealed {
+	for rank, item := range results {
 		fmt.Printf("  %d. %s (chol=%d, thalach=%d, score=%d)\n",
-			rank+1, names[item.Obj],
-			patients.Rows[item.Obj][attrChol], patients.Rows[item.Obj][attrThalach],
-			item.Worst)
+			rank+1, names[item.Object],
+			patients.Rows[item.Object][attrChol], patients.Rows[item.Object][attrThalach],
+			item.Score)
 	}
 	fmt.Printf("(the cloud scanned %d of %d depths and learned neither scores nor ids)\n",
-		res.Depth, er.N)
+		res.Depth, er.Rows())
 }

@@ -1,27 +1,37 @@
-// Quickstart: encrypt a tiny relation, stand up the two clouds, run a
-// secure top-k query, and reveal the result — the full SecTopK pipeline
-// in one file.
+// Quickstart: the full SecTopK pipeline through the public sectopk API —
+// encrypt a tiny relation, stand up the two clouds, run a secure top-k
+// query session, and reveal the result.
+//
+// The four roles map onto the paper's Section 3.2 architecture:
+//
+//	sectopk.Owner        the data owner (keys, Enc, Token, Reveal)
+//	sectopk.CryptoCloud  S2, the only key holder, serving relations
+//	sectopk.DataCloud    S1, hosting ciphertexts and driving the rounds
+//	sectopk.Session      one query's lifecycle: token -> result
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/cloud"
-	"repro/internal/core"
-	"repro/internal/dataset"
-	"repro/internal/ehl"
-	"repro/internal/transport"
+	"repro/sectopk"
 )
 
 func main() {
-	// 1. The data owner generates keys and encrypts the relation.
-	params := core.Params{KeyBits: 256, EHL: ehl.Params{Kind: ehl.KindPlus, S: 3}, MaxScoreBits: 20}
-	scheme, err := core.NewScheme(params)
+	ctx := context.Background()
+
+	// 1. The data owner generates keys and encrypts the relation. Every
+	//    construction knob is a functional option.
+	owner, err := sectopk.NewOwner(
+		sectopk.WithKeyBits(256), // demo-sized; production wants 2048+
+		sectopk.WithEHLDigests(3),
+		sectopk.WithMaxScoreBits(20),
+	)
 	if err != nil {
-		log.Fatalf("scheme: %v", err)
+		log.Fatalf("owner: %v", err)
 	}
-	rel := &dataset.Relation{
+	rel := &sectopk.Relation{
 		Name: "demo",
 		Rows: [][]int64{
 			{10, 3, 2},
@@ -31,55 +41,60 @@ func main() {
 			{1, 1, 1},
 		},
 	}
-	er, err := scheme.EncryptRelation(rel)
+	er, err := owner.Encrypt(rel)
 	if err != nil {
 		log.Fatalf("encrypt: %v", err)
 	}
 	fmt.Printf("encrypted %q: %d rows x %d attrs, %d bytes of ciphertext\n",
-		rel.Name, er.N, er.M, er.ByteSize(scheme.PublicKey()))
+		er.Name(), er.Rows(), er.Attributes(), er.ByteSize())
 
-	// 2. Stand up the crypto cloud S2 (holds the secret keys) and the
-	//    data cloud S1's client stub, wired over the in-process transport
-	//    with byte accounting.
-	server, err := cloud.NewServer(scheme.KeyMaterial(), cloud.NewLedger())
-	if err != nil {
-		log.Fatalf("server: %v", err)
+	// 2. Stand up the crypto cloud S2 (holds the secret keys, registered
+	//    per relation) and the data cloud S1, wired in-process with full
+	//    wire accounting, then host the encrypted relation. Hosting runs
+	//    the versioned Hello handshake, so incompatible peers or unknown
+	//    relations fail here with typed errors.
+	cc := sectopk.NewCryptoCloud()
+	defer cc.Close()
+	if err := cc.Register("demo", owner.Keys()); err != nil {
+		log.Fatalf("register: %v", err)
 	}
-	defer server.Close()
-	stats := transport.NewStats()
-	client, err := cloud.NewClient(transport.NewLocal(server, stats), scheme.PublicKey(), cloud.NewLedger())
-	if err != nil {
-		log.Fatalf("client: %v", err)
+	dc := sectopk.NewDataCloud()
+	defer dc.Close()
+	if err := dc.ConnectLocal(ctx, cc); err != nil {
+		log.Fatalf("connect: %v", err)
 	}
-	defer client.Close()
+	if err := dc.Host(ctx, "demo", er); err != nil {
+		log.Fatalf("host: %v", err)
+	}
 
 	// 3. An authorized client asks for the top-2 by the sum of all three
-	//    attributes and sends the token to S1.
-	tk, err := scheme.Token(er, []int{0, 1, 2}, nil, 2)
+	//    attributes and opens a session with the token. The context
+	//    cancels the query cooperatively, bounded by one protocol round.
+	tk, err := owner.Token(er, sectopk.Query{Attrs: []int{0, 1, 2}, K: 2})
 	if err != nil {
 		log.Fatalf("token: %v", err)
 	}
-	engine, err := core.NewEngine(client, er)
+	sess, err := dc.NewSession("demo", tk,
+		sectopk.WithMode(sectopk.ModeEliminate),
+		sectopk.WithHalting(sectopk.HaltingStrict),
+	)
 	if err != nil {
-		log.Fatalf("engine: %v", err)
+		log.Fatalf("session: %v", err)
 	}
-	res, err := engine.SecQuery(tk, core.Options{Mode: core.QryE, Halt: core.HaltStrict})
+	res, err := sess.Execute(ctx)
 	if err != nil {
 		log.Fatalf("query: %v", err)
 	}
+	tr := sess.Traffic()
 	fmt.Printf("halted at depth %d after %d protocol rounds, %d bytes exchanged\n",
-		res.Depth, stats.Rounds(), stats.Bytes())
+		res.Depth, tr.Rounds, tr.Bytes)
 
 	// 4. The client decrypts the returned ids and worst scores.
-	rev, err := scheme.NewRevealer(er.N)
-	if err != nil {
-		log.Fatalf("revealer: %v", err)
-	}
-	revealed, err := rev.RevealTopK(res.Items)
+	results, err := owner.Reveal(er, res)
 	if err != nil {
 		log.Fatalf("reveal: %v", err)
 	}
-	for rank, item := range revealed {
-		fmt.Printf("top-%d: object %d with score %d\n", rank+1, item.Obj, item.Worst)
+	for rank, item := range results {
+		fmt.Printf("top-%d: object %d with score %d\n", rank+1, item.Object, item.Score)
 	}
 }

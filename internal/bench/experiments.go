@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -394,7 +395,7 @@ func KNNCompare(r *Rig) ([]*Report, error) {
 		}
 		r.Stats.Reset()
 		start = time.Now()
-		if _, err := knn.TopKViaKNN(kEngine, spec.MaxScore, k); err != nil {
+		if _, err := knn.TopKViaKNN(context.Background(), kEngine, spec.MaxScore, k); err != nil {
 			return nil, err
 		}
 		knnTime := time.Since(start)
@@ -481,7 +482,7 @@ func Fig14(r *Rig) ([]*Report, error) {
 			return nil, err
 		}
 		start := time.Now()
-		out, err := engine.SecJoin(tk)
+		out, err := engine.SecJoin(context.Background(), tk)
 		if err != nil {
 			return nil, err
 		}
@@ -569,7 +570,7 @@ func Ablations(r *Rig) ([]*Report, error) {
 			return nil, err
 		}
 		start := time.Now()
-		res, err := engine.SecQuery(tk, core.Options{Mode: core.QryE, Halt: core.HaltPaper, MaxDepth: r.Cfg.MaxDepth})
+		res, err := engine.SecQuery(context.Background(), tk, core.Options{Mode: core.QryE, Halt: core.HaltPaper, MaxDepth: r.Cfg.MaxDepth})
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -131,7 +132,7 @@ func (r *Rig) timeQuery(er *core.EncryptedRelation, attrs []int, k int, opts cor
 	}
 	r.Stats.Reset()
 	start := time.Now()
-	res, err := engine.SecQuery(tk, opts)
+	res, err := engine.SecQuery(context.Background(), tk, opts)
 	if err != nil {
 		return nil, err
 	}

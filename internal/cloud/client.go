@@ -1,6 +1,7 @@
 package cloud
 
 import (
+	"context"
 	"crypto/rand"
 	"errors"
 	"fmt"
@@ -8,6 +9,7 @@ import (
 
 	"repro/internal/dj"
 	"repro/internal/paillier"
+	"repro/internal/secerr"
 	"repro/internal/transport"
 )
 
@@ -21,16 +23,17 @@ import (
 // pools; the protocols layer reads them through Parallelism, Enc, and
 // EphEnc so every S1-side blinding loop shares one configuration.
 type Client struct {
-	caller transport.Caller
-	pk     *paillier.PublicKey
-	djPK   *dj.PublicKey
-	eph    *paillier.PrivateKey
-	ledger *Ledger
-	par    int
-	pkEnc  paillier.Encryptor
-	ephEnc paillier.Encryptor
-	djEnc  dj.Encryptor
-	close  []func()
+	caller   transport.Caller
+	relation string
+	pk       *paillier.PublicKey
+	djPK     *dj.PublicKey
+	eph      *paillier.PrivateKey
+	ledger   *Ledger
+	par      int
+	pkEnc    paillier.Encryptor
+	ephEnc   paillier.Encryptor
+	djEnc    dj.Encryptor
+	close    []func()
 }
 
 // NewClient builds S1's stub. The ledger records S1-side leakage
@@ -53,7 +56,7 @@ func NewClient(caller transport.Caller, pk *paillier.PublicKey, ledger *Ledger, 
 		return nil, fmt.Errorf("cloud: generating ephemeral key: %w", err)
 	}
 	cfg := buildConfig(opts)
-	c := &Client{caller: caller, pk: pk, djPK: djPK, eph: eph, ledger: ledger, par: cfg.parallelism}
+	c := &Client{caller: caller, relation: cfg.relation, pk: pk, djPK: djPK, eph: eph, ledger: ledger, par: cfg.parallelism}
 	// S1 holds only the ephemeral private key: the main and DJ surfaces
 	// get the fast-nonce table when opted in (spec path otherwise), while
 	// the ephemeral surface — the hottest client-side one, with a modulus
@@ -92,6 +95,35 @@ func (c *Client) Close() {
 		f()
 	}
 	c.close = nil
+}
+
+// Relation returns the relation ID this stub stamps on every request
+// (set with WithRelation; empty for single-relation deployments).
+func (c *Client) Relation() string { return c.relation }
+
+// Handshake runs the Hello round: it announces this side's wire protocol
+// version (and, when configured, the relation it intends to query) and
+// verifies the peer answers compatibly. Incompatible peers surface as
+// secerr.ErrProtocolVersion; an unregistered relation as
+// secerr.ErrUnknownRelation.
+func (c *Client) Handshake(ctx context.Context) error {
+	return Handshake(ctx, c.caller, c.relation)
+}
+
+// Handshake runs the Hello round over a bare caller — the shared
+// implementation behind Client.Handshake and connection-time handshakes
+// that happen before any client (with its ephemeral key) exists.
+func Handshake(ctx context.Context, caller transport.Caller, relation string) error {
+	var resp HelloReply
+	req := &HelloRequest{Version: transport.ProtocolVersion, Relation: relation}
+	if err := caller.Call(ctx, MethodHello, req, &resp); err != nil {
+		return err
+	}
+	if resp.Version != transport.ProtocolVersion {
+		return secerr.New(secerr.CodeProtocolVersion,
+			"cloud: peer speaks wire protocol v%d, this side v%d", resp.Version, transport.ProtocolVersion)
+	}
+	return nil
 }
 
 // PK returns the main Paillier public key.
@@ -161,7 +193,7 @@ func bigToDJ(vals []*big.Int) []*dj.Ciphertext {
 
 // EqBits sends randomized EHL differences and returns the hidden equality
 // bits E2(t_i).
-func (c *Client) EqBits(cts []*paillier.Ciphertext) ([]*dj.Ciphertext, error) {
+func (c *Client) EqBits(ctx context.Context, cts []*paillier.Ciphertext) ([]*dj.Ciphertext, error) {
 	if len(cts) == 0 {
 		return nil, nil
 	}
@@ -170,7 +202,7 @@ func (c *Client) EqBits(cts []*paillier.Ciphertext) ([]*dj.Ciphertext, error) {
 		return nil, err
 	}
 	var resp EqBitsReply
-	if err := c.caller.Call(MethodEqBits, &EqBitsRequest{Cts: vals}, &resp); err != nil {
+	if err := c.caller.Call(ctx, MethodEqBits, &EqBitsRequest{Relation: c.relation, Cts: vals}, &resp); err != nil {
 		return nil, err
 	}
 	if len(resp.Bits) != len(cts) {
@@ -180,7 +212,7 @@ func (c *Client) EqBits(cts []*paillier.Ciphertext) ([]*dj.Ciphertext, error) {
 }
 
 // Recover strips the outer layer from blinded double encryptions.
-func (c *Client) Recover(cts []*dj.Ciphertext) ([]*paillier.Ciphertext, error) {
+func (c *Client) Recover(ctx context.Context, cts []*dj.Ciphertext) ([]*paillier.Ciphertext, error) {
 	if len(cts) == 0 {
 		return nil, nil
 	}
@@ -189,7 +221,7 @@ func (c *Client) Recover(cts []*dj.Ciphertext) ([]*paillier.Ciphertext, error) {
 		return nil, err
 	}
 	var resp RecoverReply
-	if err := c.caller.Call(MethodRecover, &RecoverRequest{Cts: vals}, &resp); err != nil {
+	if err := c.caller.Call(ctx, MethodRecover, &RecoverRequest{Relation: c.relation, Cts: vals}, &resp); err != nil {
 		return nil, err
 	}
 	if len(resp.Cts) != len(cts) {
@@ -199,7 +231,7 @@ func (c *Client) Recover(cts []*dj.Ciphertext) ([]*paillier.Ciphertext, error) {
 }
 
 // CompareSigns sends sign-blinded differences and returns each sign.
-func (c *Client) CompareSigns(cts []*paillier.Ciphertext) ([]bool, error) {
+func (c *Client) CompareSigns(ctx context.Context, cts []*paillier.Ciphertext) ([]bool, error) {
 	if len(cts) == 0 {
 		return nil, nil
 	}
@@ -208,7 +240,7 @@ func (c *Client) CompareSigns(cts []*paillier.Ciphertext) ([]bool, error) {
 		return nil, err
 	}
 	var resp CompareReply
-	if err := c.caller.Call(MethodCompare, &CompareRequest{Cts: vals}, &resp); err != nil {
+	if err := c.caller.Call(ctx, MethodCompare, &CompareRequest{Relation: c.relation, Cts: vals}, &resp); err != nil {
 		return nil, err
 	}
 	if len(resp.Neg) != len(cts) {
@@ -218,7 +250,7 @@ func (c *Client) CompareSigns(cts []*paillier.Ciphertext) ([]bool, error) {
 }
 
 // CompareSignsHidden is CompareSigns with encrypted result bits.
-func (c *Client) CompareSignsHidden(cts []*paillier.Ciphertext) ([]*dj.Ciphertext, error) {
+func (c *Client) CompareSignsHidden(ctx context.Context, cts []*paillier.Ciphertext) ([]*dj.Ciphertext, error) {
 	if len(cts) == 0 {
 		return nil, nil
 	}
@@ -227,7 +259,7 @@ func (c *Client) CompareSignsHidden(cts []*paillier.Ciphertext) ([]*dj.Ciphertex
 		return nil, err
 	}
 	var resp CompareHiddenReply
-	if err := c.caller.Call(MethodCompareHidden, &CompareHiddenRequest{Cts: vals}, &resp); err != nil {
+	if err := c.caller.Call(ctx, MethodCompareHidden, &CompareHiddenRequest{Relation: c.relation, Cts: vals}, &resp); err != nil {
 		return nil, err
 	}
 	if len(resp.Bits) != len(cts) {
@@ -238,7 +270,7 @@ func (c *Client) CompareSignsHidden(cts []*paillier.Ciphertext) ([]*dj.Ciphertex
 
 // MultBlinded sends blinded factor pairs and returns the raw products
 // Enc((a+r_a)(b+r_b)).
-func (c *Client) MultBlinded(a, b []*paillier.Ciphertext) ([]*paillier.Ciphertext, error) {
+func (c *Client) MultBlinded(ctx context.Context, a, b []*paillier.Ciphertext) ([]*paillier.Ciphertext, error) {
 	if len(a) != len(b) {
 		return nil, fmt.Errorf("cloud: Mult length mismatch %d vs %d", len(a), len(b))
 	}
@@ -254,7 +286,7 @@ func (c *Client) MultBlinded(a, b []*paillier.Ciphertext) ([]*paillier.Ciphertex
 		return nil, err
 	}
 	var resp MultReply
-	if err := c.caller.Call(MethodMult, &MultRequest{A: av, B: bv}, &resp); err != nil {
+	if err := c.caller.Call(ctx, MethodMult, &MultRequest{Relation: c.relation, A: av, B: bv}, &resp); err != nil {
 		return nil, err
 	}
 	if len(resp.Products) != len(a) {
@@ -266,13 +298,14 @@ func (c *Client) MultBlinded(a, b []*paillier.Ciphertext) ([]*paillier.Ciphertex
 // DedupRound executes one oblivious deduplication exchange. The request
 // must already be blinded and permuted; see protocols.SecDedup for the
 // full S1-side protocol.
-func (c *Client) DedupRound(req *DedupRequest) (*DedupReply, error) {
+func (c *Client) DedupRound(ctx context.Context, req *DedupRequest) (*DedupReply, error) {
 	if req == nil {
 		return nil, errors.New("cloud: nil dedup request")
 	}
+	req.Relation = c.relation
 	req.EphemeralN = c.eph.N
 	var resp DedupReply
-	if err := c.caller.Call(MethodDedup, req, &resp); err != nil {
+	if err := c.caller.Call(ctx, MethodDedup, req, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil
@@ -280,13 +313,14 @@ func (c *Client) DedupRound(req *DedupRequest) (*DedupReply, error) {
 
 // FilterRound executes one oblivious filter exchange for the join
 // pipeline; see protocols.SecFilter.
-func (c *Client) FilterRound(req *FilterRequest) (*FilterReply, error) {
+func (c *Client) FilterRound(ctx context.Context, req *FilterRequest) (*FilterReply, error) {
 	if req == nil {
 		return nil, errors.New("cloud: nil filter request")
 	}
+	req.Relation = c.relation
 	req.EphemeralN = c.eph.N
 	var resp FilterReply
-	if err := c.caller.Call(MethodFilter, req, &resp); err != nil {
+	if err := c.caller.Call(ctx, MethodFilter, req, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil

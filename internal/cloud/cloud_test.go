@@ -1,6 +1,7 @@
 package cloud
 
 import (
+	"context"
 	"math/big"
 	"strings"
 	"sync"
@@ -72,7 +73,7 @@ func TestEqBits(t *testing.T) {
 	zero, _ := pk.EncryptInt64(0)
 	nz, _ := pk.EncryptInt64(991)
 	zero2, _ := pk.EncryptInt64(0)
-	bits, err := e.client.EqBits([]*paillier.Ciphertext{zero, nz, zero2})
+	bits, err := e.client.EqBits(context.Background(), []*paillier.Ciphertext{zero, nz, zero2})
 	if err != nil {
 		t.Fatalf("EqBits: %v", err)
 	}
@@ -86,10 +87,10 @@ func TestEqBits(t *testing.T) {
 			t.Errorf("bit %d = %v, want %d", i, m, want[i])
 		}
 	}
-	if out, err := e.client.EqBits(nil); err != nil || out != nil {
+	if out, err := e.client.EqBits(context.Background(), nil); err != nil || out != nil {
 		t.Fatal("empty EqBits should be a no-op")
 	}
-	if _, err := e.client.EqBits([]*paillier.Ciphertext{nil}); err == nil {
+	if _, err := e.client.EqBits(context.Background(), []*paillier.Ciphertext{nil}); err == nil {
 		t.Fatal("expected error for nil ciphertext")
 	}
 }
@@ -102,7 +103,7 @@ func TestRecover(t *testing.T) {
 	if err != nil {
 		t.Fatalf("EncryptInner: %v", err)
 	}
-	got, err := e.client.Recover([]*dj.Ciphertext{outer})
+	got, err := e.client.Recover(context.Background(), []*dj.Ciphertext{outer})
 	if err != nil {
 		t.Fatalf("Recover: %v", err)
 	}
@@ -124,7 +125,7 @@ func TestCompareSigns(t *testing.T) {
 	pos, _ := pk.EncryptInt64(7)
 	neg, _ := pk.EncryptInt64(-7)
 	zero, _ := pk.EncryptInt64(0)
-	got, err := e.client.CompareSigns([]*paillier.Ciphertext{pos, neg, zero})
+	got, err := e.client.CompareSigns(context.Background(), []*paillier.Ciphertext{pos, neg, zero})
 	if err != nil {
 		t.Fatalf("CompareSigns: %v", err)
 	}
@@ -138,7 +139,7 @@ func TestCompareSignsHidden(t *testing.T) {
 	pk := &e.keys.Paillier.PublicKey
 	pos, _ := pk.EncryptInt64(3)
 	neg, _ := pk.EncryptInt64(-3)
-	bits, err := e.client.CompareSignsHidden([]*paillier.Ciphertext{pos, neg})
+	bits, err := e.client.CompareSignsHidden(context.Background(), []*paillier.Ciphertext{pos, neg})
 	if err != nil {
 		t.Fatalf("CompareSignsHidden: %v", err)
 	}
@@ -154,7 +155,7 @@ func TestMultBlinded(t *testing.T) {
 	pk := &e.keys.Paillier.PublicKey
 	a, _ := pk.EncryptInt64(6)
 	b, _ := pk.EncryptInt64(7)
-	prods, err := e.client.MultBlinded([]*paillier.Ciphertext{a}, []*paillier.Ciphertext{b})
+	prods, err := e.client.MultBlinded(context.Background(), []*paillier.Ciphertext{a}, []*paillier.Ciphertext{b})
 	if err != nil {
 		t.Fatalf("MultBlinded: %v", err)
 	}
@@ -162,7 +163,7 @@ func TestMultBlinded(t *testing.T) {
 	if m.Int64() != 42 {
 		t.Fatalf("6*7 = %v", m)
 	}
-	if _, err := e.client.MultBlinded([]*paillier.Ciphertext{a}, nil); err == nil {
+	if _, err := e.client.MultBlinded(context.Background(), []*paillier.Ciphertext{a}, nil); err == nil {
 		t.Fatal("expected length mismatch error")
 	}
 }
@@ -264,7 +265,7 @@ func TestDedupReplace(t *testing.T) {
 		PairJ:   []int{1, 2, 2},
 		PairCts: []*big.Int{eqPair(t, e, true), eqPair(t, e, false), eqPair(t, e, false)},
 	}
-	resp, err := e.client.DedupRound(req)
+	resp, err := e.client.DedupRound(context.Background(), req)
 	if err != nil {
 		t.Fatalf("DedupRound: %v", err)
 	}
@@ -304,7 +305,7 @@ func TestDedupEliminate(t *testing.T) {
 		PairJ:   []int{1, 2, 2},
 		PairCts: []*big.Int{eqPair(t, e, true), eqPair(t, e, false), eqPair(t, e, false)},
 	}
-	resp, err := e.client.DedupRound(req)
+	resp, err := e.client.DedupRound(context.Background(), req)
 	if err != nil {
 		t.Fatalf("DedupRound: %v", err)
 	}
@@ -339,7 +340,7 @@ func TestDedupMerge(t *testing.T) {
 		PairCts:   []*big.Int{eqPair(t, e, true), eqPair(t, e, true), eqPair(t, e, false), eqPair(t, e, true), eqPair(t, e, false), eqPair(t, e, false)},
 		MergeCols: []int{0},
 	}
-	resp, err := e.client.DedupRound(req)
+	resp, err := e.client.DedupRound(context.Background(), req)
 	if err != nil {
 		t.Fatalf("DedupRound: %v", err)
 	}
@@ -379,7 +380,7 @@ func TestDedupValidation(t *testing.T) {
 		PairJ:   []int{5}, // out of range
 		PairCts: []*big.Int{eqPair(t, e, false)},
 	}
-	if _, err := e.client.DedupRound(bad); err == nil {
+	if _, err := e.client.DedupRound(context.Background(), bad); err == nil {
 		t.Fatal("expected out-of-range pair error")
 	}
 	short := &DedupRequest{
@@ -389,7 +390,7 @@ func TestDedupValidation(t *testing.T) {
 		PairJ:   nil,
 		PairCts: nil,
 	}
-	if _, err := e.client.DedupRound(short); err == nil {
+	if _, err := e.client.DedupRound(context.Background(), short); err == nil {
 		t.Fatal("expected malformed blind vector error")
 	}
 	mergeBad := &DedupRequest{
@@ -397,10 +398,10 @@ func TestDedupValidation(t *testing.T) {
 		Rows:      []WireRow{row},
 		MergeCols: []int{9},
 	}
-	if _, err := e.client.DedupRound(mergeBad); err == nil {
+	if _, err := e.client.DedupRound(context.Background(), mergeBad); err == nil {
 		t.Fatal("expected merge column range error")
 	}
-	if _, err := e.client.DedupRound(nil); err == nil {
+	if _, err := e.client.DedupRound(context.Background(), nil); err == nil {
 		t.Fatal("expected nil request error")
 	}
 }
@@ -428,7 +429,7 @@ func TestFilterDropsAndRecovers(t *testing.T) {
 	bl21, _ := eph.EncryptInt64(0)
 	rowB := WireRow{Scores: []*big.Int{zeroCt.C, pay2.C}, Blinds: []*big.Int{bl20.C, bl21.C}}
 
-	resp, err := e.client.FilterRound(&FilterRequest{Rows: []WireRow{rowA, rowB}})
+	resp, err := e.client.FilterRound(context.Background(), &FilterRequest{Rows: []WireRow{rowA, rowB}})
 	if err != nil {
 		t.Fatalf("FilterRound: %v", err)
 	}
@@ -476,17 +477,17 @@ func TestFilterDropsAndRecovers(t *testing.T) {
 func TestFilterMalformedRow(t *testing.T) {
 	e := env(t)
 	bad := &FilterRequest{Rows: []WireRow{{Scores: nil, Blinds: nil}}}
-	if _, err := e.client.FilterRound(bad); err == nil {
+	if _, err := e.client.FilterRound(context.Background(), bad); err == nil {
 		t.Fatal("expected malformed row error")
 	}
-	if _, err := e.client.FilterRound(nil); err == nil {
+	if _, err := e.client.FilterRound(context.Background(), nil); err == nil {
 		t.Fatal("expected nil request error")
 	}
 }
 
 func TestUnknownMethod(t *testing.T) {
 	e := env(t)
-	if _, err := e.server.Serve("Nope", nil); err == nil || !strings.Contains(err.Error(), "unknown method") {
+	if _, err := e.server.Serve(context.Background(), "Nope", nil); err == nil || !strings.Contains(err.Error(), "unknown method") {
 		t.Fatalf("expected unknown method error, got %v", err)
 	}
 }
@@ -494,7 +495,7 @@ func TestUnknownMethod(t *testing.T) {
 func TestMalformedBody(t *testing.T) {
 	e := env(t)
 	for _, m := range []string{MethodEqBits, MethodRecover, MethodCompare, MethodCompareHidden, MethodMult, MethodDedup, MethodFilter} {
-		if _, err := e.server.Serve(m, []byte{0xff, 0x01, 0x02}); err == nil {
+		if _, err := e.server.Serve(context.Background(), m, []byte{0xff, 0x01, 0x02}); err == nil {
 			t.Errorf("method %s: expected decode error", m)
 		}
 	}
@@ -506,7 +507,7 @@ func TestLedgerRecordsEqualityPattern(t *testing.T) {
 	pk := &e.keys.Paillier.PublicKey
 	zero, _ := pk.EncryptInt64(0)
 	nz, _ := pk.EncryptInt64(5)
-	if _, err := e.client.EqBits([]*paillier.Ciphertext{zero, nz}); err != nil {
+	if _, err := e.client.EqBits(context.Background(), []*paillier.Ciphertext{zero, nz}); err != nil {
 		t.Fatal(err)
 	}
 	events := e.s2led.ByMethod(MethodEqBits)
@@ -535,7 +536,7 @@ func TestStatsAccumulate(t *testing.T) {
 	before := e.stats.Rounds()
 	pk := &e.keys.Paillier.PublicKey
 	a, _ := pk.EncryptInt64(0)
-	if _, err := e.client.EqBits([]*paillier.Ciphertext{a}); err != nil {
+	if _, err := e.client.EqBits(context.Background(), []*paillier.Ciphertext{a}); err != nil {
 		t.Fatal(err)
 	}
 	if e.stats.Rounds() != before+1 {

@@ -1,6 +1,7 @@
 package cloud
 
 import (
+	"context"
 	"math/big"
 	"testing"
 
@@ -104,7 +105,7 @@ func TestClientFastNonceRound(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	neg, err := client.CompareSigns([]*paillier.Ciphertext{diff})
+	neg, err := client.CompareSigns(context.Background(), []*paillier.Ciphertext{diff})
 	if err != nil {
 		t.Fatalf("CompareSigns: %v", err)
 	}

@@ -1,0 +1,94 @@
+package cloud
+
+import (
+	"context"
+	"math/big"
+	"testing"
+
+	"repro/internal/transport"
+)
+
+// fuzzMethods is every wire method a hostile S1 could name, plus a bogus
+// one.
+var fuzzMethods = []string{
+	MethodHello, MethodEqBits, MethodRecover, MethodCompare,
+	MethodCompareHidden, MethodMult, MethodDedup, MethodFilter, "Bogus",
+}
+
+// fuzzSeedBodies are structurally plausible but hostile request bodies:
+// nil ciphertexts, mismatched lengths, nil moduli, and shape-violating
+// rows — each a case that must come back as an error, never a panic.
+func fuzzSeedBodies(t testing.TB) [][]byte {
+	t.Helper()
+	enc := func(v any) []byte {
+		b, err := transport.Encode(v)
+		if err != nil {
+			t.Fatalf("encoding seed: %v", err)
+		}
+		return b
+	}
+	one := big.NewInt(1)
+	return [][]byte{
+		{},
+		{0xff, 0x01, 0x02},
+		enc(&HelloRequest{Version: 99}),
+		enc(&EqBitsRequest{Cts: []*big.Int{nil, one}}),
+		enc(&RecoverRequest{Cts: []*big.Int{nil}}),
+		enc(&CompareRequest{Cts: []*big.Int{big.NewInt(0)}}),
+		enc(&MultRequest{A: []*big.Int{one}, B: nil}),
+		enc(&MultRequest{A: []*big.Int{one}, B: []*big.Int{nil}}),
+		enc(&DedupRequest{
+			Rows:  []WireRow{{EHL: []*big.Int{nil}, Scores: []*big.Int{one}, Blinds: []*big.Int{one, one}}},
+			PairI: []int{0}, PairJ: []int{0}, PairCts: []*big.Int{one},
+		}),
+		enc(&DedupRequest{
+			Rows:       []WireRow{{Scores: []*big.Int{one}, Blinds: []*big.Int{one}}},
+			EphemeralN: nil,
+		}),
+		enc(&DedupRequest{
+			Mode:       DedupMerge,
+			Rows:       []WireRow{{Scores: []*big.Int{one}, Blinds: []*big.Int{one}}},
+			MergeCols:  []int{7},
+			EphemeralN: one,
+		}),
+		enc(&FilterRequest{Rows: []WireRow{{Scores: []*big.Int{nil}, Blinds: []*big.Int{one}}}, EphemeralN: one}),
+		enc(&FilterRequest{Rows: []WireRow{{EHL: []*big.Int{one}, Scores: []*big.Int{one}, Blinds: []*big.Int{one}}}, EphemeralN: one}),
+	}
+}
+
+// FuzzServe feeds malformed gob bodies to the single-relation Server and
+// the multi-relation Service: a hostile data cloud must never be able to
+// panic the crypto cloud, only earn itself typed errors.
+func FuzzServe(f *testing.F) {
+	keys, err := NewKeyMaterial(256)
+	if err != nil {
+		f.Fatalf("NewKeyMaterial: %v", err)
+	}
+	srv, err := NewServer(keys, nil, WithParallelism(1))
+	if err != nil {
+		f.Fatalf("NewServer: %v", err)
+	}
+	f.Cleanup(srv.Close)
+	svc := NewService()
+	if err := svc.Register("r", keys, nil, WithParallelism(1)); err != nil {
+		f.Fatalf("Register: %v", err)
+	}
+	f.Cleanup(svc.Close)
+
+	for mi := range fuzzMethods {
+		for _, body := range fuzzSeedBodies(f) {
+			f.Add(mi, body)
+		}
+	}
+	ctx := context.Background()
+	f.Fuzz(func(t *testing.T, methodIdx int, body []byte) {
+		if methodIdx < 0 {
+			methodIdx = -methodIdx
+		}
+		method := fuzzMethods[methodIdx%len(fuzzMethods)]
+		// Both responders must survive arbitrary bodies; outputs are either
+		// a valid reply or an error — panics fail the fuzz run.
+		_, _ = srv.Serve(ctx, method, body)
+		_, _ = svc.Serve(ctx, method, body)
+	})
+}

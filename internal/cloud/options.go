@@ -17,6 +17,15 @@ type config struct {
 	noPools     bool
 	fastNonce   bool
 	crtOff      bool
+	relation    string
+}
+
+// WithRelation sets the relation ID a Client stamps on every request, so
+// a multi-relation crypto cloud (Service) can route it to the right key
+// material. Single-relation deployments may leave it empty. Servers
+// ignore the option.
+func WithRelation(id string) Option {
+	return func(c *config) { c.relation = id }
 }
 
 // WithParallelism sets the party's parallelism knob: 0 (the default) uses

@@ -1,6 +1,7 @@
 package cloud
 
 import (
+	"context"
 	"crypto/rand"
 	"errors"
 	"fmt"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/paillier"
 	"repro/internal/parallel"
 	"repro/internal/prf"
+	"repro/internal/secerr"
 	"repro/internal/transport"
 	"repro/internal/zmath"
 )
@@ -104,101 +106,120 @@ func (s *Server) Ledger() *Ledger { return s.ledger }
 func (s *Server) Parallelism() int { return s.par }
 
 // decryptRaw decrypts a batch of raw ciphertext values in parallel via
-// the paillier batch helper.
+// the paillier batch helper. Nil or out-of-group values — which a hostile
+// peer can inject freely, since the body is attacker-controlled gob —
+// surface as bad-request errors, never panics.
 func (s *Server) decryptRaw(cts []*big.Int, label string) ([]*big.Int, error) {
 	wrapped := make([]*paillier.Ciphertext, len(cts))
 	for i, c := range cts {
+		if c == nil {
+			return nil, secerr.New(secerr.CodeBadRequest, "cloud: %s: nil ciphertext at %d", label, i)
+		}
 		wrapped[i] = &paillier.Ciphertext{C: c}
 	}
 	out, err := s.keys.Paillier.DecryptBatch(wrapped, s.par)
 	if err != nil {
-		return nil, fmt.Errorf("cloud: %s: %w", label, err)
+		return nil, secerr.Wrap(secerr.CodeBadRequest, err, "cloud: %s", label)
 	}
 	return out, nil
 }
 
-// Serve implements transport.Responder.
-func (s *Server) Serve(method string, body []byte) ([]byte, error) {
+// decodeRequest decodes the typed request for a protocol method and
+// reports the relation it names. Hello is handled by the dispatch layers
+// directly and is not a relation-scoped request.
+func decodeRequest(method string, body []byte) (relationRequest, error) {
+	var req relationRequest
 	switch method {
 	case MethodEqBits:
-		var req EqBitsRequest
-		if err := transport.Decode(body, &req); err != nil {
-			return nil, fmt.Errorf("cloud: decoding %s: %w", method, err)
-		}
-		resp, err := s.eqBits(&req)
-		if err != nil {
-			return nil, err
-		}
-		return transport.Encode(resp)
+		req = new(EqBitsRequest)
 	case MethodRecover:
-		var req RecoverRequest
-		if err := transport.Decode(body, &req); err != nil {
-			return nil, fmt.Errorf("cloud: decoding %s: %w", method, err)
-		}
-		resp, err := s.recover(&req)
-		if err != nil {
-			return nil, err
-		}
-		return transport.Encode(resp)
+		req = new(RecoverRequest)
 	case MethodCompare:
-		var req CompareRequest
-		if err := transport.Decode(body, &req); err != nil {
-			return nil, fmt.Errorf("cloud: decoding %s: %w", method, err)
-		}
-		resp, err := s.compare(&req)
-		if err != nil {
-			return nil, err
-		}
-		return transport.Encode(resp)
+		req = new(CompareRequest)
 	case MethodCompareHidden:
-		var req CompareHiddenRequest
-		if err := transport.Decode(body, &req); err != nil {
-			return nil, fmt.Errorf("cloud: decoding %s: %w", method, err)
-		}
-		resp, err := s.compareHidden(&req)
-		if err != nil {
-			return nil, err
-		}
-		return transport.Encode(resp)
+		req = new(CompareHiddenRequest)
 	case MethodMult:
-		var req MultRequest
-		if err := transport.Decode(body, &req); err != nil {
-			return nil, fmt.Errorf("cloud: decoding %s: %w", method, err)
-		}
-		resp, err := s.mult(&req)
-		if err != nil {
-			return nil, err
-		}
-		return transport.Encode(resp)
+		req = new(MultRequest)
 	case MethodDedup:
-		var req DedupRequest
-		if err := transport.Decode(body, &req); err != nil {
-			return nil, fmt.Errorf("cloud: decoding %s: %w", method, err)
-		}
-		resp, err := s.dedup(&req)
-		if err != nil {
-			return nil, err
-		}
-		return transport.Encode(resp)
+		req = new(DedupRequest)
 	case MethodFilter:
-		var req FilterRequest
+		req = new(FilterRequest)
+	default:
+		return nil, secerr.New(secerr.CodeUnknownMethod, "cloud: unknown method %q", method)
+	}
+	if err := transport.Decode(body, req); err != nil {
+		return nil, secerr.Wrap(secerr.CodeBadRequest, err, "cloud: decoding %s", method)
+	}
+	return req, nil
+}
+
+// Serve implements transport.Responder for a single-relation deployment:
+// the relation ID carried by requests is accepted verbatim. Multi-relation
+// deployments wrap Servers in a Service, which routes on the relation ID.
+func (s *Server) Serve(ctx context.Context, method string, body []byte) ([]byte, error) {
+	if method == MethodHello {
+		var req HelloRequest
 		if err := transport.Decode(body, &req); err != nil {
-			return nil, fmt.Errorf("cloud: decoding %s: %w", method, err)
+			return nil, secerr.Wrap(secerr.CodeBadRequest, err, "cloud: decoding %s", method)
 		}
-		resp, err := s.filter(&req)
+		resp, err := s.hello(&req)
 		if err != nil {
 			return nil, err
 		}
 		return transport.Encode(resp)
-	default:
-		return nil, fmt.Errorf("cloud: unknown method %q", method)
 	}
+	req, err := decodeRequest(method, body)
+	if err != nil {
+		return nil, err
+	}
+	return s.handle(ctx, req)
+}
+
+// hello answers the version-negotiation round. A single-relation Server
+// serves whatever relation the peer names, so only the version is checked.
+func (s *Server) hello(req *HelloRequest) (*HelloReply, error) {
+	if req.Version != transport.ProtocolVersion {
+		return nil, secerr.New(secerr.CodeProtocolVersion,
+			"cloud: peer speaks wire protocol v%d, this side v%d", req.Version, transport.ProtocolVersion)
+	}
+	return &HelloReply{Version: transport.ProtocolVersion}, nil
+}
+
+// handle dispatches a decoded request to its handler and encodes the
+// reply.
+func (s *Server) handle(ctx context.Context, req relationRequest) ([]byte, error) {
+	var (
+		resp any
+		err  error
+	)
+	switch r := req.(type) {
+	case *EqBitsRequest:
+		resp, err = s.eqBits(ctx, r)
+	case *RecoverRequest:
+		resp, err = s.recover(r)
+	case *CompareRequest:
+		resp, err = s.compare(r)
+	case *CompareHiddenRequest:
+		resp, err = s.compareHidden(ctx, r)
+	case *MultRequest:
+		resp, err = s.mult(ctx, r)
+	case *DedupRequest:
+		resp, err = s.dedup(ctx, r)
+	case *FilterRequest:
+		resp, err = s.filter(ctx, r)
+	default:
+		err = secerr.New(secerr.CodeUnknownMethod, "cloud: unroutable request %T", req)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return transport.Encode(resp)
 }
 
 // eqBits decrypts each randomized EHL difference and answers E2(t),
 // t = 1 iff the difference is zero (Algorithm 4, server side). The
 // decryptions and the reply encryptions each fan out over the worker pool.
-func (s *Server) eqBits(req *EqBitsRequest) (*EqBitsReply, error) {
+func (s *Server) eqBits(ctx context.Context, req *EqBitsRequest) (*EqBitsReply, error) {
 	ms, err := s.decryptRaw(req.Cts, "EqBits")
 	if err != nil {
 		return nil, err
@@ -214,7 +235,7 @@ func (s *Server) eqBits(req *EqBitsRequest) (*EqBitsReply, error) {
 		}
 	}
 	out := make([]*big.Int, len(ts))
-	err = parallel.ForEach(s.par, len(ts), func(i int) error {
+	err = parallel.ForEachCtx(ctx, s.par, len(ts), func(i int) error {
 		ct, err := s.djEnc.Encrypt(ts[i])
 		if err != nil {
 			return err
@@ -234,11 +255,14 @@ func (s *Server) eqBits(req *EqBitsRequest) (*EqBitsReply, error) {
 func (s *Server) recover(req *RecoverRequest) (*RecoverReply, error) {
 	wrapped := make([]*dj.Ciphertext, len(req.Cts))
 	for i, c := range req.Cts {
+		if c == nil {
+			return nil, secerr.New(secerr.CodeBadRequest, "cloud: Recover: nil ciphertext at %d", i)
+		}
 		wrapped[i] = &dj.Ciphertext{C: c}
 	}
 	inner, err := s.keys.DJ.DecryptInnerBatch(wrapped, s.par)
 	if err != nil {
-		return nil, fmt.Errorf("cloud: Recover: %w", err)
+		return nil, secerr.Wrap(secerr.CodeBadRequest, err, "cloud: Recover")
 	}
 	out := make([]*big.Int, len(inner))
 	for i, ct := range inner {
@@ -264,13 +288,13 @@ func (s *Server) compare(req *CompareRequest) (*CompareReply, error) {
 
 // compareHidden is compare with the result bit re-encrypted under DJ so
 // S1 learns nothing either.
-func (s *Server) compareHidden(req *CompareHiddenRequest) (*CompareHiddenReply, error) {
+func (s *Server) compareHidden(ctx context.Context, req *CompareHiddenRequest) (*CompareHiddenReply, error) {
 	ms, err := s.decryptRaw(req.Cts, "CompareHidden")
 	if err != nil {
 		return nil, err
 	}
 	out := make([]*big.Int, len(ms))
-	err = parallel.ForEach(s.par, len(ms), func(i int) error {
+	err = parallel.ForEachCtx(ctx, s.par, len(ms), func(i int) error {
 		t := zmath.Zero
 		if zmath.IsNegative(ms[i], s.keys.Paillier.N) {
 			t = zmath.One
@@ -291,13 +315,18 @@ func (s *Server) compareHidden(req *CompareHiddenRequest) (*CompareHiddenReply, 
 
 // mult decrypts blinded factor pairs and returns the encrypted products;
 // S1 strips the cross terms.
-func (s *Server) mult(req *MultRequest) (*MultReply, error) {
+func (s *Server) mult(ctx context.Context, req *MultRequest) (*MultReply, error) {
 	if len(req.A) != len(req.B) {
-		return nil, fmt.Errorf("cloud: Mult length mismatch %d vs %d", len(req.A), len(req.B))
+		return nil, secerr.New(secerr.CodeBadRequest, "cloud: Mult length mismatch %d vs %d", len(req.A), len(req.B))
+	}
+	for i := range req.A {
+		if req.A[i] == nil || req.B[i] == nil {
+			return nil, secerr.New(secerr.CodeBadRequest, "cloud: Mult: nil ciphertext at %d", i)
+		}
 	}
 	pk := &s.keys.Paillier.PublicKey
 	out := make([]*big.Int, len(req.A))
-	err := parallel.ForEach(s.par, len(req.A), func(i int) error {
+	err := parallel.ForEachCtx(ctx, s.par, len(req.A), func(i int) error {
 		a, err := s.keys.Paillier.Decrypt(&paillier.Ciphertext{C: req.A[i]})
 		if err != nil {
 			return fmt.Errorf("cloud: Mult a[%d]: %w", i, err)
@@ -370,6 +399,12 @@ func (s *Server) validateDedup(req *DedupRequest) error {
 			return fmt.Errorf("cloud: Dedup row %d blind vector length %d != %d slots",
 				i, len(r.Blinds), len(r.EHL)+len(r.Scores))
 		}
+		if err := validateRow(&r, i); err != nil {
+			return err
+		}
+		if n > 0 && (len(r.EHL) != len(req.Rows[0].EHL) || len(r.Scores) != len(req.Rows[0].Scores)) {
+			return fmt.Errorf("cloud: Dedup row %d shape differs from row 0", i)
+		}
 	}
 	if req.Mode == DedupMerge {
 		cols := 0
@@ -390,14 +425,14 @@ func (s *Server) validateDedup(req *DedupRequest) error {
 // the equality pattern of the permuted pair set is the only thing S2
 // learns (the leakage EP^d of Section 9). The pair decryptions, sentinel
 // construction, and re-blinding all fan out over the worker pool.
-func (s *Server) dedup(req *DedupRequest) (*DedupReply, error) {
+func (s *Server) dedup(ctx context.Context, req *DedupRequest) (*DedupReply, error) {
 	if err := s.validateDedup(req); err != nil {
-		return nil, err
+		return nil, secerr.Wrap(secerr.CodeBadRequest, err, "cloud: Dedup")
 	}
 	pk := &s.keys.Paillier.PublicKey
 	ephPK, err := paillier.NewPublicKeyFromN(req.EphemeralN)
 	if err != nil {
-		return nil, fmt.Errorf("cloud: Dedup ephemeral key: %w", err)
+		return nil, secerr.Wrap(secerr.CodeBadRequest, err, "cloud: Dedup ephemeral key")
 	}
 	n := len(req.Rows)
 	pairMs, err := s.decryptRaw(req.PairCts, "Dedup pair")
@@ -435,7 +470,7 @@ func (s *Server) dedup(req *DedupRequest) (*DedupReply, error) {
 				dups = append(dups, i)
 			}
 		}
-		err := parallel.ForEach(s.par, len(dups), func(k int) error {
+		err := parallel.ForEachCtx(ctx, s.par, len(dups), func(k int) error {
 			i := dups[k]
 			repl, err := s.sentinelRow(pk, ephPK, len(req.Rows[i].EHL), len(req.Rows[i].Scores), sentinel)
 			if err != nil {
@@ -504,7 +539,7 @@ func (s *Server) dedup(req *DedupRequest) (*DedupReply, error) {
 	// Re-blind every surviving row (Algorithm 7 lines 26-30) so S1 cannot
 	// tell which rows were touched, then re-permute (line 31). Rows are
 	// independent, so the re-blinding fans out row-per-worker.
-	err = parallel.ForEach(s.par, len(rows), func(i int) error {
+	err = parallel.ForEachCtx(ctx, s.par, len(rows), func(i int) error {
 		return s.reblindRow(pk, ephPK, &rows[i])
 	})
 	if err != nil {
@@ -612,21 +647,27 @@ func (s *Server) reblindRow(pk, ephPK *paillier.PublicKey, row *WireRow) error {
 // rows whose multiplicatively blinded join score decrypts to zero, then
 // re-blind and re-permute the survivors. Score decryptions and per-row
 // re-blinding fan out over the worker pool.
-func (s *Server) filter(req *FilterRequest) (*FilterReply, error) {
+func (s *Server) filter(ctx context.Context, req *FilterRequest) (*FilterReply, error) {
 	pk := &s.keys.Paillier.PublicKey
 	ephPK, err := paillier.NewPublicKeyFromN(req.EphemeralN)
 	if err != nil {
-		return nil, fmt.Errorf("cloud: Filter ephemeral key: %w", err)
+		return nil, secerr.Wrap(secerr.CodeBadRequest, err, "cloud: Filter ephemeral key")
+	}
+	for i := range req.Rows {
+		r := &req.Rows[i]
+		if len(r.Scores) == 0 || len(r.Blinds) != len(r.Scores) || len(r.EHL) != 0 {
+			return nil, secerr.New(secerr.CodeBadRequest, "cloud: Filter row %d malformed", i)
+		}
+		if err := validateRow(r, i); err != nil {
+			return nil, secerr.Wrap(secerr.CodeBadRequest, err, "cloud: Filter")
+		}
 	}
 	scores := make([]*big.Int, len(req.Rows))
-	err = parallel.ForEach(s.par, len(req.Rows), func(i int) error {
+	err = parallel.ForEachCtx(ctx, s.par, len(req.Rows), func(i int) error {
 		r := req.Rows[i]
-		if len(r.Scores) == 0 || len(r.Blinds) != len(r.Scores) {
-			return fmt.Errorf("cloud: Filter row %d malformed", i)
-		}
 		m, err := s.keys.Paillier.Decrypt(&paillier.Ciphertext{C: r.Scores[0]})
 		if err != nil {
-			return fmt.Errorf("cloud: Filter row %d score: %w", i, err)
+			return secerr.Wrap(secerr.CodeBadRequest, err, "cloud: Filter row %d score", i)
 		}
 		scores[i] = m
 		return nil
@@ -643,7 +684,7 @@ func (s *Server) filter(req *FilterRequest) (*FilterReply, error) {
 	}
 	s.ledger.Record("S2", MethodFilter, "joined %d of %d candidate tuples", len(rows), len(req.Rows))
 
-	err = parallel.ForEach(s.par, len(rows), func(i int) error {
+	err = parallel.ForEachCtx(ctx, s.par, len(rows), func(i int) error {
 		row := &rows[i]
 		// Multiplicative re-blind of the join score: s'' = s' * gamma,
 		// with the recorded inverse updated to r^{-1} * gamma^{-1}. The
@@ -705,4 +746,26 @@ func (s *Server) filter(req *FilterRequest) (*FilterReply, error) {
 		out[perm[i]] = rows[i]
 	}
 	return &FilterReply{Rows: out}, nil
+}
+
+// validateRow rejects rows carrying nil slots anywhere a hostile peer
+// could hide one; the re-blinding paths do raw big.Int arithmetic on
+// these values and must never see a nil.
+func validateRow(r *WireRow, i int) error {
+	for j, v := range r.EHL {
+		if v == nil {
+			return fmt.Errorf("cloud: row %d EHL slot %d is nil", i, j)
+		}
+	}
+	for j, v := range r.Scores {
+		if v == nil {
+			return fmt.Errorf("cloud: row %d score column %d is nil", i, j)
+		}
+	}
+	for j, v := range r.Blinds {
+		if v == nil {
+			return fmt.Errorf("cloud: row %d blind %d is nil", i, j)
+		}
+	}
+	return nil
 }

@@ -1,0 +1,172 @@
+package cloud
+
+import (
+	"context"
+	"errors"
+	"math/big"
+	"net"
+	"testing"
+
+	"repro/internal/paillier"
+	"repro/internal/secerr"
+	"repro/internal/transport"
+)
+
+// TestServiceRegistry exercises registration lifecycle and typed errors.
+func TestServiceRegistry(t *testing.T) {
+	e := env(t)
+	svc := NewService()
+	defer svc.Close()
+	if err := svc.Register("patients", e.keys, nil); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if err := svc.Register("patients", e.keys, nil); !errors.Is(err, secerr.ErrRelationExists) {
+		t.Fatalf("duplicate Register: want ErrRelationExists, got %v", err)
+	}
+	if err := svc.Register("", e.keys, nil); err == nil {
+		t.Fatal("empty id accepted")
+	}
+	if got := svc.Relations(); len(got) != 1 || got[0] != "patients" {
+		t.Fatalf("Relations = %v", got)
+	}
+	svc.Deregister("patients")
+	if got := svc.Relations(); len(got) != 0 {
+		t.Fatalf("Relations after Deregister = %v", got)
+	}
+	svc.Deregister("missing") // no-op
+}
+
+// TestServiceRouting routes a real round through the registry and checks
+// unknown relations are rejected with the typed code.
+func TestServiceRouting(t *testing.T) {
+	e := env(t)
+	svc := NewService()
+	defer svc.Close()
+	if err := svc.Register("r1", e.keys, nil, WithParallelism(1)); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	client, err := NewClient(transport.NewLocal(svc, nil), &e.keys.Paillier.PublicKey, nil,
+		WithRelation("r1"), WithParallelism(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if err := client.Handshake(ctx); err != nil {
+		t.Fatalf("Handshake: %v", err)
+	}
+	zero, err := e.keys.Paillier.PublicKey.EncryptZero()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bits, err := client.EqBits(ctx, []*paillier.Ciphertext{zero})
+	if err != nil {
+		t.Fatalf("EqBits via service: %v", err)
+	}
+	if len(bits) != 1 {
+		t.Fatalf("EqBits returned %d bits", len(bits))
+	}
+
+	// A client naming an unregistered relation is rejected with the code.
+	stranger, err := NewClient(transport.NewLocal(svc, nil), &e.keys.Paillier.PublicKey, nil,
+		WithRelation("nope"), WithParallelism(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stranger.Close()
+	if err := stranger.Handshake(ctx); !errors.Is(err, secerr.ErrUnknownRelation) {
+		t.Fatalf("Handshake for unknown relation: want ErrUnknownRelation, got %v", err)
+	}
+	if _, err := stranger.EqBits(ctx, []*paillier.Ciphertext{zero}); !errors.Is(err, secerr.ErrUnknownRelation) {
+		t.Fatalf("EqBits for unknown relation: want ErrUnknownRelation, got %v", err)
+	}
+}
+
+// TestHelloVersionNegotiation rejects incompatible wire versions on both
+// Server and Service with the typed code.
+func TestHelloVersionNegotiation(t *testing.T) {
+	e := env(t)
+	svc := NewService()
+	defer svc.Close()
+	if err := svc.Register("r", e.keys, nil, WithParallelism(1)); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for name, responder := range map[string]transport.Responder{"server": e.server, "service": svc} {
+		body, err := transport.Encode(&HelloRequest{Version: 99})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := responder.Serve(ctx, MethodHello, body); !errors.Is(err, secerr.ErrProtocolVersion) {
+			t.Fatalf("%s: want ErrProtocolVersion for v99, got %v", name, err)
+		}
+		body, err = transport.Encode(&HelloRequest{Version: transport.ProtocolVersion})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := responder.Serve(ctx, MethodHello, body)
+		if err != nil {
+			t.Fatalf("%s: Hello v%d rejected: %v", name, transport.ProtocolVersion, err)
+		}
+		var resp HelloReply
+		if err := transport.Decode(out, &resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.Version != transport.ProtocolVersion {
+			t.Fatalf("%s: reply version %d", name, resp.Version)
+		}
+	}
+}
+
+// TestTypedErrorsSurviveTCP runs the Service behind the real framed
+// transport and checks the error codes cross the wire intact.
+func TestTypedErrorsSurviveTCP(t *testing.T) {
+	e := env(t)
+	svc := NewService()
+	defer svc.Close()
+	if err := svc.Register("r", e.keys, nil, WithParallelism(1)); err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancelServe := context.WithCancel(context.Background())
+	defer cancelServe()
+	go func() { _ = transport.Serve(ctx, l, svc) }()
+
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	caller := transport.NewNetCaller(conn, nil)
+	defer caller.Close()
+
+	// Unknown relation.
+	var hr HelloReply
+	err = caller.Call(ctx, MethodHello, &HelloRequest{Version: transport.ProtocolVersion, Relation: "ghost"}, &hr)
+	if !errors.Is(err, secerr.ErrUnknownRelation) {
+		t.Fatalf("want ErrUnknownRelation over TCP, got %v", err)
+	}
+	// Version mismatch.
+	err = caller.Call(ctx, MethodHello, &HelloRequest{Version: 2}, &hr)
+	if !errors.Is(err, secerr.ErrProtocolVersion) {
+		t.Fatalf("want ErrProtocolVersion over TCP, got %v", err)
+	}
+	// Unknown method.
+	err = caller.Call(ctx, "Bogus", &HelloRequest{}, nil)
+	if !errors.Is(err, secerr.ErrUnknownMethod) {
+		t.Fatalf("want ErrUnknownMethod over TCP, got %v", err)
+	}
+	// Bad request (nil ciphertext) routed to a registered relation.
+	var eq EqBitsReply
+	err = caller.Call(ctx, MethodEqBits, &EqBitsRequest{Relation: "r", Cts: []*big.Int{nil}}, &eq)
+	if !errors.Is(err, secerr.ErrBadRequest) {
+		t.Fatalf("want ErrBadRequest over TCP, got %v", err)
+	}
+	// The connection stays usable after typed errors.
+	if err := caller.Call(ctx, MethodHello, &HelloRequest{Version: transport.ProtocolVersion, Relation: "r"}, &hr); err != nil {
+		t.Fatalf("connection unusable after errors: %v", err)
+	}
+}

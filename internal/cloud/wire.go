@@ -1,16 +1,24 @@
 // Package cloud implements the two-party runtime of Section 3.2: the
-// crypto cloud S2 (Server) holding the secret keys, and the data cloud
-// S1's stub (Client) that drives the protocol rounds over a transport.
+// crypto cloud S2 (Server per relation, Service as the multi-relation
+// registry) holding the secret keys, and the data cloud S1's stub
+// (Client) that drives the protocol rounds over a transport.
 //
 // Every exchange is a single request/response round. The Server sees only
 // blinded and/or permuted data; each handler records what it learns into a
 // leakage Ledger so tests can check the CQA leakage profile of Section 9.
+//
+// Every protocol request names the relation it operates on (RelationID),
+// so one crypto cloud can serve many outsourced relations under distinct
+// key material — the deployment shape the paper's Section 3.2 assumes.
+// Peers negotiate the wire protocol version with a Hello round before
+// issuing protocol methods.
 package cloud
 
 import "math/big"
 
 // Method names for the transport layer.
 const (
+	MethodHello         = "Hello"
 	MethodEqBits        = "EqBits"
 	MethodRecover       = "Recover"
 	MethodCompare       = "Compare"
@@ -20,11 +28,30 @@ const (
 	MethodFilter        = "Filter"
 )
 
+// HelloRequest opens a connection: the caller announces the wire protocol
+// version it speaks and, optionally, the relation it intends to query, so
+// incompatible peers and unknown relations are rejected up front instead
+// of gob-failing mid-round.
+type HelloRequest struct {
+	Version  int
+	Relation string // optional: "" checks only the version
+}
+
+// HelloReply confirms the handshake: the responder's version and, when
+// the request named a relation, that relation echoed back as confirmed
+// (never the full registry — peers cannot enumerate other tenants). Nil
+// from a single-relation Server, which accepts any relation ID.
+type HelloReply struct {
+	Version   int
+	Relations []string
+}
+
 // EqBitsRequest carries randomized EHL differences Enc(b_i) (outputs of
 // the ⊖ operator). S2 decrypts each and answers with E2(t_i), t_i = 1 iff
 // b_i = 0 (the two objects were equal), per Algorithm 4 lines 11-13.
 type EqBitsRequest struct {
-	Cts []*big.Int // Paillier ciphertexts
+	Relation string
+	Cts      []*big.Int // Paillier ciphertexts
 }
 
 // EqBitsReply carries the hidden equality bits E2(t_i).
@@ -35,7 +62,8 @@ type EqBitsReply struct {
 // RecoverRequest carries blinded double encryptions E2(Enc(c+r)); S2
 // strips the outer layer (Algorithm 5).
 type RecoverRequest struct {
-	Cts []*big.Int // DJ ciphertexts
+	Relation string
+	Cts      []*big.Int // DJ ciphertexts
 }
 
 // RecoverReply carries the inner Paillier ciphertexts Enc(c+r).
@@ -47,7 +75,8 @@ type RecoverReply struct {
 // reports each sign. The ±1 flip chosen by S1 hides the true order from
 // S2, and the blinded magnitude hides the values.
 type CompareRequest struct {
-	Cts []*big.Int
+	Relation string
+	Cts      []*big.Int
 }
 
 // CompareReply reports, for each input, whether the decrypted value is
@@ -60,7 +89,8 @@ type CompareReply struct {
 // sign comes back encrypted so not even S1 learns the order (used inside
 // EncSort compare-exchange gates).
 type CompareHiddenRequest struct {
-	Cts []*big.Int
+	Relation string
+	Cts      []*big.Int
 }
 
 // CompareHiddenReply carries E2(neg_i).
@@ -73,8 +103,9 @@ type CompareHiddenReply struct {
 // the secure kNN baseline of Section 11.3 and the batched best-bound
 // computation).
 type MultRequest struct {
-	A []*big.Int
-	B []*big.Int
+	Relation string
+	A        []*big.Int
+	B        []*big.Int
 }
 
 // MultReply carries Enc((a+r_a)(b+r_b)); S1 strips the cross terms
@@ -131,6 +162,7 @@ type WireRow struct {
 // set S1 wants examined (the upper triangle of Algorithm 7's matrix B, or
 // a bipartite block inside SecUpdate).
 type DedupRequest struct {
+	Relation   string
 	Mode       DedupMode
 	Rows       []WireRow
 	PairI      []int
@@ -157,6 +189,7 @@ type DedupReply struct {
 // remaining Scores columns are additively blinded attributes with additive
 // blind entries. EHL is unused (empty) for join tuples.
 type FilterRequest struct {
+	Relation   string
 	Rows       []WireRow
 	EphemeralN *big.Int
 }
@@ -165,3 +198,16 @@ type FilterRequest struct {
 type FilterReply struct {
 	Rows []WireRow
 }
+
+// relationRequest is implemented by every protocol request so the
+// multi-relation Service can route a decoded request to the Server
+// registered for its relation.
+type relationRequest interface{ relationID() string }
+
+func (r *EqBitsRequest) relationID() string        { return r.Relation }
+func (r *RecoverRequest) relationID() string       { return r.Relation }
+func (r *CompareRequest) relationID() string       { return r.Relation }
+func (r *CompareHiddenRequest) relationID() string { return r.Relation }
+func (r *MultRequest) relationID() string          { return r.Relation }
+func (r *DedupRequest) relationID() string         { return r.Relation }
+func (r *FilterRequest) relationID() string        { return r.Relation }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/cloud"
@@ -33,7 +34,7 @@ func TestRoundComplexityPerDepth(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := engine.SecQuery(tk, Options{Mode: QryE, Halt: HaltPaper, MaxDepth: maxDepth}); err != nil {
+		if _, err := engine.SecQuery(context.Background(), tk, Options{Mode: QryE, Halt: HaltPaper, MaxDepth: maxDepth}); err != nil {
 			t.Fatal(err)
 		}
 		// Pipeline methods only (ranking uses Compare/CompareHidden and
@@ -44,7 +45,7 @@ func TestRoundComplexityPerDepth(t *testing.T) {
 	r2 := pipelineRounds(2)
 	r3 := pipelineRounds(3)
 	// Steady state per depth: EqBits for SecWorst(1) + SecBest(1) +
-	// SecUpdate(1), plus Dedup for the per-depth dedup(1) and SecUpdate's
+	// SecUpdate (1), plus Dedup for the per-depth dedup(1) and SecUpdate's
 	// bipartite dedup(1) = 5 rounds. Depth one skips SecUpdate's two
 	// rounds (T is empty): 3 rounds.
 	if perDepth := r3 - r2; perDepth != 5 {
@@ -69,7 +70,7 @@ func TestRankingGatesScaleWithK(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := protocols.EncSelectTop(client, hasher, 0, true, k, 16); err != nil {
+		if _, err := protocols.EncSelectTop(context.Background(), client, hasher, 0, true, k, 16); err != nil {
 			t.Fatal(err)
 		}
 		return stats.Method(cloud.MethodCompareHidden).Calls

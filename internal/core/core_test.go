@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 	"sync"
 	"testing"
@@ -84,7 +85,7 @@ func runQuery(t *testing.T, r *testRig, er *EncryptedRelation, attrs []int, weig
 	if err != nil {
 		t.Fatalf("NewEngine: %v", err)
 	}
-	res, err := engine.SecQuery(tk, opts)
+	res, err := engine.SecQuery(context.Background(), tk, opts)
 	if err != nil {
 		t.Fatalf("SecQuery(%v): %v", opts.Mode, err)
 	}
@@ -258,7 +259,7 @@ func TestMaxDepthCap(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := engine.SecQuery(tk, Options{Mode: QryE, Halt: HaltStrict, MaxDepth: 1})
+	res, err := engine.SecQuery(context.Background(), tk, Options{Mode: QryE, Halt: HaltStrict, MaxDepth: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -330,10 +331,10 @@ func TestLeakageProfile(t *testing.T) {
 	// The runQuery helper builds a fresh engine, so instead check directly:
 	engine, _ := NewEngine(r.client, er)
 	tk, _ := r.scheme.Token(er, []int{0, 1, 2}, nil, 2)
-	if _, err := engine.SecQuery(tk, Options{Mode: QryE, Halt: HaltPaper, MaxDepth: 1}); err != nil {
+	if _, err := engine.SecQuery(context.Background(), tk, Options{Mode: QryE, Halt: HaltPaper, MaxDepth: 1}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := engine.SecQuery(tk, Options{Mode: QryE, Halt: HaltPaper, MaxDepth: 1}); err != nil {
+	if _, err := engine.SecQuery(context.Background(), tk, Options{Mode: QryE, Halt: HaltPaper, MaxDepth: 1}); err != nil {
 		t.Fatal(err)
 	}
 	var sawRepeat bool
@@ -386,18 +387,18 @@ func TestEngineValidation(t *testing.T) {
 		t.Fatal("expected error for nil relation")
 	}
 	engine, _ := NewEngine(r.client, er)
-	if _, err := engine.SecQuery(nil, Options{}); err == nil {
+	if _, err := engine.SecQuery(context.Background(), nil, Options{}); err == nil {
 		t.Fatal("expected error for nil token")
 	}
-	if _, err := engine.SecQuery(&Token{K: 2, Lists: []int{99}}, Options{}); err == nil {
+	if _, err := engine.SecQuery(context.Background(), &Token{K: 2, Lists: []int{99}}, Options{}); err == nil {
 		t.Fatal("expected error for bad list position")
 	}
-	if _, err := engine.SecQuery(&Token{K: 0, Lists: []int{0}}, Options{}); err == nil {
+	if _, err := engine.SecQuery(context.Background(), &Token{K: 0, Lists: []int{0}}, Options{}); err == nil {
 		t.Fatal("expected error for k=0")
 	}
 	// Qry_Ba requires p >= k.
 	tk, _ := r.scheme.Token(er, []int{0, 1}, nil, 4)
-	if _, err := engine.SecQuery(tk, Options{Mode: QryBa, BatchDepth: 2}); err == nil {
+	if _, err := engine.SecQuery(context.Background(), tk, Options{Mode: QryBa, BatchDepth: 2}); err == nil {
 		t.Fatal("expected error for p < k")
 	}
 }

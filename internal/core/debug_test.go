@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/protocols"
@@ -28,7 +29,7 @@ func TestDebugQryEFlake(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := engine.SecQuery(tk, Options{Mode: QryE, Halt: HaltPaper})
+		res, err := engine.SecQuery(context.Background(), tk, Options{Mode: QryE, Halt: HaltPaper})
 		if err != nil {
 			t.Fatal(err)
 		}

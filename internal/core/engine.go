@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"crypto/sha256"
 	"errors"
 	"fmt"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/paillier"
 	"repro/internal/parallel"
 	"repro/internal/protocols"
+	"repro/internal/secerr"
 )
 
 // Mode selects the query-processing variant evaluated in Section 11.2.
@@ -138,23 +140,26 @@ func (e *Engine) magBits(tk *Token) int {
 	return e.er.MaxScoreBits + wBits + mBits + 2
 }
 
-func (e *Engine) validateToken(tk *Token) error {
+// ValidateToken checks a token against the engine's relation without
+// executing anything. Failures carry the secerr.ErrInvalidToken code, so
+// callers (and peers across the wire) can classify them with errors.Is.
+func (e *Engine) ValidateToken(tk *Token) error {
 	if tk == nil {
-		return errors.New("core: nil token")
+		return secerr.New(secerr.CodeInvalidToken, "core: nil token")
 	}
 	if len(tk.Lists) == 0 {
-		return errors.New("core: token selects no lists")
+		return secerr.New(secerr.CodeInvalidToken, "core: token selects no lists")
 	}
 	for _, p := range tk.Lists {
 		if p < 0 || p >= len(e.er.Lists) {
-			return fmt.Errorf("core: token list position %d out of range", p)
+			return secerr.New(secerr.CodeInvalidToken, "core: token list position %d out of range", p)
 		}
 	}
 	if tk.Weights != nil && len(tk.Weights) != len(tk.Lists) {
-		return fmt.Errorf("core: token has %d weights for %d lists", len(tk.Weights), len(tk.Lists))
+		return secerr.New(secerr.CodeInvalidToken, "core: token has %d weights for %d lists", len(tk.Weights), len(tk.Lists))
 	}
 	if tk.K <= 0 || tk.K > e.er.N {
-		return fmt.Errorf("core: token k=%d out of range", tk.K)
+		return secerr.New(secerr.CodeInvalidToken, "core: token k=%d out of range", tk.K)
 	}
 	return nil
 }
@@ -188,17 +193,20 @@ func (e *Engine) depthScore(tk *Token, li, d int) (*paillier.Ciphertext, error) 
 }
 
 // SecQuery executes the top-k query (Algorithm 3) in the requested mode.
-func (e *Engine) SecQuery(tk *Token, opts Options) (*QueryResult, error) {
-	if err := e.validateToken(tk); err != nil {
+// Cancellation is cooperative: the engine checks ctx between protocol
+// rounds (and the sub-protocol layers check it inside their worker
+// loops), so a canceled query stops within one round.
+func (e *Engine) SecQuery(ctx context.Context, tk *Token, opts Options) (*QueryResult, error) {
+	if err := e.ValidateToken(tk); err != nil {
 		return nil, err
 	}
 	e.recordQueryPattern(tk)
 	var res *QueryResult
 	var err error
 	if opts.Mode == QryBa {
-		res, err = e.queryBatched(tk, opts)
+		res, err = e.queryBatched(ctx, tk, opts)
 	} else {
-		res, err = e.queryPerDepth(tk, opts)
+		res, err = e.queryPerDepth(ctx, tk, opts)
 	}
 	if err != nil {
 		return nil, err
@@ -208,7 +216,7 @@ func (e *Engine) SecQuery(tk *Token, opts Options) (*QueryResult, error) {
 }
 
 // queryPerDepth is the per-depth pipeline shared by Qry_F and Qry_E.
-func (e *Engine) queryPerDepth(tk *Token, opts Options) (*QueryResult, error) {
+func (e *Engine) queryPerDepth(ctx context.Context, tk *Token, opts Options) (*QueryResult, error) {
 	m, k := len(tk.Lists), tk.K
 	magBits := e.magBits(tk)
 	dedupMode := cloud.DedupReplace
@@ -223,9 +231,12 @@ func (e *Engine) queryPerDepth(tk *Token, opts Options) (*QueryResult, error) {
 	var T []protocols.Item
 	depth := 0
 	for d := 0; d < maxD; d++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: depth %d: %w", d, err)
+		}
 		depth = d + 1
 		depthItems := make([]protocols.DepthItem, m)
-		err := parallel.ForEach(e.par(opts), m, func(i int) error {
+		err := parallel.ForEachCtx(ctx, e.par(opts), m, func(i int) error {
 			score, err := e.depthScore(tk, i, d)
 			if err != nil {
 				return err
@@ -241,11 +252,11 @@ func (e *Engine) queryPerDepth(tk *Token, opts Options) (*QueryResult, error) {
 			histories[i].EHLs = append(histories[i].EHLs, depthItems[i].EHL)
 			histories[i].Scores = append(histories[i].Scores, depthItems[i].Score)
 		}
-		worst, err := protocols.SecWorstAll(e.client, depthItems)
+		worst, err := protocols.SecWorstAll(ctx, e.client, depthItems)
 		if err != nil {
 			return nil, fmt.Errorf("core: depth %d SecWorst: %w", d, err)
 		}
-		best, err := protocols.SecBestAll(e.client, depthItems, histories)
+		best, err := protocols.SecBestAll(ctx, e.client, depthItems, histories)
 		if err != nil {
 			return nil, fmt.Errorf("core: depth %d SecBest: %w", d, err)
 		}
@@ -256,11 +267,11 @@ func (e *Engine) queryPerDepth(tk *Token, opts Options) (*QueryResult, error) {
 				Scores: []*paillier.Ciphertext{worst[i], best[i]},
 			}
 		}
-		gamma, err = protocols.SecDedup(e.client, gamma, dedupMode, protocols.AllPairs(m), nil)
+		gamma, err = protocols.SecDedup(ctx, e.client, gamma, dedupMode, protocols.AllPairs(m), nil)
 		if err != nil {
 			return nil, fmt.Errorf("core: depth %d SecDedup: %w", d, err)
 		}
-		T, err = protocols.SecUpdate(e.client, T, gamma, dedupMode)
+		T, err = protocols.SecUpdate(ctx, e.client, T, gamma, dedupMode)
 		if err != nil {
 			return nil, fmt.Errorf("core: depth %d SecUpdate: %w", d, err)
 		}
@@ -271,7 +282,7 @@ func (e *Engine) queryPerDepth(tk *Token, opts Options) (*QueryResult, error) {
 		for i := 0; i < m; i++ {
 			bottoms[i] = histories[i].Scores[len(histories[i].Scores)-1]
 		}
-		halted, ranked, err := e.checkHalt(T, k, magBits, opts, bottoms, nil)
+		halted, ranked, err := e.checkHalt(ctx, T, k, magBits, opts, bottoms, nil)
 		if err != nil {
 			return nil, fmt.Errorf("core: depth %d halting check: %w", d, err)
 		}
@@ -280,7 +291,7 @@ func (e *Engine) queryPerDepth(tk *Token, opts Options) (*QueryResult, error) {
 			return &QueryResult{Items: T[:k], Depth: depth, Halted: true}, nil
 		}
 	}
-	return e.finalize(T, k, magBits, depth, maxD == e.er.N)
+	return e.finalize(ctx, T, k, magBits, depth, maxD == e.er.N)
 }
 
 // queryBatched is Qry_Ba (Section 10.2): per-depth items carry only their
@@ -288,7 +299,7 @@ func (e *Engine) queryPerDepth(tk *Token, opts Options) (*QueryResult, error) {
 // items are merged into T with one score-summing dedup, then ranked and
 // halt-checked. Best bounds are computed exactly at the batch boundary
 // from the indicator vectors: B = W + sum_j (1 - v_j) * bottom_j.
-func (e *Engine) queryBatched(tk *Token, opts Options) (*QueryResult, error) {
+func (e *Engine) queryBatched(ctx context.Context, tk *Token, opts Options) (*QueryResult, error) {
 	m, k := len(tk.Lists), tk.K
 	magBits := e.magBits(tk)
 	p := opts.BatchDepth
@@ -314,12 +325,15 @@ func (e *Engine) queryBatched(tk *Token, opts Options) (*QueryResult, error) {
 	var bottoms []*paillier.Ciphertext
 	depth := 0
 	for d := 0; d < maxD; d++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: depth %d: %w", d, err)
+		}
 		depth = d + 1
 		bottoms = make([]*paillier.Ciphertext, m)
 		// Each list's depth item needs 1+m encryptions (score + indicator
 		// vector); the m items build in parallel.
 		depthItems := make([]protocols.Item, m)
-		err := parallel.ForEach(e.par(opts), m, func(i int) error {
+		err := parallel.ForEachCtx(ctx, e.par(opts), m, func(i int) error {
 			score, err := e.depthScore(tk, i, d)
 			if err != nil {
 				return err
@@ -361,7 +375,7 @@ func (e *Engine) queryBatched(tk *Token, opts Options) (*QueryResult, error) {
 				pairs.Pairs = append(pairs.Pairs, [2]int{base + i, j})
 			}
 		}
-		T, err = protocols.SecDedup(e.client, combined, cloud.DedupMerge, pairs, mergeCols)
+		T, err = protocols.SecDedup(ctx, e.client, combined, cloud.DedupMerge, pairs, mergeCols)
 		if err != nil {
 			return nil, fmt.Errorf("core: depth %d batch merge: %w", d, err)
 		}
@@ -369,7 +383,7 @@ func (e *Engine) queryBatched(tk *Token, opts Options) (*QueryResult, error) {
 		if len(T) < k+1 {
 			continue
 		}
-		halted, ranked, err := e.checkHalt(T, k, magBits, opts, bottoms, e.batchBest(bottoms, e.par(opts)))
+		halted, ranked, err := e.checkHalt(ctx, T, k, magBits, opts, bottoms, e.batchBest(bottoms, e.par(opts)))
 		if err != nil {
 			return nil, fmt.Errorf("core: depth %d halting check: %w", d, err)
 		}
@@ -378,18 +392,18 @@ func (e *Engine) queryBatched(tk *Token, opts Options) (*QueryResult, error) {
 			return &QueryResult{Items: T[:k], Depth: depth, Halted: true}, nil
 		}
 	}
-	return e.finalize(T, k, magBits, depth, maxD == e.er.N)
+	return e.finalize(ctx, T, k, magBits, depth, maxD == e.er.N)
 }
 
 // bestFunc computes exact best bounds for the given (ranked) items.
-type bestFunc func(items []protocols.Item) ([]*paillier.Ciphertext, error)
+type bestFunc func(ctx context.Context, items []protocols.Item) ([]*paillier.Ciphertext, error)
 
 // batchBest returns the Qry_Ba bound computer: for each item,
 // B = W + sum_j bottom_j - sum_j v_j * bottom_j, with the v_j * bottom_j
 // products resolved through one batched SecMult round and the per-item
 // bound assembly fanned out over par workers.
 func (e *Engine) batchBest(bottoms []*paillier.Ciphertext, par int) bestFunc {
-	return func(items []protocols.Item) ([]*paillier.Ciphertext, error) {
+	return func(ctx context.Context, items []protocols.Item) ([]*paillier.Ciphertext, error) {
 		pk := e.client.PK()
 		m := len(bottoms)
 		sumBottoms, err := e.client.Enc().EncryptZero()
@@ -411,12 +425,12 @@ func (e *Engine) batchBest(bottoms []*paillier.Ciphertext, par int) bestFunc {
 				bs = append(bs, bottoms[j])
 			}
 		}
-		prods, err := protocols.SecMult(e.client, as, bs)
+		prods, err := protocols.SecMult(ctx, e.client, as, bs)
 		if err != nil {
 			return nil, err
 		}
 		out := make([]*paillier.Ciphertext, len(items))
-		err = parallel.ForEach(par, len(items), func(i int) error {
+		err = parallel.ForEachCtx(ctx, par, len(items), func(i int) error {
 			b := items[i].Scores[0] // W
 			var err error
 			if b, err = pk.Add(b, sumBottoms); err != nil {
@@ -444,13 +458,13 @@ func (e *Engine) batchBest(bottoms []*paillier.Ciphertext, par int) bestFunc {
 // checkHalt ranks T by worst score and evaluates the halting condition.
 // When best is nil, stored best-bound columns (ColBest) are used (Qry_F /
 // Qry_E); otherwise best computes bounds on demand (Qry_Ba).
-func (e *Engine) checkHalt(T []protocols.Item, k, magBits int, opts Options, bottoms []*paillier.Ciphertext, best bestFunc) (bool, []protocols.Item, error) {
+func (e *Engine) checkHalt(ctx context.Context, T []protocols.Item, k, magBits int, opts Options, bottoms []*paillier.Ciphertext, best bestFunc) (bool, []protocols.Item, error) {
 	var ranked []protocols.Item
 	var err error
 	if opts.Sort == SortFull {
-		ranked, err = protocols.EncSort(e.client, T, protocols.ColWorst, true, magBits)
+		ranked, err = protocols.EncSort(ctx, e.client, T, protocols.ColWorst, true, magBits)
 	} else {
-		ranked, err = protocols.EncSelectTop(e.client, T, protocols.ColWorst, true, k+1, magBits)
+		ranked, err = protocols.EncSelectTop(ctx, e.client, T, protocols.ColWorst, true, k+1, magBits)
 	}
 	if err != nil {
 		return false, nil, err
@@ -466,7 +480,7 @@ func (e *Engine) checkHalt(T []protocols.Item, k, magBits int, opts Options, bot
 	}
 	var bounds []*paillier.Ciphertext
 	if best != nil {
-		if bounds, err = best(tail); err != nil {
+		if bounds, err = best(ctx, tail); err != nil {
 			return false, nil, err
 		}
 	} else {
@@ -477,7 +491,7 @@ func (e *Engine) checkHalt(T []protocols.Item, k, magBits int, opts Options, bot
 	if opts.Halt == HaltPaper {
 		// Faithful Algorithm 3 line 10: f = EncCompare(W_k, B_{k+1});
 		// halt iff f = 0, i.e. W_k > B_{k+1}.
-		f, err := protocols.EncCompare(e.client, wk, bounds[0], magBits)
+		f, err := protocols.EncCompare(ctx, e.client, wk, bounds[0], magBits)
 		if err != nil {
 			return false, nil, err
 		}
@@ -500,7 +514,7 @@ func (e *Engine) checkHalt(T []protocols.Item, k, magBits int, opts Options, bot
 	for i := range wks {
 		wks[i] = wk
 	}
-	fs, err := protocols.EncCompareBatch(e.client, bounds, wks, magBits)
+	fs, err := protocols.EncCompareBatch(ctx, e.client, bounds, wks, magBits)
 	if err != nil {
 		return false, nil, err
 	}
@@ -515,14 +529,14 @@ func (e *Engine) checkHalt(T []protocols.Item, k, magBits int, opts Options, bot
 // finalize returns the best-effort top-k after the scan ended without the
 // halting condition firing. A full scan is exact (all bounds are tight at
 // depth n); a MaxDepth-capped scan is marked unhalted.
-func (e *Engine) finalize(T []protocols.Item, k, magBits, depth int, fullScan bool) (*QueryResult, error) {
+func (e *Engine) finalize(ctx context.Context, T []protocols.Item, k, magBits, depth int, fullScan bool) (*QueryResult, error) {
 	if len(T) == 0 {
 		return &QueryResult{Depth: depth, Halted: fullScan}, nil
 	}
 	if k > len(T) {
 		k = len(T)
 	}
-	ranked, err := protocols.EncSelectTop(e.client, T, protocols.ColWorst, true, k, magBits)
+	ranked, err := protocols.EncSelectTop(ctx, e.client, T, protocols.ColWorst, true, k, magBits)
 	if err != nil {
 		return nil, err
 	}

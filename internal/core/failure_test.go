@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math/big"
 	"strings"
@@ -20,12 +21,12 @@ type faultyCaller struct {
 	calls    int
 }
 
-func (f *faultyCaller) Call(method string, req, resp any) error {
+func (f *faultyCaller) Call(ctx context.Context, method string, req, resp any) error {
 	f.calls++
 	if f.calls > f.failFrom {
 		return errors.New("injected transport failure")
 	}
-	return f.inner.Call(method, req, resp)
+	return f.inner.Call(ctx, method, req, resp)
 }
 
 // TestTransportFailureSurfacesAsError kills the link mid-query at various
@@ -48,7 +49,7 @@ func TestTransportFailureSurfacesAsError(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := engine.SecQuery(tk, Options{Mode: QryE, Halt: HaltPaper})
+		res, err := engine.SecQuery(context.Background(), tk, Options{Mode: QryE, Halt: HaltPaper})
 		if err == nil {
 			t.Fatalf("failFrom=%d: expected error, got result depth=%d", failFrom, res.Depth)
 		}
@@ -85,7 +86,7 @@ func TestCorruptedCiphertextRejected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := engine.SecQuery(tk, Options{Mode: QryE, Halt: HaltPaper}); err == nil {
+	if _, err := engine.SecQuery(context.Background(), tk, Options{Mode: QryE, Halt: HaltPaper}); err == nil {
 		t.Fatal("expected error for corrupted ciphertext")
 	}
 }
@@ -113,7 +114,7 @@ func TestWrongKeyRelationFails(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := engine.SecQuery(tk, Options{Mode: QryE, Halt: HaltPaper, MaxDepth: 2})
+	res, err := engine.SecQuery(context.Background(), tk, Options{Mode: QryE, Halt: HaltPaper, MaxDepth: 2})
 	if err != nil {
 		return // clean failure is acceptable
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/cloud"
@@ -44,7 +45,7 @@ func TestSecQueryFastPathEquivalence(t *testing.T) {
 		if err != nil {
 			t.Fatalf("NewEngine: %v", err)
 		}
-		res, err := engine.SecQuery(tk, Options{Mode: mode, Halt: HaltStrict})
+		res, err := engine.SecQuery(context.Background(), tk, Options{Mode: mode, Halt: HaltStrict})
 		if err != nil {
 			t.Fatalf("SecQuery(%v): %v", mode, err)
 		}
@@ -111,7 +112,7 @@ func TestFastNonceSchemeEncryption(t *testing.T) {
 	if err != nil {
 		t.Fatalf("NewEngine: %v", err)
 	}
-	res, err := engine.SecQuery(tk, Options{Mode: QryE, Halt: HaltStrict})
+	res, err := engine.SecQuery(context.Background(), tk, Options{Mode: QryE, Halt: HaltStrict})
 	if err != nil {
 		t.Fatalf("SecQuery: %v", err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"net"
 	"testing"
 
@@ -19,7 +20,7 @@ func TestSecQueryOverNetworkTransport(t *testing.T) {
 	defer c1.Close()
 	serveDone := make(chan error, 1)
 	go func() {
-		serveDone <- transport.ServeConn(c2, r.server)
+		serveDone <- transport.ServeConn(context.Background(), c2, r.server)
 	}()
 
 	stats := transport.NewStats()
@@ -36,7 +37,7 @@ func TestSecQueryOverNetworkTransport(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := engine.SecQuery(tk, Options{Mode: QryE, Halt: HaltPaper})
+	res, err := engine.SecQuery(context.Background(), tk, Options{Mode: QryE, Halt: HaltPaper})
 	if err != nil {
 		t.Fatalf("SecQuery over network: %v", err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 	"testing"
 
@@ -40,7 +41,7 @@ func TestClassicEHLEngine(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := engine.SecQuery(tk, Options{Mode: QryE, Halt: HaltStrict})
+	res, err := engine.SecQuery(context.Background(), tk, Options{Mode: QryE, Halt: HaltStrict})
 	if err != nil {
 		t.Fatalf("SecQuery: %v", err)
 	}
@@ -157,7 +158,7 @@ func TestRepeatedQueriesAreStable(t *testing.T) {
 	}
 	var prev []RevealedResult
 	for i := 0; i < 3; i++ {
-		res, err := engine.SecQuery(tk, Options{Mode: QryE, Halt: HaltStrict})
+		res, err := engine.SecQuery(context.Background(), tk, Options{Mode: QryE, Halt: HaltStrict})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -195,7 +196,7 @@ func TestBandwidthIndependentOfK(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := engine.SecQuery(tk, Options{Mode: QryF, Halt: HaltPaper, MaxDepth: 2})
+		res, err := engine.SecQuery(context.Background(), tk, Options{Mode: QryF, Halt: HaltPaper, MaxDepth: 2})
 		if err != nil {
 			t.Fatal(err)
 		}

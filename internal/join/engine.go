@@ -1,6 +1,7 @@
 package join
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -83,7 +84,7 @@ func (e *Engine) validateToken(tk *Token) error {
 // Neither server learns which pairs joined: S2 sees only the permuted
 // equality pattern and the join cardinality; S1 sees only the cardinality
 // (Section 12.4).
-func (e *Engine) SecJoin(tk *Token) ([]protocols.JoinTuple, error) {
+func (e *Engine) SecJoin(ctx context.Context, tk *Token) ([]protocols.JoinTuple, error) {
 	if err := e.validateToken(tk); err != nil {
 		return nil, err
 	}
@@ -111,7 +112,7 @@ func (e *Engine) SecJoin(tk *Token) ([]protocols.JoinTuple, error) {
 		}
 		eqCts[perm[idx]] = ct
 	}
-	bitsPermuted, err := e.client.EqBits(eqCts)
+	bitsPermuted, err := e.client.EqBits(ctx, eqCts)
 	if err != nil {
 		return nil, err
 	}
@@ -164,7 +165,7 @@ func (e *Engine) SecJoin(tk *Token) ([]protocols.JoinTuple, error) {
 			jobs = append(jobs, term)
 		}
 	}
-	resolved, err := protocols.RecoverEnc(e.client, jobs)
+	resolved, err := protocols.RecoverEnc(ctx, e.client, jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -178,7 +179,7 @@ func (e *Engine) SecJoin(tk *Token) ([]protocols.JoinTuple, error) {
 	}
 
 	// Phase 3: drop the tuples that did not satisfy the join condition.
-	joined, err := protocols.SecFilter(e.client, candidates)
+	joined, err := protocols.SecFilter(ctx, e.client, candidates)
 	if err != nil {
 		return nil, err
 	}
@@ -200,7 +201,7 @@ func (e *Engine) SecJoin(tk *Token) ([]protocols.JoinTuple, error) {
 	if k > len(items) {
 		k = len(items)
 	}
-	ranked, err := protocols.EncSelectTop(e.client, items, 0, true, k, e.maxScoreBits+2)
+	ranked, err := protocols.EncSelectTop(ctx, e.client, items, 0, true, k, e.maxScoreBits+2)
 	if err != nil {
 		return nil, err
 	}

@@ -87,6 +87,9 @@ func NewSchemeFromKeys(params Params, keys *cloud.KeyMaterial) (*Scheme, error) 
 // KeyMaterial returns the secret keys for provisioning S2.
 func (s *Scheme) KeyMaterial() *cloud.KeyMaterial { return s.keys }
 
+// Params returns the scheme parameters.
+func (s *Scheme) Params() Params { return s.params }
+
 // PublicKey returns the Paillier public key.
 func (s *Scheme) PublicKey() *paillier.PublicKey { return &s.keys.Paillier.PublicKey }
 

@@ -1,6 +1,7 @@
 package join
 
 import (
+	"context"
 	"sort"
 	"sync"
 	"testing"
@@ -96,7 +97,7 @@ func TestSecJoinMatchesPlaintext(t *testing.T) {
 	if err != nil {
 		t.Fatalf("NewEngine: %v", err)
 	}
-	enc, err := engine.SecJoin(tk)
+	enc, err := engine.SecJoin(context.Background(), tk)
 	if err != nil {
 		t.Fatalf("SecJoin: %v", err)
 	}
@@ -143,7 +144,7 @@ func TestSecJoinNoMatches(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := engine.SecJoin(tk)
+	out, err := engine.SecJoin(context.Background(), tk)
 	if err != nil {
 		t.Fatalf("SecJoin: %v", err)
 	}
@@ -162,7 +163,7 @@ func TestSecJoinKLargerThanMatches(t *testing.T) {
 		t.Fatal(err)
 	}
 	engine, _ := NewEngine(r.client, er1, er2, 16)
-	enc, err := engine.SecJoin(tk)
+	enc, err := engine.SecJoin(context.Background(), tk)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,10 +215,10 @@ func TestEngineValidation(t *testing.T) {
 		t.Fatal("expected error for zero score bits")
 	}
 	engine, _ := NewEngine(r.client, er1, er2, 16)
-	if _, err := engine.SecJoin(nil); err == nil {
+	if _, err := engine.SecJoin(context.Background(), nil); err == nil {
 		t.Fatal("expected error for nil token")
 	}
-	if _, err := engine.SecJoin(&Token{K: 1, JoinPos1: 99}); err == nil {
+	if _, err := engine.SecJoin(context.Background(), &Token{K: 1, JoinPos1: 99}); err == nil {
 		t.Fatal("expected error for bad token position")
 	}
 }
@@ -265,7 +266,7 @@ func TestValueEqualityAcrossRelations(t *testing.T) {
 		t.Fatal(err)
 	}
 	engine, _ := NewEngine(r.client, er1, er2, 16)
-	out, err := engine.SecJoin(tk)
+	out, err := engine.SecJoin(context.Background(), tk)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -12,6 +12,7 @@
 package knn
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/big"
@@ -172,7 +173,7 @@ func NewEngine(client *cloud.Client, db *EncDatabase, maxScoreBits int) (*Engine
 // O(n*m) secure multiplications (one batched round trip carrying n*m
 // ciphertexts each way) plus an oblivious k-minimum selection — the cost
 // shape Section 11.3 compares against.
-func (e *Engine) Query(q []int64, k int) ([]protocols.Item, error) {
+func (e *Engine) Query(ctx context.Context, q []int64, k int) ([]protocols.Item, error) {
 	if len(q) != e.db.M {
 		return nil, fmt.Errorf("knn: query has %d attributes, database has %d", len(q), e.db.M)
 	}
@@ -207,7 +208,7 @@ func (e *Engine) Query(q []int64, k int) ([]protocols.Item, error) {
 			diffs = append(diffs, diff)
 		}
 	}
-	squares, err := protocols.SecMult(e.client, diffs, diffs)
+	squares, err := protocols.SecMult(ctx, e.client, diffs, diffs)
 	if err != nil {
 		return nil, err
 	}
@@ -226,7 +227,7 @@ func (e *Engine) Query(q []int64, k int) ([]protocols.Item, error) {
 	}
 	// Oblivious k-minimum extraction (ascending selection).
 	magBits := 2*e.maxScoreBits + 4 + bitsLen(e.db.M)
-	ranked, err := protocols.EncSelectTop(e.client, items, 0, false, k, magBits)
+	ranked, err := protocols.EncSelectTop(ctx, e.client, items, 0, false, k, magBits)
 	if err != nil {
 		return nil, err
 	}
@@ -291,10 +292,10 @@ func PlainKNN(rel *dataset.Relation, q []int64, k int) ([]int, []int64, error) {
 // domain; the k nearest records under squared L2 are exactly the k
 // records with the largest sum-of-squares scores... for records dominated
 // by the corner this reduces top-k to kNN.
-func TopKViaKNN(e *Engine, maxScore int64, k int) ([]protocols.Item, error) {
+func TopKViaKNN(ctx context.Context, e *Engine, maxScore int64, k int) ([]protocols.Item, error) {
 	q := make([]int64, e.db.M)
 	for j := range q {
 		q[j] = maxScore
 	}
-	return e.Query(q, k)
+	return e.Query(ctx, q, k)
 }

@@ -1,6 +1,7 @@
 package knn
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -91,7 +92,7 @@ func TestSecureKNNMatchesPlain(t *testing.T) {
 		t.Fatalf("NewEngine: %v", err)
 	}
 	q := []int64{9, 9}
-	items, err := engine.Query(q, 2)
+	items, err := engine.Query(context.Background(), q, 2)
 	if err != nil {
 		t.Fatalf("Query: %v", err)
 	}
@@ -126,7 +127,7 @@ func TestTopKViaKNNMatchesSumOfSquaresRanking(t *testing.T) {
 		t.Fatal(err)
 	}
 	const maxScore = 10
-	items, err := TopKViaKNN(engine, maxScore, 2)
+	items, err := TopKViaKNN(context.Background(), engine, maxScore, 2)
 	if err != nil {
 		t.Fatalf("TopKViaKNN: %v", err)
 	}
@@ -152,14 +153,14 @@ func TestQueryValidation(t *testing.T) {
 		t.Fatal(err)
 	}
 	engine, _ := NewEngine(r.client, db, 16)
-	if _, err := engine.Query([]int64{1}, 1); err == nil {
+	if _, err := engine.Query(context.Background(), []int64{1}, 1); err == nil {
 		t.Fatal("expected dimension mismatch error")
 	}
-	if _, err := engine.Query([]int64{1, 1}, 0); err == nil {
+	if _, err := engine.Query(context.Background(), []int64{1, 1}, 0); err == nil {
 		t.Fatal("expected k=0 error")
 	}
 	// k > n clamps.
-	items, err := engine.Query([]int64{0, 0}, 99)
+	items, err := engine.Query(context.Background(), []int64{0, 0}, 99)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -11,9 +11,15 @@
 //
 // Work items must be independent; ForEach gives each invocation exclusive
 // ownership of its index, so writing out[i] from fn(i) is race-free.
+//
+// Cancellation is cooperative: the Ctx variants check the context before
+// every work item (serial path) or before every claim (worker path), so a
+// canceled query stops burning exponentiations after at most one
+// in-flight item per worker.
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -33,8 +39,16 @@ func Workers(p int) int {
 // degenerates to a plain serial loop in index order. The first error stops
 // further scheduling and is returned; in-flight items finish first.
 func ForEach(p, n int, fn func(i int) error) error {
+	return ForEachCtx(context.Background(), p, n, fn)
+}
+
+// ForEachCtx is ForEach with cooperative cancellation: once ctx is
+// canceled, no further items start (in-flight items finish) and the
+// context's error is returned. With the background context the behavior —
+// including the strictly serial p == 1 path — is byte-for-byte ForEach.
+func ForEachCtx(ctx context.Context, p, n int, fn func(i int) error) error {
 	if n <= 0 {
-		return nil
+		return ctx.Err()
 	}
 	workers := Workers(p)
 	if workers > n {
@@ -42,6 +56,9 @@ func ForEach(p, n int, fn func(i int) error) error {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
@@ -59,6 +76,10 @@ func ForEach(p, n int, fn func(i int) error) error {
 		go func() {
 			defer wg.Done()
 			for {
+				if err := ctx.Err(); err != nil {
+					firstErr.CompareAndSwap(nil, errBox{err})
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n || firstErr.Load() != nil {
 					return
@@ -84,8 +105,13 @@ type errBox struct{ err error }
 // MapErr applies fn to every element of in and collects the results in
 // order, scheduling on ForEach with the same knob semantics.
 func MapErr[T, U any](p int, in []T, fn func(i int, v T) (U, error)) ([]U, error) {
+	return MapErrCtx(context.Background(), p, in, fn)
+}
+
+// MapErrCtx is MapErr with cooperative cancellation via ForEachCtx.
+func MapErrCtx[T, U any](ctx context.Context, p int, in []T, fn func(i int, v T) (U, error)) ([]U, error) {
 	out := make([]U, len(in))
-	err := ForEach(p, len(in), func(i int) error {
+	err := ForEachCtx(ctx, p, len(in), func(i int) error {
 		v, err := fn(i, in[i])
 		if err != nil {
 			return err

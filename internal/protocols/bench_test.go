@@ -1,6 +1,7 @@
 package protocols
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/cloud"
@@ -27,7 +28,7 @@ func BenchmarkSecWorstM3(b *testing.B) {
 	items := benchItems(b, e, 3)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := SecWorstAll(e.client, items); err != nil {
+		if _, err := SecWorstAll(context.Background(), e.client, items); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -49,7 +50,7 @@ func BenchmarkSecBestM3D4(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := SecBestAll(e.client, items, hist); err != nil {
+		if _, err := SecBestAll(context.Background(), e.client, items, hist); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -64,7 +65,7 @@ func BenchmarkSecDedupReplace(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := SecDedup(e.client, items, cloud.DedupReplace, AllPairs(len(items)), nil); err != nil {
+		if _, err := SecDedup(context.Background(), e.client, items, cloud.DedupReplace, AllPairs(len(items)), nil); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -76,7 +77,7 @@ func BenchmarkEncCompare(b *testing.B) {
 	y := e.enc(b, 200)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := EncCompare(e.client, x, y, 16); err != nil {
+		if _, err := EncCompare(context.Background(), e.client, x, y, 16); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -94,7 +95,7 @@ func BenchmarkRecoverEncBatch8(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := RecoverEnc(e.client, outers); err != nil {
+		if _, err := RecoverEnc(context.Background(), e.client, outers); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -109,7 +110,7 @@ func BenchmarkSecMultBatch8(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := SecMult(e.client, as, bs); err != nil {
+		if _, err := SecMult(context.Background(), e.client, as, bs); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -123,7 +124,7 @@ func BenchmarkEncSelectTop3Of8(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := EncSelectTop(e.client, items, 0, true, 3, 16); err != nil {
+		if _, err := EncSelectTop(context.Background(), e.client, items, 0, true, 3, 16); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -137,7 +138,7 @@ func BenchmarkEncSort8(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := EncSort(e.client, items, 0, true, 16); err != nil {
+		if _, err := EncSort(context.Background(), e.client, items, 0, true, 16); err != nil {
 			b.Fatal(err)
 		}
 	}

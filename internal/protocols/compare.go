@@ -1,6 +1,7 @@
 package protocols
 
 import (
+	"context"
 	"crypto/rand"
 	"fmt"
 	"math/big"
@@ -79,8 +80,8 @@ func maskedDiff(enc paillier.Encryptor, a, b *paillier.Ciphertext, magBits int) 
 }
 
 // EncCompare returns f = (a <= b), revealed to S1 (one round).
-func EncCompare(c *cloud.Client, a, b *paillier.Ciphertext, magBits int) (bool, error) {
-	out, err := EncCompareBatch(c, []*paillier.Ciphertext{a}, []*paillier.Ciphertext{b}, magBits)
+func EncCompare(ctx context.Context, c *cloud.Client, a, b *paillier.Ciphertext, magBits int) (bool, error) {
+	out, err := EncCompareBatch(ctx, c, []*paillier.Ciphertext{a}, []*paillier.Ciphertext{b}, magBits)
 	if err != nil {
 		return false, err
 	}
@@ -88,7 +89,7 @@ func EncCompare(c *cloud.Client, a, b *paillier.Ciphertext, magBits int) (bool, 
 }
 
 // EncCompareBatch evaluates f_i = (a_i <= b_i) for each pair in one round.
-func EncCompareBatch(c *cloud.Client, as, bs []*paillier.Ciphertext, magBits int) ([]bool, error) {
+func EncCompareBatch(ctx context.Context, c *cloud.Client, as, bs []*paillier.Ciphertext, magBits int) ([]bool, error) {
 	if len(as) != len(bs) {
 		return nil, fmt.Errorf("protocols: EncCompare length mismatch %d vs %d", len(as), len(bs))
 	}
@@ -97,7 +98,7 @@ func EncCompareBatch(c *cloud.Client, as, bs []*paillier.Ciphertext, magBits int
 	}
 	masked := make([]*paillier.Ciphertext, len(as))
 	flips := make([]bool, len(as))
-	err := parallel.ForEach(c.Parallelism(), len(as), func(i int) error {
+	err := parallel.ForEachCtx(ctx, c.Parallelism(), len(as), func(i int) error {
 		m, flip, err := maskedDiff(c.Enc(), as[i], bs[i], magBits)
 		if err != nil {
 			return err
@@ -108,7 +109,7 @@ func EncCompareBatch(c *cloud.Client, as, bs []*paillier.Ciphertext, magBits int
 	if err != nil {
 		return nil, err
 	}
-	negs, err := c.CompareSigns(masked)
+	negs, err := c.CompareSigns(ctx, masked)
 	if err != nil {
 		return nil, err
 	}
@@ -123,7 +124,7 @@ func EncCompareBatch(c *cloud.Client, as, bs []*paillier.Ciphertext, magBits int
 // EncCompareHiddenBatch evaluates t_i = (a_i <= b_i) with the result left
 // encrypted as E2(t_i): S2 sees only masked differences, S1 sees only
 // ciphertext bits. One round.
-func EncCompareHiddenBatch(c *cloud.Client, as, bs []*paillier.Ciphertext, magBits int) ([]*dj.Ciphertext, error) {
+func EncCompareHiddenBatch(ctx context.Context, c *cloud.Client, as, bs []*paillier.Ciphertext, magBits int) ([]*dj.Ciphertext, error) {
 	if len(as) != len(bs) {
 		return nil, fmt.Errorf("protocols: EncCompareHidden length mismatch %d vs %d", len(as), len(bs))
 	}
@@ -132,7 +133,7 @@ func EncCompareHiddenBatch(c *cloud.Client, as, bs []*paillier.Ciphertext, magBi
 	}
 	masked := make([]*paillier.Ciphertext, len(as))
 	flips := make([]bool, len(as))
-	err := parallel.ForEach(c.Parallelism(), len(as), func(i int) error {
+	err := parallel.ForEachCtx(ctx, c.Parallelism(), len(as), func(i int) error {
 		m, flip, err := maskedDiff(c.Enc(), as[i], bs[i], magBits)
 		if err != nil {
 			return err
@@ -143,11 +144,11 @@ func EncCompareHiddenBatch(c *cloud.Client, as, bs []*paillier.Ciphertext, magBi
 	if err != nil {
 		return nil, err
 	}
-	bits, err := c.CompareSignsHidden(masked)
+	bits, err := c.CompareSignsHidden(ctx, masked)
 	if err != nil {
 		return nil, err
 	}
-	err = parallel.ForEach(c.Parallelism(), len(bits), func(i int) error {
+	err = parallel.ForEachCtx(ctx, c.Parallelism(), len(bits), func(i int) error {
 		if !flips[i] {
 			return nil
 		}

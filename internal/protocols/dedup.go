@@ -1,6 +1,7 @@
 package protocols
 
 import (
+	"context"
 	"crypto/rand"
 	"errors"
 	"fmt"
@@ -58,7 +59,7 @@ func Bipartite(a, b []int) PairSet {
 // S2 learns only the equality pattern of the permuted pair set; S1 learns
 // only the surviving row count (the uniqueness pattern UP^d, and only in
 // the eliminate/merge modes — replace mode preserves the count).
-func SecDedup(c *cloud.Client, items []Item, mode cloud.DedupMode, pairs PairSet, mergeCols []int) ([]Item, error) {
+func SecDedup(ctx context.Context, c *cloud.Client, items []Item, mode cloud.DedupMode, pairs PairSet, mergeCols []int) ([]Item, error) {
 	if len(items) == 0 {
 		return nil, nil
 	}
@@ -76,7 +77,7 @@ func SecDedup(c *cloud.Client, items []Item, mode cloud.DedupMode, pairs PairSet
 			return nil, fmt.Errorf("protocols: SecDedup pair %v out of range", p)
 		}
 	}
-	eqCts, err := parallel.MapErr(c.Parallelism(), pairs.Pairs, func(_ int, p [2]int) (*big.Int, error) {
+	eqCts, err := parallel.MapErrCtx(ctx, c.Parallelism(), pairs.Pairs, func(_ int, p [2]int) (*big.Int, error) {
 		ct, err := ehl.SubEnc(c.Enc(), items[p[0]].EHL, items[p[1]].EHL)
 		if err != nil {
 			return nil, fmt.Errorf("protocols: SecDedup eq %v: %w", p, err)
@@ -95,7 +96,7 @@ func SecDedup(c *cloud.Client, items []Item, mode cloud.DedupMode, pairs PairSet
 		return nil, err
 	}
 	rows := make([]cloud.WireRow, len(items))
-	err = parallel.ForEach(c.Parallelism(), len(items), func(i int) error {
+	err = parallel.ForEachCtx(ctx, c.Parallelism(), len(items), func(i int) error {
 		row, err := blindItem(pk, c.EphEnc(), items[i])
 		if err != nil {
 			return fmt.Errorf("protocols: SecDedup blinding item %d: %w", i, err)
@@ -118,7 +119,7 @@ func SecDedup(c *cloud.Client, items []Item, mode cloud.DedupMode, pairs PairSet
 	}
 
 	// Step 3: the oblivious round.
-	resp, err := c.DedupRound(req)
+	resp, err := c.DedupRound(ctx, req)
 	if err != nil {
 		return nil, err
 	}
@@ -134,7 +135,7 @@ func SecDedup(c *cloud.Client, items []Item, mode cloud.DedupMode, pairs PairSet
 	out := make([]Item, len(resp.Rows))
 	width := items[0].EHL.Width()
 	kind := items[0].EHL.Kind
-	err = parallel.ForEach(c.Parallelism(), len(resp.Rows), func(i int) error {
+	err = parallel.ForEachCtx(ctx, c.Parallelism(), len(resp.Rows), func(i int) error {
 		it, err := unblindRow(pk, c.Ephemeral(), resp.Rows[i], width, cols, kind)
 		if err != nil {
 			return fmt.Errorf("protocols: SecDedup unblinding row %d: %w", i, err)

@@ -1,6 +1,7 @@
 package protocols
 
 import (
+	"context"
 	"crypto/rand"
 	"fmt"
 	"math/big"
@@ -39,7 +40,7 @@ func (t JoinTuple) Clone() JoinTuple {
 //
 // Join scores must be nonzero for genuinely joined tuples, which holds for
 // the paper's positive attribute domains.
-func SecFilter(c *cloud.Client, tuples []JoinTuple) ([]JoinTuple, error) {
+func SecFilter(ctx context.Context, c *cloud.Client, tuples []JoinTuple) ([]JoinTuple, error) {
 	if len(tuples) == 0 {
 		return nil, nil
 	}
@@ -70,7 +71,7 @@ func SecFilter(c *cloud.Client, tuples []JoinTuple) ([]JoinTuple, error) {
 	if err != nil {
 		return nil, fmt.Errorf("protocols: SecFilter blinds: %w", err)
 	}
-	err = parallel.ForEach(c.Parallelism(), len(tuples), func(i int) error {
+	err = parallel.ForEachCtx(ctx, c.Parallelism(), len(tuples), func(i int) error {
 		t := tuples[i]
 		r, rInv := rs[i], rInvs[i]
 		blindedScore, err := pk.MulConst(t.Score, r)
@@ -109,14 +110,14 @@ func SecFilter(c *cloud.Client, tuples []JoinTuple) ([]JoinTuple, error) {
 		return nil, err
 	}
 
-	resp, err := c.FilterRound(&cloud.FilterRequest{Rows: rows})
+	resp, err := c.FilterRound(ctx, &cloud.FilterRequest{Rows: rows})
 	if err != nil {
 		return nil, err
 	}
 	c.Ledger().Record("S1", cloud.MethodFilter, "join cardinality: %d of %d tuples", len(resp.Rows), len(tuples))
 
 	out := make([]JoinTuple, len(resp.Rows))
-	err = parallel.ForEach(c.Parallelism(), len(resp.Rows), func(i int) error {
+	err = parallel.ForEachCtx(ctx, c.Parallelism(), len(resp.Rows), func(i int) error {
 		row := resp.Rows[i]
 		if len(row.Scores) != nAttrs+1 || len(row.Blinds) != nAttrs+1 {
 			return fmt.Errorf("protocols: SecFilter reply row %d malformed", i)

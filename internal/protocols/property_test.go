@@ -1,6 +1,7 @@
 package protocols
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -28,7 +29,7 @@ func TestPropertySecWorst(t *testing.T) {
 			scores[i] = int64(rng.Intn(50))
 			items[i] = DepthItem{EHL: e.list(t, objs[i]), Score: e.enc(t, scores[i])}
 		}
-		got, err := SecWorstAll(e.client, items)
+		got, err := SecWorstAll(context.Background(), e.client, items)
 		if err != nil {
 			t.Logf("SecWorstAll: %v", err)
 			return false
@@ -87,7 +88,7 @@ func TestPropertySecBest(t *testing.T) {
 				Score: e.enc(t, scoresAt[j][depth-1]),
 			}
 		}
-		got, err := SecBestAll(e.client, items, hist)
+		got, err := SecBestAll(context.Background(), e.client, items, hist)
 		if err != nil {
 			t.Logf("SecBestAll: %v", err)
 			return false
@@ -133,7 +134,7 @@ func TestPropertyEncSortIsPermutationSorted(t *testing.T) {
 			vals[i] = int64(rng.Intn(100))
 			items[i] = e.item(t, uint64(200+i), vals[i])
 		}
-		out, err := EncSort(e.client, items, 0, false, 16)
+		out, err := EncSort(context.Background(), e.client, items, 0, false, 16)
 		if err != nil {
 			t.Logf("EncSort: %v", err)
 			return false
@@ -184,7 +185,7 @@ func TestPropertyDedupInvariants(t *testing.T) {
 			}
 			items[i] = e.item(t, objs[i], s, s+1)
 		}
-		out, err := SecDedup(e.client, items, cloud.DedupEliminate, AllPairs(n), nil)
+		out, err := SecDedup(context.Background(), e.client, items, cloud.DedupEliminate, AllPairs(n), nil)
 		if err != nil {
 			t.Logf("SecDedup: %v", err)
 			return false
@@ -224,7 +225,7 @@ func TestPropertyCompareAgainstPlaintext(t *testing.T) {
 	f := func(a, b int16) bool {
 		ca := e.enc(t, int64(a))
 		cb := e.enc(t, int64(b))
-		got, err := EncCompare(e.client, ca, cb, 18)
+		got, err := EncCompare(context.Background(), e.client, ca, cb, 18)
 		if err != nil {
 			t.Logf("EncCompare: %v", err)
 			return false
@@ -252,7 +253,7 @@ func TestPropertySecMultMatrix(t *testing.T) {
 			bs[i] = e.enc(t, y)
 			want[i] = x * y
 		}
-		got, err := SecMult(e.client, as, bs)
+		got, err := SecMult(context.Background(), e.client, as, bs)
 		if err != nil {
 			t.Logf("SecMult: %v", err)
 			return false

@@ -8,6 +8,7 @@
 package protocols
 
 import (
+	"context"
 	"crypto/rand"
 	"errors"
 	"fmt"
@@ -66,7 +67,7 @@ func (it Item) Validate(cols int) error {
 // round: S1 blinds with Enc(r_i), S2 removes the outer layer, S1 divides
 // the blind back out. Blinding and unblinding fan out over the client's
 // worker budget.
-func RecoverEnc(c *cloud.Client, cts []*dj.Ciphertext) ([]*paillier.Ciphertext, error) {
+func RecoverEnc(ctx context.Context, c *cloud.Client, cts []*dj.Ciphertext) ([]*paillier.Ciphertext, error) {
 	if len(cts) == 0 {
 		return nil, nil
 	}
@@ -74,7 +75,7 @@ func RecoverEnc(c *cloud.Client, cts []*dj.Ciphertext) ([]*paillier.Ciphertext, 
 	djPK := c.DJPK()
 	blinded := make([]*dj.Ciphertext, len(cts))
 	blinds := make([]*paillier.Ciphertext, len(cts))
-	err := parallel.ForEach(c.Parallelism(), len(cts), func(i int) error {
+	err := parallel.ForEachCtx(ctx, c.Parallelism(), len(cts), func(i int) error {
 		r, err := zmath.RandInt(rand.Reader, pk.N)
 		if err != nil {
 			return err
@@ -94,7 +95,7 @@ func RecoverEnc(c *cloud.Client, cts []*dj.Ciphertext) ([]*paillier.Ciphertext, 
 	if err != nil {
 		return nil, err
 	}
-	recovered, err := c.Recover(blinded)
+	recovered, err := c.Recover(ctx, blinded)
 	if err != nil {
 		return nil, err
 	}
@@ -110,7 +111,7 @@ func RecoverEnc(c *cloud.Client, cts []*dj.Ciphertext) ([]*paillier.Ciphertext, 
 	if err != nil {
 		return nil, fmt.Errorf("protocols: RecoverEnc unblind: %w", err)
 	}
-	return parallel.MapErr(c.Parallelism(), recovered, func(i int, rec *paillier.Ciphertext) (*paillier.Ciphertext, error) {
+	return parallel.MapErrCtx(ctx, c.Parallelism(), recovered, func(i int, rec *paillier.Ciphertext) (*paillier.Ciphertext, error) {
 		v := new(big.Int).Mul(rec.C, invs[i])
 		v.Mod(v, pk.N2)
 		return &paillier.Ciphertext{C: v}, nil
@@ -160,9 +161,9 @@ func (s *selector) add(t, notT *dj.Ciphertext, a, b *paillier.Ciphertext) int {
 
 // resolve builds every queued selection term in parallel and executes the
 // batched RecoverEnc round.
-func (s *selector) resolve() ([]*paillier.Ciphertext, error) {
+func (s *selector) resolve(ctx context.Context) ([]*paillier.Ciphertext, error) {
 	djPK := s.client.DJPK()
-	terms, err := parallel.MapErr(s.client.Parallelism(), s.jobs, func(_ int, j selJob) (*dj.Ciphertext, error) {
+	terms, err := parallel.MapErrCtx(ctx, s.client.Parallelism(), s.jobs, func(_ int, j selJob) (*dj.Ciphertext, error) {
 		if j.raw != nil {
 			return j.raw, nil
 		}
@@ -179,13 +180,13 @@ func (s *selector) resolve() ([]*paillier.Ciphertext, error) {
 	if err != nil {
 		return nil, err
 	}
-	return RecoverEnc(s.client, terms)
+	return RecoverEnc(ctx, s.client, terms)
 }
 
 // oneMinusAll computes E2(1-t) for a batch of hidden bits, drawing the
 // E2(1) encryptions from the client's DJ nonce pool.
-func oneMinusAll(c *cloud.Client, bits []*dj.Ciphertext) ([]*dj.Ciphertext, error) {
-	return parallel.MapErr(c.Parallelism(), bits, func(_ int, b *dj.Ciphertext) (*dj.Ciphertext, error) {
+func oneMinusAll(ctx context.Context, c *cloud.Client, bits []*dj.Ciphertext) ([]*dj.Ciphertext, error) {
+	return parallel.MapErrCtx(ctx, c.Parallelism(), bits, func(_ int, b *dj.Ciphertext) (*dj.Ciphertext, error) {
 		return dj.OneMinusEnc(c.DJEnc(), b)
 	})
 }
@@ -194,7 +195,7 @@ func oneMinusAll(c *cloud.Client, bits []*dj.Ciphertext) ([]*dj.Ciphertext, erro
 // additively blinded two-party multiplication: S1 sends Enc(a+r_a),
 // Enc(b+r_b); S2 returns Enc((a+r_a)(b+r_b)); S1 strips the cross terms
 // homomorphically. One round for the whole batch.
-func SecMult(c *cloud.Client, as, bs []*paillier.Ciphertext) ([]*paillier.Ciphertext, error) {
+func SecMult(ctx context.Context, c *cloud.Client, as, bs []*paillier.Ciphertext) ([]*paillier.Ciphertext, error) {
 	if len(as) != len(bs) {
 		return nil, fmt.Errorf("protocols: SecMult length mismatch %d vs %d", len(as), len(bs))
 	}
@@ -206,7 +207,7 @@ func SecMult(c *cloud.Client, as, bs []*paillier.Ciphertext) ([]*paillier.Cipher
 	blindedB := make([]*paillier.Ciphertext, len(as))
 	ras := make([]*big.Int, len(as))
 	rbs := make([]*big.Int, len(as))
-	err := parallel.ForEach(c.Parallelism(), len(as), func(i int) error {
+	err := parallel.ForEachCtx(ctx, c.Parallelism(), len(as), func(i int) error {
 		ra, err := zmath.RandInt(rand.Reader, pk.N)
 		if err != nil {
 			return err
@@ -235,12 +236,12 @@ func SecMult(c *cloud.Client, as, bs []*paillier.Ciphertext) ([]*paillier.Cipher
 	if err != nil {
 		return nil, err
 	}
-	prods, err := c.MultBlinded(blindedA, blindedB)
+	prods, err := c.MultBlinded(ctx, blindedA, blindedB)
 	if err != nil {
 		return nil, err
 	}
 	out := make([]*paillier.Ciphertext, len(as))
-	err = parallel.ForEach(c.Parallelism(), len(as), func(i int) error {
+	err = parallel.ForEachCtx(ctx, c.Parallelism(), len(as), func(i int) error {
 		// ab = (a+ra)(b+rb) - ra*b - rb*a - ra*rb
 		t1, err := pk.MulConst(bs[i], new(big.Int).Neg(ras[i]))
 		if err != nil {

@@ -1,6 +1,7 @@
 package protocols
 
 import (
+	"context"
 	"sort"
 	"sync"
 	"testing"
@@ -123,7 +124,7 @@ func TestRecoverEncRoundTrip(t *testing.T) {
 		}
 		outers = append(outers, outer)
 	}
-	inners, err := RecoverEnc(e.client, outers)
+	inners, err := RecoverEnc(context.Background(), e.client, outers)
 	if err != nil {
 		t.Fatalf("RecoverEnc: %v", err)
 	}
@@ -132,7 +133,7 @@ func TestRecoverEncRoundTrip(t *testing.T) {
 			t.Errorf("recovered[%d] = %d, want %d", i, got, v)
 		}
 	}
-	if out, err := RecoverEnc(e.client, nil); err != nil || out != nil {
+	if out, err := RecoverEnc(context.Background(), e.client, nil); err != nil || out != nil {
 		t.Fatal("empty RecoverEnc should be a no-op")
 	}
 }
@@ -142,7 +143,7 @@ func TestSecMult(t *testing.T) {
 	f := func(x, y int32) bool {
 		a := e.enc(t, int64(x))
 		b := e.enc(t, int64(y))
-		prods, err := SecMult(e.client, []*paillier.Ciphertext{a}, []*paillier.Ciphertext{b})
+		prods, err := SecMult(context.Background(), e.client, []*paillier.Ciphertext{a}, []*paillier.Ciphertext{b})
 		if err != nil {
 			t.Logf("SecMult: %v", err)
 			return false
@@ -152,10 +153,10 @@ func TestSecMult(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := SecMult(e.client, make([]*paillier.Ciphertext, 1), nil); err == nil {
+	if _, err := SecMult(context.Background(), e.client, make([]*paillier.Ciphertext, 1), nil); err == nil {
 		t.Fatal("expected length mismatch error")
 	}
-	if out, err := SecMult(e.client, nil, nil); err != nil || out != nil {
+	if out, err := SecMult(context.Background(), e.client, nil, nil); err != nil || out != nil {
 		t.Fatal("empty SecMult should be a no-op")
 	}
 }
@@ -173,7 +174,7 @@ func TestEncCompare(t *testing.T) {
 	for _, c := range cases {
 		// Repeat to cover both random sign flips.
 		for rep := 0; rep < 4; rep++ {
-			got, err := EncCompare(e.client, e.enc(t, c.a), e.enc(t, c.b), 24)
+			got, err := EncCompare(context.Background(), e.client, e.enc(t, c.a), e.enc(t, c.b), 24)
 			if err != nil {
 				t.Fatalf("EncCompare(%d,%d): %v", c.a, c.b, err)
 			}
@@ -188,23 +189,23 @@ func TestEncCompareBatchAndValidation(t *testing.T) {
 	e := env(t)
 	as := []*paillier.Ciphertext{e.enc(t, 3), e.enc(t, 9)}
 	bs := []*paillier.Ciphertext{e.enc(t, 7), e.enc(t, 2)}
-	got, err := EncCompareBatch(e.client, as, bs, 16)
+	got, err := EncCompareBatch(context.Background(), e.client, as, bs, 16)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !got[0] || got[1] {
 		t.Fatalf("batch = %v, want [true false]", got)
 	}
-	if _, err := EncCompareBatch(e.client, as, bs[:1], 16); err == nil {
+	if _, err := EncCompareBatch(context.Background(), e.client, as, bs[:1], 16); err == nil {
 		t.Fatal("expected length mismatch error")
 	}
-	if _, err := EncCompare(e.client, as[0], bs[0], 0); err == nil {
+	if _, err := EncCompare(context.Background(), e.client, as[0], bs[0], 0); err == nil {
 		t.Fatal("expected error for non-positive magnitude bits")
 	}
-	if _, err := EncCompare(e.client, as[0], bs[0], 1000); err == nil {
+	if _, err := EncCompare(context.Background(), e.client, as[0], bs[0], 1000); err == nil {
 		t.Fatal("expected error for magnitude exceeding modulus")
 	}
-	if out, err := EncCompareBatch(e.client, nil, nil, 16); err != nil || out != nil {
+	if out, err := EncCompareBatch(context.Background(), e.client, nil, nil, 16); err != nil || out != nil {
 		t.Fatal("empty batch should be a no-op")
 	}
 }
@@ -215,7 +216,7 @@ func TestEncCompareHidden(t *testing.T) {
 	bs := []*paillier.Ciphertext{e.enc(t, 7), e.enc(t, 2), e.enc(t, 4)}
 	want := []int64{1, 0, 1} // a <= b
 	for rep := 0; rep < 4; rep++ {
-		bits, err := EncCompareHiddenBatch(e.client, as, bs, 16)
+		bits, err := EncCompareHiddenBatch(context.Background(), e.client, as, bs, 16)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -241,7 +242,7 @@ func TestSecWorstAll(t *testing.T) {
 		{EHL: e.list(t, 2), Score: e.enc(t, 8)},
 		{EHL: e.list(t, 4), Score: e.enc(t, 8)},
 	}
-	worst, err := SecWorstAll(e.client, items)
+	worst, err := SecWorstAll(context.Background(), e.client, items)
 	if err != nil {
 		t.Fatalf("SecWorstAll: %v", err)
 	}
@@ -257,7 +258,7 @@ func TestSecWorstAll(t *testing.T) {
 		{EHL: e.list(t, 7), Score: e.enc(t, 6)},
 		{EHL: e.list(t, 9), Score: e.enc(t, 3)},
 	}
-	worst2, err := SecWorstAll(e.client, items2)
+	worst2, err := SecWorstAll(context.Background(), e.client, items2)
 	if err != nil {
 		t.Fatalf("SecWorstAll: %v", err)
 	}
@@ -268,14 +269,14 @@ func TestSecWorstAll(t *testing.T) {
 	}
 
 	// Single-attribute queries degenerate to the item's own score.
-	w1, err := SecWorstAll(e.client, items2[:1])
+	w1, err := SecWorstAll(context.Background(), e.client, items2[:1])
 	if err != nil {
 		t.Fatal(err)
 	}
 	if e.dec(t, w1[0]) != 5 {
 		t.Fatal("m=1 worst should be own score")
 	}
-	if _, err := SecWorstAll(e.client, nil); err == nil {
+	if _, err := SecWorstAll(context.Background(), e.client, nil); err == nil {
 		t.Fatal("expected error for empty input")
 	}
 }
@@ -294,7 +295,7 @@ func TestSecBestAll(t *testing.T) {
 		{EHL: e.list(t, 3), Score: e.enc(t, 7)}, // of R2
 		{EHL: e.list(t, 3), Score: e.enc(t, 6)}, // of R3
 	}
-	best, err := SecBestAll(e.client, items, hist)
+	best, err := SecBestAll(context.Background(), e.client, items, hist)
 	if err != nil {
 		t.Fatalf("SecBestAll: %v", err)
 	}
@@ -306,10 +307,10 @@ func TestSecBestAll(t *testing.T) {
 			t.Errorf("best[%d] = %d, want %d (paper Fig. 3b)", i, got, want)
 		}
 	}
-	if _, err := SecBestAll(e.client, items, hist[:1]); err == nil {
+	if _, err := SecBestAll(context.Background(), e.client, items, hist[:1]); err == nil {
 		t.Fatal("expected history length mismatch error")
 	}
-	b1, err := SecBestAll(e.client, items[:1], hist[:1])
+	b1, err := SecBestAll(context.Background(), e.client, items[:1], hist[:1])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -325,7 +326,7 @@ func TestSecDedupReplaceFullProtocol(t *testing.T) {
 		e.item(t, 1, 100, 200),
 		e.item(t, 2, 300, 400),
 	}
-	out, err := SecDedup(e.client, items, cloud.DedupReplace, AllPairs(3), nil)
+	out, err := SecDedup(context.Background(), e.client, items, cloud.DedupReplace, AllPairs(3), nil)
 	if err != nil {
 		t.Fatalf("SecDedup: %v", err)
 	}
@@ -360,7 +361,7 @@ func TestSecDedupEliminate(t *testing.T) {
 		e.item(t, 5, 10, 20),
 		e.item(t, 5, 10, 20),
 	}
-	out, err := SecDedup(e.client, items, cloud.DedupEliminate, AllPairs(4), nil)
+	out, err := SecDedup(context.Background(), e.client, items, cloud.DedupEliminate, AllPairs(4), nil)
 	if err != nil {
 		t.Fatalf("SecDedup: %v", err)
 	}
@@ -387,7 +388,7 @@ func TestSecDedupMergeSumsWorst(t *testing.T) {
 		e.item(t, 8, 20, 98),
 		e.item(t, 9, 7, 96),
 	}
-	out, err := SecDedup(e.client, items, cloud.DedupMerge, AllPairs(3), []int{ColWorst})
+	out, err := SecDedup(context.Background(), e.client, items, cloud.DedupMerge, AllPairs(3), []int{ColWorst})
 	if err != nil {
 		t.Fatalf("SecDedup merge: %v", err)
 	}
@@ -412,14 +413,14 @@ func TestSecDedupMergeSumsWorst(t *testing.T) {
 func TestSecDedupValidation(t *testing.T) {
 	e := env(t)
 	items := []Item{e.item(t, 1, 5, 5)}
-	if _, err := SecDedup(e.client, items, cloud.DedupReplace, PairSet{Pairs: [][2]int{{0, 3}}}, nil); err == nil {
+	if _, err := SecDedup(context.Background(), e.client, items, cloud.DedupReplace, PairSet{Pairs: [][2]int{{0, 3}}}, nil); err == nil {
 		t.Fatal("expected out-of-range pair error")
 	}
-	if out, err := SecDedup(e.client, nil, cloud.DedupReplace, PairSet{}, nil); err != nil || out != nil {
+	if out, err := SecDedup(context.Background(), e.client, nil, cloud.DedupReplace, PairSet{}, nil); err != nil || out != nil {
 		t.Fatal("empty dedup should be a no-op")
 	}
 	bad := []Item{{EHL: nil}}
-	if _, err := SecDedup(e.client, bad, cloud.DedupReplace, PairSet{}, nil); err == nil {
+	if _, err := SecDedup(context.Background(), e.client, bad, cloud.DedupReplace, PairSet{}, nil); err == nil {
 		t.Fatal("expected invalid item error")
 	}
 }
@@ -437,7 +438,7 @@ func TestSecUpdateMergesMatchedObjects(t *testing.T) {
 		e.item(t, 2, 8, 22),
 		e.item(t, 3, 7, 21),
 	}
-	out, err := SecUpdate(e.client, T, gamma, cloud.DedupEliminate)
+	out, err := SecUpdate(context.Background(), e.client, T, gamma, cloud.DedupEliminate)
 	if err != nil {
 		t.Fatalf("SecUpdate: %v", err)
 	}
@@ -467,7 +468,7 @@ func TestSecUpdateReplaceModeKeepsSentinels(t *testing.T) {
 	e := env(t)
 	T := []Item{e.item(t, 1, 10, 20)}
 	gamma := []Item{e.item(t, 1, 5, 18)}
-	out, err := SecUpdate(e.client, T, gamma, cloud.DedupReplace)
+	out, err := SecUpdate(context.Background(), e.client, T, gamma, cloud.DedupReplace)
 	if err != nil {
 		t.Fatalf("SecUpdate: %v", err)
 	}
@@ -494,12 +495,12 @@ func TestSecUpdateReplaceModeKeepsSentinels(t *testing.T) {
 func TestSecUpdateEmptyCases(t *testing.T) {
 	e := env(t)
 	T := []Item{e.item(t, 1, 1, 2)}
-	out, err := SecUpdate(e.client, T, nil, cloud.DedupEliminate)
+	out, err := SecUpdate(context.Background(), e.client, T, nil, cloud.DedupEliminate)
 	if err != nil || len(out) != 1 {
 		t.Fatalf("empty gamma should return T: %v len=%d", err, len(out))
 	}
 	gamma := []Item{e.item(t, 2, 3, 4)}
-	out, err = SecUpdate(e.client, nil, gamma, cloud.DedupEliminate)
+	out, err = SecUpdate(context.Background(), e.client, nil, gamma, cloud.DedupEliminate)
 	if err != nil || len(out) != 1 {
 		t.Fatalf("empty T should return gamma: %v len=%d", err, len(out))
 	}
@@ -511,7 +512,7 @@ func sortCheck(t *testing.T, e *testEnv, vals []int64, desc bool) {
 	for i, v := range vals {
 		items[i] = e.item(t, uint64(100+i), v, int64(i))
 	}
-	out, err := EncSort(e.client, items, 0, desc, 16)
+	out, err := EncSort(context.Background(), e.client, items, 0, desc, 16)
 	if err != nil {
 		t.Fatalf("EncSort: %v", err)
 	}
@@ -559,15 +560,15 @@ func TestEncSortWithDuplicatesAndNegatives(t *testing.T) {
 
 func TestEncSortEdgeCases(t *testing.T) {
 	e := env(t)
-	if out, err := EncSort(e.client, nil, 0, false, 8); err != nil || len(out) != 0 {
+	if out, err := EncSort(context.Background(), e.client, nil, 0, false, 8); err != nil || len(out) != 0 {
 		t.Fatal("empty sort should be a no-op")
 	}
 	one := []Item{e.item(t, 1, 5)}
-	out, err := EncSort(e.client, one, 0, false, 8)
+	out, err := EncSort(context.Background(), e.client, one, 0, false, 8)
 	if err != nil || len(out) != 1 {
 		t.Fatalf("singleton sort: %v", err)
 	}
-	if _, err := EncSort(e.client, []Item{e.item(t, 1, 5), e.item(t, 2, 6)}, 3, false, 8); err == nil {
+	if _, err := EncSort(context.Background(), e.client, []Item{e.item(t, 1, 5), e.item(t, 2, 6)}, 3, false, 8); err == nil {
 		t.Fatal("expected column range error")
 	}
 }
@@ -579,7 +580,7 @@ func TestEncSelectTop(t *testing.T) {
 	for i, v := range vals {
 		items[i] = e.item(t, uint64(i), v)
 	}
-	out, err := EncSelectTop(e.client, items, 0, true, 3, 16)
+	out, err := EncSelectTop(context.Background(), e.client, items, 0, true, 3, 16)
 	if err != nil {
 		t.Fatalf("EncSelectTop: %v", err)
 	}
@@ -590,14 +591,14 @@ func TestEncSelectTop(t *testing.T) {
 		}
 	}
 	// k > n clamps.
-	out2, err := EncSelectTop(e.client, items[:2], 0, true, 10, 16)
+	out2, err := EncSelectTop(context.Background(), e.client, items[:2], 0, true, 10, 16)
 	if err != nil || len(out2) != 2 {
 		t.Fatalf("clamped selection: %v", err)
 	}
-	if _, err := EncSelectTop(e.client, items, 0, true, -1, 16); err == nil {
+	if _, err := EncSelectTop(context.Background(), e.client, items, 0, true, -1, 16); err == nil {
 		t.Fatal("expected negative k error")
 	}
-	if out3, err := EncSelectTop(e.client, nil, 0, true, 1, 16); err != nil || out3 != nil {
+	if out3, err := EncSelectTop(context.Background(), e.client, nil, 0, true, 1, 16); err != nil || out3 != nil {
 		t.Fatal("empty selection should be a no-op")
 	}
 }
@@ -609,7 +610,7 @@ func TestEncSelectTopAscending(t *testing.T) {
 	for i, v := range vals {
 		items[i] = e.item(t, uint64(i), v)
 	}
-	out, err := EncSelectTop(e.client, items, 0, false, 2, 16)
+	out, err := EncSelectTop(context.Background(), e.client, items, 0, false, 2, 16)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -625,7 +626,7 @@ func TestSecFilterProtocol(t *testing.T) {
 		{Score: e.enc(t, 0), Attrs: []*paillier.Ciphertext{e.enc(t, 3), e.enc(t, 4)}},
 		{Score: e.enc(t, 27), Attrs: []*paillier.Ciphertext{e.enc(t, 5), e.enc(t, 6)}},
 	}
-	out, err := SecFilter(e.client, tuples)
+	out, err := SecFilter(context.Background(), e.client, tuples)
 	if err != nil {
 		t.Fatalf("SecFilter: %v", err)
 	}
@@ -647,10 +648,10 @@ func TestSecFilterProtocol(t *testing.T) {
 	if a, ok := found[27]; !ok || a[0] != 5 || a[1] != 6 {
 		t.Fatalf("tuple 27 wrong: %v", found)
 	}
-	if out, err := SecFilter(e.client, nil); err != nil || out != nil {
+	if out, err := SecFilter(context.Background(), e.client, nil); err != nil || out != nil {
 		t.Fatal("empty filter should be a no-op")
 	}
-	if _, err := SecFilter(e.client, []JoinTuple{{Score: nil}}); err == nil {
+	if _, err := SecFilter(context.Background(), e.client, []JoinTuple{{Score: nil}}); err == nil {
 		t.Fatal("expected malformed tuple error")
 	}
 }

@@ -1,6 +1,7 @@
 package protocols
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/big"
@@ -27,7 +28,7 @@ import (
 // The list is padded to a power of two with sentinel items that sort last
 // and are stripped before returning. col selects the key column; desc
 // selects descending order; magBits bounds the key magnitudes.
-func EncSort(c *cloud.Client, items []Item, col int, desc bool, magBits int) ([]Item, error) {
+func EncSort(ctx context.Context, c *cloud.Client, items []Item, col int, desc bool, magBits int) ([]Item, error) {
 	n := len(items)
 	if n <= 1 {
 		return append([]Item(nil), items...), nil
@@ -54,7 +55,7 @@ func EncSort(c *cloud.Client, items []Item, col int, desc bool, magBits int) ([]
 		if desc {
 			padKey.Neg(padKey)
 		}
-		err := parallel.ForEach(c.Parallelism(), p2-n, func(i int) error {
+		err := parallel.ForEachCtx(ctx, c.Parallelism(), p2-n, func(i int) error {
 			pad, err := sentinelItem(c.Enc(), items[0], padKey)
 			if err != nil {
 				return err
@@ -69,7 +70,7 @@ func EncSort(c *cloud.Client, items []Item, col int, desc bool, magBits int) ([]
 
 	layers := batcherLayers(p2)
 	for _, layer := range layers {
-		if err := runGateLayer(c, work, layer, col, desc, magBits+2); err != nil {
+		if err := runGateLayer(ctx, c, work, layer, col, desc, magBits+2); err != nil {
 			return nil, err
 		}
 	}
@@ -153,7 +154,7 @@ func batcherLayers(n int) [][]gate {
 
 // runGateLayer executes one layer of independent compare-exchange gates in
 // two rounds: a hidden-comparison batch and a selection/recovery batch.
-func runGateLayer(c *cloud.Client, work []Item, layer []gate, col int, desc bool, magBits int) error {
+func runGateLayer(ctx context.Context, c *cloud.Client, work []Item, layer []gate, col int, desc bool, magBits int) error {
 	// Round 1: hidden comparison bits. For ascending order the gate keeps
 	// (i, j) when key_i <= key_j; descending swaps the operands.
 	as := make([]*paillier.Ciphertext, len(layer))
@@ -165,11 +166,11 @@ func runGateLayer(c *cloud.Client, work []Item, layer []gate, col int, desc bool
 			as[k], bs[k] = work[g.i].Scores[col], work[g.j].Scores[col]
 		}
 	}
-	bits, err := EncCompareHiddenBatch(c, as, bs, magBits)
+	bits, err := EncCompareHiddenBatch(ctx, c, as, bs, magBits)
 	if err != nil {
 		return err
 	}
-	notBits, err := oneMinusAll(c, bits)
+	notBits, err := oneMinusAll(ctx, c, bits)
 	if err != nil {
 		return err
 	}
@@ -198,7 +199,7 @@ func runGateLayer(c *cloud.Client, work []Item, layer []gate, col int, desc bool
 			queue(k, bits[k], notBits[k], J.Scores[idx], I.Scores[idx], 1, false, idx)
 		}
 	}
-	resolved, err := sel.resolve()
+	resolved, err := sel.resolve(ctx)
 	if err != nil {
 		return err
 	}
@@ -235,7 +236,7 @@ func runGateLayer(c *cloud.Client, work []Item, layer []gate, col int, desc bool
 // small k of a top-k query and the alternative the efficiency analysis of
 // Section 10.3 suggests. The remaining positions hold the leftovers in
 // arbitrary order.
-func EncSelectTop(c *cloud.Client, items []Item, col int, desc bool, k, magBits int) ([]Item, error) {
+func EncSelectTop(ctx context.Context, c *cloud.Client, items []Item, col int, desc bool, k, magBits int) ([]Item, error) {
 	n := len(items)
 	if n == 0 {
 		return nil, nil
@@ -255,7 +256,7 @@ func EncSelectTop(c *cloud.Client, items []Item, col int, desc bool, k, magBits 
 	for p := 0; p < k; p++ {
 		for i := p + 1; i < n; i++ {
 			// Gate (p, i): keep the winner at position p.
-			if err := runGateLayer(c, work, []gate{{p, i}}, col, desc, magBits+2); err != nil {
+			if err := runGateLayer(ctx, c, work, []gate{{p, i}}, col, desc, magBits+2); err != nil {
 				return nil, err
 			}
 		}

@@ -1,6 +1,7 @@
 package protocols
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 
@@ -27,7 +28,7 @@ import (
 //
 // Extra score columns beyond W and B (engine payload such as per-list seen
 // indicators) are merged additively like W.
-func SecUpdate(c *cloud.Client, T, gamma []Item, mode cloud.DedupMode) ([]Item, error) {
+func SecUpdate(ctx context.Context, c *cloud.Client, T, gamma []Item, mode cloud.DedupMode) ([]Item, error) {
 	if len(gamma) == 0 {
 		return T, nil
 	}
@@ -57,7 +58,7 @@ func SecUpdate(c *cloud.Client, T, gamma []Item, mode cloud.DedupMode) ([]Item, 
 			refs = append(refs, pairRef{gi, ti})
 		}
 	}
-	eqCts, err := parallel.MapErr(c.Parallelism(), refs, func(_ int, r pairRef) (*paillier.Ciphertext, error) {
+	eqCts, err := parallel.MapErrCtx(ctx, c.Parallelism(), refs, func(_ int, r pairRef) (*paillier.Ciphertext, error) {
 		ct, err := ehl.SubEnc(c.Enc(), gamma[r.g].EHL, T[r.t].EHL)
 		if err != nil {
 			return nil, fmt.Errorf("protocols: SecUpdate eq(%d,%d): %w", r.g, r.t, err)
@@ -75,7 +76,7 @@ func SecUpdate(c *cloud.Client, T, gamma []Item, mode cloud.DedupMode) ([]Item, 
 	for i := range eqCts {
 		permuted[perm[i]] = eqCts[i]
 	}
-	bitsPermuted, err := c.EqBits(permuted)
+	bitsPermuted, err := c.EqBits(ctx, permuted)
 	if err != nil {
 		return nil, err
 	}
@@ -83,7 +84,7 @@ func SecUpdate(c *cloud.Client, T, gamma []Item, mode cloud.DedupMode) ([]Item, 
 	for i := range refs {
 		bits[i] = bitsPermuted[perm[i]]
 	}
-	notBits, err := oneMinusAll(c, bits)
+	notBits, err := oneMinusAll(ctx, c, bits)
 	if err != nil {
 		return nil, err
 	}
@@ -137,7 +138,7 @@ func SecUpdate(c *cloud.Client, T, gamma []Item, mode cloud.DedupMode) ([]Item, 
 	// exponentiation chain is independent, so they build in parallel.
 	if cols > ColBest {
 		terms := make([]*dj.Ciphertext, len(T))
-		err := parallel.ForEach(c.Parallelism(), len(T), func(ti int) error {
+		err := parallel.ForEachCtx(ctx, c.Parallelism(), len(T), func(ti int) error {
 			var term, tSum *dj.Ciphertext
 			for gi := range gamma {
 				k := bitIdx[[2]int{gi, ti}]
@@ -177,7 +178,7 @@ func SecUpdate(c *cloud.Client, T, gamma []Item, mode cloud.DedupMode) ([]Item, 
 			jobs = append(jobs, job{kind: jobExistingSet, item: ti, col: ColBest, slot: sel.addRaw(term)})
 		}
 	}
-	resolved, err := sel.resolve()
+	resolved, err := sel.resolve(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -221,5 +222,5 @@ func SecUpdate(c *cloud.Client, T, gamma []Item, mode cloud.DedupMode) ([]Item, 
 	for i := range newGamma {
 		newIdx[i] = len(newT) + i
 	}
-	return SecDedup(c, combined, mode, Bipartite(newIdx, existingIdx), nil)
+	return SecDedup(ctx, c, combined, mode, Bipartite(newIdx, existingIdx), nil)
 }

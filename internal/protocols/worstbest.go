@@ -1,6 +1,7 @@
 package protocols
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -50,7 +51,7 @@ func validateDepthItems(items []DepthItem) error {
 // The equality bits are obtained through one permuted EqBits round and the
 // selections resolve with one batched RecoverEnc round; S2's view is the
 // permuted equality pattern of the depth (leakage EP^d).
-func SecWorstAll(c *cloud.Client, items []DepthItem) ([]*paillier.Ciphertext, error) {
+func SecWorstAll(ctx context.Context, c *cloud.Client, items []DepthItem) ([]*paillier.Ciphertext, error) {
 	if err := validateDepthItems(items); err != nil {
 		return nil, err
 	}
@@ -69,7 +70,7 @@ func SecWorstAll(c *cloud.Client, items []DepthItem) ([]*paillier.Ciphertext, er
 			pairs = append(pairs, pair{i, j})
 		}
 	}
-	eqCts, err := parallel.MapErr(c.Parallelism(), pairs, func(_ int, p pair) (*paillier.Ciphertext, error) {
+	eqCts, err := parallel.MapErrCtx(ctx, c.Parallelism(), pairs, func(_ int, p pair) (*paillier.Ciphertext, error) {
 		ct, err := ehl.SubEnc(c.Enc(), items[p.i].EHL, items[p.j].EHL)
 		if err != nil {
 			return nil, fmt.Errorf("protocols: SecWorst eq(%d,%d): %w", p.i, p.j, err)
@@ -88,7 +89,7 @@ func SecWorstAll(c *cloud.Client, items []DepthItem) ([]*paillier.Ciphertext, er
 	for i := range eqCts {
 		permuted[perm[i]] = eqCts[i]
 	}
-	bitsPermuted, err := c.EqBits(permuted)
+	bitsPermuted, err := c.EqBits(ctx, permuted)
 	if err != nil {
 		return nil, err
 	}
@@ -96,7 +97,7 @@ func SecWorstAll(c *cloud.Client, items []DepthItem) ([]*paillier.Ciphertext, er
 	for i := range pairs {
 		bits[i] = bitsPermuted[perm[i]]
 	}
-	notBits, err := oneMinusAll(c, bits)
+	notBits, err := oneMinusAll(ctx, c, bits)
 	if err != nil {
 		return nil, err
 	}
@@ -118,7 +119,7 @@ func SecWorstAll(c *cloud.Client, items []DepthItem) ([]*paillier.Ciphertext, er
 			slotRef{item: p.i, slot: sel.add(bits[k], notBits[k], items[p.j].Score, zero)},
 			slotRef{item: p.j, slot: sel.add(bits[k], notBits[k], items[p.i].Score, zero)})
 	}
-	resolved, err := sel.resolve()
+	resolved, err := sel.resolve(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -147,7 +148,7 @@ func SecWorstAll(c *cloud.Client, items []DepthItem) ([]*paillier.Ciphertext, er
 // histories[j] must contain list j's seen prefix including the current
 // depth; item i must be the current-depth item of histories[i]. Two rounds
 // total: one permuted EqBits batch and one RecoverEnc batch.
-func SecBestAll(c *cloud.Client, items []DepthItem, histories []ListHistory) ([]*paillier.Ciphertext, error) {
+func SecBestAll(ctx context.Context, c *cloud.Client, items []DepthItem, histories []ListHistory) ([]*paillier.Ciphertext, error) {
 	if err := validateDepthItems(items); err != nil {
 		return nil, err
 	}
@@ -181,7 +182,7 @@ func SecBestAll(c *cloud.Client, items []DepthItem, histories []ListHistory) ([]
 			}
 		}
 	}
-	eqCts, err := parallel.MapErr(c.Parallelism(), refs, func(_ int, r ref) (*paillier.Ciphertext, error) {
+	eqCts, err := parallel.MapErrCtx(ctx, c.Parallelism(), refs, func(_ int, r ref) (*paillier.Ciphertext, error) {
 		ct, err := ehl.SubEnc(c.Enc(), items[r.i].EHL, histories[r.j].EHLs[r.e])
 		if err != nil {
 			return nil, fmt.Errorf("protocols: SecBest eq(%d,%d,%d): %w", r.i, r.j, r.e, err)
@@ -199,7 +200,7 @@ func SecBestAll(c *cloud.Client, items []DepthItem, histories []ListHistory) ([]
 	for i := range eqCts {
 		permuted[perm[i]] = eqCts[i]
 	}
-	bitsPermuted, err := c.EqBits(permuted)
+	bitsPermuted, err := c.EqBits(ctx, permuted)
 	if err != nil {
 		return nil, err
 	}
@@ -231,7 +232,7 @@ func SecBestAll(c *cloud.Client, items []DepthItem, histories []ListHistory) ([]
 		}
 	}
 	terms := make([]*dj.Ciphertext, len(keys))
-	err = parallel.ForEach(c.Parallelism(), len(keys), func(g int) error {
+	err = parallel.ForEachCtx(ctx, c.Parallelism(), len(keys), func(g int) error {
 		j := keys[g].j
 		idxs := grouped[keys[g]]
 		bottom := histories[j].Scores[len(histories[j].Scores)-1]
@@ -284,7 +285,7 @@ func SecBestAll(c *cloud.Client, items []DepthItem, histories []ListHistory) ([]
 	for g, k := range keys {
 		slots = append(slots, slotRef{item: k.i, slot: sel.addRaw(terms[g])})
 	}
-	resolved, err := sel.resolve()
+	resolved, err := sel.resolve(ctx)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,54 @@
+package secerr
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestSentinelMatching(t *testing.T) {
+	err := New(CodeUnknownRelation, "relation %q not registered", "patients")
+	if !errors.Is(err, ErrUnknownRelation) {
+		t.Fatal("coded error does not match its sentinel")
+	}
+	if errors.Is(err, ErrInvalidToken) {
+		t.Fatal("coded error matches a foreign sentinel")
+	}
+}
+
+func TestWrappedChain(t *testing.T) {
+	cause := errors.New("connection reset")
+	err := fmt.Errorf("round 3: %w", Wrap(CodeTransport, cause, "sending EqBits"))
+	if !errors.Is(err, ErrTransport) {
+		t.Fatal("wrapped coded error lost its code")
+	}
+	if !errors.Is(err, cause) {
+		t.Fatal("wrapping hid the cause")
+	}
+	if CodeOf(err) != CodeTransport {
+		t.Fatalf("CodeOf = %q, want %q", CodeOf(err), CodeTransport)
+	}
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	orig := New(CodeProtocolVersion, "peer speaks v9, this side v1")
+	back := FromWire(string(CodeOf(orig)), orig.Error())
+	if !errors.Is(back, ErrProtocolVersion) {
+		t.Fatal("wire round-trip lost the code")
+	}
+	if back.Error() != orig.Error() {
+		t.Fatalf("message changed: %q vs %q", back.Error(), orig.Error())
+	}
+}
+
+func TestCodeOfUncoded(t *testing.T) {
+	if CodeOf(errors.New("plain")) != CodeInternal {
+		t.Fatal("uncoded error should map to internal")
+	}
+	if CodeOf(nil) != "" {
+		t.Fatal("nil error should have empty code")
+	}
+	if FromWire("", "boom").Code != CodeInternal {
+		t.Fatal("empty wire code should map to internal")
+	}
+}

@@ -175,6 +175,10 @@ type wirePub struct {
 }
 
 // WritePublicKey serializes the public key (what S1 is allowed to hold).
+// The node CLI no longer ships a standalone public-key file — the key
+// travels embedded in the hosted-relation bundle (WriteHostedRelation) —
+// but the bare format remains supported for deployments that provision
+// the key out of band.
 func WritePublicKey(w io.Writer, pk *paillier.PublicKey) error {
 	if pk == nil || pk.N == nil {
 		return errors.New("secio: nil public key")
@@ -238,17 +242,12 @@ type wireItems struct {
 	Items   []wireItem
 }
 
-// WriteItems serializes encrypted result items (what S1 returns to the
-// client).
-func WriteItems(w io.Writer, items []protocols.Item) error {
-	enc := gob.NewEncoder(w)
-	if err := enc.Encode(header{Magic: magic, Version: version, Kind: "items"}); err != nil {
-		return err
-	}
-	wi := wireItems{}
+// encodeItems flattens result items to their wire form.
+func encodeItems(items []protocols.Item) (*wireItems, error) {
+	wi := &wireItems{}
 	for i, it := range items {
 		if it.EHL == nil {
-			return fmt.Errorf("secio: item %d missing EHL", i)
+			return nil, fmt.Errorf("secio: item %d missing EHL", i)
 		}
 		wi.EHLKind = int(it.EHL.Kind)
 		row := wireItem{}
@@ -257,13 +256,43 @@ func WriteItems(w io.Writer, items []protocols.Item) error {
 		}
 		for _, s := range it.Scores {
 			if s == nil {
-				return fmt.Errorf("secio: item %d has nil score", i)
+				return nil, fmt.Errorf("secio: item %d has nil score", i)
 			}
 			row.Scores = append(row.Scores, s.C)
 		}
 		wi.Items = append(wi.Items, row)
 	}
-	return enc.Encode(&wi)
+	return wi, nil
+}
+
+// decodeItems rebuilds result items from their wire form.
+func decodeItems(wi *wireItems) []protocols.Item {
+	out := make([]protocols.Item, len(wi.Items))
+	for i, row := range wi.Items {
+		it := protocols.Item{EHL: &ehl.List{Kind: ehl.Kind(wi.EHLKind)}}
+		for _, v := range row.EHL {
+			it.EHL.Cts = append(it.EHL.Cts, &paillier.Ciphertext{C: v})
+		}
+		for _, v := range row.Scores {
+			it.Scores = append(it.Scores, &paillier.Ciphertext{C: v})
+		}
+		out[i] = it
+	}
+	return out
+}
+
+// WriteItems serializes encrypted result items (what S1 returns to the
+// client).
+func WriteItems(w io.Writer, items []protocols.Item) error {
+	wi, err := encodeItems(items)
+	if err != nil {
+		return err
+	}
+	enc := gob.NewEncoder(w)
+	if err := enc.Encode(header{Magic: magic, Version: version, Kind: "items"}); err != nil {
+		return err
+	}
+	return enc.Encode(wi)
 }
 
 // ReadItems deserializes encrypted result items.
@@ -280,16 +309,5 @@ func ReadItems(r io.Reader) ([]protocols.Item, error) {
 	if err := dec.Decode(&wi); err != nil {
 		return nil, err
 	}
-	out := make([]protocols.Item, len(wi.Items))
-	for i, row := range wi.Items {
-		it := protocols.Item{EHL: &ehl.List{Kind: ehl.Kind(wi.EHLKind)}}
-		for _, v := range row.EHL {
-			it.EHL.Cts = append(it.EHL.Cts, &paillier.Ciphertext{C: v})
-		}
-		for _, v := range row.Scores {
-			it.Scores = append(it.Scores, &paillier.Ciphertext{C: v})
-		}
-		out[i] = it
-	}
-	return out, nil
+	return decodeItems(&wi), nil
 }

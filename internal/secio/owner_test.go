@@ -2,6 +2,7 @@ package secio
 
 import (
 	"bytes"
+	"context"
 	"path/filepath"
 	"testing"
 
@@ -32,7 +33,7 @@ func TestOwnerBundleRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := engine.SecQuery(tk, core.Options{Mode: core.QryE, Halt: core.HaltStrict})
+	res, err := engine.SecQuery(context.Background(), tk, core.Options{Mode: core.QryE, Halt: core.HaltStrict})
 	if err != nil {
 		t.Fatalf("SecQuery with restored token: %v", err)
 	}

@@ -53,17 +53,12 @@ type wireRelation struct {
 	Lists        [][]wireEncItem
 }
 
-// WriteRelation serializes an encrypted relation.
-func WriteRelation(w io.Writer, er *core.EncryptedRelation) error {
+// encodeRelation flattens an encrypted relation to its wire form.
+func encodeRelation(er *core.EncryptedRelation) (*wireRelation, error) {
 	if er == nil {
-		return errors.New("secio: nil relation")
+		return nil, errors.New("secio: nil relation")
 	}
-	bw := bufio.NewWriter(w)
-	enc := gob.NewEncoder(bw)
-	if err := enc.Encode(header{Magic: magic, Version: version, Kind: "relation"}); err != nil {
-		return fmt.Errorf("secio: writing header: %w", err)
-	}
-	wr := wireRelation{
+	wr := &wireRelation{
 		Name: er.Name, N: er.N, M: er.M,
 		EHLKind: int(er.EHLParams.Kind), EHLS: er.EHLParams.S, EHLH: er.EHLParams.H,
 		MaxScoreBits: er.MaxScoreBits,
@@ -73,7 +68,7 @@ func WriteRelation(w io.Writer, er *core.EncryptedRelation) error {
 		wl := make([]wireEncItem, len(list))
 		for j, it := range list {
 			if it.EHL == nil || it.Score == nil {
-				return fmt.Errorf("secio: incomplete item at (%d,%d)", i, j)
+				return nil, fmt.Errorf("secio: incomplete item at (%d,%d)", i, j)
 			}
 			w := wireEncItem{Score: it.Score.C}
 			for _, ct := range it.EHL.Cts {
@@ -83,7 +78,21 @@ func WriteRelation(w io.Writer, er *core.EncryptedRelation) error {
 		}
 		wr.Lists[i] = wl
 	}
-	if err := enc.Encode(&wr); err != nil {
+	return wr, nil
+}
+
+// WriteRelation serializes an encrypted relation.
+func WriteRelation(w io.Writer, er *core.EncryptedRelation) error {
+	wr, err := encodeRelation(er)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	enc := gob.NewEncoder(bw)
+	if err := enc.Encode(header{Magic: magic, Version: version, Kind: "relation"}); err != nil {
+		return fmt.Errorf("secio: writing header: %w", err)
+	}
+	if err := enc.Encode(wr); err != nil {
 		return fmt.Errorf("secio: writing relation: %w", err)
 	}
 	return bw.Flush()
@@ -103,6 +112,11 @@ func ReadRelation(r io.Reader) (*core.EncryptedRelation, error) {
 	if err := dec.Decode(&wr); err != nil {
 		return nil, fmt.Errorf("secio: reading relation: %w", err)
 	}
+	return decodeRelation(&wr)
+}
+
+// decodeRelation rebuilds an encrypted relation from its wire form.
+func decodeRelation(wr *wireRelation) (*core.EncryptedRelation, error) {
 	params := ehl.Params{Kind: ehl.Kind(wr.EHLKind), S: wr.EHLS, H: wr.EHLH}
 	if err := params.Validate(); err != nil {
 		return nil, fmt.Errorf("secio: stored EHL params invalid: %w", err)
@@ -187,17 +201,12 @@ type wireJoinRelation struct {
 	Tuples  [][]wireJoinAttr
 }
 
-// WriteJoinRelation serializes an encrypted join relation.
-func WriteJoinRelation(w io.Writer, er *join.EncRelation, params ehl.Params) error {
+// encodeJoinRelation flattens a join relation to its wire form.
+func encodeJoinRelation(er *join.EncRelation, params ehl.Params) (*wireJoinRelation, error) {
 	if er == nil {
-		return errors.New("secio: nil join relation")
+		return nil, errors.New("secio: nil join relation")
 	}
-	bw := bufio.NewWriter(w)
-	enc := gob.NewEncoder(bw)
-	if err := enc.Encode(header{Magic: magic, Version: version, Kind: "join-relation"}); err != nil {
-		return err
-	}
-	wr := wireJoinRelation{
+	wr := &wireJoinRelation{
 		Name: er.Name, N: er.N, M: er.M,
 		EHLKind: int(params.Kind), EHLS: params.S, EHLH: params.H,
 		Tuples: make([][]wireJoinAttr, len(er.Tuples)),
@@ -206,7 +215,7 @@ func WriteJoinRelation(w io.Writer, er *join.EncRelation, params ehl.Params) err
 		wt := make([]wireJoinAttr, len(tuple))
 		for j, a := range tuple {
 			if a.EHL == nil || a.Value == nil {
-				return fmt.Errorf("secio: incomplete join attr at (%d,%d)", i, j)
+				return nil, fmt.Errorf("secio: incomplete join attr at (%d,%d)", i, j)
 			}
 			wa := wireJoinAttr{Value: a.Value.C}
 			for _, ct := range a.EHL.Cts {
@@ -216,7 +225,21 @@ func WriteJoinRelation(w io.Writer, er *join.EncRelation, params ehl.Params) err
 		}
 		wr.Tuples[i] = wt
 	}
-	if err := enc.Encode(&wr); err != nil {
+	return wr, nil
+}
+
+// WriteJoinRelation serializes an encrypted join relation.
+func WriteJoinRelation(w io.Writer, er *join.EncRelation, params ehl.Params) error {
+	wr, err := encodeJoinRelation(er, params)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	enc := gob.NewEncoder(bw)
+	if err := enc.Encode(header{Magic: magic, Version: version, Kind: "join-relation"}); err != nil {
+		return err
+	}
+	if err := enc.Encode(wr); err != nil {
 		return err
 	}
 	return bw.Flush()
@@ -236,6 +259,11 @@ func ReadJoinRelation(r io.Reader) (*join.EncRelation, ehl.Params, error) {
 	if err := dec.Decode(&wr); err != nil {
 		return nil, ehl.Params{}, err
 	}
+	return decodeJoinRelation(&wr)
+}
+
+// decodeJoinRelation rebuilds a join relation from its wire form.
+func decodeJoinRelation(wr *wireJoinRelation) (*join.EncRelation, ehl.Params, error) {
 	params := ehl.Params{Kind: ehl.Kind(wr.EHLKind), S: wr.EHLS, H: wr.EHLH}
 	if err := params.Validate(); err != nil {
 		return nil, ehl.Params{}, err

@@ -2,6 +2,7 @@ package secio
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -84,7 +85,7 @@ func TestRelationRoundTripAndQuery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := engine.SecQuery(tk, core.Options{Mode: core.QryE, Halt: core.HaltStrict})
+	res, err := engine.SecQuery(context.Background(), tk, core.Options{Mode: core.QryE, Halt: core.HaltStrict})
 	if err != nil {
 		t.Fatalf("SecQuery over loaded relation: %v", err)
 	}

@@ -2,12 +2,16 @@ package transport
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"time"
+
+	"repro/internal/secerr"
 )
 
 // Frame format (both directions):
@@ -15,9 +19,10 @@ import (
 //	request:  uvarint(len(method)) method uvarint(len(body)) body
 //	response: status byte (0 ok, 1 error) uvarint(len(payload)) payload
 //
-// where an error payload is the error string. One goroutine per
-// connection; calls on one connection are serialized, which matches the
-// strictly sequential round structure of the protocols.
+// where an error payload is the gob encoding of wireError, carrying the
+// structured (code, message) pair of the typed error taxonomy. One
+// goroutine per connection; calls on one connection are serialized, which
+// matches the strictly sequential round structure of the protocols.
 
 const (
 	statusOK  = 0
@@ -28,6 +33,13 @@ const (
 // allocating unbounded memory.
 const maxFrame = 1 << 30
 
+// wireError is the serialized form of a handler error: the secerr code
+// plus the rendered message. Wrapped causes stay on the serving side.
+type wireError struct {
+	Code string
+	Msg  string
+}
+
 // NetCaller is a Caller over a net.Conn (TCP loopback, unix socket, or
 // net.Pipe). It is safe for concurrent use; calls are serialized.
 type NetCaller struct {
@@ -36,6 +48,14 @@ type NetCaller struct {
 	r     *bufio.Reader
 	w     *bufio.Writer
 	stats *Stats
+	// broken is set when a cancellation interrupted in-flight I/O: the
+	// stream is mid-frame and no further call can be framed correctly, so
+	// every later Call fails fast with a typed transport error instead of
+	// silently misparsing the peer's bytes.
+	broken bool
+
+	closeOnce sync.Once
+	closeErr  error
 }
 
 // NewNetCaller wraps an established connection to S2.
@@ -48,38 +68,94 @@ func NewNetCaller(conn net.Conn, stats *Stats) *NetCaller {
 	}
 }
 
-// Call implements Caller.
-func (c *NetCaller) Call(method string, req, resp any) error {
+// Call implements Caller. A context canceled before the call starts stops
+// it immediately; cancellation mid-round interrupts the in-flight I/O via
+// a connection deadline, which leaves the stream mid-frame — the caller
+// is then marked broken and every subsequent Call fails fast with a
+// typed transport error (reconnect to recover).
+func (c *NetCaller) Call(ctx context.Context, method string, req, resp any) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("transport: %s: %w", method, err)
+	}
 	body, err := Encode(req)
 	if err != nil {
-		return fmt.Errorf("transport: encoding %s request: %w", method, err)
+		return secerr.Wrap(secerr.CodeTransport, err, "encoding %s request", method)
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.broken {
+		return secerr.New(secerr.CodeTransport,
+			"transport: %s: connection broken by an earlier canceled round; reconnect", method)
+	}
+
+	// Interrupt in-flight I/O when the context fires. AfterFunc costs
+	// nothing until cancellation; fired joins the interrupt body so the
+	// deadline state is deterministic before the next round.
+	fired := make(chan struct{})
+	stop := context.AfterFunc(ctx, func() {
+		c.conn.SetDeadline(time.Now())
+		close(fired)
+	})
+	finishWatch := func() {
+		if !stop() {
+			<-fired
+			c.conn.SetDeadline(time.Time{})
+		}
+	}
+
 	if err := writeFrame(c.w, []byte(method), body); err != nil {
-		return fmt.Errorf("transport: sending %s: %w", method, err)
+		finishWatch()
+		return c.callErr(ctx, method, "sending", err)
 	}
 	status, payload, err := readReply(c.r)
+	finishWatch()
 	if err != nil {
-		return fmt.Errorf("transport: receiving %s reply: %w", method, err)
+		return c.callErr(ctx, method, "receiving reply for", err)
 	}
 	if c.stats != nil {
 		c.stats.Record(method, len(body)+len(method), len(payload)+1)
 	}
 	if status == statusErr {
-		return fmt.Errorf("transport: %s: remote error: %s", method, payload)
+		return fmt.Errorf("transport: %s: remote: %w", method, decodeWireError(payload))
 	}
 	if resp == nil {
 		return nil
 	}
 	if err := Decode(payload, resp); err != nil {
-		return fmt.Errorf("transport: decoding %s response: %w", method, err)
+		return secerr.Wrap(secerr.CodeTransport, err, "decoding %s response", method)
 	}
 	return nil
 }
 
-// Close closes the underlying connection.
-func (c *NetCaller) Close() error { return c.conn.Close() }
+// callErr classifies an I/O failure (called with c.mu held): any failed
+// round leaves the stream in an unknown framing state, so the caller is
+// marked broken either way; if the context fired, surface the
+// cancellation, otherwise wrap as a transport error.
+func (c *NetCaller) callErr(ctx context.Context, method, verb string, err error) error {
+	c.broken = true
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		return fmt.Errorf("transport: %s: %w", method, ctxErr)
+	}
+	return secerr.Wrap(secerr.CodeTransport, err, "%s %s", verb, method)
+}
+
+// decodeWireError reconstructs the peer's structured error. Payloads that
+// do not decode (e.g. from a pre-versioning peer) degrade to an internal
+// error carrying the raw bytes as the message.
+func decodeWireError(payload []byte) error {
+	var we wireError
+	if err := Decode(payload, &we); err != nil {
+		return secerr.FromWire(string(secerr.CodeInternal), string(payload))
+	}
+	return secerr.FromWire(we.Code, we.Msg)
+}
+
+// Close closes the underlying connection. Safe to call more than once;
+// later calls return the first result.
+func (c *NetCaller) Close() error {
+	c.closeOnce.Do(func() { c.closeErr = c.conn.Close() })
+	return c.closeErr
+}
 
 func writeFrame(w *bufio.Writer, method, body []byte) error {
 	var lenBuf [binary.MaxVarintLen64]byte
@@ -160,12 +236,16 @@ func readReply(r *bufio.Reader) (status byte, payload []byte, err error) {
 	return status, payload, nil
 }
 
-// ServeConn serves a single connection until it closes or a transport
-// error occurs. Handler errors are reported to the peer, not returned.
-func ServeConn(conn net.Conn, responder Responder) error {
+// ServeConn serves a single connection until it closes, the context is
+// canceled, or a transport error occurs. Handler errors are reported to
+// the peer as structured (code, message) pairs, not returned.
+func ServeConn(ctx context.Context, conn net.Conn, responder Responder) error {
 	r := bufio.NewReader(conn)
 	w := bufio.NewWriter(conn)
 	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		method, body, err := readFrame(r)
 		if err != nil {
 			if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
@@ -173,9 +253,13 @@ func ServeConn(conn net.Conn, responder Responder) error {
 			}
 			return err
 		}
-		out, herr := responder.Serve(string(method), body)
+		out, herr := responder.Serve(ctx, string(method), body)
 		if herr != nil {
-			if err := writeReply(w, statusErr, []byte(herr.Error())); err != nil {
+			payload, err := Encode(wireError{Code: string(secerr.CodeOf(herr)), Msg: herr.Error()})
+			if err != nil {
+				payload = nil
+			}
+			if err := writeReply(w, statusErr, payload); err != nil {
 				return err
 			}
 			continue
@@ -187,19 +271,44 @@ func ServeConn(conn net.Conn, responder Responder) error {
 }
 
 // Serve accepts connections from the listener and serves each in its own
-// goroutine until the listener closes.
-func Serve(l net.Listener, responder Responder) error {
+// goroutine until the listener closes or the context is canceled (which
+// also closes the listener and every open connection).
+func Serve(ctx context.Context, l net.Listener, responder Responder) error {
+	var (
+		mu    sync.Mutex
+		conns = map[net.Conn]struct{}{}
+	)
+	stop := context.AfterFunc(ctx, func() {
+		l.Close()
+		mu.Lock()
+		defer mu.Unlock()
+		for conn := range conns {
+			conn.Close()
+		}
+	})
+	defer stop()
 	for {
 		conn, err := l.Accept()
 		if err != nil {
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				return ctxErr
+			}
 			if errors.Is(err, net.ErrClosed) {
 				return nil
 			}
 			return err
 		}
+		mu.Lock()
+		conns[conn] = struct{}{}
+		mu.Unlock()
 		go func() {
-			defer conn.Close()
-			_ = ServeConn(conn, responder)
+			defer func() {
+				conn.Close()
+				mu.Lock()
+				delete(conns, conn)
+				mu.Unlock()
+			}()
+			_ = ServeConn(ctx, conn, responder)
 		}()
 	}
 }

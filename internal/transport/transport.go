@@ -11,26 +11,46 @@
 //     analysis;
 //   - a framed TCP/pipe transport for running S1 and S2 as genuinely
 //     separate processes.
+//
+// The wire protocol is versioned (ProtocolVersion); peers negotiate with
+// a Hello round before issuing protocol methods, and handler errors cross
+// the wire as structured (code, message) pairs so the typed error
+// taxonomy of internal/secerr survives serialization: errors.Is against
+// the secerr sentinels behaves identically in-process and over TCP.
 package transport
 
 import (
 	"bytes"
+	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/secerr"
 )
 
-// Responder is the server side: S2 handles one method call.
+// ProtocolVersion is the version of the S1↔S2 wire protocol this build
+// speaks: the method set, the request/response gob schemas, and the error
+// encoding. Incompatible peers reject each other during the Hello round
+// instead of failing mid-query on a gob mismatch.
+const ProtocolVersion = 1
+
+// Responder is the server side: S2 handles one method call. The context
+// is the per-call (or per-connection) context; handlers use it to bound
+// their own parallel fan-out.
 type Responder interface {
-	Serve(method string, body []byte) ([]byte, error)
+	Serve(ctx context.Context, method string, body []byte) ([]byte, error)
 }
 
-// Caller is the client side: S1 issues one protocol round.
+// Caller is the client side: S1 issues one protocol round. Cancellation
+// is cooperative and bounded by one round: a canceled context stops the
+// call before it is issued, and transports with deadline support also
+// bound the in-flight round.
 type Caller interface {
-	Call(method string, req, resp any) error
+	Call(ctx context.Context, method string, req, resp any) error
 }
 
 // MethodStats aggregates traffic for a single method.
@@ -164,15 +184,18 @@ func NewLocal(r Responder, stats *Stats) *Local {
 }
 
 // Call implements Caller.
-func (l *Local) Call(method string, req, resp any) error {
+func (l *Local) Call(ctx context.Context, method string, req, resp any) error {
 	if l.responder == nil {
 		return errors.New("transport: local caller has no responder")
 	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("transport: %s: %w", method, err)
+	}
 	body, err := Encode(req)
 	if err != nil {
-		return fmt.Errorf("transport: encoding %s request: %w", method, err)
+		return secerr.Wrap(secerr.CodeTransport, err, "encoding %s request", method)
 	}
-	out, err := l.responder.Serve(method, body)
+	out, err := l.responder.Serve(ctx, method, body)
 	if l.stats != nil {
 		l.stats.Record(method, len(body), len(out))
 	}
@@ -183,7 +206,7 @@ func (l *Local) Call(method string, req, resp any) error {
 		return nil
 	}
 	if err := Decode(out, resp); err != nil {
-		return fmt.Errorf("transport: decoding %s response: %w", method, err)
+		return secerr.Wrap(secerr.CodeTransport, err, "decoding %s response", method)
 	}
 	return nil
 }

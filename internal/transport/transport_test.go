@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -13,7 +14,7 @@ import (
 // "fail" returns an error, "double" decodes an int and doubles it.
 type echoResponder struct{}
 
-func (echoResponder) Serve(method string, body []byte) ([]byte, error) {
+func (echoResponder) Serve(_ context.Context, method string, body []byte) ([]byte, error) {
 	switch method {
 	case "echo":
 		return body, nil
@@ -34,7 +35,7 @@ func TestLocalCallRoundTrip(t *testing.T) {
 	stats := NewStats()
 	c := NewLocal(echoResponder{}, stats)
 	var out int
-	if err := c.Call("double", 21, &out); err != nil {
+	if err := c.Call(context.Background(), "double", 21, &out); err != nil {
 		t.Fatalf("Call: %v", err)
 	}
 	if out != 42 {
@@ -51,25 +52,25 @@ func TestLocalCallRoundTrip(t *testing.T) {
 func TestLocalCallError(t *testing.T) {
 	c := NewLocal(echoResponder{}, nil)
 	var out int
-	err := c.Call("fail", 1, &out)
+	err := c.Call(context.Background(), "fail", 1, &out)
 	if err == nil || !strings.Contains(err.Error(), "handler exploded") {
 		t.Fatalf("expected handler error, got %v", err)
 	}
-	if err := c.Call("nope", 1, &out); err == nil {
+	if err := c.Call(context.Background(), "nope", 1, &out); err == nil {
 		t.Fatal("expected unknown-method error")
 	}
 }
 
 func TestLocalNilResponder(t *testing.T) {
 	c := NewLocal(nil, nil)
-	if err := c.Call("echo", 1, nil); err == nil {
+	if err := c.Call(context.Background(), "echo", 1, nil); err == nil {
 		t.Fatal("expected error for nil responder")
 	}
 }
 
 func TestLocalNilResponse(t *testing.T) {
 	c := NewLocal(echoResponder{}, nil)
-	if err := c.Call("echo", "hello", nil); err != nil {
+	if err := c.Call(context.Background(), "echo", "hello", nil); err != nil {
 		t.Fatalf("nil resp should be allowed: %v", err)
 	}
 }
@@ -144,19 +145,19 @@ func TestNetCallerOverPipe(t *testing.T) {
 	c1, c2 := net.Pipe()
 	defer c1.Close()
 	go func() {
-		_ = ServeConn(c2, echoResponder{})
+		_ = ServeConn(context.Background(), c2, echoResponder{})
 	}()
 	stats := NewStats()
 	caller := NewNetCaller(c1, stats)
 	var out int
-	if err := caller.Call("double", 100, &out); err != nil {
+	if err := caller.Call(context.Background(), "double", 100, &out); err != nil {
 		t.Fatalf("Call: %v", err)
 	}
 	if out != 200 {
 		t.Fatalf("double(100) = %d", out)
 	}
 	var s string
-	if err := caller.Call("echo", "ping", &s); err != nil {
+	if err := caller.Call(context.Background(), "echo", "ping", &s); err != nil {
 		t.Fatalf("echo: %v", err)
 	}
 	if s != "ping" {
@@ -167,10 +168,10 @@ func TestNetCallerOverPipe(t *testing.T) {
 	}
 	// Remote handler errors surface as call errors but keep the
 	// connection usable.
-	if err := caller.Call("fail", 1, nil); err == nil || !strings.Contains(err.Error(), "handler exploded") {
+	if err := caller.Call(context.Background(), "fail", 1, nil); err == nil || !strings.Contains(err.Error(), "handler exploded") {
 		t.Fatalf("expected remote error, got %v", err)
 	}
-	if err := caller.Call("double", 2, &out); err != nil || out != 4 {
+	if err := caller.Call(context.Background(), "double", 2, &out); err != nil || out != 4 {
 		t.Fatalf("connection unusable after remote error: %v", err)
 	}
 }
@@ -181,7 +182,7 @@ func TestNetCallerOverTCP(t *testing.T) {
 		t.Fatalf("listen: %v", err)
 	}
 	defer l.Close()
-	go func() { _ = Serve(l, echoResponder{}) }()
+	go func() { _ = Serve(context.Background(), l, echoResponder{}) }()
 
 	conn, err := net.Dial("tcp", l.Addr().String())
 	if err != nil {
@@ -190,7 +191,7 @@ func TestNetCallerOverTCP(t *testing.T) {
 	caller := NewNetCaller(conn, NewStats())
 	defer caller.Close()
 	var out int
-	if err := caller.Call("double", 8, &out); err != nil {
+	if err := caller.Call(context.Background(), "double", 8, &out); err != nil {
 		t.Fatalf("Call: %v", err)
 	}
 	if out != 16 {
@@ -204,7 +205,7 @@ func TestNetCallerClosedConn(t *testing.T) {
 	c2.Close()
 	c1.Close()
 	var out int
-	if err := caller.Call("double", 8, &out); err == nil {
+	if err := caller.Call(context.Background(), "double", 8, &out); err == nil {
 		t.Fatal("expected error on closed connection")
 	}
 }

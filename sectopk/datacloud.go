@@ -1,0 +1,439 @@
+package sectopk
+
+import (
+	"context"
+	"net"
+	"sync"
+
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/join"
+	"repro/internal/secerr"
+	"repro/internal/transport"
+)
+
+// DataCloud is the data cloud role (S1): it hosts encrypted relations
+// and executes queries by driving blinded protocol rounds against a
+// CryptoCloud over its connected transport. It holds only public
+// material — encrypted relations, public keys, and its own ephemeral
+// blinding keys.
+//
+// Connect it exactly once (ConnectLocal, Connect, or Dial), then Host
+// relations and open Sessions. All methods are safe for concurrent use;
+// note the transports serialize protocol rounds, so concurrent sessions
+// interleave rounds rather than truly overlapping them.
+type DataCloud struct {
+	cfg    config
+	ledger *cloud.Ledger
+	stats  *transport.Stats
+
+	mu        sync.Mutex
+	caller    transport.Caller
+	netCaller *transport.NetCaller
+	relations map[string]*hostedRelation
+	joins     map[string]*hostedJoin
+	closed    bool
+}
+
+// hostedRelation is one relation this data cloud serves queries for.
+type hostedRelation struct {
+	client *cloud.Client
+	engine *core.Engine
+	er     *EncryptedRelation
+}
+
+// hostedJoin is one join-relation pair this data cloud serves joins for.
+type hostedJoin struct {
+	client *cloud.Client
+	engine *join.Engine
+	er1    *EncryptedJoinRelation
+	er2    *EncryptedJoinRelation
+}
+
+// NewDataCloud builds an unconnected data cloud. Options configure the
+// S1-side worker pools and nonce paths.
+func NewDataCloud(opts ...Option) *DataCloud {
+	return &DataCloud{
+		cfg:       buildConfig(opts),
+		ledger:    cloud.NewLedger(),
+		stats:     transport.NewStats(),
+		relations: map[string]*hostedRelation{},
+		joins:     map[string]*hostedJoin{},
+	}
+}
+
+// setCaller installs the transport exactly once.
+func (d *DataCloud) setCaller(caller transport.Caller, nc *transport.NetCaller) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return secerr.New(secerr.CodeInternal, "sectopk: data cloud is closed")
+	}
+	if d.caller != nil {
+		return secerr.New(secerr.CodeInternal, "sectopk: data cloud already connected")
+	}
+	d.caller = caller
+	d.netCaller = nc
+	return nil
+}
+
+// unsetCaller uninstalls a transport whose handshake failed, so the data
+// cloud can retry connecting instead of being wedged on a dead link.
+func (d *DataCloud) unsetCaller(caller transport.Caller) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.caller == caller {
+		d.caller = nil
+		d.netCaller = nil
+	}
+}
+
+// handshake runs the Hello round over the connected transport via the
+// shared cloud-layer implementation.
+func (d *DataCloud) handshake(ctx context.Context, relation string) error {
+	return cloud.Handshake(ctx, d.caller, relation)
+}
+
+// ConnectLocal wires this data cloud to a CryptoCloud in the same
+// process (gob-serializing both directions, so byte accounting matches
+// the TCP wire exactly) and runs the version handshake.
+func (d *DataCloud) ConnectLocal(ctx context.Context, cc *CryptoCloud) error {
+	if cc == nil {
+		return secerr.New(secerr.CodeBadRequest, "sectopk: nil crypto cloud")
+	}
+	caller := transport.NewLocal(cc.responder(), d.stats)
+	if err := d.setCaller(caller, nil); err != nil {
+		return err
+	}
+	if err := d.handshake(ctx, ""); err != nil {
+		d.unsetCaller(caller)
+		return err
+	}
+	return nil
+}
+
+// Connect wires this data cloud to a CryptoCloud over an established
+// connection and runs the version handshake. The connection is closed by
+// Close.
+func (d *DataCloud) Connect(ctx context.Context, conn net.Conn) error {
+	nc := transport.NewNetCaller(conn, d.stats)
+	if err := d.setCaller(nc, nc); err != nil {
+		return err
+	}
+	if err := d.handshake(ctx, ""); err != nil {
+		d.unsetCaller(nc)
+		return err
+	}
+	return nil
+}
+
+// Dial connects to a CryptoCloud serving at addr (TCP) and runs the
+// version handshake.
+func (d *DataCloud) Dial(ctx context.Context, addr string) error {
+	var dialer net.Dialer
+	conn, err := dialer.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return secerr.Wrap(secerr.CodeTransport, err, "sectopk: dialing crypto cloud")
+	}
+	if err := d.Connect(ctx, conn); err != nil {
+		conn.Close()
+		return err
+	}
+	return nil
+}
+
+// connectedCaller returns the transport or a typed error.
+func (d *DataCloud) connectedCaller() (transport.Caller, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil, secerr.New(secerr.CodeInternal, "sectopk: data cloud is closed")
+	}
+	if d.caller == nil {
+		return nil, secerr.New(secerr.CodeInternal, "sectopk: data cloud is not connected")
+	}
+	return d.caller, nil
+}
+
+// Host registers an encrypted relation under id: it confirms (via a
+// Hello round) that the connected crypto cloud serves the relation, then
+// builds the S1 query engine for it. Hosting an ID twice fails with
+// ErrRelationExists; an unregistered relation fails with
+// ErrUnknownRelation.
+func (d *DataCloud) Host(ctx context.Context, id string, er *EncryptedRelation) error {
+	if id == "" || er == nil {
+		return secerr.New(secerr.CodeBadRequest, "sectopk: missing relation id or relation")
+	}
+	caller, err := d.connectedCaller()
+	if err != nil {
+		return err
+	}
+	d.mu.Lock()
+	_, taken := d.relations[id]
+	_, takenJoin := d.joins[id]
+	d.mu.Unlock()
+	if taken || takenJoin {
+		return secerr.New(secerr.CodeRelationExists, "sectopk: relation %q already hosted", id)
+	}
+	client, err := cloud.NewClient(caller, er.pk, d.ledger, append(d.cfg.cloudOptions(), cloud.WithRelation(id))...)
+	if err != nil {
+		return err
+	}
+	if err := client.Handshake(ctx); err != nil {
+		client.Close()
+		return err
+	}
+	engine, err := core.NewEngine(client, er.er)
+	if err != nil {
+		client.Close()
+		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.hostableLocked(id); err != nil {
+		client.Close()
+		return err
+	}
+	d.relations[id] = &hostedRelation{client: client, engine: engine, er: er}
+	return nil
+}
+
+// hostableLocked re-checks (under d.mu) that the data cloud is still
+// open and the ID is free in BOTH registries — a concurrent Host and
+// HostJoin for the same ID must not both succeed.
+func (d *DataCloud) hostableLocked(id string) error {
+	if d.closed {
+		return secerr.New(secerr.CodeInternal, "sectopk: data cloud is closed")
+	}
+	if _, taken := d.relations[id]; taken {
+		return secerr.New(secerr.CodeRelationExists, "sectopk: relation %q already hosted", id)
+	}
+	if _, taken := d.joins[id]; taken {
+		return secerr.New(secerr.CodeRelationExists, "sectopk: relation %q already hosted", id)
+	}
+	return nil
+}
+
+// HostJoin registers a pair of join relations under id (the ID names the
+// shared key material registered on the crypto cloud). Both relations
+// must come from the same JoinOwner.
+func (d *DataCloud) HostJoin(ctx context.Context, id string, er1, er2 *EncryptedJoinRelation) error {
+	if id == "" || er1 == nil || er2 == nil {
+		return secerr.New(secerr.CodeBadRequest, "sectopk: missing relation id or join relations")
+	}
+	if er1.pk.N.Cmp(er2.pk.N) != 0 {
+		return secerr.New(secerr.CodeBadRequest, "sectopk: join relations encrypted under different keys")
+	}
+	caller, err := d.connectedCaller()
+	if err != nil {
+		return err
+	}
+	d.mu.Lock()
+	_, taken := d.relations[id]
+	_, takenJoin := d.joins[id]
+	d.mu.Unlock()
+	if taken || takenJoin {
+		return secerr.New(secerr.CodeRelationExists, "sectopk: relation %q already hosted", id)
+	}
+	client, err := cloud.NewClient(caller, er1.pk, d.ledger, append(d.cfg.cloudOptions(), cloud.WithRelation(id))...)
+	if err != nil {
+		return err
+	}
+	if err := client.Handshake(ctx); err != nil {
+		client.Close()
+		return err
+	}
+	engine, err := join.NewEngine(client, er1.er, er2.er, er1.maxScoreBits)
+	if err != nil {
+		client.Close()
+		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.hostableLocked(id); err != nil {
+		client.Close()
+		return err
+	}
+	d.joins[id] = &hostedJoin{client: client, engine: engine, er1: er1, er2: er2}
+	return nil
+}
+
+// Hosted lists the hosted relation IDs (top-k and join), unsorted.
+func (d *DataCloud) Hosted() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]string, 0, len(d.relations)+len(d.joins))
+	for id := range d.relations {
+		out = append(out, id)
+	}
+	for id := range d.joins {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Traffic returns the cumulative wire usage over this data cloud's
+// connection.
+func (d *DataCloud) Traffic() Traffic {
+	return Traffic{Rounds: d.stats.Rounds(), Bytes: d.stats.Bytes()}
+}
+
+// LeakageEvents returns everything this cloud could observe beyond the
+// declared ciphertexts (query pattern, halting depth, uniqueness
+// patterns) as human-readable strings.
+func (d *DataCloud) LeakageEvents() []string {
+	events := d.ledger.Events()
+	out := make([]string, len(events))
+	for i, e := range events {
+		out[i] = e.String()
+	}
+	return out
+}
+
+// Close releases every hosted relation's background pools and closes the
+// network connection, if any. Safe to call more than once.
+func (d *DataCloud) Close() {
+	d.mu.Lock()
+	rels := d.relations
+	joins := d.joins
+	nc := d.netCaller
+	d.relations = map[string]*hostedRelation{}
+	d.joins = map[string]*hostedJoin{}
+	d.caller = nil
+	d.netCaller = nil
+	d.closed = true
+	d.mu.Unlock()
+	for _, r := range rels {
+		r.client.Close()
+	}
+	for _, j := range joins {
+		j.client.Close()
+	}
+	if nc != nil {
+		nc.Close()
+	}
+}
+
+// Session is one top-k query's lifecycle: built from a token, executed
+// against the crypto cloud, yielding an encrypted result the client
+// reveals with the owner's keys.
+type Session struct {
+	dc  *DataCloud
+	rel *hostedRelation
+	tk  *core.Token
+	cfg queryConfig
+
+	mu      sync.Mutex
+	res     *EncryptedResult
+	traffic Traffic
+}
+
+// NewSession validates the token against the hosted relation and
+// prepares a query session. Unknown relation IDs fail with
+// ErrUnknownRelation; invalid tokens with ErrInvalidToken.
+func (d *DataCloud) NewSession(relation string, tk *Token, opts ...QueryOption) (*Session, error) {
+	if tk == nil {
+		return nil, secerr.New(secerr.CodeInvalidToken, "sectopk: nil token")
+	}
+	d.mu.Lock()
+	rel := d.relations[relation]
+	d.mu.Unlock()
+	if rel == nil {
+		return nil, secerr.New(secerr.CodeUnknownRelation, "sectopk: relation %q not hosted", relation)
+	}
+	if err := rel.engine.ValidateToken(tk.tk); err != nil {
+		return nil, err
+	}
+	return &Session{dc: d, rel: rel, tk: tk.tk, cfg: buildQueryConfig(opts)}, nil
+}
+
+// Execute runs the query (SecQuery, Algorithm 3). Cancellation via ctx
+// is cooperative and bounded by one protocol round. The result is also
+// retained on the session (Result).
+func (s *Session) Execute(ctx context.Context) (*EncryptedResult, error) {
+	before := s.dc.Traffic()
+	res, err := s.rel.engine.SecQuery(ctx, s.tk, s.cfg.coreOptions())
+	if err != nil {
+		return nil, err
+	}
+	after := s.dc.Traffic()
+	out := &EncryptedResult{items: res.Items, Depth: res.Depth, Halted: res.Halted}
+	s.mu.Lock()
+	s.res = out
+	s.traffic = Traffic{Rounds: after.Rounds - before.Rounds, Bytes: after.Bytes - before.Bytes}
+	s.mu.Unlock()
+	return out, nil
+}
+
+// Result returns the last Execute outcome (nil before the first).
+func (s *Session) Result() *EncryptedResult {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.res
+}
+
+// Traffic returns the rounds/bytes of the last Execute. With concurrent
+// sessions on one connection the numbers are approximate (the link is
+// shared).
+func (s *Session) Traffic() Traffic {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.traffic
+}
+
+// JoinSession is one top-k equi-join's lifecycle.
+type JoinSession struct {
+	dc  *DataCloud
+	hj  *hostedJoin
+	tk  *join.Token
+	cfg queryConfig
+
+	mu      sync.Mutex
+	res     *EncryptedJoinResult
+	traffic Traffic
+}
+
+// NewJoinSession prepares a join session over a hosted join pair.
+func (d *DataCloud) NewJoinSession(relation string, tk *JoinToken, opts ...QueryOption) (*JoinSession, error) {
+	if tk == nil {
+		return nil, secerr.New(secerr.CodeInvalidToken, "sectopk: nil join token")
+	}
+	d.mu.Lock()
+	hj := d.joins[relation]
+	d.mu.Unlock()
+	if hj == nil {
+		return nil, secerr.New(secerr.CodeUnknownRelation, "sectopk: join relation %q not hosted", relation)
+	}
+	return &JoinSession{dc: d, hj: hj, tk: tk.tk, cfg: buildQueryConfig(opts)}, nil
+}
+
+// Execute runs the oblivious nested-loop equi-join (SecJoin, Algorithm
+// 11) followed by SecFilter and top-k selection.
+func (s *JoinSession) Execute(ctx context.Context) (*EncryptedJoinResult, error) {
+	before := s.dc.Traffic()
+	tuples, err := s.hj.engine.SecJoin(ctx, s.tk)
+	if err != nil {
+		return nil, err
+	}
+	after := s.dc.Traffic()
+	out := &EncryptedJoinResult{tuples: tuples}
+	s.mu.Lock()
+	s.res = out
+	s.traffic = Traffic{Rounds: after.Rounds - before.Rounds, Bytes: after.Bytes - before.Bytes}
+	s.mu.Unlock()
+	return out, nil
+}
+
+// Result returns the last Execute outcome (nil before the first).
+func (s *JoinSession) Result() *EncryptedJoinResult {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.res
+}
+
+// Traffic returns the rounds/bytes of the last Execute.
+func (s *JoinSession) Traffic() Traffic {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.traffic
+}

@@ -1,0 +1,43 @@
+// Package sectopk is the public v1 API of the SecTopK system: adaptively
+// CQA-secure top-k query processing over encrypted relations in the two
+// non-colluding clouds model of Meng, Zhu, and Kollios (ICDE 2018), plus
+// the secure top-k join operator of the paper's Section 12.
+//
+// The package exposes the four deployment roles as a coherent facade over
+// the internal implementation packages:
+//
+//   - Owner — the data owner: generates keys, encrypts relations,
+//     issues query tokens, and reveals encrypted results for authorized
+//     clients. JoinOwner is the multi-relation variant for equi-joins.
+//   - CryptoCloud — the crypto cloud S2: the only party holding
+//     decryption keys. It serves blinded protocol rounds for any number
+//     of registered relations, each under its own key material.
+//   - DataCloud — the data cloud S1: hosts encrypted relations and
+//     executes queries by driving protocol rounds against a CryptoCloud,
+//     in-process or over TCP.
+//   - Session — one query's lifecycle on a DataCloud: token in,
+//     encrypted result out, with per-session traffic accounting.
+//
+// # Contexts and cancellation
+//
+// Every blocking call path accepts a context.Context. Cancellation is
+// cooperative and bounded by one protocol round: the engine checks the
+// context between rounds, the worker pools check it inside their loops,
+// and the TCP transport interrupts in-flight I/O, so a canceled query
+// stops burning modular exponentiations promptly.
+//
+// # Errors
+//
+// Failures carry stable machine-readable codes that survive the wire:
+// test them with errors.Is against ErrInvalidToken, ErrUnknownRelation,
+// ErrProtocolVersion, ErrRelationExists, and ErrTransport. An error
+// reported by the remote peer matches the same sentinels as one raised
+// in-process.
+//
+// # Wire protocol
+//
+// The S1↔S2 wire protocol is versioned; peers negotiate with a Hello
+// round when a DataCloud connects (and again when it hosts a relation,
+// which also confirms the crypto cloud serves that relation). See
+// DESIGN.md "Wire versioning and error codes" for the scheme.
+package sectopk

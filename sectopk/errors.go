@@ -1,0 +1,27 @@
+package sectopk
+
+import "repro/internal/secerr"
+
+// Typed errors. Each carries a stable machine-readable code that survives
+// the S1↔S2 wire, so errors.Is classifies failures identically whether
+// they were raised in-process or reported by a remote peer.
+var (
+	// ErrInvalidToken marks a query token that fails validation against
+	// the relation it targets.
+	ErrInvalidToken error = secerr.ErrInvalidToken
+	// ErrUnknownRelation marks an operation naming a relation the serving
+	// party has not registered or hosted.
+	ErrUnknownRelation error = secerr.ErrUnknownRelation
+	// ErrRelationExists marks a Register/Host attempt for an ID already
+	// in use.
+	ErrRelationExists error = secerr.ErrRelationExists
+	// ErrProtocolVersion marks a handshake between peers speaking
+	// incompatible wire protocol versions.
+	ErrProtocolVersion error = secerr.ErrProtocolVersion
+	// ErrBadRequest marks a structurally invalid protocol request (the
+	// crypto cloud's verdict on malformed or hostile input).
+	ErrBadRequest error = secerr.ErrBadRequest
+	// ErrTransport marks a failure of the link itself, as opposed to an
+	// error reported by the peer.
+	ErrTransport error = secerr.ErrTransport
+)

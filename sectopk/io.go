@@ -1,0 +1,182 @@
+package sectopk
+
+import (
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/ehl"
+	"repro/internal/secio"
+)
+
+// Persistence for the artifacts a deployment moves between parties.
+// Every stream is versioned gob with a magic header; key-bearing files
+// are written with owner-only (0600) permissions.
+
+// Save persists the owner's full scheme state (keys and symmetric
+// secrets) to a 0600 file. The bundle must never leave the owner.
+func (o *Owner) Save(path string) error {
+	return secio.SaveOwnerBundle(path, o.scheme)
+}
+
+// LoadOwner restores an owner from a saved bundle. Relations, tokens,
+// and results produced by the original owner remain valid.
+func LoadOwner(path string) (*Owner, error) {
+	scheme, err := secio.LoadOwnerBundle(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Owner{scheme: scheme, revealers: map[int]*core.Revealer{}}, nil
+}
+
+// Save persists the key material for provisioning a CryptoCloud
+// (0600 file: whoever reads it can decrypt the owner's data).
+func (k *Keys) Save(path string) error {
+	return secio.SaveKeyMaterial(path, k.km)
+}
+
+// LoadKeys reads provisioned key material.
+func LoadKeys(path string) (*Keys, error) {
+	km, err := secio.LoadKeyMaterial(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Keys{km: km}, nil
+}
+
+// Save persists the encrypted relation (with its public key) for upload
+// to a data cloud. Only public/encrypted material is written.
+func (er *EncryptedRelation) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := secio.WriteHostedRelation(f, er.er, er.pk); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadEncryptedRelation reads an encrypted relation bundle.
+func LoadEncryptedRelation(path string) (*EncryptedRelation, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	er, pk, err := secio.ReadHostedRelation(f)
+	if err != nil {
+		return nil, err
+	}
+	return &EncryptedRelation{er: er, pk: pk}, nil
+}
+
+// Save persists an encrypted join relation bundle.
+func (er *EncryptedJoinRelation) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	params := ehl.Params{Kind: ehl.KindPlus, S: er.ehlS}
+	if err := secio.WriteHostedJoinRelation(f, er.er, params, er.maxScoreBits, er.pk); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadEncryptedJoinRelation reads an encrypted join relation bundle.
+func LoadEncryptedJoinRelation(path string) (*EncryptedJoinRelation, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	er, params, maxScoreBits, pk, err := secio.ReadHostedJoinRelation(f)
+	if err != nil {
+		return nil, err
+	}
+	return &EncryptedJoinRelation{er: er, pk: pk, ehlS: params.S, maxScoreBits: maxScoreBits}, nil
+}
+
+// Save persists a query token (what an authorized client sends to S1).
+func (t *Token) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := secio.WriteToken(f, t.tk); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadToken reads a query token.
+func LoadToken(path string) (*Token, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	tk, err := secio.ReadToken(f)
+	if err != nil {
+		return nil, err
+	}
+	return &Token{tk: tk}, nil
+}
+
+// Save persists a join token.
+func (t *JoinToken) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := secio.WriteJoinToken(f, t.tk); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadJoinToken reads a join token.
+func LoadJoinToken(path string) (*JoinToken, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	tk, err := secio.ReadJoinToken(f)
+	if err != nil {
+		return nil, err
+	}
+	return &JoinToken{tk: tk}, nil
+}
+
+// Save persists an encrypted query result (what S1 returns to the
+// client for revealing).
+func (r *EncryptedResult) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := secio.WriteQueryResult(f, r.items, r.Depth, r.Halted); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadEncryptedResult reads an encrypted query result.
+func LoadEncryptedResult(path string) (*EncryptedResult, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	items, depth, halted, err := secio.ReadQueryResult(f)
+	if err != nil {
+		return nil, err
+	}
+	return &EncryptedResult{items: items, Depth: depth, Halted: halted}, nil
+}

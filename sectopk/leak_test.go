@@ -1,0 +1,145 @@
+package sectopk_test
+
+import (
+	"context"
+	"net"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/sectopk"
+)
+
+// waitForGoroutines polls until the goroutine count drops to at most
+// want, tolerating runtime stragglers for a bounded time.
+func waitForGoroutines(t *testing.T, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= want {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak: %d goroutines alive, want <= %d\n%s",
+				runtime.NumGoroutine(), want, buf[:n])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestRigTeardownLeaksNoGoroutines constructs a full rig (owner, crypto
+// cloud with background nonce pools, data cloud, executed session),
+// tears it down, and checks every background goroutine exits — including
+// after double-Close and error-path constructions.
+func TestRigTeardownLeaksNoGoroutines(t *testing.T) {
+	ctx := context.Background()
+	baseline := runtime.NumGoroutine()
+
+	for round := 0; round < 2; round++ {
+		owner, err := sectopk.NewOwner(testOpts()...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		er, err := owner.Encrypt(demoRelation())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cc := sectopk.NewCryptoCloud(testOpts()...)
+		if err := cc.Register("demo", owner.Keys()); err != nil {
+			t.Fatal(err)
+		}
+		dc := sectopk.NewDataCloud(testOpts()...)
+		if err := dc.ConnectLocal(ctx, cc); err != nil {
+			t.Fatal(err)
+		}
+		if err := dc.Host(ctx, "demo", er); err != nil {
+			t.Fatal(err)
+		}
+
+		// Error paths must not leak the clients/pools they built.
+		if err := dc.Host(ctx, "demo", er); err == nil {
+			t.Fatal("duplicate Host accepted")
+		}
+		if err := dc.Host(ctx, "ghost", er); err == nil {
+			t.Fatal("unregistered Host accepted")
+		}
+
+		tk, err := owner.Token(er, sectopk.Query{Attrs: []int{0, 1, 2}, K: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sess, err := dc.NewSession("demo", tk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sess.Execute(ctx); err != nil {
+			t.Fatal(err)
+		}
+
+		// Tear down; double-Close must be safe.
+		dc.Close()
+		dc.Close()
+		cc.Close()
+		cc.Close()
+		waitForGoroutines(t, baseline)
+	}
+}
+
+// TestServeTeardownLeaksNoGoroutines checks the TCP serving path: when
+// the serve context is canceled, the accept loop and every per-connection
+// goroutine exit.
+func TestServeTeardownLeaksNoGoroutines(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	ctx := context.Background()
+	owner, err := sectopk.NewOwner(testOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	er, err := owner.Encrypt(demoRelation())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc := sectopk.NewCryptoCloud(testOpts()...)
+	if err := cc.Register("demo", owner.Keys()); err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveCtx, stopServe := context.WithCancel(ctx)
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- cc.Serve(serveCtx, l) }()
+
+	dc := sectopk.NewDataCloud(testOpts()...)
+	if err := dc.Dial(ctx, l.Addr().String()); err != nil {
+		t.Fatal(err)
+	}
+	if err := dc.Host(ctx, "demo", er); err != nil {
+		t.Fatal(err)
+	}
+	tk, err := owner.Token(er, sectopk.Query{Attrs: []int{0, 1}, K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := dc.NewSession("demo", tk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Execute(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	dc.Close()
+	stopServe()
+	select {
+	case <-serveDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return after context cancellation")
+	}
+	cc.Close()
+	waitForGoroutines(t, baseline)
+}

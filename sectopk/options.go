@@ -1,0 +1,237 @@
+package sectopk
+
+import (
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/ehl"
+)
+
+// Option configures an Owner, JoinOwner, CryptoCloud, or DataCloud at
+// construction time. All roles share one option vocabulary; options that
+// do not apply to a role are ignored by it (e.g. key-material options on
+// a DataCloud, which never holds keys).
+type Option func(*config)
+
+type config struct {
+	keyBits      int
+	ehlDigests   int
+	maxScoreBits int
+	parallelism  int
+	fastNonce    bool
+	crtNonce     bool
+	noncePools   bool
+}
+
+func defaultConfig() config {
+	p := core.DefaultParams()
+	return config{
+		keyBits:      p.KeyBits,
+		ehlDigests:   p.EHL.S,
+		maxScoreBits: p.MaxScoreBits,
+		crtNonce:     true,
+		noncePools:   true,
+	}
+}
+
+func buildConfig(opts []Option) config {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
+}
+
+// coreParams maps the config to the owner-side scheme parameters.
+func (c config) coreParams() core.Params {
+	return core.Params{
+		KeyBits:      c.keyBits,
+		EHL:          ehl.Params{Kind: ehl.KindPlus, S: c.ehlDigests},
+		MaxScoreBits: c.maxScoreBits,
+		Parallelism:  c.parallelism,
+		FastNonce:    c.fastNonce,
+	}
+}
+
+// cloudOptions maps the config to the cloud-layer option set.
+func (c config) cloudOptions() []cloud.Option {
+	opts := []cloud.Option{
+		cloud.WithParallelism(c.parallelism),
+		cloud.WithFastNonce(c.fastNonce),
+		cloud.WithCRTNonce(c.crtNonce),
+	}
+	if !c.noncePools {
+		opts = append(opts, cloud.WithoutNoncePools())
+	}
+	return opts
+}
+
+// WithKeyBits sets the Paillier modulus size. The default matches the
+// paper's evaluation (512); production deployments should use 2048+.
+func WithKeyBits(bits int) Option {
+	return func(c *config) { c.keyBits = bits }
+}
+
+// WithEHLDigests sets the EHL+ digest count s (the security/size
+// trade-off of Section 6; the paper evaluates s = 5).
+func WithEHLDigests(s int) Option {
+	return func(c *config) { c.ehlDigests = s }
+}
+
+// WithMaxScoreBits bounds attribute magnitudes: every score must lie in
+// [0, 2^bits). The bound is public schema metadata used to size
+// comparison masks.
+func WithMaxScoreBits(bits int) Option {
+	return func(c *config) { c.maxScoreBits = bits }
+}
+
+// WithParallelism bounds a role's worker goroutines: 0 (the default)
+// uses all cores, 1 is strictly serial, n caps workers at n.
+func WithParallelism(n int) Option {
+	return func(c *config) { c.parallelism = n }
+}
+
+// WithFastNonce opts into the short-exponent fixed-base nonce path for
+// every encryption surface the role owns. Off by default: it rests on
+// the short-exponent/subgroup assumption on top of DCR (see DESIGN.md
+// "Precomputation fast paths").
+func WithFastNonce(on bool) Option {
+	return func(c *config) { c.fastNonce = on }
+}
+
+// WithCRTNonce toggles the assumption-free CRT nonce fast path for
+// surfaces whose private key the role holds. On by default.
+func WithCRTNonce(on bool) Option {
+	return func(c *config) { c.crtNonce = on }
+}
+
+// WithoutNoncePools disables the background nonce-precompute pools.
+func WithoutNoncePools() Option {
+	return func(c *config) { c.noncePools = false }
+}
+
+// Mode selects the query-processing variant (Section 11.2).
+type Mode int
+
+const (
+	// ModeFull is Qry_F: fully private, SecDedup in replace mode at every
+	// depth.
+	ModeFull Mode = iota
+	// ModeEliminate is Qry_E: duplicates are eliminated, trading the
+	// uniqueness-pattern leakage for speed (Section 10.1).
+	ModeEliminate
+	// ModeBatched is Qry_Ba: dedup/sort/halt batched every p depths
+	// (Section 10.2).
+	ModeBatched
+)
+
+func (m Mode) String() string { return m.coreMode().String() }
+
+func (m Mode) coreMode() core.Mode {
+	switch m {
+	case ModeEliminate:
+		return core.QryE
+	case ModeBatched:
+		return core.QryBa
+	default:
+		return core.QryF
+	}
+}
+
+// Halting selects the halting test.
+type Halting int
+
+const (
+	// HaltingPaper is Algorithm 3 line 10 verbatim.
+	HaltingPaper Halting = iota
+	// HaltingStrict restores NRA's guarantee (every tracked bound and the
+	// unseen-object bound must be dominated).
+	HaltingStrict
+)
+
+func (h Halting) coreHalt() core.HaltPolicy {
+	if h == HaltingStrict {
+		return core.HaltStrict
+	}
+	return core.HaltPaper
+}
+
+// SortStrategy selects how the worst-score ranking is maintained.
+type SortStrategy int
+
+const (
+	// SortTopK runs the O(k*l) oblivious selection (the default).
+	SortTopK SortStrategy = iota
+	// SortFull runs the full Batcher-network EncSort.
+	SortFull
+)
+
+func (s SortStrategy) coreSort() core.SortStrategy {
+	if s == SortFull {
+		return core.SortFull
+	}
+	return core.SortTopK
+}
+
+// QueryOption configures one Session (one query execution).
+type QueryOption func(*queryConfig)
+
+type queryConfig struct {
+	mode        Mode
+	halt        Halting
+	sort        SortStrategy
+	batchDepth  int
+	maxDepth    int
+	parallelism int
+}
+
+func buildQueryConfig(opts []QueryOption) queryConfig {
+	var cfg queryConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
+}
+
+func (q queryConfig) coreOptions() core.Options {
+	return core.Options{
+		Mode:        q.mode.coreMode(),
+		Halt:        q.halt.coreHalt(),
+		Sort:        q.sort.coreSort(),
+		BatchDepth:  q.batchDepth,
+		MaxDepth:    q.maxDepth,
+		Parallelism: q.parallelism,
+	}
+}
+
+// WithMode selects the query-processing variant.
+func WithMode(m Mode) QueryOption {
+	return func(c *queryConfig) { c.mode = m }
+}
+
+// WithHalting selects the halting test.
+func WithHalting(h Halting) QueryOption {
+	return func(c *queryConfig) { c.halt = h }
+}
+
+// WithSortStrategy selects the ranking strategy.
+func WithSortStrategy(s SortStrategy) QueryOption {
+	return func(c *queryConfig) { c.sort = s }
+}
+
+// WithBatchDepth sets the batching parameter p (ModeBatched only; must be
+// >= k; 0 picks max(2k, 8)).
+func WithBatchDepth(p int) QueryOption {
+	return func(c *queryConfig) { c.batchDepth = p }
+}
+
+// WithMaxDepth caps the scan depth (0 scans to completion). A capped
+// query may return an unhalted, best-effort result.
+func WithMaxDepth(d int) QueryOption {
+	return func(c *queryConfig) { c.maxDepth = d }
+}
+
+// WithQueryParallelism bounds this query's engine workers, overriding the
+// DataCloud's knob (0 inherits it).
+func WithQueryParallelism(n int) QueryOption {
+	return func(c *queryConfig) { c.parallelism = n }
+}

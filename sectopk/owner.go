@@ -1,0 +1,172 @@
+package sectopk
+
+import (
+	"sync"
+
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/join"
+	"repro/internal/secerr"
+)
+
+// Keys is the secret key material an owner provisions to the crypto
+// cloud. It is opaque: whoever holds it can decrypt the owner's data, so
+// it must only travel owner → S2.
+type Keys struct {
+	km *cloud.KeyMaterial
+}
+
+// Owner is the data owner role of SecTopK: it generates keys, encrypts
+// relations (Enc, Algorithm 2), issues query tokens (Section 7), and —
+// standing in for authorized clients — reveals encrypted results.
+type Owner struct {
+	scheme *core.Scheme
+
+	mu        sync.Mutex
+	revealers map[int]*core.Revealer
+}
+
+// NewOwner generates an owner with fresh key material.
+func NewOwner(opts ...Option) (*Owner, error) {
+	cfg := buildConfig(opts)
+	scheme, err := core.NewScheme(cfg.coreParams())
+	if err != nil {
+		return nil, err
+	}
+	return &Owner{scheme: scheme, revealers: map[int]*core.Revealer{}}, nil
+}
+
+// Keys returns the secret key material to provision to a CryptoCloud.
+func (o *Owner) Keys() *Keys { return &Keys{km: o.scheme.KeyMaterial()} }
+
+// Encrypt outsources a relation: each attribute list is sorted, ids are
+// EHL-encrypted, scores Paillier-encrypted, and list positions permuted.
+// The returned EncryptedRelation carries only public material.
+func (o *Owner) Encrypt(rel *Relation) (*EncryptedRelation, error) {
+	d, err := rel.toDataset()
+	if err != nil {
+		return nil, err
+	}
+	er, err := o.scheme.EncryptRelation(d)
+	if err != nil {
+		return nil, err
+	}
+	return &EncryptedRelation{er: er, pk: o.scheme.PublicKey()}, nil
+}
+
+// Token issues the trapdoor for one query over an encrypted relation.
+// Invalid queries fail with ErrInvalidToken.
+func (o *Owner) Token(er *EncryptedRelation, q Query) (*Token, error) {
+	if er == nil {
+		return nil, secerr.New(secerr.CodeInvalidToken, "sectopk: nil encrypted relation")
+	}
+	tk, err := o.scheme.Token(er.er, q.Attrs, q.Weights, q.K)
+	if err != nil {
+		return nil, secerr.Wrap(secerr.CodeInvalidToken, err, "sectopk: token")
+	}
+	return &Token{tk: tk}, nil
+}
+
+// revealer returns the (cached) digest resolver for relations of n rows.
+func (o *Owner) revealer(n int) (*core.Revealer, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if r, ok := o.revealers[n]; ok {
+		return r, nil
+	}
+	r, err := o.scheme.NewRevealer(n)
+	if err != nil {
+		return nil, err
+	}
+	o.revealers[n] = r
+	return r, nil
+}
+
+// Reveal decrypts an encrypted query result into (object, score) pairs,
+// ranked best-first. Only the owner (or a client provisioned with the
+// owner's keys) can reveal.
+func (o *Owner) Reveal(er *EncryptedRelation, res *EncryptedResult) ([]Result, error) {
+	if er == nil || res == nil {
+		return nil, secerr.New(secerr.CodeBadRequest, "sectopk: nil relation or result")
+	}
+	rev, err := o.revealer(er.er.N)
+	if err != nil {
+		return nil, err
+	}
+	revealed, err := rev.RevealTopK(res.items)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Result, len(revealed))
+	for i, r := range revealed {
+		out[i] = Result{Object: r.Obj, Score: r.Worst}
+	}
+	return out, nil
+}
+
+// JoinOwner is the data owner for the multi-relation join setting
+// (Section 12): relations it encrypts share key material, so the clouds
+// can evaluate equi-join conditions across them.
+type JoinOwner struct {
+	scheme *join.Scheme
+}
+
+// NewJoinOwner generates a join owner with fresh key material.
+func NewJoinOwner(opts ...Option) (*JoinOwner, error) {
+	cfg := buildConfig(opts)
+	p := cfg.coreParams()
+	scheme, err := join.NewScheme(join.Params{KeyBits: p.KeyBits, EHL: p.EHL, MaxScoreBits: p.MaxScoreBits})
+	if err != nil {
+		return nil, err
+	}
+	return &JoinOwner{scheme: scheme}, nil
+}
+
+// Keys returns the secret key material to provision to a CryptoCloud.
+// All of this owner's join relations share it, so one registration
+// serves every join over them.
+func (o *JoinOwner) Keys() *Keys { return &Keys{km: o.scheme.KeyMaterial()} }
+
+// Encrypt outsources a join relation (the per-relation half of
+// Algorithm 10).
+func (o *JoinOwner) Encrypt(rel *Relation) (*EncryptedJoinRelation, error) {
+	d, err := rel.toDataset()
+	if err != nil {
+		return nil, err
+	}
+	er, err := o.scheme.EncryptRelation(d)
+	if err != nil {
+		return nil, err
+	}
+	p := o.scheme.Params()
+	return &EncryptedJoinRelation{er: er, pk: o.scheme.PublicKey(), ehlS: p.EHL.S, maxScoreBits: p.MaxScoreBits}, nil
+}
+
+// Token issues the trapdoor for one top-k equi-join over two of this
+// owner's encrypted relations.
+func (o *JoinOwner) Token(er1, er2 *EncryptedJoinRelation, q JoinQuery) (*JoinToken, error) {
+	if er1 == nil || er2 == nil {
+		return nil, secerr.New(secerr.CodeInvalidToken, "sectopk: nil encrypted join relation")
+	}
+	tk, err := o.scheme.NewToken(er1.er, er2.er, q.JoinAttr1, q.JoinAttr2, q.ScoreAttr1, q.ScoreAttr2, q.Project1, q.Project2, q.K)
+	if err != nil {
+		return nil, secerr.Wrap(secerr.CodeInvalidToken, err, "sectopk: join token")
+	}
+	return &JoinToken{tk: tk}, nil
+}
+
+// Reveal decrypts an encrypted join result into scored tuples.
+func (o *JoinOwner) Reveal(res *EncryptedJoinResult) ([]JoinResult, error) {
+	if res == nil {
+		return nil, secerr.New(secerr.CodeBadRequest, "sectopk: nil join result")
+	}
+	revealed, err := o.scheme.Reveal(res.tuples)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]JoinResult, len(revealed))
+	for i, t := range revealed {
+		out[i] = JoinResult{Score: t.Score, Attrs: t.Attrs}
+	}
+	return out, nil
+}
