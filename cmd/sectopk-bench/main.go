@@ -32,7 +32,7 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "", "experiment id (micro, fig7, fig8, fig9, fig10, fig11, fig12, tab3, fig13, knn, fig14, ablation, or 'all')")
+		exp       = flag.String("exp", "", "experiment id (micro, qps, fig7, fig8, fig9, fig10, fig11, fig12, tab3, fig13, knn, fig14, ablation, or 'all')")
 		list      = flag.Bool("list", false, "list experiment ids and exit")
 		keyBits   = flag.Int("keybits", 256, "Paillier modulus bits (paper-scale: 512)")
 		ehlS      = flag.Int("ehl-s", 3, "number of EHL+ digests s (paper: 5)")
@@ -41,13 +41,17 @@ func main() {
 		seed      = flag.Int64("seed", 1, "dataset generator seed")
 		par       = flag.Int("parallelism", 0, "worker goroutines per layer (0 = all cores, 1 = serial)")
 		fastNonce = flag.Bool("fast-nonce", false, "enable the short-exponent fixed-base nonce path in every layer (extra assumption; see DESIGN.md)")
+		shards    = flag.Int("shards", 4, "shard count for the qps experiment's sharded scenarios")
+		clients   = flag.Int("clients", 8, "concurrent client sessions for the qps experiment")
+		queries   = flag.Int("queries", 4, "timed queries per client in the qps experiment (larger damps variance)")
 		md        = flag.Bool("md", false, "emit markdown tables instead of text")
-		jsonPath  = flag.String("json", "", "output path for the micro experiment's JSON record (default BENCH_<date>.json)")
+		jsonPath  = flag.String("json", "", "output path for the micro/qps experiments' JSON record (default BENCH_<date>.json)")
 	)
 	flag.Parse()
 
 	if *list {
 		fmt.Println("micro")
+		fmt.Println("qps")
 		for _, id := range bench.ExperimentIDs() {
 			fmt.Println(id)
 		}
@@ -59,14 +63,17 @@ func main() {
 	}
 
 	cfg := bench.Config{
-		KeyBits:      *keyBits,
-		EHLS:         *ehlS,
-		MaxScoreBits: 20,
-		Rows:         *rows,
-		MaxDepth:     *maxDepth,
-		Seed:         *seed,
-		Parallelism:  *par,
-		FastNonce:    *fastNonce,
+		KeyBits:          *keyBits,
+		EHLS:             *ehlS,
+		MaxScoreBits:     20,
+		Rows:             *rows,
+		MaxDepth:         *maxDepth,
+		Seed:             *seed,
+		Parallelism:      *par,
+		FastNonce:        *fastNonce,
+		Shards:           *shards,
+		Clients:          *clients,
+		QueriesPerClient: *queries,
 	}
 	if !*md {
 		cfg.Out = os.Stdout
@@ -74,6 +81,10 @@ func main() {
 
 	if *exp == "micro" {
 		runMicro(cfg, *md, *jsonPath)
+		return
+	}
+	if *exp == "qps" {
+		runQPS(cfg, *md, *jsonPath)
 		return
 	}
 
@@ -133,5 +144,34 @@ func runMicro(cfg bench.Config, md bool, jsonPath string) {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "[micro done in %s; perf record -> %s]\n",
+		time.Since(start).Round(time.Millisecond), path)
+}
+
+// runQPS measures data-plane throughput (transport x shards x clients)
+// and merges the machine-readable record into BENCH_<date>.json.
+func runQPS(cfg bench.Config, md bool, jsonPath string) {
+	start := time.Now()
+	rep, err := bench.RunQPS(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sectopk-bench: qps: %v\n", err)
+		os.Exit(1)
+	}
+	table := rep.Report()
+	var renderErr error
+	if md {
+		renderErr = table.Markdown(os.Stdout)
+	} else {
+		renderErr = table.Render(os.Stdout)
+	}
+	if renderErr != nil {
+		fmt.Fprintf(os.Stderr, "sectopk-bench: %v\n", renderErr)
+		os.Exit(1)
+	}
+	path, err := rep.SaveJSON(jsonPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sectopk-bench: writing perf record: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "[qps done in %s; perf record -> %s]\n",
 		time.Since(start).Round(time.Millisecond), path)
 }

@@ -95,6 +95,7 @@ func runOwner(args []string) error {
 	k := fs.Int("k", 3, "top-k")
 	par := fs.Int("parallelism", 0, "encryption worker goroutines (0 = all cores, 1 = serial)")
 	fastNonce := fs.Bool("fast-nonce", false, "short-exponent fixed-base nonce path (extra assumption; see DESIGN.md)")
+	shards := fs.Int("shards", 1, "partition the relation into p shards at encryption time (queries run shards concurrently)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -106,6 +107,7 @@ func runOwner(args []string) error {
 		sectopk.WithKeyBits(*keyBits),
 		sectopk.WithEHLDigests(3),
 		sectopk.WithMaxScoreBits(20),
+		sectopk.WithShards(*shards),
 	)
 	owner, err := sectopk.NewOwner(opts...)
 	if err != nil {
@@ -119,8 +121,8 @@ func runOwner(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("encrypted %s (%dx%d) in %s\n", er.Name(), er.Rows(), er.Attributes(),
-		time.Since(start).Round(time.Millisecond))
+	fmt.Printf("encrypted %s (%dx%d, %d shard(s)) in %s\n", er.Name(), er.Rows(), er.Attributes(),
+		er.Shards(), time.Since(start).Round(time.Millisecond))
 	if err := owner.Keys().Save(filepath.Join(*dir, s2KeysFile)); err != nil {
 		return err
 	}

@@ -40,6 +40,16 @@ type Config struct {
 	// FastNonce opts every layer into the short-exponent fixed-base nonce
 	// path (see cloud.WithFastNonce for the assumption it carries).
 	FastNonce bool
+	// Shards is the shard count the qps experiment partitions its
+	// relation into (0 picks 4, capped at Rows).
+	Shards int
+	// Clients is the concurrent-session count the qps experiment loads
+	// the data plane with (0 picks 8).
+	Clients int
+	// QueriesPerClient is how many timed queries each qps client runs
+	// (0 picks 4). Larger samples cost linearly more wall clock but damp
+	// run-to-run variance in the tracked QPS numbers.
+	QueriesPerClient int
 	// Out receives the rendered tables; nil discards.
 	Out io.Writer
 }

@@ -1,0 +1,314 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/ehl"
+	"repro/internal/shard"
+	"repro/internal/transport"
+)
+
+// The qps experiment measures the throughput-first data plane end to
+// end: queries per second over real TCP as a function of the transport
+// (lockstep single-flight v1 vs multiplexed+batched v2), the number of
+// concurrent client sessions, and the shard count. The baseline scenario
+// reproduces the pre-v2 deployment exactly — one in-flight call per
+// connection, no batch envelopes, unsharded relation — so the speedup
+// column tracks what the rearchitecture buys per PR.
+
+// QPSResult is one measured scenario.
+type QPSResult struct {
+	Transport string  `json:"transport"` // "single-flight-v1" or "mux-batch-v2"
+	Shards    int     `json:"shards"`
+	Clients   int     `json:"clients"`
+	Queries   int     `json:"queries"`
+	Seconds   float64 `json:"seconds"`
+	QPS       float64 `json:"qps"`
+}
+
+// QPSReport is the machine-readable record merged into BENCH_<date>.json.
+type QPSReport struct {
+	Date       string      `json:"date"`
+	KeyBits    int         `json:"key_bits"`
+	GoMaxProcs int         `json:"gomaxprocs"`
+	Rows       int         `json:"rows"`
+	K          int         `json:"k"`
+	Results    []QPSResult `json:"results"`
+}
+
+// qpsRelation builds a rank-correlated relation so queries halt after a
+// few depths — the workload is then round-trip- and S2-throughput-bound,
+// which is exactly what the data plane changes target.
+func qpsRelation(rows int) *dataset.Relation {
+	rel := &dataset.Relation{Name: "qps"}
+	n := int64(rows)
+	for i := int64(0); i < n; i++ {
+		rel.Rows = append(rel.Rows, []int64{3*n - 3*i, 2*n - 2*i + 1, n - i + 2})
+	}
+	return rel
+}
+
+// queryEngine is the slice of the two engines the scenario driver needs.
+type queryEngine interface {
+	SecQuery(ctx context.Context, tk *core.Token, opts core.Options) (*core.QueryResult, error)
+}
+
+// RunQPS measures the scenario matrix and returns the report.
+func RunQPS(cfg Config) (*QPSReport, error) {
+	rows := cfg.Rows
+	if rows <= 0 {
+		rows = DefaultConfig().Rows
+	}
+	shards := cfg.Shards
+	if shards <= 0 {
+		shards = 4
+	}
+	if shards > rows {
+		shards = rows
+	}
+	clients := cfg.Clients
+	if clients <= 0 {
+		clients = 8
+	}
+	const k = 3
+	params := core.Params{
+		KeyBits:      cfg.KeyBits,
+		EHL:          ehl.Params{Kind: ehl.KindPlus, S: cfg.EHLS},
+		MaxScoreBits: cfg.MaxScoreBits,
+		Parallelism:  cfg.Parallelism,
+	}
+	scheme, err := core.NewScheme(params)
+	if err != nil {
+		return nil, fmt.Errorf("bench: qps scheme: %w", err)
+	}
+	rel := qpsRelation(rows)
+	er, err := scheme.EncryptRelation(rel)
+	if err != nil {
+		return nil, err
+	}
+	shRel, err := shard.Encrypt(scheme, rel, shards)
+	if err != nil {
+		return nil, err
+	}
+	tk, err := scheme.TokenFor(rows, rel.M(), []int{0, 1, 2}, nil, k)
+	if err != nil {
+		return nil, err
+	}
+	svc := cloud.NewService()
+	defer svc.Close()
+	if err := svc.Register("qps", scheme.KeyMaterial(), nil, cloud.WithParallelism(cfg.Parallelism)); err != nil {
+		return nil, err
+	}
+
+	rep := &QPSReport{
+		Date:       time.Now().Format("2006-01-02"),
+		KeyBits:    cfg.KeyBits,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Rows:       rows,
+		K:          k,
+	}
+	scenarios := []struct {
+		mux     bool
+		shards  int
+		clients int
+	}{
+		{false, 1, 1},       // the pre-v2 deployment
+		{false, 1, clients}, // concurrency over a lockstep link
+		{true, 1, 1},        // v2 adds nothing for a lone session (sanity)
+		{true, 1, clients},  // multiplexing + batching
+		{true, shards, clients},
+	}
+	perClient := cfg.QueriesPerClient
+	if perClient <= 0 {
+		perClient = 4
+	}
+	for _, sc := range scenarios {
+		res, err := runQPSScenario(svc, scheme, er, shRel, tk, sc.mux, sc.shards, sc.clients, perClient)
+		if err != nil {
+			return nil, fmt.Errorf("bench: qps %+v: %w", sc, err)
+		}
+		rep.Results = append(rep.Results, *res)
+	}
+	return rep, nil
+}
+
+// runQPSScenario measures one (transport, shards, clients) cell over a
+// real TCP loopback connection; each client runs perClient timed
+// queries after a shared warm-up.
+func runQPSScenario(svc *cloud.Service, scheme *core.Scheme, er *core.EncryptedRelation, shRel *shard.Relation, tk *core.Token, mux bool, shards, clients, perClient int) (*QPSResult, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() { _ = transport.Serve(ctx, l, svc) }()
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		return nil, err
+	}
+	var (
+		caller  transport.Caller
+		batcher *cloud.Batcher
+		cc      transport.ConnCaller
+	)
+	if mux {
+		if cc, err = transport.Connect(ctx, conn, nil); err != nil {
+			conn.Close()
+			return nil, err
+		}
+		batcher = cloud.NewBatcher(cc)
+		caller = batcher
+	} else {
+		nc := transport.NewNetCaller(conn, nil)
+		cc = nc
+		caller = nc
+	}
+	defer cc.Close()
+	if batcher != nil {
+		defer batcher.Close()
+	}
+	client, err := cloud.NewClient(caller, scheme.PublicKey(), nil, cloud.WithRelation("qps"))
+	if err != nil {
+		return nil, err
+	}
+	defer client.Close()
+	if err := client.Handshake(ctx); err != nil {
+		return nil, err
+	}
+
+	engines := make([]queryEngine, clients)
+	for i := range engines {
+		if shards > 1 {
+			eng, err := shard.NewEngine(client, shRel)
+			if err != nil {
+				return nil, err
+			}
+			engines[i] = eng
+		} else {
+			eng, err := core.NewEngine(client, er)
+			if err != nil {
+				return nil, err
+			}
+			engines[i] = eng
+		}
+	}
+	opts := core.Options{Mode: core.QryE, Halt: core.HaltPaper}
+	// Warm-up (nonce pools, TCP, code paths); excluded from the timing.
+	if _, err := engines[0].SecQuery(ctx, tk, opts); err != nil {
+		return nil, err
+	}
+	total := clients * perClient
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	start := time.Now()
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for q := 0; q < perClient; q++ {
+				if _, err := engines[i].SecQuery(ctx, tk, opts); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	kind := "single-flight-v1"
+	if mux {
+		kind = "mux-batch-v2"
+	}
+	return &QPSResult{
+		Transport: kind,
+		Shards:    shards,
+		Clients:   clients,
+		Queries:   total,
+		Seconds:   elapsed.Seconds(),
+		QPS:       float64(total) / elapsed.Seconds(),
+	}, nil
+}
+
+// SaveJSON merges the QPS record into path (BENCH_<date>.json when
+// empty): an existing record — e.g. the micro experiment's — keeps its
+// fields and gains/overwrites the "qps" key, so one file per date tracks
+// both trajectories.
+func (r *QPSReport) SaveJSON(path string) (string, error) {
+	if path == "" {
+		path = fmt.Sprintf("BENCH_%s.json", r.Date)
+	}
+	doc := map[string]any{}
+	if b, err := os.ReadFile(path); err == nil {
+		_ = json.Unmarshal(b, &doc)
+	}
+	doc["qps"] = r
+	if _, ok := doc["date"]; !ok {
+		doc["date"] = r.Date
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		f.Close()
+		return "", err
+	}
+	return path, f.Close()
+}
+
+// Report renders the scenario table with the speedup over the
+// single-flight baseline at the same client count.
+func (r *QPSReport) Report() *Report {
+	base := map[int]float64{} // clients -> single-flight unsharded QPS
+	for _, res := range r.Results {
+		if res.Transport == "single-flight-v1" && res.Shards == 1 {
+			base[res.Clients] = res.QPS
+		}
+	}
+	out := &Report{
+		ID:     "qps",
+		Title:  fmt.Sprintf("query throughput vs transport/shards/clients (%d-bit keys, %d rows, GOMAXPROCS=%d)", r.KeyBits, r.Rows, r.GoMaxProcs),
+		Header: []string{"transport", "shards", "clients", "queries", "qps", "vs single-flight"},
+	}
+	for _, res := range r.Results {
+		vs := "-"
+		if b, ok := base[res.Clients]; ok && b > 0 && !(res.Transport == "single-flight-v1" && res.Shards == 1) {
+			vs = fmt.Sprintf("%.2fx", res.QPS/b)
+		}
+		out.Rows = append(out.Rows, []string{
+			res.Transport,
+			fmt.Sprint(res.Shards),
+			fmt.Sprint(res.Clients),
+			fmt.Sprint(res.Queries),
+			fmt.Sprintf("%.2f", res.QPS),
+			vs,
+		})
+	}
+	out.Notes = append(out.Notes,
+		"baseline = lockstep v1 transport, unsharded, same client count; acceptance target: >= 2x at 8 clients on a 4-core runner",
+		fmt.Sprintf("emitted into BENCH_%s.json under the \"qps\" key", r.Date))
+	return out
+}

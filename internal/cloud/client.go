@@ -9,7 +9,6 @@ import (
 
 	"repro/internal/dj"
 	"repro/internal/paillier"
-	"repro/internal/secerr"
 	"repro/internal/transport"
 )
 
@@ -119,11 +118,7 @@ func Handshake(ctx context.Context, caller transport.Caller, relation string) er
 	if err := caller.Call(ctx, MethodHello, req, &resp); err != nil {
 		return err
 	}
-	if resp.Version != transport.ProtocolVersion {
-		return secerr.New(secerr.CodeProtocolVersion,
-			"cloud: peer speaks wire protocol v%d, this side v%d", resp.Version, transport.ProtocolVersion)
-	}
-	return nil
+	return acceptVersion(resp.Version)
 }
 
 // PK returns the main Paillier public key.

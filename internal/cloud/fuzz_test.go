@@ -12,7 +12,8 @@ import (
 // one.
 var fuzzMethods = []string{
 	MethodHello, MethodEqBits, MethodRecover, MethodCompare,
-	MethodCompareHidden, MethodMult, MethodDedup, MethodFilter, "Bogus",
+	MethodCompareHidden, MethodMult, MethodDedup, MethodFilter,
+	MethodBatch, "Bogus",
 }
 
 // fuzzSeedBodies are structurally plausible but hostile request bodies:
@@ -53,6 +54,16 @@ func fuzzSeedBodies(t testing.TB) [][]byte {
 		}),
 		enc(&FilterRequest{Rows: []WireRow{{Scores: []*big.Int{nil}, Blinds: []*big.Int{one}}}, EphemeralN: one}),
 		enc(&FilterRequest{Rows: []WireRow{{EHL: []*big.Int{one}, Scores: []*big.Int{one}, Blinds: []*big.Int{one}}}, EphemeralN: one}),
+		// Batch envelopes: hostile item bodies, bogus item methods, nested
+		// envelopes, and nil bodies — each must fail per item (or as
+		// bad_request), never panic.
+		enc(&BatchRequest{}),
+		enc(&BatchRequest{Items: []BatchItem{{Method: MethodEqBits, Body: []byte{0xff}}}}),
+		enc(&BatchRequest{Items: []BatchItem{
+			{Method: "Bogus"},
+			{Method: MethodBatch, Body: enc(&BatchRequest{})},
+			{Method: MethodRecover, Body: enc(&RecoverRequest{Cts: []*big.Int{nil}})},
+		}}),
 	}
 }
 

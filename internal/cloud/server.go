@@ -157,7 +157,8 @@ func decodeRequest(method string, body []byte) (relationRequest, error) {
 // the relation ID carried by requests is accepted verbatim. Multi-relation
 // deployments wrap Servers in a Service, which routes on the relation ID.
 func (s *Server) Serve(ctx context.Context, method string, body []byte) ([]byte, error) {
-	if method == MethodHello {
+	switch method {
+	case MethodHello:
 		var req HelloRequest
 		if err := transport.Decode(body, &req); err != nil {
 			return nil, secerr.Wrap(secerr.CodeBadRequest, err, "cloud: decoding %s", method)
@@ -167,6 +168,8 @@ func (s *Server) Serve(ctx context.Context, method string, body []byte) ([]byte,
 			return nil, err
 		}
 		return transport.Encode(resp)
+	case MethodBatch:
+		return serveBatch(ctx, body, s.par, s.Serve)
 	}
 	req, err := decodeRequest(method, body)
 	if err != nil {
@@ -178,11 +181,61 @@ func (s *Server) Serve(ctx context.Context, method string, body []byte) ([]byte,
 // hello answers the version-negotiation round. A single-relation Server
 // serves whatever relation the peer names, so only the version is checked.
 func (s *Server) hello(req *HelloRequest) (*HelloReply, error) {
-	if req.Version != transport.ProtocolVersion {
-		return nil, secerr.New(secerr.CodeProtocolVersion,
-			"cloud: peer speaks wire protocol v%d, this side v%d", req.Version, transport.ProtocolVersion)
+	if err := acceptVersion(req.Version); err != nil {
+		return nil, err
 	}
-	return &HelloReply{Version: transport.ProtocolVersion}, nil
+	return &HelloReply{Version: negotiateVersion(req.Version)}, nil
+}
+
+// acceptVersion checks a peer's announced wire version against the range
+// this build speaks.
+func acceptVersion(v int) error {
+	if v < transport.MinProtocolVersion || v > transport.ProtocolVersion {
+		return secerr.New(secerr.CodeProtocolVersion,
+			"cloud: peer speaks wire protocol v%d, this side v%d..v%d",
+			v, transport.MinProtocolVersion, transport.ProtocolVersion)
+	}
+	return nil
+}
+
+// negotiateVersion picks the version both sides speak: the lower of the
+// peer's announcement and this build's maximum.
+func negotiateVersion(peer int) int {
+	if peer < transport.ProtocolVersion {
+		return peer
+	}
+	return transport.ProtocolVersion
+}
+
+// serveBatch unwraps a batch envelope and dispatches every item through
+// the given single-call dispatcher, fanning items out over the worker
+// budget. Item failures are reported per item as structured (code,
+// message) pairs — one malformed item never fails its neighbours — and
+// envelopes must not nest.
+func serveBatch(ctx context.Context, body []byte, par int, dispatch func(context.Context, string, []byte) ([]byte, error)) ([]byte, error) {
+	var req BatchRequest
+	if err := transport.Decode(body, &req); err != nil {
+		return nil, secerr.Wrap(secerr.CodeBadRequest, err, "cloud: decoding %s", MethodBatch)
+	}
+	reply := BatchReply{Items: make([]BatchResult, len(req.Items))}
+	err := parallel.ForEachCtx(ctx, par, len(req.Items), func(i int) error {
+		item := req.Items[i]
+		if item.Method == MethodBatch {
+			reply.Items[i] = BatchResult{ErrCode: string(secerr.CodeBadRequest), ErrMsg: "cloud: nested batch envelope"}
+			return nil
+		}
+		out, herr := dispatch(ctx, item.Method, item.Body)
+		if herr != nil {
+			reply.Items[i] = BatchResult{ErrCode: string(secerr.CodeOf(herr)), ErrMsg: herr.Error()}
+			return nil
+		}
+		reply.Items[i] = BatchResult{Body: out}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return transport.Encode(&reply)
 }
 
 // handle dispatches a decoded request to its handler and encodes the

@@ -116,7 +116,8 @@ func (s *Service) Close() {
 // optionally checks a relation is served; every other method routes to
 // the Server registered for the request's relation ID.
 func (s *Service) Serve(ctx context.Context, method string, body []byte) ([]byte, error) {
-	if method == MethodHello {
+	switch method {
+	case MethodHello:
 		var req HelloRequest
 		if err := transport.Decode(body, &req); err != nil {
 			return nil, secerr.Wrap(secerr.CodeBadRequest, err, "cloud: decoding %s", method)
@@ -126,6 +127,11 @@ func (s *Service) Serve(ctx context.Context, method string, body []byte) ([]byte
 			return nil, err
 		}
 		return transport.Encode(resp)
+	case MethodBatch:
+		// Items route individually on the relation IDs they carry, so one
+		// envelope can serve many relations; item fan-out uses the full
+		// worker budget (each relation's handlers apply their own knob).
+		return serveBatch(ctx, body, 0, s.Serve)
 	}
 	req, err := decodeRequest(method, body)
 	if err != nil {
@@ -143,11 +149,10 @@ func (s *Service) Serve(ctx context.Context, method string, body []byte) ([]byte
 // confirms only the relation the peer asked about — never the full
 // registry, which would let any connecting peer enumerate other tenants.
 func (s *Service) hello(req *HelloRequest) (*HelloReply, error) {
-	if req.Version != transport.ProtocolVersion {
-		return nil, secerr.New(secerr.CodeProtocolVersion,
-			"cloud: peer speaks wire protocol v%d, this side v%d", req.Version, transport.ProtocolVersion)
+	if err := acceptVersion(req.Version); err != nil {
+		return nil, err
 	}
-	reply := &HelloReply{Version: transport.ProtocolVersion}
+	reply := &HelloReply{Version: negotiateVersion(req.Version)}
 	if req.Relation != "" {
 		if s.Relation(req.Relation) == nil {
 			return nil, secerr.New(secerr.CodeUnknownRelation, "cloud: relation %q not registered", req.Relation)

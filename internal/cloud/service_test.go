@@ -149,8 +149,8 @@ func TestTypedErrorsSurviveTCP(t *testing.T) {
 	if !errors.Is(err, secerr.ErrUnknownRelation) {
 		t.Fatalf("want ErrUnknownRelation over TCP, got %v", err)
 	}
-	// Version mismatch.
-	err = caller.Call(ctx, MethodHello, &HelloRequest{Version: 2}, &hr)
+	// Version mismatch (outside the accepted v1..v2 range).
+	err = caller.Call(ctx, MethodHello, &HelloRequest{Version: transport.ProtocolVersion + 1}, &hr)
 	if !errors.Is(err, secerr.ErrProtocolVersion) {
 		t.Fatalf("want ErrProtocolVersion over TCP, got %v", err)
 	}

@@ -26,7 +26,39 @@ const (
 	MethodMult          = "Mult"
 	MethodDedup         = "Dedup"
 	MethodFilter        = "Filter"
+	MethodBatch         = "Batch"
 )
+
+// BatchItem is one coalesced protocol call inside a batch envelope: the
+// method name plus its already-encoded request body (which carries its
+// own relation ID, so items from different sessions and relations share
+// one envelope).
+type BatchItem struct {
+	Method string
+	Body   []byte
+}
+
+// BatchRequest is the wire v2 batch envelope: homomorphic-op requests
+// from concurrent sessions coalesced into a single round trip, so S2's
+// worker pool sees one large batch instead of per-session dribbles.
+// Envelopes must not nest.
+type BatchRequest struct {
+	Items []BatchItem
+}
+
+// BatchResult is one item's outcome: either the encoded reply body or a
+// structured (code, message) error pair — per item, so one hostile or
+// malformed item cannot fail its co-batched neighbours.
+type BatchResult struct {
+	Body    []byte
+	ErrCode string
+	ErrMsg  string
+}
+
+// BatchReply carries one BatchResult per request item, in order.
+type BatchReply struct {
+	Items []BatchResult
+}
 
 // HelloRequest opens a connection: the caller announces the wire protocol
 // version it speaks and, optionally, the relation it intends to query, so

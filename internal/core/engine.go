@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"math/big"
 	"math/bits"
+	"sync"
 
 	"repro/internal/cloud"
 	"repro/internal/paillier"
@@ -86,6 +87,11 @@ type Options struct {
 	// serial query construct the cloud.Client with
 	// cloud.WithParallelism(1) as well.
 	Parallelism int
+	// ExactScan disables the halting tests: the scan runs to MaxDepth (or
+	// the whole relation), so after a full scan every returned score is
+	// the exact aggregate. The shard merge uses it as its fallback when
+	// the NRA merge-bound check cannot certify an early-halted merge.
+	ExactScan bool
 }
 
 // QueryResult is the outcome of SecQuery: the encrypted top-k items
@@ -97,10 +103,14 @@ type QueryResult struct {
 	Halted bool
 }
 
-// Engine is the data cloud S1's query processor.
+// Engine is the data cloud S1's query processor. It is safe for
+// concurrent use: sessions multiplexing queries over one engine share
+// only the query-pattern ledger, which is mutex-guarded.
 type Engine struct {
-	client     *cloud.Client
-	er         *EncryptedRelation
+	client *cloud.Client
+	er     *EncryptedRelation
+
+	mu         sync.Mutex // guards seenTokens
 	seenTokens map[string]int
 }
 
@@ -127,9 +137,11 @@ func (e *Engine) par(opts Options) int {
 	return e.client.Parallelism()
 }
 
-// magBits bounds |W|, |B| magnitudes for comparison masking: m weighted
-// scores of MaxScoreBits bits each.
-func (e *Engine) magBits(tk *Token) int {
+// MagBits bounds |W|, |B| magnitudes for comparison masking: m weighted
+// scores of maxScoreBits bits each. Exported because the shard merge
+// must compare merged candidates under exactly the bound the per-shard
+// scans used — a divergent copy would silently break merge soundness.
+func MagBits(maxScoreBits int, tk *Token) int {
 	wBits := 1
 	for _, w := range tk.Weights {
 		if b := bits.Len64(uint64(w)); b > wBits {
@@ -137,7 +149,11 @@ func (e *Engine) magBits(tk *Token) int {
 		}
 	}
 	mBits := bits.Len(uint(len(tk.Lists)))
-	return e.er.MaxScoreBits + wBits + mBits + 2
+	return maxScoreBits + wBits + mBits + 2
+}
+
+func (e *Engine) magBits(tk *Token) int {
+	return MagBits(e.er.MaxScoreBits, tk)
 }
 
 // ValidateToken checks a token against the engine's relation without
@@ -176,9 +192,12 @@ func (e *Engine) recordQueryPattern(tk *Token) {
 		fmt.Fprintf(h, "w%d,", w)
 	}
 	key := string(h.Sum(nil))
+	e.mu.Lock()
 	e.seenTokens[key]++
+	repeat := e.seenTokens[key]
+	e.mu.Unlock()
 	e.client.Ledger().Record("S1", "Token", "query pattern: repeat #%d of this token (m=%d, k=%d)",
-		e.seenTokens[key], len(tk.Lists), tk.K)
+		repeat, len(tk.Lists), tk.K)
 }
 
 // depthScore returns the (weight-scaled) encrypted score of list li at
@@ -192,6 +211,18 @@ func (e *Engine) depthScore(tk *Token, li, d int) (*paillier.Ciphertext, error) 
 	return e.client.PK().MulConst(item.Score, big.NewInt(tk.Weights[li]))
 }
 
+// runInfo captures the engine state a shard merge needs beyond the
+// QueryResult: the full tracked list (top items ranked first, the
+// QueryResult's Items are its prefix), the final per-list bottom scores,
+// and the bound computer for batched items (nil when best bounds are
+// stored in ColBest).
+type runInfo struct {
+	ranked   []protocols.Item
+	bottoms  []*paillier.Ciphertext
+	best     bestFunc
+	fullScan bool
+}
+
 // SecQuery executes the top-k query (Algorithm 3) in the requested mode.
 // Cancellation is cooperative: the engine checks ctx between protocol
 // rounds (and the sub-protocol layers check it inside their worker
@@ -201,13 +232,7 @@ func (e *Engine) SecQuery(ctx context.Context, tk *Token, opts Options) (*QueryR
 		return nil, err
 	}
 	e.recordQueryPattern(tk)
-	var res *QueryResult
-	var err error
-	if opts.Mode == QryBa {
-		res, err = e.queryBatched(ctx, tk, opts)
-	} else {
-		res, err = e.queryPerDepth(ctx, tk, opts)
-	}
+	res, _, err := e.run(ctx, tk, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -215,8 +240,16 @@ func (e *Engine) SecQuery(ctx context.Context, tk *Token, opts Options) (*QueryR
 	return res, nil
 }
 
+// run dispatches to the mode's pipeline.
+func (e *Engine) run(ctx context.Context, tk *Token, opts Options) (*QueryResult, *runInfo, error) {
+	if opts.Mode == QryBa {
+		return e.queryBatched(ctx, tk, opts)
+	}
+	return e.queryPerDepth(ctx, tk, opts)
+}
+
 // queryPerDepth is the per-depth pipeline shared by Qry_F and Qry_E.
-func (e *Engine) queryPerDepth(ctx context.Context, tk *Token, opts Options) (*QueryResult, error) {
+func (e *Engine) queryPerDepth(ctx context.Context, tk *Token, opts Options) (*QueryResult, *runInfo, error) {
 	m, k := len(tk.Lists), tk.K
 	magBits := e.magBits(tk)
 	dedupMode := cloud.DedupReplace
@@ -232,7 +265,7 @@ func (e *Engine) queryPerDepth(ctx context.Context, tk *Token, opts Options) (*Q
 	depth := 0
 	for d := 0; d < maxD; d++ {
 		if err := ctx.Err(); err != nil {
-			return nil, fmt.Errorf("core: depth %d: %w", d, err)
+			return nil, nil, fmt.Errorf("core: depth %d: %w", d, err)
 		}
 		depth = d + 1
 		depthItems := make([]protocols.DepthItem, m)
@@ -246,7 +279,7 @@ func (e *Engine) queryPerDepth(ctx context.Context, tk *Token, opts Options) (*Q
 			return nil
 		})
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		for i := 0; i < m; i++ {
 			histories[i].EHLs = append(histories[i].EHLs, depthItems[i].EHL)
@@ -254,11 +287,11 @@ func (e *Engine) queryPerDepth(ctx context.Context, tk *Token, opts Options) (*Q
 		}
 		worst, err := protocols.SecWorstAll(ctx, e.client, depthItems)
 		if err != nil {
-			return nil, fmt.Errorf("core: depth %d SecWorst: %w", d, err)
+			return nil, nil, fmt.Errorf("core: depth %d SecWorst: %w", d, err)
 		}
 		best, err := protocols.SecBestAll(ctx, e.client, depthItems, histories)
 		if err != nil {
-			return nil, fmt.Errorf("core: depth %d SecBest: %w", d, err)
+			return nil, nil, fmt.Errorf("core: depth %d SecBest: %w", d, err)
 		}
 		gamma := make([]protocols.Item, m)
 		for i := 0; i < m; i++ {
@@ -269,13 +302,13 @@ func (e *Engine) queryPerDepth(ctx context.Context, tk *Token, opts Options) (*Q
 		}
 		gamma, err = protocols.SecDedup(ctx, e.client, gamma, dedupMode, protocols.AllPairs(m), nil)
 		if err != nil {
-			return nil, fmt.Errorf("core: depth %d SecDedup: %w", d, err)
+			return nil, nil, fmt.Errorf("core: depth %d SecDedup: %w", d, err)
 		}
 		T, err = protocols.SecUpdate(ctx, e.client, T, gamma, dedupMode)
 		if err != nil {
-			return nil, fmt.Errorf("core: depth %d SecUpdate: %w", d, err)
+			return nil, nil, fmt.Errorf("core: depth %d SecUpdate: %w", d, err)
 		}
-		if len(T) < k+1 {
+		if opts.ExactScan || len(T) < k+1 {
 			continue
 		}
 		bottoms := make([]*paillier.Ciphertext, m)
@@ -284,14 +317,19 @@ func (e *Engine) queryPerDepth(ctx context.Context, tk *Token, opts Options) (*Q
 		}
 		halted, ranked, err := e.checkHalt(ctx, T, k, magBits, opts, bottoms, nil)
 		if err != nil {
-			return nil, fmt.Errorf("core: depth %d halting check: %w", d, err)
+			return nil, nil, fmt.Errorf("core: depth %d halting check: %w", d, err)
 		}
 		T = ranked
 		if halted {
-			return &QueryResult{Items: T[:k], Depth: depth, Halted: true}, nil
+			res := &QueryResult{Items: T[:k], Depth: depth, Halted: true}
+			return res, &runInfo{ranked: T, bottoms: bottoms}, nil
 		}
 	}
-	return e.finalize(ctx, T, k, magBits, depth, maxD == e.er.N)
+	bottoms := make([]*paillier.Ciphertext, m)
+	for i := 0; i < m; i++ {
+		bottoms[i] = histories[i].Scores[len(histories[i].Scores)-1]
+	}
+	return e.finalize(ctx, T, k, magBits, depth, maxD == e.er.N, bottoms, nil)
 }
 
 // queryBatched is Qry_Ba (Section 10.2): per-depth items carry only their
@@ -299,7 +337,7 @@ func (e *Engine) queryPerDepth(ctx context.Context, tk *Token, opts Options) (*Q
 // items are merged into T with one score-summing dedup, then ranked and
 // halt-checked. Best bounds are computed exactly at the batch boundary
 // from the indicator vectors: B = W + sum_j (1 - v_j) * bottom_j.
-func (e *Engine) queryBatched(ctx context.Context, tk *Token, opts Options) (*QueryResult, error) {
+func (e *Engine) queryBatched(ctx context.Context, tk *Token, opts Options) (*QueryResult, *runInfo, error) {
 	m, k := len(tk.Lists), tk.K
 	magBits := e.magBits(tk)
 	p := opts.BatchDepth
@@ -310,7 +348,7 @@ func (e *Engine) queryBatched(ctx context.Context, tk *Token, opts Options) (*Qu
 		}
 	}
 	if p < k {
-		return nil, fmt.Errorf("core: batch depth p=%d must be >= k=%d (Section 10.2)", p, k)
+		return nil, nil, fmt.Errorf("core: batch depth p=%d must be >= k=%d (Section 10.2)", p, k)
 	}
 	maxD := e.er.N
 	if opts.MaxDepth > 0 && opts.MaxDepth < maxD {
@@ -326,7 +364,7 @@ func (e *Engine) queryBatched(ctx context.Context, tk *Token, opts Options) (*Qu
 	depth := 0
 	for d := 0; d < maxD; d++ {
 		if err := ctx.Err(); err != nil {
-			return nil, fmt.Errorf("core: depth %d: %w", d, err)
+			return nil, nil, fmt.Errorf("core: depth %d: %w", d, err)
 		}
 		depth = d + 1
 		bottoms = make([]*paillier.Ciphertext, m)
@@ -356,7 +394,7 @@ func (e *Engine) queryBatched(ctx context.Context, tk *Token, opts Options) (*Qu
 			return nil
 		})
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		pending = append(pending, depthItems...)
 		if (d+1)%p != 0 && d != maxD-1 {
@@ -377,22 +415,23 @@ func (e *Engine) queryBatched(ctx context.Context, tk *Token, opts Options) (*Qu
 		}
 		T, err = protocols.SecDedup(ctx, e.client, combined, cloud.DedupMerge, pairs, mergeCols)
 		if err != nil {
-			return nil, fmt.Errorf("core: depth %d batch merge: %w", d, err)
+			return nil, nil, fmt.Errorf("core: depth %d batch merge: %w", d, err)
 		}
 		pending = nil
-		if len(T) < k+1 {
+		if opts.ExactScan || len(T) < k+1 {
 			continue
 		}
 		halted, ranked, err := e.checkHalt(ctx, T, k, magBits, opts, bottoms, e.batchBest(bottoms, e.par(opts)))
 		if err != nil {
-			return nil, fmt.Errorf("core: depth %d halting check: %w", d, err)
+			return nil, nil, fmt.Errorf("core: depth %d halting check: %w", d, err)
 		}
 		T = ranked
 		if halted {
-			return &QueryResult{Items: T[:k], Depth: depth, Halted: true}, nil
+			res := &QueryResult{Items: T[:k], Depth: depth, Halted: true}
+			return res, &runInfo{ranked: T, bottoms: bottoms, best: e.batchBest(bottoms, e.par(opts))}, nil
 		}
 	}
-	return e.finalize(ctx, T, k, magBits, depth, maxD == e.er.N)
+	return e.finalize(ctx, T, k, magBits, depth, maxD == e.er.N, bottoms, e.batchBest(bottoms, e.par(opts)))
 }
 
 // bestFunc computes exact best bounds for the given (ranked) items.
@@ -528,17 +567,101 @@ func (e *Engine) checkHalt(ctx context.Context, T []protocols.Item, k, magBits i
 
 // finalize returns the best-effort top-k after the scan ended without the
 // halting condition firing. A full scan is exact (all bounds are tight at
-// depth n); a MaxDepth-capped scan is marked unhalted.
-func (e *Engine) finalize(ctx context.Context, T []protocols.Item, k, magBits, depth int, fullScan bool) (*QueryResult, error) {
+// depth n); a MaxDepth-capped scan is marked unhalted. One extra position
+// beyond k is ranked so the shard merge sees the (k+1)-th residual.
+func (e *Engine) finalize(ctx context.Context, T []protocols.Item, k, magBits, depth int, fullScan bool, bottoms []*paillier.Ciphertext, best bestFunc) (*QueryResult, *runInfo, error) {
+	info := &runInfo{bottoms: bottoms, best: best, fullScan: fullScan}
 	if len(T) == 0 {
-		return &QueryResult{Depth: depth, Halted: fullScan}, nil
+		return &QueryResult{Depth: depth, Halted: fullScan}, info, nil
 	}
 	if k > len(T) {
 		k = len(T)
 	}
-	ranked, err := protocols.EncSelectTop(ctx, e.client, T, protocols.ColWorst, true, k, magBits)
+	sel := k + 1
+	if sel > len(T) {
+		sel = len(T)
+	}
+	ranked, err := protocols.EncSelectTop(ctx, e.client, T, protocols.ColWorst, true, sel, magBits)
+	if err != nil {
+		return nil, nil, err
+	}
+	info.ranked = ranked
+	return &QueryResult{Items: ranked[:k], Depth: depth, Halted: fullScan}, info, nil
+}
+
+// CandidateSet is a shard's contribution to a merged top-k: its own
+// top-k in a mode-independent two-column shape plus the NRA residual
+// bounds the merge check needs.
+type CandidateSet struct {
+	// Items are the shard's top-k candidates as uniform two-column items:
+	// column 0 the accumulated worst score W, column 1 an upper bound B on
+	// the candidate's exact aggregate (B = W after a full scan). Ranked by
+	// W descending.
+	Items []protocols.Item
+	// Residuals are encrypted upper bounds covering every object of this
+	// relation NOT represented in Items: the best bounds of the tracked
+	// non-top-k items, plus — for scans that did not reach the full
+	// relation — the unseen-object bound sum_j bottom_j.
+	Residuals []*paillier.Ciphertext
+	// Depth and Halted mirror QueryResult.
+	Depth  int
+	Halted bool
+}
+
+// SecQueryCandidates executes the query like SecQuery but returns the
+// merge view: candidates with explicit upper bounds and the residual
+// bounds for everything the shard did not return. internal/shard runs one
+// per shard and combines them with an EncSelectTop merge plus an
+// NRA-style domination check (see shard.Engine).
+func (e *Engine) SecQueryCandidates(ctx context.Context, tk *Token, opts Options) (*CandidateSet, error) {
+	if err := e.ValidateToken(tk); err != nil {
+		return nil, err
+	}
+	e.recordQueryPattern(tk)
+	res, info, err := e.run(ctx, tk, opts)
 	if err != nil {
 		return nil, err
 	}
-	return &QueryResult{Items: ranked[:k], Depth: depth, Halted: fullScan}, nil
+	e.client.Ledger().Record("S1", "Query", "halting depth D_q = %d (halted=%v)", res.Depth, res.Halted)
+	out := &CandidateSet{Depth: res.Depth, Halted: res.Halted}
+
+	// Upper bounds for every tracked item: the stored ColBest for the
+	// per-depth modes, the indicator-derived bound for Qry_Ba. After a
+	// full scan both reduce to the exact aggregate (B = W).
+	var bounds []*paillier.Ciphertext
+	if info.best != nil {
+		if bounds, err = info.best(ctx, info.ranked); err != nil {
+			return nil, err
+		}
+	} else {
+		bounds = make([]*paillier.Ciphertext, len(info.ranked))
+		for i, it := range info.ranked {
+			bounds[i] = it.Scores[protocols.ColBest]
+		}
+	}
+	k := len(res.Items) // res.Items is info.ranked[:k]
+	out.Items = make([]protocols.Item, k)
+	for i, it := range res.Items {
+		out.Items[i] = protocols.Item{
+			EHL:    it.EHL,
+			Scores: []*paillier.Ciphertext{it.Scores[protocols.ColWorst], bounds[i]},
+		}
+	}
+	out.Residuals = append(out.Residuals, bounds[k:]...)
+	if !info.fullScan && len(info.bottoms) > 0 {
+		// Objects never seen in any list are bounded by the sum of the
+		// current bottoms; after a full scan there are none.
+		sum, err := e.client.Enc().EncryptZero()
+		if err != nil {
+			return nil, err
+		}
+		pk := e.client.PK()
+		for _, b := range info.bottoms {
+			if sum, err = pk.Add(sum, b); err != nil {
+				return nil, err
+			}
+		}
+		out.Residuals = append(out.Residuals, sum)
+	}
+	return out, nil
 }

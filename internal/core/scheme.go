@@ -228,6 +228,17 @@ func (er *EncryptedRelation) ByteSize(pk *paillier.PublicKey) int64 {
 // the lists with the PRP P_K. Encryption parallelizes across items the
 // way the paper's 64-thread setup does, bounded by Params.Parallelism.
 func (s *Scheme) EncryptRelation(rel *dataset.Relation) (*EncryptedRelation, error) {
+	return s.EncryptRelationWithIDs(rel, nil)
+}
+
+// EncryptRelationWithIDs is EncryptRelation with explicit object ids:
+// ids[i] is the identity encrypted into row i's EHL (nil means row index,
+// the single-relation behavior). Shard encryption uses it so every shard
+// of one relation carries globally unique ids under the shared EHL keys —
+// digests stay collision-free across shards and one Revealer resolves any
+// shard's results. Ties in a sorted list break on the global id, so a
+// sharded encryption orders rows exactly like the unsharded one.
+func (s *Scheme) EncryptRelationWithIDs(rel *dataset.Relation, ids []int) (*EncryptedRelation, error) {
 	if rel == nil {
 		return nil, errors.New("core: nil relation")
 	}
@@ -237,12 +248,21 @@ func (s *Scheme) EncryptRelation(rel *dataset.Relation) (*EncryptedRelation, err
 	if max := rel.MaxScore(); max >= 1<<uint(s.params.MaxScoreBits) {
 		return nil, fmt.Errorf("core: score %d exceeds MaxScoreBits=%d", max, s.params.MaxScoreBits)
 	}
+	if ids != nil && len(ids) != rel.N() {
+		return nil, fmt.Errorf("core: %d ids for %d rows", len(ids), rel.N())
+	}
+	gid := func(row int) int {
+		if ids == nil {
+			return row
+		}
+		return ids[row]
+	}
 	n, m := rel.N(), rel.M()
 	attrs := make([]int, m)
 	for j := range attrs {
 		attrs[j] = j
 	}
-	lists, err := sortedPlainLists(rel, attrs)
+	lists, err := sortedPlainLists(rel, attrs, gid)
 	if err != nil {
 		return nil, err
 	}
@@ -271,7 +291,7 @@ func (s *Scheme) EncryptRelation(rel *dataset.Relation) (*EncryptedRelation, err
 	err = parallel.ForEach(s.params.Parallelism, m*n, func(idx int) error {
 		j, d := idx/n, idx%n
 		entry := lists[j][d]
-		l, err := s.hasher.Build(uint64(entry.obj))
+		l, err := s.hasher.Build(uint64(gid(entry.obj)))
 		if err != nil {
 			return err
 		}
@@ -293,19 +313,19 @@ type plainEntry struct {
 	score int64
 }
 
-func sortedPlainLists(rel *dataset.Relation, attrs []int) ([][]plainEntry, error) {
+func sortedPlainLists(rel *dataset.Relation, attrs []int, gid func(int) int) ([][]plainEntry, error) {
 	out := make([][]plainEntry, len(attrs))
 	for li, a := range attrs {
 		list := make([]plainEntry, rel.N())
 		for i := 0; i < rel.N(); i++ {
 			list[i] = plainEntry{obj: i, score: rel.Rows[i][a]}
 		}
-		// Descending by score, ties by object id (deterministic).
+		// Descending by score, ties by (global) object id (deterministic).
 		sort.Slice(list, func(x, y int) bool {
 			if list[x].score != list[y].score {
 				return list[x].score > list[y].score
 			}
-			return list[x].obj < list[y].obj
+			return gid(list[x].obj) < gid(list[y].obj)
 		})
 		out[li] = list
 	}
@@ -327,24 +347,33 @@ func (s *Scheme) Token(er *EncryptedRelation, attrs []int, weights []int64, k in
 	if er == nil {
 		return nil, errors.New("core: nil encrypted relation")
 	}
+	return s.TokenFor(er.N, er.M, attrs, weights, k)
+}
+
+// TokenFor is Token against explicit relation dimensions instead of a
+// materialized EncryptedRelation — the sharded facade validates against
+// the global (n, m) while each shard only materializes its own slice.
+// The PRP depends only on m and the owner's key, so one token is valid
+// for every shard of the relation.
+func (s *Scheme) TokenFor(n, m int, attrs []int, weights []int64, k int) (*Token, error) {
 	if len(attrs) == 0 {
 		return nil, errors.New("core: no attributes in query")
 	}
 	if weights != nil && len(weights) != len(attrs) {
 		return nil, fmt.Errorf("core: %d weights for %d attributes", len(weights), len(attrs))
 	}
-	if k <= 0 || k > er.N {
-		return nil, fmt.Errorf("core: k=%d out of range (1..%d)", k, er.N)
+	if k <= 0 || k > n {
+		return nil, fmt.Errorf("core: k=%d out of range (1..%d)", k, n)
 	}
-	perm, err := prf.NewPerm(s.permKey, er.M)
+	perm, err := prf.NewPerm(s.permKey, m)
 	if err != nil {
 		return nil, err
 	}
 	tk := &Token{K: k}
 	seen := map[int]bool{}
 	for _, a := range attrs {
-		if a < 0 || a >= er.M {
-			return nil, fmt.Errorf("core: attribute %d out of range [0,%d)", a, er.M)
+		if a < 0 || a >= m {
+			return nil, fmt.Errorf("core: attribute %d out of range [0,%d)", a, m)
 		}
 		if seen[a] {
 			return nil, fmt.Errorf("core: duplicate attribute %d in query", a)

@@ -1,0 +1,320 @@
+// Package shard partitions one logical relation into P independently
+// encrypted shards and merges their encrypted per-shard top-k candidates
+// back into the global top-k.
+//
+// Partitioning is round-robin over rows at Enc time (Split); every shard
+// is a complete EncryptedRelation over its row subset, encrypted under
+// the owner's shared keys with *global* object ids, so the crypto cloud
+// serves all shards of a relation from one key registration and one
+// Revealer resolves any shard's output. At query time an Engine runs the
+// same token over every shard concurrently — on a multiplexed transport
+// the per-shard protocol rounds genuinely overlap — and merges the
+// P·k candidates with the existing EncSelectTop selection.
+//
+// Soundness of the merge is NRA-style. Every object belongs to exactly
+// one shard, and the global top-k objects are each within their own
+// shard's top-k (at most k-1 objects in the whole relation beat them),
+// so the candidate union always contains the answer set. The merged
+// k-th worst score W_k is the k-th order statistic of a superset of each
+// shard's top-k, hence W_k >= every shard's own k-th worst — the bounds
+// each shard's halting already dominated stay dominated. The engine
+// still verifies the full NRA condition explicitly: every non-selected
+// candidate's upper bound B and every shard residual bound (tracked
+// non-top-k bounds plus the unseen-object bound) must be <= W_k, in one
+// EncCompareBatch round. If any bound survives — possible only when a
+// shard halted under the paper's relaxed condition or was depth-capped —
+// the engine falls back to an exact rescan (ExactScan over every shard),
+// after which all bounds equal the exact aggregates and the check is
+// guaranteed to pass. See DESIGN.md's errata note "Shard merge bound".
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/paillier"
+	"repro/internal/protocols"
+	"repro/internal/secerr"
+)
+
+// Split partitions a plaintext relation round-robin into p sub-relations
+// and returns, for each, the global row ids backing its rows (shard s
+// holds global rows s, s+p, s+2p, ...). p must be in [1, n].
+func Split(rel *dataset.Relation, p int) ([]*dataset.Relation, [][]int, error) {
+	if rel == nil {
+		return nil, nil, errors.New("shard: nil relation")
+	}
+	if err := rel.Validate(); err != nil {
+		return nil, nil, err
+	}
+	n := rel.N()
+	if p < 1 || p > n {
+		return nil, nil, fmt.Errorf("shard: shard count %d out of range [1,%d]", p, n)
+	}
+	subs := make([]*dataset.Relation, p)
+	ids := make([][]int, p)
+	for s := 0; s < p; s++ {
+		sub := &dataset.Relation{Name: fmt.Sprintf("%s/shard%d", rel.Name, s)}
+		for i := s; i < n; i += p {
+			sub.Rows = append(sub.Rows, rel.Rows[i])
+			ids[s] = append(ids[s], i)
+		}
+		subs[s] = sub
+	}
+	return subs, ids, nil
+}
+
+// Relation is a sharded encrypted relation: P complete encrypted
+// relations over disjoint row subsets, sharing the owner's key material
+// and carrying globally unique object ids.
+type Relation struct {
+	Shards []*core.EncryptedRelation
+	// N and M are the global dimensions; MaxScoreBits the shared bound.
+	N, M         int
+	MaxScoreBits int
+}
+
+// Encrypt partitions rel into p shards and encrypts each with the
+// owner's scheme under global object ids (Enc per shard, Algorithm 2).
+func Encrypt(s *core.Scheme, rel *dataset.Relation, p int) (*Relation, error) {
+	subs, ids, err := Split(rel, p)
+	if err != nil {
+		return nil, err
+	}
+	shards := make([]*core.EncryptedRelation, p)
+	for i, sub := range subs {
+		er, err := s.EncryptRelationWithIDs(sub, ids[i])
+		if err != nil {
+			return nil, fmt.Errorf("shard: encrypting shard %d: %w", i, err)
+		}
+		er.Name = rel.Name
+		shards[i] = er
+	}
+	return New(shards)
+}
+
+// New assembles a sharded relation from already-encrypted shards (the
+// persistence path) and validates they agree on shape metadata.
+func New(shards []*core.EncryptedRelation) (*Relation, error) {
+	if len(shards) == 0 {
+		return nil, errors.New("shard: no shards")
+	}
+	r := &Relation{Shards: shards, M: shards[0].M, MaxScoreBits: shards[0].MaxScoreBits}
+	for i, er := range shards {
+		if er == nil || len(er.Lists) == 0 {
+			return nil, fmt.Errorf("shard: shard %d is empty", i)
+		}
+		if er.M != r.M || er.MaxScoreBits != r.MaxScoreBits {
+			return nil, fmt.Errorf("shard: shard %d shape (m=%d, scorebits=%d) differs from shard 0 (m=%d, scorebits=%d)",
+				i, er.M, er.MaxScoreBits, r.M, r.MaxScoreBits)
+		}
+		r.N += er.N
+	}
+	return r, nil
+}
+
+// Engine executes one token over every shard concurrently and merges the
+// candidates. It is safe for concurrent use (each query builds only
+// per-call state; the per-shard core engines are themselves concurrent).
+type Engine struct {
+	client  *cloud.Client
+	rel     *Relation
+	engines []*core.Engine
+}
+
+// NewEngine builds the sharded query engine over one client (the shards
+// share S2 key material, so every shard's rounds carry the same relation
+// ID and route to one registered Server).
+func NewEngine(client *cloud.Client, rel *Relation) (*Engine, error) {
+	if client == nil {
+		return nil, errors.New("shard: nil client")
+	}
+	if rel == nil || len(rel.Shards) == 0 {
+		return nil, errors.New("shard: empty sharded relation")
+	}
+	e := &Engine{client: client, rel: rel, engines: make([]*core.Engine, len(rel.Shards))}
+	for i, er := range rel.Shards {
+		sub, err := core.NewEngine(client, er)
+		if err != nil {
+			return nil, fmt.Errorf("shard: engine for shard %d: %w", i, err)
+		}
+		e.engines[i] = sub
+	}
+	return e, nil
+}
+
+// Shards returns the shard count P.
+func (e *Engine) Shards() int { return len(e.engines) }
+
+// ValidateToken checks a token against the *global* relation dimensions.
+func (e *Engine) ValidateToken(tk *core.Token) error {
+	if tk == nil {
+		return secerr.New(secerr.CodeInvalidToken, "shard: nil token")
+	}
+	if len(tk.Lists) == 0 {
+		return secerr.New(secerr.CodeInvalidToken, "shard: token selects no lists")
+	}
+	for _, p := range tk.Lists {
+		if p < 0 || p >= e.rel.M {
+			return secerr.New(secerr.CodeInvalidToken, "shard: token list position %d out of range", p)
+		}
+	}
+	if tk.Weights != nil && len(tk.Weights) != len(tk.Lists) {
+		return secerr.New(secerr.CodeInvalidToken, "shard: token has %d weights for %d lists", len(tk.Weights), len(tk.Lists))
+	}
+	if tk.K <= 0 || tk.K > e.rel.N {
+		return secerr.New(secerr.CodeInvalidToken, "shard: token k=%d out of range", tk.K)
+	}
+	return nil
+}
+
+// magBits is the core engine's comparison-mask sizing, so merged
+// candidates compare under the same magnitude bound the shards used.
+func (e *Engine) magBits(tk *core.Token) int {
+	return core.MagBits(e.rel.MaxScoreBits, tk)
+}
+
+// SecQuery executes the top-k query over every shard concurrently and
+// merges. With a single shard it is exactly the unsharded core engine.
+func (e *Engine) SecQuery(ctx context.Context, tk *core.Token, opts core.Options) (*core.QueryResult, error) {
+	if err := e.ValidateToken(tk); err != nil {
+		return nil, err
+	}
+	if len(e.engines) == 1 {
+		return e.engines[0].SecQuery(ctx, tk, opts)
+	}
+	sets, err := e.runShards(ctx, tk, opts)
+	if err != nil {
+		return nil, err
+	}
+	res, certified, err := e.merge(ctx, tk, sets)
+	if err != nil {
+		return nil, err
+	}
+	if certified {
+		return res, nil
+	}
+	// A residual bound survived the NRA check (a relaxed-halting or
+	// depth-capped shard could still hide a better object): rescan every
+	// shard exactly, after which every bound is the exact aggregate and
+	// the merge is unconditionally correct.
+	e.client.Ledger().Record("S1", "ShardMerge", "merge bound check failed; exact rescan over %d shards", len(e.engines))
+	exact := opts
+	exact.ExactScan = true
+	exact.MaxDepth = 0
+	sets, err = e.runShards(ctx, tk, exact)
+	if err != nil {
+		return nil, err
+	}
+	res, certified, err = e.merge(ctx, tk, sets)
+	if err != nil {
+		return nil, err
+	}
+	if !certified {
+		return nil, errors.New("shard: merge bound check failed after exact rescan")
+	}
+	return res, nil
+}
+
+// runShards executes the clamped token on every shard concurrently.
+func (e *Engine) runShards(ctx context.Context, tk *core.Token, opts core.Options) ([]*core.CandidateSet, error) {
+	sets := make([]*core.CandidateSet, len(e.engines))
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	for i := range e.engines {
+		sub := e.engines[i]
+		shardN := e.rel.Shards[i].N
+		local := &core.Token{K: tk.K, Lists: tk.Lists, Weights: tk.Weights}
+		if local.K > shardN {
+			local.K = shardN
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cs, err := sub.SecQueryCandidates(ctx, local, opts)
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("shard %d: %w", i, err)
+					cancel() // stop sibling shards within one round
+				}
+				mu.Unlock()
+				return
+			}
+			sets[i] = cs
+		}(i)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return sets, nil
+}
+
+// merge unions the shard candidates, selects the global top-k with
+// EncSelectTop on the worst-score column, and runs the NRA-style bound
+// check: every non-selected candidate's upper bound and every shard
+// residual must be dominated by the merged k-th worst. The boolean
+// reports whether the check certified the merge.
+func (e *Engine) merge(ctx context.Context, tk *core.Token, sets []*core.CandidateSet) (*core.QueryResult, bool, error) {
+	var (
+		union     []protocols.Item
+		residuals []*paillier.Ciphertext
+		depth     int
+		halted    = true
+	)
+	for _, cs := range sets {
+		union = append(union, cs.Items...)
+		residuals = append(residuals, cs.Residuals...)
+		if cs.Depth > depth {
+			depth = cs.Depth
+		}
+		halted = halted && cs.Halted
+	}
+	if len(union) == 0 {
+		return &core.QueryResult{Depth: depth, Halted: halted}, true, nil
+	}
+	k := tk.K
+	if k > len(union) {
+		k = len(union)
+	}
+	magBits := e.magBits(tk)
+	ranked, err := protocols.EncSelectTop(ctx, e.client, union, protocols.ColWorst, true, k, magBits)
+	if err != nil {
+		return nil, false, fmt.Errorf("shard: merge selection: %w", err)
+	}
+	wk := ranked[k-1].Scores[protocols.ColWorst]
+	bounds := make([]*paillier.Ciphertext, 0, len(ranked)-k+len(residuals))
+	for _, it := range ranked[k:] {
+		bounds = append(bounds, it.Scores[protocols.ColBest])
+	}
+	bounds = append(bounds, residuals...)
+	certified := true
+	if len(bounds) > 0 {
+		wks := make([]*paillier.Ciphertext, len(bounds))
+		for i := range wks {
+			wks[i] = wk
+		}
+		fs, err := protocols.EncCompareBatch(ctx, e.client, bounds, wks, magBits)
+		if err != nil {
+			return nil, false, fmt.Errorf("shard: merge bound check: %w", err)
+		}
+		for _, f := range fs {
+			if !f {
+				certified = false
+				break
+			}
+		}
+	}
+	return &core.QueryResult{Items: ranked[:k], Depth: depth, Halted: halted}, certified, nil
+}

@@ -1,0 +1,409 @@
+package shard
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/ehl"
+	"repro/internal/nra"
+	"repro/internal/transport"
+)
+
+type testRig struct {
+	scheme *core.Scheme
+	server *cloud.Server
+	client *cloud.Client
+	s1led  *cloud.Ledger
+}
+
+var (
+	rigOnce sync.Once
+	rig     *testRig
+)
+
+func getRig(t testing.TB) *testRig {
+	t.Helper()
+	rigOnce.Do(func() {
+		params := core.Params{KeyBits: 256, EHL: ehl.Params{Kind: ehl.KindPlus, S: 3}, MaxScoreBits: 20}
+		scheme, err := core.NewScheme(params)
+		if err != nil {
+			t.Fatalf("NewScheme: %v", err)
+		}
+		server, err := cloud.NewServer(scheme.KeyMaterial(), nil)
+		if err != nil {
+			t.Fatalf("NewServer: %v", err)
+		}
+		s1led := cloud.NewLedger()
+		client, err := cloud.NewClient(transport.NewLocal(server, nil), scheme.PublicKey(), s1led)
+		if err != nil {
+			t.Fatalf("NewClient: %v", err)
+		}
+		rig = &testRig{scheme: scheme, server: server, client: client, s1led: s1led}
+	})
+	return rig
+}
+
+// correlated builds a perfectly rank-correlated relation with distinct
+// per-list and aggregate scores: every list orders the objects the same
+// way, so every tracked bound is exact at every depth — the regime where
+// sharded and unsharded scans are provably answer- and score-identical.
+func correlated(n int) *dataset.Relation {
+	rel := &dataset.Relation{Name: "corr"}
+	for i := 0; i < n; i++ {
+		rel.Rows = append(rel.Rows, []int64{int64(3*n - 3*i), int64(2*n - 2*i + 1), int64(n - i + 2)})
+	}
+	return rel
+}
+
+// antiCorrelated builds lists with opposing orders, the adversarial case
+// for relaxed halting and for merge bounds. Columns 0 and 1 sum to a
+// constant, so the quadratic-residue third column decides the ranking
+// (and keeps every aggregate distinct for n <= 12: i² mod 23 is
+// injective there).
+func antiCorrelated(n int) *dataset.Relation {
+	rel := &dataset.Relation{Name: "anti"}
+	for i := 0; i < n; i++ {
+		rel.Rows = append(rel.Rows, []int64{int64(4 * i), int64(4 * (n - 1 - i)), int64(i * i % 23)})
+	}
+	return rel
+}
+
+func reveal(t *testing.T, r *testRig, n int, res *core.QueryResult) []core.RevealedResult {
+	t.Helper()
+	rev, err := r.scheme.NewRevealer(n)
+	if err != nil {
+		t.Fatalf("NewRevealer: %v", err)
+	}
+	out, err := rev.RevealTopK(res.Items)
+	if err != nil {
+		t.Fatalf("RevealTopK: %v", err)
+	}
+	return out
+}
+
+func TestSplit(t *testing.T) {
+	rel := correlated(10)
+	subs, ids, err := Split(rel, 3)
+	if err != nil {
+		t.Fatalf("Split: %v", err)
+	}
+	if len(subs) != 3 {
+		t.Fatalf("got %d shards", len(subs))
+	}
+	seen := map[int]bool{}
+	total := 0
+	for s, sub := range subs {
+		if len(ids[s]) != sub.N() {
+			t.Fatalf("shard %d: %d ids for %d rows", s, len(ids[s]), sub.N())
+		}
+		for r, id := range ids[s] {
+			if id%3 != s {
+				t.Errorf("shard %d row %d has global id %d (want id %% 3 == %d)", s, r, id, s)
+			}
+			if seen[id] {
+				t.Errorf("global id %d appears twice", id)
+			}
+			seen[id] = true
+			for c := range rel.Rows[id] {
+				if sub.Rows[r][c] != rel.Rows[id][c] {
+					t.Errorf("shard %d row %d column %d: %d != global %d", s, r, c, sub.Rows[r][c], rel.Rows[id][c])
+				}
+			}
+		}
+		total += sub.N()
+	}
+	if total != 10 {
+		t.Fatalf("shards cover %d rows, want 10", total)
+	}
+	if _, _, err := Split(rel, 11); err == nil {
+		t.Fatal("Split accepted p > n")
+	}
+	if _, _, err := Split(rel, 0); err == nil {
+		t.Fatal("Split accepted p = 0")
+	}
+}
+
+// TestShardedEquivalence pins the tentpole contract: for every query
+// mode and P in {1, 2, 4}, the sharded engine's revealed top-k is
+// identical — same objects, same scores, same order — to the unsharded
+// spec path over the same keys (and to the plaintext ground truth). The
+// fixed-rank-correlated relation keeps every bound exact, the regime the
+// merge argument guarantees score-identity in; ties are absent so the
+// ordering is fully determined.
+func TestShardedEquivalence(t *testing.T) {
+	r := getRig(t)
+	const n, k = 12, 3
+	rel := correlated(n)
+	attrs := []int{0, 1, 2}
+
+	truth, err := nra.TopKExact(rel, attrs, nil, k)
+	if err != nil {
+		t.Fatalf("TopKExact: %v", err)
+	}
+	er, err := r.scheme.EncryptRelation(rel)
+	if err != nil {
+		t.Fatalf("EncryptRelation: %v", err)
+	}
+	tk, err := r.scheme.TokenFor(n, rel.M(), attrs, nil, k)
+	if err != nil {
+		t.Fatalf("TokenFor: %v", err)
+	}
+
+	modes := []core.Mode{core.QryF, core.QryE, core.QryBa}
+	if testing.Short() {
+		modes = []core.Mode{core.QryE, core.QryBa}
+	}
+	for _, mode := range modes {
+		opts := core.Options{Mode: mode, Halt: core.HaltStrict}
+		baseEngine, err := core.NewEngine(r.client, er)
+		if err != nil {
+			t.Fatalf("NewEngine: %v", err)
+		}
+		baseRes, err := baseEngine.SecQuery(context.Background(), tk, opts)
+		if err != nil {
+			t.Fatalf("%v unsharded SecQuery: %v", mode, err)
+		}
+		base := reveal(t, r, n, baseRes)
+		for i, res := range base {
+			if res.Obj != truth[i].Obj || res.Worst != truth[i].Worst {
+				t.Fatalf("%v unsharded rank %d: got %+v, ground truth %+v", mode, i, res, truth[i])
+			}
+		}
+
+		for _, p := range []int{1, 2, 4} {
+			sh, err := Encrypt(r.scheme, rel, p)
+			if err != nil {
+				t.Fatalf("shard.Encrypt(p=%d): %v", p, err)
+			}
+			eng, err := NewEngine(r.client, sh)
+			if err != nil {
+				t.Fatalf("NewEngine(p=%d): %v", p, err)
+			}
+			res, err := eng.SecQuery(context.Background(), tk, opts)
+			if err != nil {
+				t.Fatalf("%v sharded(p=%d) SecQuery: %v", mode, p, err)
+			}
+			got := reveal(t, r, n, res)
+			if len(got) != len(base) {
+				t.Fatalf("%v p=%d: %d results, unsharded %d", mode, p, len(got), len(base))
+			}
+			for i := range got {
+				if got[i] != base[i] {
+					t.Errorf("%v p=%d rank %d: sharded %+v != unsharded %+v", mode, p, i, got[i], base[i])
+				}
+			}
+		}
+	}
+}
+
+// TestShardedAdversarialOrdering runs the sharded engine over
+// anti-correlated lists — the case where per-shard scans halt with
+// partial scores and the NRA merge-bound check earns its keep (falling
+// back to the exact rescan when it cannot certify the merge). The final
+// answer must match the plaintext ground truth exactly.
+func TestShardedAdversarialOrdering(t *testing.T) {
+	r := getRig(t)
+	const n, k = 12, 3
+	rel := antiCorrelated(n)
+	attrs := []int{0, 1, 2}
+	truth, err := nra.TopKExact(rel, attrs, nil, k)
+	if err != nil {
+		t.Fatalf("TopKExact: %v", err)
+	}
+	tk, err := r.scheme.TokenFor(n, rel.M(), attrs, nil, k)
+	if err != nil {
+		t.Fatalf("TokenFor: %v", err)
+	}
+	sh, err := Encrypt(r.scheme, rel, 3)
+	if err != nil {
+		t.Fatalf("shard.Encrypt: %v", err)
+	}
+	eng, err := NewEngine(r.client, sh)
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	// Paper halting per shard is the adversarial regime: a shard can halt
+	// with undominated bounds, which the merge check must then catch.
+	res, err := eng.SecQuery(context.Background(), tk, core.Options{Mode: core.QryE, Halt: core.HaltPaper})
+	if err != nil {
+		t.Fatalf("SecQuery: %v", err)
+	}
+	got := reveal(t, r, n, res)
+	if len(got) != k {
+		t.Fatalf("got %d results, want %d", len(got), k)
+	}
+	gotSet := map[int]bool{}
+	for _, g := range got {
+		gotSet[g.Obj] = true
+	}
+	for _, tr := range truth {
+		if !gotSet[tr.Obj] {
+			t.Errorf("ground-truth object %d missing from sharded result %+v", tr.Obj, got)
+		}
+	}
+	for _, ev := range r.s1led.Events() {
+		if ev.Party == "S1" && ev.Method == "ShardMerge" {
+			t.Logf("merge fallback exercised: %s", ev.String())
+		}
+	}
+}
+
+// TestShardedMergeBoundFallback forces the NRA merge-bound check to fail
+// deterministically: depth-capped shard scans leave an unseen-object
+// residual no merged W_k can dominate, so the engine must fall back to
+// the exact rescan — and then return the exact global top-k, scores and
+// all, despite the hopeless initial cap.
+func TestShardedMergeBoundFallback(t *testing.T) {
+	r := getRig(t)
+	const n, k = 12, 3
+	rel := antiCorrelated(n)
+	attrs := []int{0, 1, 2}
+	truth, err := nra.TopKExact(rel, attrs, nil, k)
+	if err != nil {
+		t.Fatalf("TopKExact: %v", err)
+	}
+	tk, err := r.scheme.TokenFor(n, rel.M(), attrs, nil, k)
+	if err != nil {
+		t.Fatalf("TokenFor: %v", err)
+	}
+	sh, err := Encrypt(r.scheme, rel, 2)
+	if err != nil {
+		t.Fatalf("shard.Encrypt: %v", err)
+	}
+	eng, err := NewEngine(r.client, sh)
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	before := len(r.s1led.Events())
+	res, err := eng.SecQuery(context.Background(), tk, core.Options{Mode: core.QryE, Halt: core.HaltStrict, MaxDepth: 2})
+	if err != nil {
+		t.Fatalf("SecQuery: %v", err)
+	}
+	fellBack := false
+	for _, ev := range r.s1led.Events()[before:] {
+		if ev.Party == "S1" && ev.Method == "ShardMerge" {
+			fellBack = true
+		}
+	}
+	if !fellBack {
+		t.Fatal("depth-capped shard merge was certified without the exact-rescan fallback")
+	}
+	got := reveal(t, r, n, res)
+	for i, g := range got {
+		if g.Obj != truth[i].Obj || g.Worst != truth[i].Worst {
+			t.Errorf("rank %d: got %+v, ground truth %+v", i, g, truth[i])
+		}
+	}
+}
+
+// TestShardedExactScanFallback pins the fallback path directly: an
+// ExactScan over every shard merges to the exact global top-k with exact
+// aggregate scores.
+func TestShardedExactScanFallback(t *testing.T) {
+	r := getRig(t)
+	const n, k = 10, 3
+	rel := antiCorrelated(n)
+	attrs := []int{0, 1, 2}
+	truth, err := nra.TopKExact(rel, attrs, nil, k)
+	if err != nil {
+		t.Fatalf("TopKExact: %v", err)
+	}
+	tk, err := r.scheme.TokenFor(n, rel.M(), attrs, nil, k)
+	if err != nil {
+		t.Fatalf("TokenFor: %v", err)
+	}
+	sh, err := Encrypt(r.scheme, rel, 2)
+	if err != nil {
+		t.Fatalf("shard.Encrypt: %v", err)
+	}
+	eng, err := NewEngine(r.client, sh)
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	res, err := eng.SecQuery(context.Background(), tk, core.Options{Mode: core.QryE, Halt: core.HaltStrict, ExactScan: true})
+	if err != nil {
+		t.Fatalf("SecQuery(ExactScan): %v", err)
+	}
+	if !res.Halted {
+		t.Fatalf("exact full scan not marked halted")
+	}
+	got := reveal(t, r, n, res)
+	for i, g := range got {
+		if g.Obj != truth[i].Obj || g.Worst != truth[i].Worst {
+			t.Errorf("rank %d: got %+v, ground truth %+v", i, g, truth[i])
+		}
+	}
+}
+
+func TestShardedValidateToken(t *testing.T) {
+	r := getRig(t)
+	rel := correlated(8)
+	sh, err := Encrypt(r.scheme, rel, 2)
+	if err != nil {
+		t.Fatalf("shard.Encrypt: %v", err)
+	}
+	eng, err := NewEngine(r.client, sh)
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	// k validated against the global n (8), not a shard's 4.
+	tk, err := r.scheme.TokenFor(8, rel.M(), []int{0, 1}, nil, 6)
+	if err != nil {
+		t.Fatalf("TokenFor: %v", err)
+	}
+	if err := eng.ValidateToken(tk); err != nil {
+		t.Fatalf("ValidateToken(k=6 over n=8): %v", err)
+	}
+	if err := eng.ValidateToken(&core.Token{K: 9, Lists: []int{0}}); err == nil {
+		t.Error("accepted k > n")
+	}
+	if err := eng.ValidateToken(&core.Token{K: 1, Lists: []int{7}}); err == nil {
+		t.Error("accepted out-of-range list position")
+	}
+	if err := eng.ValidateToken(nil); err == nil {
+		t.Error("accepted nil token")
+	}
+}
+
+// TestShardedOversizedK covers k larger than a shard: every shard
+// returns its full candidate list and the merge still assembles the
+// exact global top-k.
+func TestShardedOversizedK(t *testing.T) {
+	r := getRig(t)
+	const n, k = 9, 5
+	rel := correlated(n)
+	attrs := []int{0, 1, 2}
+	truth, err := nra.TopKExact(rel, attrs, nil, k)
+	if err != nil {
+		t.Fatalf("TopKExact: %v", err)
+	}
+	tk, err := r.scheme.TokenFor(n, rel.M(), attrs, nil, k)
+	if err != nil {
+		t.Fatalf("TokenFor: %v", err)
+	}
+	sh, err := Encrypt(r.scheme, rel, 3) // shards of 3 rows, k = 5 > 3
+	if err != nil {
+		t.Fatalf("shard.Encrypt: %v", err)
+	}
+	eng, err := NewEngine(r.client, sh)
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	res, err := eng.SecQuery(context.Background(), tk, core.Options{Mode: core.QryE, Halt: core.HaltStrict})
+	if err != nil {
+		t.Fatalf("SecQuery: %v", err)
+	}
+	got := reveal(t, r, n, res)
+	if len(got) != k {
+		t.Fatalf("got %d results, want %d", len(got), k)
+	}
+	for i, g := range got {
+		if g.Obj != truth[i].Obj || g.Worst != truth[i].Worst {
+			t.Errorf("rank %d: got %+v, ground truth %+v", i, g, truth[i])
+		}
+	}
+}

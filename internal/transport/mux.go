@@ -1,0 +1,371 @@
+package transport
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/secerr"
+)
+
+// Wire protocol v2: frame-ID multiplexing.
+//
+// A v2 connection opens with a fixed 4-byte preface in each direction
+// (magic + the highest version that side speaks); the negotiated version
+// is the smaller of the two. After the preface, frames carry an explicit
+// frame ID so many calls can be in flight on one connection:
+//
+//	request: uvarint(id) uvarint(len(method)) method uvarint(len(body)) body
+//	reply:   uvarint(id) status byte uvarint(len(payload)) payload
+//
+// Replies may arrive in any order; the caller matches them to requests by
+// ID. The preface's first byte (0xF7) can never begin a v1 request frame
+// (a method-length uvarint is always < 0x80), so one listener serves both
+// framings: ServeConn sniffs the first byte and falls back to the v1
+// lockstep loop for peers that never send a preface.
+//
+// Cancellation is per call: a canceled context abandons only its own
+// frame — the reply is discarded when it arrives and every other in-flight
+// call proceeds undisturbed — in contrast to the v1 NetCaller, where the
+// only way to interrupt a round is a connection deadline that poisons the
+// whole stream. Only a genuine connection failure fails the remaining
+// in-flight calls, and each of those errors names its own frame.
+
+// muxMagic prefaces a v2 multiplexed connection. The first byte is >=
+// 0x80, which no v1 request frame can start with.
+var muxMagic = [3]byte{0xF7, 'S', 'K'}
+
+// maxMuxHandlers bounds the handler goroutines ServeConn runs per
+// multiplexed connection, so a peer flooding frames queues instead of
+// exhausting the server.
+const maxMuxHandlers = 32
+
+// writePreface sends this side's preface: magic plus max version.
+func writePreface(conn net.Conn) error {
+	buf := [4]byte{muxMagic[0], muxMagic[1], muxMagic[2], byte(ProtocolVersion)}
+	_, err := conn.Write(buf[:])
+	return err
+}
+
+// readPrefaceVersion reads the peer's preface after the magic byte has
+// already been consumed (or verified) by the caller.
+func readPrefaceVersion(r io.Reader) (int, error) {
+	var rest [3]byte
+	if _, err := io.ReadFull(r, rest[:]); err != nil {
+		return 0, err
+	}
+	if rest[0] != muxMagic[1] || rest[1] != muxMagic[2] {
+		return 0, errors.New("transport: malformed multiplex preface")
+	}
+	return int(rest[2]), nil
+}
+
+// prefaceTimeout bounds the preface exchange when the caller's context
+// carries no deadline of its own: a pre-v2 responder parses the preface
+// as the start of a lockstep frame and waits for more bytes, so without
+// a bound both sides would hang forever.
+const prefaceTimeout = 10 * time.Second
+
+// Connect negotiates the wire framing over an established connection to
+// a responder: it sends the v2 preface and, when the peer confirms,
+// returns a multiplexed MuxCaller. The preface answer is itself v2
+// framing, so a well-formed answer never claims an older version; a
+// pre-v2 peer simply never answers, and the exchange fails with a
+// transport error when the context (or the built-in preface timeout, if
+// the context has no deadline) expires.
+func Connect(ctx context.Context, conn net.Conn, stats *Stats) (ConnCaller, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("transport: connect: %w", err)
+	}
+	if _, ok := ctx.Deadline(); !ok {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, prefaceTimeout)
+		defer cancel()
+	}
+	fired := make(chan struct{})
+	stop := context.AfterFunc(ctx, func() {
+		conn.SetDeadline(time.Now())
+		close(fired)
+	})
+	defer func() {
+		if !stop() {
+			<-fired
+		}
+		conn.SetDeadline(time.Time{})
+	}()
+	if err := writePreface(conn); err != nil {
+		return nil, secerr.Wrap(secerr.CodeTransport, err, "sending multiplex preface")
+	}
+	var first [1]byte
+	if _, err := io.ReadFull(conn, first[:]); err != nil {
+		return nil, secerr.Wrap(secerr.CodeTransport, err, "reading multiplex preface (a peer that predates wire v2 never answers it)")
+	}
+	if first[0] != muxMagic[0] {
+		return nil, secerr.New(secerr.CodeTransport, "transport: peer did not answer the multiplex preface")
+	}
+	ver, err := readPrefaceVersion(conn)
+	if err != nil {
+		return nil, secerr.Wrap(secerr.CodeTransport, err, "reading multiplex preface")
+	}
+	if ver < 2 {
+		return nil, secerr.New(secerr.CodeProtocolVersion,
+			"transport: peer answered the multiplex preface claiming v%d, this side v%d..v%d", ver, MinProtocolVersion, ProtocolVersion)
+	}
+	return NewMuxCaller(conn, stats), nil
+}
+
+// ConnCaller is a Caller bound to a connection it can close.
+type ConnCaller interface {
+	Caller
+	Close() error
+}
+
+// muxPending is one in-flight call awaiting its reply frame.
+type muxPending struct {
+	id     uint64
+	method string
+	ch     chan muxReply // buffered: the reader never blocks on delivery
+}
+
+type muxReply struct {
+	status  byte
+	payload []byte
+	err     error
+}
+
+// MuxCaller is the v2 multiplexed Caller: any number of calls may be in
+// flight concurrently on one connection, matched to replies by frame ID.
+// It is safe for concurrent use. A canceled call abandons only its own
+// frame (the connection stays healthy); a connection failure fails every
+// in-flight call with an error naming that call's frame.
+type MuxCaller struct {
+	conn  net.Conn
+	w     *bufio.Writer
+	wmu   sync.Mutex // serializes frame writes
+	stats *Stats
+
+	mu      sync.Mutex
+	pending map[uint64]*muxPending
+	nextID  uint64
+	dead    error // terminal connection error, set once
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// NewMuxCaller wraps an established connection whose peer already
+// confirmed wire v2 (see Connect) and starts the reply reader.
+func NewMuxCaller(conn net.Conn, stats *Stats) *MuxCaller {
+	c := &MuxCaller{
+		conn:    conn,
+		w:       bufio.NewWriter(conn),
+		stats:   stats,
+		pending: make(map[uint64]*muxPending),
+	}
+	go c.readLoop()
+	return c
+}
+
+// readLoop dispatches reply frames to their pending calls until the
+// connection dies; unknown IDs (abandoned calls) are discarded.
+func (c *MuxCaller) readLoop() {
+	r := bufio.NewReader(c.conn)
+	for {
+		id, status, payload, err := readMuxReply(r)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		c.mu.Lock()
+		p := c.pending[id]
+		delete(c.pending, id)
+		c.mu.Unlock()
+		if p == nil {
+			continue // canceled call; its reply is dropped
+		}
+		p.ch <- muxReply{status: status, payload: payload}
+	}
+}
+
+// fail marks the connection dead and fails every in-flight call with an
+// error naming its own frame, so callers know exactly which call was cut
+// off (and that the link, not their request, is at fault).
+func (c *MuxCaller) fail(cause error) {
+	c.mu.Lock()
+	if c.dead == nil {
+		c.dead = cause
+	} else {
+		cause = c.dead
+	}
+	pending := c.pending
+	c.pending = make(map[uint64]*muxPending)
+	c.mu.Unlock()
+	for _, p := range pending {
+		p.ch <- muxReply{err: secerr.Wrap(secerr.CodeTransport, cause,
+			"%s (frame %d): connection lost", p.method, p.id)}
+	}
+}
+
+// Call implements Caller. Calls are issued concurrently; cancellation
+// abandons only this call's frame and leaves the connection usable.
+func (c *MuxCaller) Call(ctx context.Context, method string, req, resp any) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("transport: %s: %w", method, err)
+	}
+	body, err := Encode(req)
+	if err != nil {
+		return secerr.Wrap(secerr.CodeTransport, err, "encoding %s request", method)
+	}
+	c.mu.Lock()
+	if c.dead != nil {
+		dead := c.dead
+		c.mu.Unlock()
+		return secerr.Wrap(secerr.CodeTransport, dead, "%s: connection lost", method)
+	}
+	id := c.nextID
+	c.nextID++
+	p := &muxPending{id: id, method: method, ch: make(chan muxReply, 1)}
+	c.pending[id] = p
+	c.mu.Unlock()
+
+	c.wmu.Lock()
+	werr := writeMuxFrame(c.w, id, []byte(method), body)
+	c.wmu.Unlock()
+	if werr != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		// A failed frame write leaves the stream mid-frame: the connection
+		// is unusable for everyone, so fail the rest too.
+		c.fail(werr)
+		return secerr.Wrap(secerr.CodeTransport, werr, "sending %s (frame %d)", method, id)
+	}
+
+	select {
+	case rep := <-p.ch:
+		if rep.err != nil {
+			return rep.err
+		}
+		if c.stats != nil {
+			c.stats.Record(method, len(body)+len(method), len(rep.payload)+1)
+		}
+		if rep.status == statusErr {
+			return fmt.Errorf("transport: %s: remote: %w", method, decodeWireError(rep.payload))
+		}
+		if resp == nil {
+			return nil
+		}
+		if err := Decode(rep.payload, resp); err != nil {
+			return secerr.Wrap(secerr.CodeTransport, err, "decoding %s response", method)
+		}
+		return nil
+	case <-ctx.Done():
+		// Abandon this frame only: deregister so the reader discards the
+		// late reply. Every other in-flight call proceeds undisturbed.
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return fmt.Errorf("transport: %s (frame %d): %w", method, id, ctx.Err())
+	}
+}
+
+// Close tears the connection down: in-flight calls fail promptly with a
+// typed transport error naming their frames. Safe to call more than once.
+func (c *MuxCaller) Close() error {
+	c.closeOnce.Do(func() {
+		c.fail(secerr.New(secerr.CodeTransport, "transport: caller closed"))
+		c.closeErr = c.conn.Close()
+	})
+	return c.closeErr
+}
+
+func writeMuxFrame(w *bufio.Writer, id uint64, method, body []byte) error {
+	var lenBuf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lenBuf[:], id)
+	if _, err := w.Write(lenBuf[:n]); err != nil {
+		return err
+	}
+	return writeFrame(w, method, body)
+}
+
+func readMuxFrame(r *bufio.Reader) (id uint64, method, body []byte, err error) {
+	id, err = binary.ReadUvarint(r)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	method, body, err = readFrame(r)
+	return id, method, body, err
+}
+
+func writeMuxReply(w *bufio.Writer, id uint64, status byte, payload []byte) error {
+	var lenBuf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lenBuf[:], id)
+	if _, err := w.Write(lenBuf[:n]); err != nil {
+		return err
+	}
+	return writeReply(w, status, payload)
+}
+
+func readMuxReply(r *bufio.Reader) (id uint64, status byte, payload []byte, err error) {
+	id, err = binary.ReadUvarint(r)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	status, payload, err = readReply(r)
+	return id, status, payload, err
+}
+
+// serveMux serves one negotiated v2 connection: every request frame is
+// handled on its own goroutine (bounded by maxMuxHandlers) so slow
+// handlers never block unrelated frames; replies are written under a
+// mutex in completion order.
+func serveMux(ctx context.Context, conn net.Conn, r *bufio.Reader, responder Responder) error {
+	w := bufio.NewWriter(conn)
+	var wmu sync.Mutex
+	sem := make(chan struct{}, maxMuxHandlers)
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		id, method, body, err := readMuxFrame(r)
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			out, herr := responder.Serve(ctx, string(method), body)
+			status := byte(statusOK)
+			payload := out
+			if herr != nil {
+				status = statusErr
+				payload, _ = Encode(wireError{Code: string(secerr.CodeOf(herr)), Msg: herr.Error()})
+			}
+			wmu.Lock()
+			werr := writeMuxReply(w, id, status, payload)
+			wmu.Unlock()
+			if werr != nil {
+				// The reply stream is mid-frame; close the connection so
+				// the read loop (and the peer) observe the failure.
+				conn.Close()
+			}
+		}()
+	}
+}

@@ -1,0 +1,322 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/secerr"
+)
+
+// gatedResponder answers method ":" body and can hold designated methods
+// until released.
+type gatedResponder struct {
+	mu   sync.Mutex
+	gate map[string]chan struct{}
+}
+
+func newGatedResponder() *gatedResponder {
+	return &gatedResponder{gate: map[string]chan struct{}{}}
+}
+
+// hold makes future calls of method block until the returned release
+// function runs.
+func (r *gatedResponder) hold(method string) func() {
+	ch := make(chan struct{})
+	r.mu.Lock()
+	r.gate[method] = ch
+	r.mu.Unlock()
+	var once sync.Once
+	return func() { once.Do(func() { close(ch) }) }
+}
+
+func (r *gatedResponder) Serve(ctx context.Context, method string, body []byte) ([]byte, error) {
+	r.mu.Lock()
+	gate := r.gate[method]
+	r.mu.Unlock()
+	if gate != nil {
+		select {
+		case <-gate:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	return Encode(method + " handled")
+}
+
+// muxPair starts a negotiated v2 client/server over TCP loopback.
+func muxPair(t *testing.T, responder Responder) (*MuxCaller, func()) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan struct{})
+	go func() {
+		defer close(served)
+		_ = Serve(ctx, l, responder)
+	}()
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		cancel()
+		t.Fatal(err)
+	}
+	caller, err := Connect(context.Background(), conn, NewStats())
+	if err != nil {
+		cancel()
+		t.Fatalf("Connect: %v", err)
+	}
+	mux, ok := caller.(*MuxCaller)
+	if !ok {
+		cancel()
+		t.Fatalf("Connect negotiated %T, want *MuxCaller", caller)
+	}
+	return mux, func() {
+		mux.Close()
+		cancel()
+		<-served
+	}
+}
+
+// waitForGoroutines polls until the goroutine count drops to at most
+// want, tolerating runtime stragglers for a bounded time.
+func waitForGoroutines(t *testing.T, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= want {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak: %d goroutines alive, want <= %d\n%s",
+				runtime.NumGoroutine(), want, buf[:n])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestMuxConcurrentCalls drives many concurrent calls over one
+// connection and checks every reply lands on its own call.
+func TestMuxConcurrentCalls(t *testing.T) {
+	mux, stop := muxPair(t, newGatedResponder())
+	defer stop()
+	const calls = 64
+	var wg sync.WaitGroup
+	errs := make([]error, calls)
+	for i := 0; i < calls; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			method := fmt.Sprintf("m%d", i)
+			var out string
+			if err := mux.Call(context.Background(), method, i, &out); err != nil {
+				errs[i] = err
+				return
+			}
+			if want := method + " handled"; out != want {
+				errs[i] = fmt.Errorf("reply %q routed to %q", out, want)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("call %d: %v", i, err)
+		}
+	}
+}
+
+// TestMuxCancelOneOfN is the multiplexing contract the v1 transport
+// cannot offer: canceling one of N in-flight calls abandons only that
+// call's frame — its siblings complete and the connection stays usable.
+func TestMuxCancelOneOfN(t *testing.T) {
+	resp := newGatedResponder()
+	mux, stop := muxPair(t, resp)
+	defer stop()
+
+	releaseSlow := resp.hold("slow")
+	releaseStuck := resp.hold("stuck")
+
+	const siblings = 4
+	var wg sync.WaitGroup
+	sibErrs := make([]error, siblings)
+	for i := 0; i < siblings; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var out string
+			sibErrs[i] = mux.Call(context.Background(), "slow", i, &out)
+		}(i)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	stuckDone := make(chan error, 1)
+	go func() {
+		var out string
+		stuckDone <- mux.Call(ctx, "stuck", 0, &out)
+	}()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-stuckDone:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("canceled call: want context.Canceled, got %v", err)
+		}
+		if !strings.Contains(err.Error(), "stuck") || !strings.Contains(err.Error(), "frame") {
+			t.Fatalf("canceled call error does not name its frame: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("canceled call did not return")
+	}
+
+	// The siblings must complete normally once released.
+	releaseSlow()
+	wg.Wait()
+	for i, err := range sibErrs {
+		if err != nil {
+			t.Errorf("sibling %d poisoned by the canceled call: %v", i, err)
+		}
+	}
+	// And the connection is still healthy for new calls.
+	var out string
+	if err := mux.Call(context.Background(), "after", 0, &out); err != nil {
+		t.Fatalf("connection unusable after a canceled call: %v", err)
+	}
+	releaseStuck()
+}
+
+// TestMuxTeardownInFlight closes the caller with calls in flight: each
+// fails promptly with a typed transport error naming its own frame, and
+// no goroutine survives the teardown.
+func TestMuxTeardownInFlight(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	resp := newGatedResponder()
+	mux, stop := muxPair(t, resp)
+
+	release := resp.hold("held")
+	defer release()
+	const inflight = 3
+	done := make(chan error, inflight)
+	for i := 0; i < inflight; i++ {
+		go func(i int) {
+			var out string
+			done <- mux.Call(context.Background(), "held", i, &out)
+		}(i)
+	}
+	time.Sleep(50 * time.Millisecond)
+	mux.Close()
+	for i := 0; i < inflight; i++ {
+		select {
+		case err := <-done:
+			if !errors.Is(err, secerr.ErrTransport) {
+				t.Fatalf("in-flight call after Close: want ErrTransport, got %v", err)
+			}
+			if !strings.Contains(err.Error(), "held") || !strings.Contains(err.Error(), "frame") {
+				t.Fatalf("teardown error does not name the failed frame: %v", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("in-flight call hung through Close")
+		}
+	}
+	// New calls fail fast, and Close is idempotent.
+	if err := mux.Call(context.Background(), "post", 0, nil); !errors.Is(err, secerr.ErrTransport) {
+		t.Fatalf("call after Close: want ErrTransport, got %v", err)
+	}
+	mux.Close()
+	release()
+	stop()
+	waitForGoroutines(t, baseline)
+}
+
+// TestServeConnV1Fallback checks the sniffing server still speaks the
+// lockstep v1 framing to a peer that never sends the preface.
+func TestServeConnV1Fallback(t *testing.T) {
+	resp := newGatedResponder()
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	go func() { _ = ServeConn(context.Background(), c2, resp) }()
+	caller := NewNetCaller(c1, nil)
+	defer caller.Close()
+	var out string
+	if err := caller.Call(context.Background(), "legacy", 1, &out); err != nil {
+		t.Fatalf("v1 caller against sniffing server: %v", err)
+	}
+	if out != "legacy handled" {
+		t.Fatalf("v1 reply %q", out)
+	}
+}
+
+// TestConnectPrefaceNoAnswer pins the fail-fast behavior against a
+// responder that never answers the preface (a pre-v2 build would parse
+// it as the start of a lockstep frame and wait forever): Connect must
+// return a transport error when the context expires, not hang.
+func TestConnectPrefaceNoAnswer(t *testing.T) {
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	defer c2.Close()
+	go func() { // swallow the preface like a v1 readFrame would, answer nothing
+		buf := make([]byte, 4)
+		io.ReadFull(c2, buf)
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	_, err := Connect(ctx, c1, nil)
+	if err == nil {
+		t.Fatal("Connect succeeded against a peer that never answered the preface")
+	}
+	if !errors.Is(err, secerr.ErrTransport) {
+		t.Fatalf("want a typed transport error, got %v", err)
+	}
+}
+
+// TestMuxStructuredErrors checks (code, message) pairs survive the v2
+// framing exactly like v1.
+func TestMuxStructuredErrors(t *testing.T) {
+	mux, stop := muxPair(t, codedResponder{})
+	defer stop()
+	err := mux.Call(context.Background(), "boom", 1, nil)
+	if !errors.Is(err, secerr.ErrUnknownRelation) {
+		t.Fatalf("code lost over v2 framing: %v", err)
+	}
+}
+
+// TestNetCallerBrokenNamesFrame pins the satellite fix: after a canceled
+// round poisons a v1 connection, the fail-fast error names which frame
+// broke it, so multiplo-session operators can tell the victim from the
+// culprit.
+func TestNetCallerBrokenNamesFrame(t *testing.T) {
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	defer c2.Close()
+	release := make(chan struct{})
+	defer close(release)
+	go func() { _ = ServeConn(context.Background(), c2, stallResponder{release: release}) }()
+
+	caller := NewNetCaller(c1, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- caller.Call(ctx, "CulpritRound", 1, nil) }()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	err := caller.Call(context.Background(), "VictimRound", 1, nil)
+	if !errors.Is(err, secerr.ErrTransport) {
+		t.Fatalf("want ErrTransport, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "CulpritRound") {
+		t.Fatalf("broken-connection error does not name the culprit frame: %v", err)
+	}
+}

@@ -48,11 +48,12 @@ type NetCaller struct {
 	r     *bufio.Reader
 	w     *bufio.Writer
 	stats *Stats
-	// broken is set when a cancellation interrupted in-flight I/O: the
-	// stream is mid-frame and no further call can be framed correctly, so
-	// every later Call fails fast with a typed transport error instead of
-	// silently misparsing the peer's bytes.
-	broken bool
+	// brokenBy names the method of the in-flight frame whose cancellation
+	// (or I/O failure) interrupted the stream: the connection is mid-frame
+	// and no further call can be framed correctly, so every later Call
+	// fails fast with a typed transport error naming the frame at fault
+	// instead of silently misparsing the peer's bytes.
+	brokenBy string
 
 	closeOnce sync.Once
 	closeErr  error
@@ -83,9 +84,9 @@ func (c *NetCaller) Call(ctx context.Context, method string, req, resp any) erro
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.broken {
+	if c.brokenBy != "" {
 		return secerr.New(secerr.CodeTransport,
-			"transport: %s: connection broken by an earlier canceled round; reconnect", method)
+			"transport: %s: connection broken by an earlier interrupted %s round; reconnect", method, c.brokenBy)
 	}
 
 	// Interrupt in-flight I/O when the context fires. AfterFunc costs
@@ -129,10 +130,11 @@ func (c *NetCaller) Call(ctx context.Context, method string, req, resp any) erro
 
 // callErr classifies an I/O failure (called with c.mu held): any failed
 // round leaves the stream in an unknown framing state, so the caller is
-// marked broken either way; if the context fired, surface the
-// cancellation, otherwise wrap as a transport error.
+// marked broken either way — recording which frame broke it — and if the
+// context fired, surface the cancellation, otherwise wrap as a transport
+// error.
 func (c *NetCaller) callErr(ctx context.Context, method, verb string, err error) error {
-	c.broken = true
+	c.brokenBy = method
 	if ctxErr := ctx.Err(); ctxErr != nil {
 		return fmt.Errorf("transport: %s: %w", method, ctxErr)
 	}
@@ -239,9 +241,28 @@ func readReply(r *bufio.Reader) (status byte, payload []byte, err error) {
 // ServeConn serves a single connection until it closes, the context is
 // canceled, or a transport error occurs. Handler errors are reported to
 // the peer as structured (code, message) pairs, not returned.
+//
+// The first byte decides the framing: a v2 peer opens with the multiplex
+// preface (first byte 0xF7, which no v1 frame can start with) and gets
+// the frame-ID multiplexed loop; everything else is served with the v1
+// lockstep loop, so old peers keep working on the same listener.
 func ServeConn(ctx context.Context, conn net.Conn, responder Responder) error {
 	r := bufio.NewReader(conn)
 	w := bufio.NewWriter(conn)
+	if first, err := r.Peek(1); err == nil && first[0] == muxMagic[0] {
+		r.Discard(1)
+		peerMax, err := readPrefaceVersion(r)
+		if err != nil {
+			return err
+		}
+		if peerMax < 2 {
+			return fmt.Errorf("transport: peer sent a multiplex preface claiming v%d", peerMax)
+		}
+		if err := writePreface(conn); err != nil {
+			return err
+		}
+		return serveMux(ctx, conn, r, responder)
+	}
 	for {
 		if err := ctx.Err(); err != nil {
 			return err

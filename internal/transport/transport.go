@@ -32,11 +32,21 @@ import (
 	"repro/internal/secerr"
 )
 
-// ProtocolVersion is the version of the S1↔S2 wire protocol this build
-// speaks: the method set, the request/response gob schemas, and the error
-// encoding. Incompatible peers reject each other during the Hello round
-// instead of failing mid-query on a gob mismatch.
-const ProtocolVersion = 1
+// ProtocolVersion is the highest version of the S1↔S2 wire protocol this
+// build speaks: the method set, the request/response gob schemas, the
+// error encoding, and the framing. v2 adds frame-ID multiplexing (many
+// in-flight calls per connection, per-call cancellation; see mux.go) and
+// the batch envelope method; every v1 request/response schema is
+// unchanged. Interop is asymmetric: a v2 listener (ServeConn) still
+// serves v1 clients by sniffing for the preface, but Connect requires a
+// v2 responder — a pre-v2 responder never answers the preface and the
+// exchange fails fast instead of downgrading.
+const ProtocolVersion = 2
+
+// MinProtocolVersion is the oldest wire version this build still accepts
+// from a connecting peer: v1 clients get the lockstep single-flight
+// framing.
+const MinProtocolVersion = 1
 
 // Responder is the server side: S2 handles one method call. The context
 // is the per-call (or per-connection) context; handlers use it to bound

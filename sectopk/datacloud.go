@@ -2,13 +2,16 @@ package sectopk
 
 import (
 	"context"
+	"fmt"
 	"net"
+	"runtime"
 	"sync"
 
 	"repro/internal/cloud"
 	"repro/internal/core"
 	"repro/internal/join"
 	"repro/internal/secerr"
+	"repro/internal/shard"
 	"repro/internal/transport"
 )
 
@@ -19,26 +22,31 @@ import (
 // blinding keys.
 //
 // Connect it exactly once (ConnectLocal, Connect, or Dial), then Host
-// relations and open Sessions. All methods are safe for concurrent use;
-// note the transports serialize protocol rounds, so concurrent sessions
-// interleave rounds rather than truly overlapping them.
+// relations and open Sessions. All methods are safe for concurrent use.
+// TCP connections negotiate the multiplexed wire v2 framing, so
+// concurrent sessions keep many calls in flight on one connection; the
+// batch scheduler (on by default, WithBatching(false) to disable)
+// additionally coalesces their calls into batch envelopes.
 type DataCloud struct {
 	cfg    config
 	ledger *cloud.Ledger
 	stats  *transport.Stats
 
 	mu        sync.Mutex
-	caller    transport.Caller
-	netCaller *transport.NetCaller
+	caller    transport.Caller     // what hosted clients issue rounds on
+	conn      transport.ConnCaller // owning handle for a network transport
+	batcher   *cloud.Batcher       // non-nil when batching is enabled
 	relations map[string]*hostedRelation
 	joins     map[string]*hostedJoin
 	closed    bool
 }
 
-// hostedRelation is one relation this data cloud serves queries for.
+// hostedRelation is one relation this data cloud serves queries for. The
+// engine is the sharded one; an unsharded relation is its P = 1 case
+// (which executes exactly the single core engine).
 type hostedRelation struct {
 	client *cloud.Client
-	engine *core.Engine
+	engine *shard.Engine
 	er     *EncryptedRelation
 }
 
@@ -62,8 +70,10 @@ func NewDataCloud(opts ...Option) *DataCloud {
 	}
 }
 
-// setCaller installs the transport exactly once.
-func (d *DataCloud) setCaller(caller transport.Caller, nc *transport.NetCaller) error {
+// setCaller installs the transport exactly once. raw is the transport
+// the rounds travel on; the batch scheduler (when enabled) wraps it and
+// becomes the caller the hosted clients see.
+func (d *DataCloud) setCaller(raw transport.Caller, conn transport.ConnCaller) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.closed {
@@ -72,19 +82,33 @@ func (d *DataCloud) setCaller(caller transport.Caller, nc *transport.NetCaller) 
 	if d.caller != nil {
 		return secerr.New(secerr.CodeInternal, "sectopk: data cloud already connected")
 	}
+	caller := raw
+	if d.cfg.batching {
+		d.batcher = cloud.NewBatcher(raw)
+		caller = d.batcher
+	}
 	d.caller = caller
-	d.netCaller = nc
+	d.conn = conn
 	return nil
 }
 
 // unsetCaller uninstalls a transport whose handshake failed, so the data
-// cloud can retry connecting instead of being wedged on a dead link.
-func (d *DataCloud) unsetCaller(caller transport.Caller) {
+// cloud can retry connecting instead of being wedged on a dead link. The
+// discarded connection is closed first (stopping its reader goroutine
+// and unblocking any in-flight envelope), then the batcher drains.
+func (d *DataCloud) unsetCaller() {
 	d.mu.Lock()
-	defer d.mu.Unlock()
-	if d.caller == caller {
-		d.caller = nil
-		d.netCaller = nil
+	batcher := d.batcher
+	conn := d.conn
+	d.caller = nil
+	d.conn = nil
+	d.batcher = nil
+	d.mu.Unlock()
+	if conn != nil {
+		conn.Close()
+	}
+	if batcher != nil {
+		batcher.Close()
 	}
 }
 
@@ -106,22 +130,28 @@ func (d *DataCloud) ConnectLocal(ctx context.Context, cc *CryptoCloud) error {
 		return err
 	}
 	if err := d.handshake(ctx, ""); err != nil {
-		d.unsetCaller(caller)
+		d.unsetCaller()
 		return err
 	}
 	return nil
 }
 
 // Connect wires this data cloud to a CryptoCloud over an established
-// connection and runs the version handshake. The connection is closed by
-// Close.
+// connection: the frame-ID multiplexed wire v2 framing is negotiated
+// (a responder that predates v2 fails the preface exchange with a
+// transport error), then the version handshake runs. The connection is
+// closed by Close.
 func (d *DataCloud) Connect(ctx context.Context, conn net.Conn) error {
-	nc := transport.NewNetCaller(conn, d.stats)
+	nc, err := transport.Connect(ctx, conn, d.stats)
+	if err != nil {
+		return err
+	}
 	if err := d.setCaller(nc, nc); err != nil {
+		nc.Close()
 		return err
 	}
 	if err := d.handshake(ctx, ""); err != nil {
-		d.unsetCaller(nc)
+		d.unsetCaller()
 		return err
 	}
 	return nil
@@ -183,7 +213,7 @@ func (d *DataCloud) Host(ctx context.Context, id string, er *EncryptedRelation) 
 		client.Close()
 		return err
 	}
-	engine, err := core.NewEngine(client, er.er)
+	engine, err := shard.NewEngine(client, er.sh)
 	if err != nil {
 		client.Close()
 		return err
@@ -296,11 +326,13 @@ func (d *DataCloud) Close() {
 	d.mu.Lock()
 	rels := d.relations
 	joins := d.joins
-	nc := d.netCaller
+	conn := d.conn
+	batcher := d.batcher
 	d.relations = map[string]*hostedRelation{}
 	d.joins = map[string]*hostedJoin{}
 	d.caller = nil
-	d.netCaller = nil
+	d.conn = nil
+	d.batcher = nil
 	d.closed = true
 	d.mu.Unlock()
 	for _, r := range rels {
@@ -309,8 +341,15 @@ func (d *DataCloud) Close() {
 	for _, j := range joins {
 		j.client.Close()
 	}
-	if nc != nil {
-		nc.Close()
+	// Close the connection before draining the batcher: in-flight
+	// envelopes run under the background context, so the dying link is
+	// what unblocks them — the reverse order would wait on a stalled
+	// peer forever.
+	if conn != nil {
+		conn.Close()
+	}
+	if batcher != nil {
+		batcher.Close()
 	}
 }
 
@@ -436,4 +475,49 @@ func (s *JoinSession) Traffic() Traffic {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.traffic
+}
+
+// SessionPool executes queries over one hosted relation with bounded
+// concurrency: each Execute claims a slot, runs its own Session, and
+// releases the slot. On a multiplexed connection the concurrent
+// sessions' protocol rounds genuinely overlap (and the batch scheduler
+// coalesces them into shared envelopes), which is what turns S2's idle
+// cores into throughput. Safe for concurrent use from any number of
+// goroutines.
+type SessionPool struct {
+	dc       *DataCloud
+	relation string
+	sem      chan struct{}
+}
+
+// NewSessionPool prepares a pool over a hosted relation. maxConcurrent
+// bounds the simultaneously executing sessions (<= 0 picks GOMAXPROCS).
+// Unknown relations fail with ErrUnknownRelation.
+func (d *DataCloud) NewSessionPool(relation string, maxConcurrent int) (*SessionPool, error) {
+	d.mu.Lock()
+	_, ok := d.relations[relation]
+	d.mu.Unlock()
+	if !ok {
+		return nil, secerr.New(secerr.CodeUnknownRelation, "sectopk: relation %q not hosted", relation)
+	}
+	if maxConcurrent <= 0 {
+		maxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	return &SessionPool{dc: d, relation: relation, sem: make(chan struct{}, maxConcurrent)}, nil
+}
+
+// Execute runs one query through the pool: it blocks for a slot (or the
+// context), then validates, executes, and returns the encrypted result.
+func (p *SessionPool) Execute(ctx context.Context, tk *Token, opts ...QueryOption) (*EncryptedResult, error) {
+	select {
+	case p.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, fmt.Errorf("sectopk: session pool: %w", ctx.Err())
+	}
+	defer func() { <-p.sem }()
+	sess, err := p.dc.NewSession(p.relation, tk, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return sess.Execute(ctx)
 }

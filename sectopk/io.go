@@ -6,6 +6,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/ehl"
 	"repro/internal/secio"
+	"repro/internal/shard"
 )
 
 // Persistence for the artifacts a deployment moves between parties.
@@ -19,13 +20,17 @@ func (o *Owner) Save(path string) error {
 }
 
 // LoadOwner restores an owner from a saved bundle. Relations, tokens,
-// and results produced by the original owner remain valid.
-func LoadOwner(path string) (*Owner, error) {
+// and results produced by the original owner remain valid. The bundle
+// fixes the key material, so key-generation options are ignored; pass
+// Enc-time options (WithShards) to re-apply them — the bundle does not
+// record them, and omitting them restores an unsharded owner.
+func LoadOwner(path string, opts ...Option) (*Owner, error) {
 	scheme, err := secio.LoadOwnerBundle(path)
 	if err != nil {
 		return nil, err
 	}
-	return &Owner{scheme: scheme, revealers: map[int]*core.Revealer{}}, nil
+	cfg := buildConfig(opts)
+	return &Owner{scheme: scheme, shards: cfg.shards, revealers: map[int]*core.Revealer{}}, nil
 }
 
 // Save persists the key material for provisioning a CryptoCloud
@@ -44,31 +49,38 @@ func LoadKeys(path string) (*Keys, error) {
 }
 
 // Save persists the encrypted relation (with its public key) for upload
-// to a data cloud. Only public/encrypted material is written.
+// to a data cloud. Only public/encrypted material is written; sharded
+// relations store every shard in one bundle (unsharded bundles keep the
+// legacy single-relation format).
 func (er *EncryptedRelation) Save(path string) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if err := secio.WriteHostedRelation(f, er.er, er.pk); err != nil {
+	if err := secio.WriteHostedShards(f, er.sh.Shards, er.pk); err != nil {
 		f.Close()
 		return err
 	}
 	return f.Close()
 }
 
-// LoadEncryptedRelation reads an encrypted relation bundle.
+// LoadEncryptedRelation reads an encrypted relation bundle (sharded or
+// legacy single-relation).
 func LoadEncryptedRelation(path string) (*EncryptedRelation, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	er, pk, err := secio.ReadHostedRelation(f)
+	shards, pk, err := secio.ReadHostedShards(f)
 	if err != nil {
 		return nil, err
 	}
-	return &EncryptedRelation{er: er, pk: pk}, nil
+	sh, err := shard.New(shards)
+	if err != nil {
+		return nil, err
+	}
+	return &EncryptedRelation{sh: sh, pk: pk}, nil
 }
 
 // Save persists an encrypted join relation bundle.

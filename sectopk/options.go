@@ -20,6 +20,8 @@ type config struct {
 	fastNonce    bool
 	crtNonce     bool
 	noncePools   bool
+	shards       int
+	batching     bool
 }
 
 func defaultConfig() config {
@@ -30,6 +32,8 @@ func defaultConfig() config {
 		maxScoreBits: p.MaxScoreBits,
 		crtNonce:     true,
 		noncePools:   true,
+		shards:       1,
+		batching:     true,
 	}
 }
 
@@ -107,6 +111,31 @@ func WithCRTNonce(on bool) Option {
 // WithoutNoncePools disables the background nonce-precompute pools.
 func WithoutNoncePools() Option {
 	return func(c *config) { c.noncePools = false }
+}
+
+// WithShards partitions relations into p round-robin shards at Enc time
+// (Owner option; the other roles infer the shard count from the relation
+// itself). A sharded relation's query runs P per-shard sub-engines
+// concurrently over shared crypto-cloud key material and merges their
+// candidates with an NRA-checked encrypted selection, so multi-core
+// hosts parallelize a single query across shards. p <= 1 (the default)
+// keeps the relation unsharded.
+func WithShards(p int) Option {
+	return func(c *config) {
+		if p >= 1 {
+			c.shards = p
+		}
+	}
+}
+
+// WithBatching toggles the data cloud's batch scheduler (on by default):
+// protocol calls from concurrent sessions coalesce into wire-v2 batch
+// envelopes — one round trip for many calls — flushed on size, on a ~1ms
+// tick, or immediately while the link is idle (so a lone session pays no
+// added latency). Turn it off to reproduce the one-call-per-round wire
+// v1 behavior exactly.
+func WithBatching(on bool) Option {
+	return func(c *config) { c.batching = on }
 }
 
 // Mode selects the query-processing variant (Section 11.2).

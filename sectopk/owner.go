@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/join"
 	"repro/internal/secerr"
+	"repro/internal/shard"
 )
 
 // Keys is the secret key material an owner provisions to the crypto
@@ -17,10 +18,13 @@ type Keys struct {
 }
 
 // Owner is the data owner role of SecTopK: it generates keys, encrypts
-// relations (Enc, Algorithm 2), issues query tokens (Section 7), and —
-// standing in for authorized clients — reveals encrypted results.
+// relations (Enc, Algorithm 2) — optionally partitioned into shards for
+// concurrent query execution (WithShards) — issues query tokens
+// (Section 7), and, standing in for authorized clients, reveals
+// encrypted results.
 type Owner struct {
 	scheme *core.Scheme
+	shards int
 
 	mu        sync.Mutex
 	revealers map[int]*core.Revealer
@@ -33,7 +37,7 @@ func NewOwner(opts ...Option) (*Owner, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Owner{scheme: scheme, revealers: map[int]*core.Revealer{}}, nil
+	return &Owner{scheme: scheme, shards: cfg.shards, revealers: map[int]*core.Revealer{}}, nil
 }
 
 // Keys returns the secret key material to provision to a CryptoCloud.
@@ -41,26 +45,46 @@ func (o *Owner) Keys() *Keys { return &Keys{km: o.scheme.KeyMaterial()} }
 
 // Encrypt outsources a relation: each attribute list is sorted, ids are
 // EHL-encrypted, scores Paillier-encrypted, and list positions permuted.
-// The returned EncryptedRelation carries only public material.
+// With WithShards(p), the rows are first partitioned round-robin into p
+// shards, each encrypted as a complete relation under globally unique
+// ids, so the data cloud can run one query's shards concurrently. The
+// returned EncryptedRelation carries only public material.
 func (o *Owner) Encrypt(rel *Relation) (*EncryptedRelation, error) {
 	d, err := rel.toDataset()
 	if err != nil {
 		return nil, err
 	}
-	er, err := o.scheme.EncryptRelation(d)
+	p := o.shards
+	if p > len(d.Rows) {
+		p = len(d.Rows)
+	}
+	if p <= 1 {
+		er, err := o.scheme.EncryptRelation(d)
+		if err != nil {
+			return nil, err
+		}
+		sh, err := shard.New([]*core.EncryptedRelation{er})
+		if err != nil {
+			return nil, err
+		}
+		return &EncryptedRelation{sh: sh, pk: o.scheme.PublicKey()}, nil
+	}
+	sh, err := shard.Encrypt(o.scheme, d, p)
 	if err != nil {
 		return nil, err
 	}
-	return &EncryptedRelation{er: er, pk: o.scheme.PublicKey()}, nil
+	return &EncryptedRelation{sh: sh, pk: o.scheme.PublicKey()}, nil
 }
 
 // Token issues the trapdoor for one query over an encrypted relation.
-// Invalid queries fail with ErrInvalidToken.
+// One token is valid for every shard of the relation; k is validated
+// against the global row count. Invalid queries fail with
+// ErrInvalidToken.
 func (o *Owner) Token(er *EncryptedRelation, q Query) (*Token, error) {
 	if er == nil {
 		return nil, secerr.New(secerr.CodeInvalidToken, "sectopk: nil encrypted relation")
 	}
-	tk, err := o.scheme.Token(er.er, q.Attrs, q.Weights, q.K)
+	tk, err := o.scheme.TokenFor(er.sh.N, er.sh.M, q.Attrs, q.Weights, q.K)
 	if err != nil {
 		return nil, secerr.Wrap(secerr.CodeInvalidToken, err, "sectopk: token")
 	}
@@ -89,7 +113,7 @@ func (o *Owner) Reveal(er *EncryptedRelation, res *EncryptedResult) ([]Result, e
 	if er == nil || res == nil {
 		return nil, secerr.New(secerr.CodeBadRequest, "sectopk: nil relation or result")
 	}
-	rev, err := o.revealer(er.er.N)
+	rev, err := o.revealer(er.sh.N)
 	if err != nil {
 		return nil, err
 	}

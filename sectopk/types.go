@@ -10,6 +10,7 @@ import (
 	"repro/internal/paillier"
 	"repro/internal/protocols"
 	"repro/internal/secerr"
+	"repro/internal/shard"
 )
 
 // Relation is a plaintext table: n rows of m integer attributes. All
@@ -81,26 +82,37 @@ type Traffic struct {
 	Bytes  int64
 }
 
-// EncryptedRelation is an outsourced relation: the encrypted sorted lists
-// plus the public key they were encrypted under (public material — safe
-// to hand to the data cloud).
+// EncryptedRelation is an outsourced relation: one or more encrypted
+// shards (P round-robin partitions, each a complete set of encrypted
+// sorted lists under globally unique object ids) plus the public key
+// they were encrypted under (public material — safe to hand to the data
+// cloud). Unsharded relations are the P = 1 case.
 type EncryptedRelation struct {
-	er *core.EncryptedRelation
+	sh *shard.Relation
 	pk *paillier.PublicKey
 }
 
 // Name returns the relation's name.
-func (er *EncryptedRelation) Name() string { return er.er.Name }
+func (er *EncryptedRelation) Name() string { return er.sh.Shards[0].Name }
 
-// Rows returns the row count n.
-func (er *EncryptedRelation) Rows() int { return er.er.N }
+// Rows returns the global row count n.
+func (er *EncryptedRelation) Rows() int { return er.sh.N }
 
 // Attributes returns the attribute count m.
-func (er *EncryptedRelation) Attributes() int { return er.er.M }
+func (er *EncryptedRelation) Attributes() int { return er.sh.M }
+
+// Shards returns the shard count P (1 for unsharded relations).
+func (er *EncryptedRelation) Shards() int { return len(er.sh.Shards) }
 
 // ByteSize returns the serialized ciphertext size, for storage-overhead
 // accounting.
-func (er *EncryptedRelation) ByteSize() int64 { return er.er.ByteSize(er.pk) }
+func (er *EncryptedRelation) ByteSize() int64 {
+	var total int64
+	for _, s := range er.sh.Shards {
+		total += s.ByteSize(er.pk)
+	}
+	return total
+}
 
 // Token is a query trapdoor issued by the owner for one encrypted
 // relation.
