@@ -3,27 +3,45 @@
 // using files for the artifacts a real deployment would move between
 // parties:
 //
-//	# Data owner: generate keys, encrypt a dataset, issue a token.
+//	# Data owner: generate keys, encrypt datasets, issue tokens. The
+//	# -workloads flag selects which query workloads to provision
+//	# (topk, join, knn — comma separated).
 //	sectopk-node owner -dir ./deploy -dataset insurance -rows 40 \
-//	    -attrs 0,1,2 -k 3
+//	    -attrs 0,1,2 -k 3 -workloads topk,join,knn
 //
 //	# Crypto cloud S2: serve the secret-key operations over TCP.
-//	sectopk-node s2 -dir ./deploy -listen 127.0.0.1:9042
+//	sectopk-node s2 -dir ./deploy -listen 127.0.0.1:9042 \
+//	    -join-relation join -knn-relation knn
 //
-//	# Data cloud S1: load the encrypted relation + token, run a query
-//	# session against S2, store the encrypted result.
+//	# Data cloud S1, one-shot mode: load the encrypted relation +
+//	# token, run a query session against S2, store the encrypted
+//	# result.
 //	sectopk-node s1 -dir ./deploy -connect 127.0.0.1:9042 -mode e
 //
-//	# Client: decrypt the result with the owner's keys.
-//	sectopk-node reveal -dir ./deploy
+//	# Data cloud S1, server mode: host every provisioned workload and
+//	# serve remote queriers on the client wire protocol.
+//	sectopk-node s1 -dir ./deploy -connect 127.0.0.1:9042 \
+//	    -join-relation join -knn-relation knn \
+//	    -client-listen 127.0.0.1:9142
 //
-// The owner's key file never travels to S1; the encrypted relation never
-// travels to S2. Both cloud roles honor SIGINT/SIGTERM by canceling the
+//	# Querier: dial the data cloud's client listener, submit the stored
+//	# token of any workload, store the encrypted answer.
+//	sectopk-node query -dir ./deploy -connect 127.0.0.1:9142 -workload topk
+//	sectopk-node query -dir ./deploy -connect 127.0.0.1:9142 -workload join
+//	sectopk-node query -dir ./deploy -connect 127.0.0.1:9142 -workload knn
+//
+//	# Client: decrypt a stored answer with the owner's keys.
+//	sectopk-node reveal -dir ./deploy -workload topk
+//
+// The owner's key files never travel to S1; the encrypted relations
+// never travel to S2; the querier holds only tokens and encrypted
+// answers. All serving roles honor SIGINT/SIGTERM by canceling the
 // serving/query context, which stops a query within one protocol round.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
@@ -39,11 +57,20 @@ import (
 )
 
 const (
-	s2KeysFile   = "s2.keys"      // decryption keys -> crypto cloud only
-	ownerFile    = "owner.bundle" // full scheme state -> stays with owner
-	relationFile = "relation.er"  // encrypted relation (+ public key) -> data cloud
-	tokenFile    = "query.tk"     // query trapdoor -> data cloud
-	resultFile   = "result.items" // encrypted result -> back to client
+	s2KeysFile     = "s2.keys"           // decryption keys -> crypto cloud only (top-k + kNN)
+	joinKeysFile   = "s2-join.keys"      // join decryption keys -> crypto cloud only
+	ownerFile      = "owner.bundle"      // full scheme state -> stays with owner
+	joinOwnerFile  = "join-owner.bundle" // join scheme state -> stays with owner
+	relationFile   = "relation.er"       // encrypted relation (+ public key) -> data cloud
+	join1File      = "join1.er"          // encrypted join relation 1 -> data cloud
+	join2File      = "join2.er"          // encrypted join relation 2 -> data cloud
+	knnFile        = "knn.er"            // encrypted kNN record store -> data cloud
+	tokenFile      = "query.tk"          // top-k trapdoor -> querier
+	joinTokenFile  = "join.tk"           // join trapdoor -> querier
+	knnTokenFile   = "knn.tk"            // kNN trapdoor -> querier
+	resultFile     = "result.items"      // encrypted top-k result -> back to client
+	joinResultFile = "join-result.items" // encrypted join result -> back to client
+	knnResultFile  = "knn-result.items"  // encrypted kNN result -> back to client
 )
 
 func main() {
@@ -60,6 +87,8 @@ func main() {
 		err = runS2(ctx, os.Args[2:])
 	case "s1":
 		err = runS1(ctx, os.Args[2:])
+	case "query":
+		err = runQuery(ctx, os.Args[2:])
 	case "reveal":
 		err = runReveal(os.Args[2:])
 	default:
@@ -72,7 +101,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: sectopk-node {owner|s2|s1|reveal} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: sectopk-node {owner|s2|s1|query|reveal} [flags]")
 	os.Exit(2)
 }
 
@@ -82,6 +111,24 @@ func commonOpts(par int, fastNonce bool) []sectopk.Option {
 		sectopk.WithParallelism(par),
 		sectopk.WithFastNonce(fastNonce),
 	}
+}
+
+// parseWorkloads splits and validates the -workloads flag.
+func parseWorkloads(s string) (map[string]bool, error) {
+	out := map[string]bool{}
+	for _, w := range strings.Split(s, ",") {
+		switch w = strings.TrimSpace(w); w {
+		case "topk", "join", "knn":
+			out[w] = true
+		case "":
+		default:
+			return nil, fmt.Errorf("unknown workload %q (want topk, join, or knn)", w)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no workloads selected")
+	}
+	return out, nil
 }
 
 func runOwner(args []string) error {
@@ -96,7 +143,13 @@ func runOwner(args []string) error {
 	par := fs.Int("parallelism", 0, "encryption worker goroutines (0 = all cores, 1 = serial)")
 	fastNonce := fs.Bool("fast-nonce", false, "short-exponent fixed-base nonce path (extra assumption; see DESIGN.md)")
 	shards := fs.Int("shards", 1, "partition the relation into p shards at encryption time (queries run shards concurrently)")
+	workloadsFlag := fs.String("workloads", "topk", "workloads to provision: comma list of topk,join,knn")
+	joinRows := fs.Int("join-rows", 8, "rows per join relation (the oblivious join costs O(n1*n2))")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	workloads, err := parseWorkloads(*workloadsFlag)
+	if err != nil {
 		return err
 	}
 	rel, err := sectopk.GenerateDataset(*name, *rows, *seed)
@@ -116,43 +169,132 @@ func runOwner(args []string) error {
 	if err := os.MkdirAll(*dir, 0o755); err != nil {
 		return err
 	}
-	start := time.Now()
-	er, err := owner.Encrypt(rel)
+	attrs, err := parseInts(*attrsFlag)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("encrypted %s (%dx%d, %d shard(s)) in %s\n", er.Name(), er.Rows(), er.Attributes(),
-		er.Shards(), time.Since(start).Round(time.Millisecond))
+
+	if workloads["topk"] {
+		start := time.Now()
+		er, err := owner.Encrypt(rel)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("encrypted %s (%dx%d, %d shard(s)) in %s\n", er.Name(), er.Rows(), er.Attributes(),
+			er.Shards(), time.Since(start).Round(time.Millisecond))
+		if err := er.Save(filepath.Join(*dir, relationFile)); err != nil {
+			return err
+		}
+		tk, err := owner.Token(er, sectopk.Query{Attrs: attrs, K: *k})
+		if err != nil {
+			return err
+		}
+		if err := tk.Save(filepath.Join(*dir, tokenFile)); err != nil {
+			return err
+		}
+	}
+
+	if workloads["knn"] {
+		ker, err := owner.EncryptKNN(rel)
+		if err != nil {
+			return err
+		}
+		if err := ker.Save(filepath.Join(*dir, knnFile)); err != nil {
+			return err
+		}
+		// Demo query: the k records nearest to the first record.
+		point := append([]int64(nil), rel.Rows[0]...)
+		ktk, err := owner.KNNToken(ker, sectopk.KNNQuery{Point: point, K: *k})
+		if err != nil {
+			return err
+		}
+		if err := ktk.Save(filepath.Join(*dir, knnTokenFile)); err != nil {
+			return err
+		}
+		fmt.Printf("encrypted kNN store %s (%dx%d), token asks the %d nearest to row 0\n",
+			ker.Name(), ker.Rows(), ker.Attributes(), *k)
+	}
+
+	if workloads["join"] {
+		if len(rel.Rows[0]) < 3 {
+			return fmt.Errorf("join workload needs >= 3 attributes, dataset has %d", len(rel.Rows[0]))
+		}
+		n := *joinRows
+		if n > len(rel.Rows) {
+			n = len(rel.Rows)
+		}
+		// Two relations sharing join-attribute values: every r1 tuple has
+		// at least its twin in r2, so the demo equi-join is never empty.
+		r1 := &sectopk.Relation{Name: rel.Name + "-j1", Rows: rel.Rows[:n]}
+		r2 := &sectopk.Relation{Name: rel.Name + "-j2", Rows: rel.Rows[:n]}
+		jowner, err := sectopk.NewJoinOwner(opts...)
+		if err != nil {
+			return err
+		}
+		jr1, err := jowner.Encrypt(r1)
+		if err != nil {
+			return err
+		}
+		jr2, err := jowner.Encrypt(r2)
+		if err != nil {
+			return err
+		}
+		jq := sectopk.JoinQuery{
+			JoinAttr1: 0, JoinAttr2: 0,
+			ScoreAttr1: 1, ScoreAttr2: 2,
+			Project1: []int{0}, Project2: []int{1},
+			K: *k,
+		}
+		jtk, err := jowner.Token(jr1, jr2, jq)
+		if err != nil {
+			return err
+		}
+		if err := jowner.Keys().Save(filepath.Join(*dir, joinKeysFile)); err != nil {
+			return err
+		}
+		if err := jowner.Save(filepath.Join(*dir, joinOwnerFile)); err != nil {
+			return err
+		}
+		if err := jr1.Save(filepath.Join(*dir, join1File)); err != nil {
+			return err
+		}
+		if err := jr2.Save(filepath.Join(*dir, join2File)); err != nil {
+			return err
+		}
+		if err := jtk.Save(filepath.Join(*dir, joinTokenFile)); err != nil {
+			return err
+		}
+		fmt.Printf("encrypted join pair %s/%s (%d rows each)\n", r1.Name, r2.Name, n)
+	}
+
 	if err := owner.Keys().Save(filepath.Join(*dir, s2KeysFile)); err != nil {
 		return err
 	}
 	if err := owner.Save(filepath.Join(*dir, ownerFile)); err != nil {
 		return err
 	}
-	if err := er.Save(filepath.Join(*dir, relationFile)); err != nil {
-		return err
-	}
-	attrs, err := parseInts(*attrsFlag)
-	if err != nil {
-		return err
-	}
-	tk, err := owner.Token(er, sectopk.Query{Attrs: attrs, K: *k})
-	if err != nil {
-		return err
-	}
-	if err := tk.Save(filepath.Join(*dir, tokenFile)); err != nil {
-		return err
-	}
-	fmt.Printf("wrote %s, %s, %s, %s under %s\n",
-		s2KeysFile, ownerFile, relationFile, tokenFile, *dir)
+	fmt.Printf("wrote owner artifacts for %s under %s\n", strings.Join(sortedKeys(workloads), ","), *dir)
 	return nil
+}
+
+func sortedKeys(m map[string]bool) []string {
+	order := []string{"topk", "join", "knn"}
+	out := make([]string, 0, len(m))
+	for _, k := range order {
+		if m[k] {
+			out = append(out, k)
+		}
+	}
+	return out
 }
 
 func runS2(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("s2", flag.ExitOnError)
 	dir := fs.String("dir", ".", "artifact directory")
 	listen := fs.String("listen", "127.0.0.1:9042", "listen address")
-	relation := fs.String("relation", "default", "relation ID to register the keys under")
+	relation := fs.String("relation", "default", "relation ID to register the owner keys under")
+	joinRelation := fs.String("join-relation", "", "also register the join keys under this relation ID")
+	knnRelation := fs.String("knn-relation", "", "also register the owner keys under this relation ID for kNN queries")
 	par := fs.Int("parallelism", 0, "handler worker goroutines (0 = all cores, 1 = serial)")
 	fastNonce := fs.Bool("fast-nonce", false, "short-exponent fixed-base nonce path (extra assumption; see DESIGN.md)")
 	if err := fs.Parse(args); err != nil {
@@ -167,11 +309,25 @@ func runS2(ctx context.Context, args []string) error {
 	if err := cc.Register(*relation, keys); err != nil {
 		return err
 	}
+	if *knnRelation != "" {
+		if err := cc.Register(*knnRelation, keys); err != nil {
+			return err
+		}
+	}
+	if *joinRelation != "" {
+		jkeys, err := sectopk.LoadKeys(filepath.Join(*dir, joinKeysFile))
+		if err != nil {
+			return err
+		}
+		if err := cc.Register(*joinRelation, jkeys); err != nil {
+			return err
+		}
+	}
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("crypto cloud S2 serving relation %q on %s (ctrl-c to stop)\n", *relation, l.Addr())
+	fmt.Printf("crypto cloud S2 serving relations %v on %s (ctrl-c to stop)\n", cc.Relations(), l.Addr())
 	if err := cc.Serve(ctx, l); err != nil && ctx.Err() == nil {
 		return err
 	}
@@ -183,42 +339,84 @@ func runS1(ctx context.Context, args []string) error {
 	dir := fs.String("dir", ".", "artifact directory")
 	connect := fs.String("connect", "127.0.0.1:9042", "S2 address")
 	relation := fs.String("relation", "default", "relation ID registered on S2")
-	mode := fs.String("mode", "e", "query mode: f|e|ba")
-	strict := fs.Bool("strict", true, "use strict NRA halting")
+	joinRelation := fs.String("join-relation", "", "host the join pair under this relation ID")
+	knnRelation := fs.String("knn-relation", "", "host the kNN store under this relation ID")
+	clientListen := fs.String("client-listen", "", "serve remote queriers on this address (long-running server mode)")
+	sessionLimit := fs.Int("session-limit", 0, "bound concurrently executing requests (0 = GOMAXPROCS for remote clients)")
+	mode := fs.String("mode", "e", "query mode: f|e|ba (one-shot mode only)")
+	strict := fs.Bool("strict", true, "use strict NRA halting (one-shot mode only)")
 	par := fs.Int("parallelism", 0, "S1 worker goroutines (0 = all cores, 1 = serial)")
 	fastNonce := fs.Bool("fast-nonce", false, "short-exponent fixed-base nonce path (extra assumption; see DESIGN.md)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	er, err := sectopk.LoadEncryptedRelation(filepath.Join(*dir, relationFile))
-	if err != nil {
-		return err
+	// The top-k relation is required in one-shot mode (it is the query
+	// that runs); in server mode an owner may have provisioned only
+	// join/knn workloads, so a missing relation file just skips hosting
+	// it.
+	er, erErr := sectopk.LoadEncryptedRelation(filepath.Join(*dir, relationFile))
+	if erErr != nil && (*clientListen == "" || !os.IsNotExist(erErr)) {
+		return erErr
 	}
-	tk, err := sectopk.LoadToken(filepath.Join(*dir, tokenFile))
-	if err != nil {
-		return err
+	opts := commonOpts(*par, *fastNonce)
+	if *sessionLimit > 0 {
+		opts = append(opts, sectopk.WithSessionLimit(*sessionLimit))
 	}
-	var qmode sectopk.Mode
-	switch *mode {
-	case "f":
-		qmode = sectopk.ModeFull
-	case "e":
-		qmode = sectopk.ModeEliminate
-	case "ba":
-		qmode = sectopk.ModeBatched
-	default:
-		return fmt.Errorf("unknown mode %q", *mode)
-	}
-	halt := sectopk.HaltingPaper
-	if *strict {
-		halt = sectopk.HaltingStrict
-	}
-	dc := sectopk.NewDataCloud(commonOpts(*par, *fastNonce)...)
+	dc := sectopk.NewDataCloud(opts...)
 	defer dc.Close()
 	if err := dc.Dial(ctx, *connect); err != nil {
 		return err
 	}
-	if err := dc.Host(ctx, *relation, er); err != nil {
+	if er != nil {
+		if err := dc.Host(ctx, *relation, er); err != nil {
+			return err
+		}
+	}
+	if *joinRelation != "" {
+		jr1, err := sectopk.LoadEncryptedJoinRelation(filepath.Join(*dir, join1File))
+		if err != nil {
+			return err
+		}
+		jr2, err := sectopk.LoadEncryptedJoinRelation(filepath.Join(*dir, join2File))
+		if err != nil {
+			return err
+		}
+		if err := dc.HostJoin(ctx, *joinRelation, jr1, jr2); err != nil {
+			return err
+		}
+	}
+	if *knnRelation != "" {
+		ker, err := sectopk.LoadEncryptedKNNRelation(filepath.Join(*dir, knnFile))
+		if err != nil {
+			return err
+		}
+		if err := dc.HostKNN(ctx, *knnRelation, ker); err != nil {
+			return err
+		}
+	}
+
+	if *clientListen != "" {
+		if len(dc.Hosted()) == 0 {
+			return fmt.Errorf("nothing to host: no %s and no -join-relation/-knn-relation given", relationFile)
+		}
+		l, err := net.Listen("tcp", *clientListen)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("data cloud S1 hosting %v, serving queriers on %s (ctrl-c to stop)\n", dc.Hosted(), l.Addr())
+		if err := dc.ServeClients(ctx, l); err != nil && ctx.Err() == nil {
+			return err
+		}
+		return nil
+	}
+
+	// One-shot mode: run the stored top-k token in-process.
+	tk, err := sectopk.LoadToken(filepath.Join(*dir, tokenFile))
+	if err != nil {
+		return err
+	}
+	qmode, halt, err := parseQueryOpts(*mode, *strict)
+	if err != nil {
 		return err
 	}
 	sess, err := dc.NewSession(*relation, tk, sectopk.WithMode(qmode), sectopk.WithHalting(halt))
@@ -236,30 +434,189 @@ func runS1(ctx context.Context, args []string) error {
 	return res.Save(filepath.Join(*dir, resultFile))
 }
 
-func runReveal(args []string) error {
-	fs := flag.NewFlagSet("reveal", flag.ExitOnError)
+// parseQueryOpts maps the shared -mode / -strict flags to query options.
+func parseQueryOpts(mode string, strict bool) (sectopk.Mode, sectopk.Halting, error) {
+	var qmode sectopk.Mode
+	switch mode {
+	case "f":
+		qmode = sectopk.ModeFull
+	case "e":
+		qmode = sectopk.ModeEliminate
+	case "ba":
+		qmode = sectopk.ModeBatched
+	default:
+		return 0, 0, fmt.Errorf("unknown mode %q", mode)
+	}
+	halt := sectopk.HaltingPaper
+	if strict {
+		halt = sectopk.HaltingStrict
+	}
+	return qmode, halt, nil
+}
+
+// dialClient dials the data cloud's client listener, retrying
+// connection-level failures until the wait window expires — the querier
+// typically races the server's startup. A non-transport failure
+// (version mismatch, wrong endpoint answering the handshake) is final
+// and surfaces immediately.
+func dialClient(ctx context.Context, addr string, wait time.Duration) (*sectopk.Client, error) {
+	deadline := time.Now().Add(wait)
+	for {
+		client, err := sectopk.Dial(ctx, addr)
+		if err == nil {
+			return client, nil
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		if !errors.Is(err, sectopk.ErrTransport) || time.Now().After(deadline) {
+			return nil, err
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+func runQuery(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
 	dir := fs.String("dir", ".", "artifact directory")
+	connect := fs.String("connect", "127.0.0.1:9142", "data cloud client-listen address")
+	workload := fs.String("workload", "topk", "workload: topk|join|knn")
+	relation := fs.String("relation", "", "relation ID (defaults to \"default\" for topk, the workload name otherwise)")
+	mode := fs.String("mode", "e", "query mode: f|e|ba (topk only)")
+	strict := fs.Bool("strict", true, "use strict NRA halting (topk only)")
+	wait := fs.Duration("wait", 15*time.Second, "how long to retry dialing the server")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	owner, err := sectopk.LoadOwner(filepath.Join(*dir, ownerFile))
+	rel := *relation
+	if rel == "" {
+		if *workload == "topk" {
+			rel = "default"
+		} else {
+			rel = *workload
+		}
+	}
+	var req sectopk.Request
+	var out string
+	switch *workload {
+	case "topk":
+		tk, err := sectopk.LoadToken(filepath.Join(*dir, tokenFile))
+		if err != nil {
+			return err
+		}
+		qmode, halt, err := parseQueryOpts(*mode, *strict)
+		if err != nil {
+			return err
+		}
+		req = sectopk.TopKRequest(rel, tk, sectopk.WithMode(qmode), sectopk.WithHalting(halt))
+		out = resultFile
+	case "join":
+		tk, err := sectopk.LoadJoinToken(filepath.Join(*dir, joinTokenFile))
+		if err != nil {
+			return err
+		}
+		req = sectopk.JoinRequest(rel, tk)
+		out = joinResultFile
+	case "knn":
+		tk, err := sectopk.LoadKNNToken(filepath.Join(*dir, knnTokenFile))
+		if err != nil {
+			return err
+		}
+		req = sectopk.KNNRequest(rel, tk)
+		out = knnResultFile
+	default:
+		return fmt.Errorf("unknown workload %q (want topk, join, or knn)", *workload)
+	}
+	client, err := dialClient(ctx, *connect, *wait)
+	if err != nil {
+		return fmt.Errorf("dialing %s: %w", *connect, err)
+	}
+	defer client.Close()
+	start := time.Now()
+	ans, err := client.Execute(ctx, req)
 	if err != nil {
 		return err
 	}
-	er, err := sectopk.LoadEncryptedRelation(filepath.Join(*dir, relationFile))
-	if err != nil {
+	fmt.Printf("%s query done: elapsed=%s client-rounds=%d client-bytes=%d\n",
+		*workload, time.Since(start).Round(time.Millisecond), ans.Traffic.Rounds, ans.Traffic.Bytes)
+	path := filepath.Join(*dir, out)
+	switch *workload {
+	case "topk":
+		fmt.Printf("depth=%d halted=%v\n", ans.TopK.Depth, ans.TopK.Halted)
+		return ans.TopK.Save(path)
+	case "join":
+		return ans.Join.Save(path)
+	default:
+		return ans.KNN.Save(path)
+	}
+}
+
+func runReveal(args []string) error {
+	fs := flag.NewFlagSet("reveal", flag.ExitOnError)
+	dir := fs.String("dir", ".", "artifact directory")
+	workload := fs.String("workload", "topk", "workload: topk|join|knn")
+	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	res, err := sectopk.LoadEncryptedResult(filepath.Join(*dir, resultFile))
-	if err != nil {
-		return err
-	}
-	revealed, err := owner.Reveal(er, res)
-	if err != nil {
-		return err
-	}
-	for rank, item := range revealed {
-		fmt.Printf("top-%d: object %d, score %d\n", rank+1, item.Object, item.Score)
+	switch *workload {
+	case "topk":
+		owner, err := sectopk.LoadOwner(filepath.Join(*dir, ownerFile))
+		if err != nil {
+			return err
+		}
+		er, err := sectopk.LoadEncryptedRelation(filepath.Join(*dir, relationFile))
+		if err != nil {
+			return err
+		}
+		res, err := sectopk.LoadEncryptedResult(filepath.Join(*dir, resultFile))
+		if err != nil {
+			return err
+		}
+		revealed, err := owner.Reveal(er, res)
+		if err != nil {
+			return err
+		}
+		for rank, item := range revealed {
+			fmt.Printf("top-%d: object %d, score %d\n", rank+1, item.Object, item.Score)
+		}
+	case "join":
+		jowner, err := sectopk.LoadJoinOwner(filepath.Join(*dir, joinOwnerFile))
+		if err != nil {
+			return err
+		}
+		res, err := sectopk.LoadEncryptedJoinResult(filepath.Join(*dir, joinResultFile))
+		if err != nil {
+			return err
+		}
+		revealed, err := jowner.Reveal(res)
+		if err != nil {
+			return err
+		}
+		for rank, tup := range revealed {
+			fmt.Printf("join-%d: score %d, attrs %v\n", rank+1, tup.Score, tup.Attrs)
+		}
+	case "knn":
+		owner, err := sectopk.LoadOwner(filepath.Join(*dir, ownerFile))
+		if err != nil {
+			return err
+		}
+		ker, err := sectopk.LoadEncryptedKNNRelation(filepath.Join(*dir, knnFile))
+		if err != nil {
+			return err
+		}
+		res, err := sectopk.LoadEncryptedKNNResult(filepath.Join(*dir, knnResultFile))
+		if err != nil {
+			return err
+		}
+		revealed, err := owner.RevealKNN(ker, res)
+		if err != nil {
+			return err
+		}
+		for rank, item := range revealed {
+			fmt.Printf("nn-%d: object %d, distance %d\n", rank+1, item.Object, item.Distance)
+		}
+	default:
+		return fmt.Errorf("unknown workload %q (want topk, join, or knn)", *workload)
 	}
 	return nil
 }

@@ -40,10 +40,18 @@ type Scheme struct {
 	params  Params
 	keys    *cloud.KeyMaterial
 	hasher  *ehl.Hasher
+	master  prf.Key
 	permKey prf.Key
 	// enc is the owner's bulk-encryption surface: the assumption-free CRT
 	// nonce split, since the owner holds the factorization.
 	enc paillier.Encryptor
+}
+
+// Secrets is the symmetric secret material of a join owner: the EHL
+// hashing master key and the attribute-permutation key. Together with the
+// Paillier factorization they restore the full scheme.
+type Secrets struct {
+	Master, Perm []byte
 }
 
 // NewScheme generates fresh key material.
@@ -55,8 +63,24 @@ func NewScheme(params Params) (*Scheme, error) {
 	return NewSchemeFromKeys(params, keys)
 }
 
-// NewSchemeFromKeys builds the scheme over existing keys.
+// NewSchemeFromKeys builds the scheme over existing keys with freshly
+// sampled symmetric secrets.
 func NewSchemeFromKeys(params Params, keys *cloud.KeyMaterial) (*Scheme, error) {
+	master, err := prf.NewKey()
+	if err != nil {
+		return nil, err
+	}
+	permKey, err := prf.NewKey()
+	if err != nil {
+		return nil, err
+	}
+	return RestoreScheme(params, keys, Secrets{Master: master, Perm: permKey})
+}
+
+// RestoreScheme rebuilds a scheme from persisted keys and secrets:
+// relations, tokens, and results produced by the original scheme remain
+// valid.
+func RestoreScheme(params Params, keys *cloud.KeyMaterial, secrets Secrets) (*Scheme, error) {
 	if err := params.EHL.Validate(); err != nil {
 		return nil, err
 	}
@@ -66,26 +90,28 @@ func NewSchemeFromKeys(params Params, keys *cloud.KeyMaterial) (*Scheme, error) 
 	if params.MaxScoreBits <= 0 {
 		return nil, errors.New("join: MaxScoreBits must be positive")
 	}
-	master, err := prf.NewKey()
-	if err != nil {
-		return nil, err
+	if len(secrets.Master) == 0 || len(secrets.Perm) == 0 {
+		return nil, errors.New("join: missing symmetric secrets")
 	}
-	permKey, err := prf.NewKey()
-	if err != nil {
-		return nil, err
-	}
-	hasher, err := ehl.NewHasher(master, params.EHL, &keys.Paillier.PublicKey)
+	hasher, err := ehl.NewHasher(prf.Key(secrets.Master), params.EHL, &keys.Paillier.PublicKey)
 	if err != nil {
 		return nil, err
 	}
 	return &Scheme{
-		params: params, keys: keys, hasher: hasher, permKey: permKey,
+		params: params, keys: keys, hasher: hasher,
+		master: prf.Key(secrets.Master), permKey: prf.Key(secrets.Perm),
 		enc: keys.Paillier.CRTEncryptor(),
 	}, nil
 }
 
 // KeyMaterial returns the secret keys for provisioning S2.
 func (s *Scheme) KeyMaterial() *cloud.KeyMaterial { return s.keys }
+
+// Secrets returns the symmetric secret material for owner-side
+// persistence.
+func (s *Scheme) Secrets() Secrets {
+	return Secrets{Master: s.master, Perm: s.permKey}
+}
 
 // Params returns the scheme parameters.
 func (s *Scheme) Params() Params { return s.params }

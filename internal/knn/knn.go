@@ -29,33 +29,49 @@ import (
 type Scheme struct {
 	keys         *cloud.KeyMaterial
 	hasher       *ehl.Hasher
+	master       prf.Key
 	maxScoreBits int
 	// enc is the owner's bulk-encryption surface: the assumption-free CRT
 	// nonce split, since the owner holds the factorization.
 	enc paillier.Encryptor
 }
 
-// NewScheme builds the owner over existing key material.
+// NewScheme builds the owner over existing key material with a freshly
+// sampled id-hashing master key.
 func NewScheme(keys *cloud.KeyMaterial, ehlParams ehl.Params, maxScoreBits int) (*Scheme, error) {
-	if keys == nil || keys.Paillier == nil {
-		return nil, errors.New("knn: missing key material")
-	}
-	if maxScoreBits <= 0 {
-		return nil, errors.New("knn: maxScoreBits must be positive")
-	}
 	master, err := prf.NewKey()
 	if err != nil {
 		return nil, err
+	}
+	return NewSchemeWithMaster(keys, master, ehlParams, maxScoreBits)
+}
+
+// NewSchemeWithMaster builds the owner over existing key material and an
+// existing id-hashing master key, so a persisted owner can reveal results
+// for databases it encrypted in an earlier process (the digest table is
+// keyed by the master).
+func NewSchemeWithMaster(keys *cloud.KeyMaterial, master prf.Key, ehlParams ehl.Params, maxScoreBits int) (*Scheme, error) {
+	if keys == nil || keys.Paillier == nil {
+		return nil, errors.New("knn: missing key material")
+	}
+	if len(master) == 0 {
+		return nil, errors.New("knn: missing master key")
+	}
+	if maxScoreBits <= 0 {
+		return nil, errors.New("knn: maxScoreBits must be positive")
 	}
 	hasher, err := ehl.NewHasher(master, ehlParams, &keys.Paillier.PublicKey)
 	if err != nil {
 		return nil, err
 	}
 	return &Scheme{
-		keys: keys, hasher: hasher, maxScoreBits: maxScoreBits,
+		keys: keys, hasher: hasher, master: master, maxScoreBits: maxScoreBits,
 		enc: keys.Paillier.CRTEncryptor(),
 	}, nil
 }
+
+// Master returns the id-hashing master key, for owner-side persistence.
+func (s *Scheme) Master() prf.Key { return s.master }
 
 // EncRecord is one encrypted record: an id tag plus Enc(x_j) for every
 // attribute. (Per Section 11.3 the owner also provisions the squares

@@ -84,7 +84,9 @@ func LoadKeyMaterial(path string) (*cloud.KeyMaterial, error) {
 
 // wireOwnerBundle persists everything the data owner needs to restore the
 // scheme: the factorization, the scheme parameters, and the symmetric
-// secrets.
+// secrets. The kNN digest key is deliberately NOT stored — the facade
+// derives it deterministically from Master (domain-separated), so old
+// and new bundles restore identically.
 type wireOwnerBundle struct {
 	P, Q         *big.Int
 	KeyBits      int

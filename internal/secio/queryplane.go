@@ -1,0 +1,348 @@
+package secio
+
+import (
+	"bufio"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+	"os"
+
+	"repro/internal/cloud"
+	"repro/internal/ehl"
+	"repro/internal/join"
+	"repro/internal/knn"
+	"repro/internal/paillier"
+	"repro/internal/protocols"
+)
+
+// This file serializes the query-plane artifacts introduced with the
+// networked client surface: kNN tokens and databases, join and kNN query
+// answers, and the join owner's restorable bundle. The same codecs back
+// both on-disk persistence (sectopk's Save/Load pairs) and the client
+// wire protocol (the token/answer byte payloads of Client.Execute), so a
+// stored artifact and a wire payload are byte-identical formats.
+
+// wireKNNToken carries a kNN trapdoor: the query point (whose length is
+// the attribute count it was issued for) and k.
+type wireKNNToken struct {
+	Point []int64
+	K     int
+}
+
+// WriteKNNToken serializes a kNN trapdoor.
+func WriteKNNToken(w io.Writer, point []int64, k int) error {
+	if len(point) == 0 {
+		return errors.New("secio: empty kNN query point")
+	}
+	enc := gob.NewEncoder(w)
+	if err := enc.Encode(header{Magic: magic, Version: version, Kind: "knn-token"}); err != nil {
+		return err
+	}
+	return enc.Encode(wireKNNToken{Point: point, K: k})
+}
+
+// ReadKNNToken deserializes a kNN trapdoor.
+func ReadKNNToken(r io.Reader) (point []int64, k int, err error) {
+	dec := gob.NewDecoder(r)
+	var h header
+	if err := dec.Decode(&h); err != nil {
+		return nil, 0, err
+	}
+	if err := h.check("knn-token"); err != nil {
+		return nil, 0, err
+	}
+	var wt wireKNNToken
+	if err := dec.Decode(&wt); err != nil {
+		return nil, 0, err
+	}
+	if len(wt.Point) == 0 {
+		return nil, 0, errors.New("secio: stored kNN token has no query point")
+	}
+	return wt.Point, wt.K, nil
+}
+
+// wireJoinTuple flattens one encrypted joined tuple.
+type wireJoinTuple struct {
+	Score *big.Int
+	Attrs []*big.Int
+}
+
+// WriteJoinResult serializes the encrypted outcome of a top-k join (what
+// S1 returns to the client for revealing).
+func WriteJoinResult(w io.Writer, tuples []protocols.JoinTuple) error {
+	rows := make([]wireJoinTuple, len(tuples))
+	for i, t := range tuples {
+		if t.Score == nil {
+			return fmt.Errorf("secio: join tuple %d missing score", i)
+		}
+		row := wireJoinTuple{Score: t.Score.C}
+		for j, a := range t.Attrs {
+			if a == nil {
+				return fmt.Errorf("secio: join tuple %d has nil attribute %d", i, j)
+			}
+			row.Attrs = append(row.Attrs, a.C)
+		}
+		rows[i] = row
+	}
+	enc := gob.NewEncoder(w)
+	if err := enc.Encode(header{Magic: magic, Version: version, Kind: "join-result"}); err != nil {
+		return err
+	}
+	return enc.Encode(rows)
+}
+
+// ReadJoinResult deserializes an encrypted join outcome.
+func ReadJoinResult(r io.Reader) ([]protocols.JoinTuple, error) {
+	dec := gob.NewDecoder(r)
+	var h header
+	if err := dec.Decode(&h); err != nil {
+		return nil, err
+	}
+	if err := h.check("join-result"); err != nil {
+		return nil, err
+	}
+	var rows []wireJoinTuple
+	if err := dec.Decode(&rows); err != nil {
+		return nil, err
+	}
+	out := make([]protocols.JoinTuple, len(rows))
+	for i, row := range rows {
+		if row.Score == nil {
+			return nil, fmt.Errorf("secio: stored join tuple %d missing score", i)
+		}
+		t := protocols.JoinTuple{Score: &paillier.Ciphertext{C: row.Score}}
+		for _, v := range row.Attrs {
+			if v == nil {
+				return nil, fmt.Errorf("secio: stored join tuple %d has nil attribute", i)
+			}
+			t.Attrs = append(t.Attrs, &paillier.Ciphertext{C: v})
+		}
+		out[i] = t
+	}
+	return out, nil
+}
+
+// WriteKNNResult serializes the encrypted outcome of a kNN query: the
+// ranked items (encrypted ids and squared distances).
+func WriteKNNResult(w io.Writer, items []protocols.Item) error {
+	wi, err := encodeItems(items)
+	if err != nil {
+		return err
+	}
+	enc := gob.NewEncoder(w)
+	if err := enc.Encode(header{Magic: magic, Version: version, Kind: "knn-result"}); err != nil {
+		return err
+	}
+	return enc.Encode(wi)
+}
+
+// ReadKNNResult deserializes an encrypted kNN outcome.
+func ReadKNNResult(r io.Reader) ([]protocols.Item, error) {
+	dec := gob.NewDecoder(r)
+	var h header
+	if err := dec.Decode(&h); err != nil {
+		return nil, err
+	}
+	if err := h.check("knn-result"); err != nil {
+		return nil, err
+	}
+	var wi wireItems
+	if err := dec.Decode(&wi); err != nil {
+		return nil, err
+	}
+	return decodeItems(&wi), nil
+}
+
+// wireKNNRecord flattens one encrypted kNN record.
+type wireKNNRecord struct {
+	EHL    []*big.Int
+	Values []*big.Int
+}
+
+// wireKNNRelation flattens knn.EncDatabase plus its hosting metadata.
+type wireKNNRelation struct {
+	Name         string
+	N, M         int
+	EHLKind      int
+	MaxScoreBits int
+	Records      []wireKNNRecord
+}
+
+// WriteHostedKNNRelation serializes an encrypted kNN database together
+// with its public key and score-bit bound — everything the data cloud
+// needs to host it.
+func WriteHostedKNNRelation(w io.Writer, db *knn.EncDatabase, maxScoreBits int, pk *paillier.PublicKey) error {
+	if db == nil {
+		return errors.New("secio: nil kNN database")
+	}
+	if pk == nil || pk.N == nil {
+		return errors.New("secio: nil public key")
+	}
+	wr := &wireKNNRelation{Name: db.Name, N: db.N, M: db.M, MaxScoreBits: maxScoreBits}
+	for i, rec := range db.Records {
+		if rec.ID == nil || len(rec.Values) != db.M {
+			return fmt.Errorf("secio: malformed kNN record %d", i)
+		}
+		wr.EHLKind = int(rec.ID.Kind)
+		row := wireKNNRecord{}
+		for _, ct := range rec.ID.Cts {
+			row.EHL = append(row.EHL, ct.C)
+		}
+		for j, ct := range rec.Values {
+			if ct == nil {
+				return fmt.Errorf("secio: kNN record %d has nil value %d", i, j)
+			}
+			row.Values = append(row.Values, ct.C)
+		}
+		wr.Records = append(wr.Records, row)
+	}
+	bw := bufio.NewWriter(w)
+	enc := gob.NewEncoder(bw)
+	if err := enc.Encode(header{Magic: magic, Version: version, Kind: "hosted-knn-relation"}); err != nil {
+		return fmt.Errorf("secio: writing header: %w", err)
+	}
+	if err := enc.Encode(wirePub{N: pk.N}); err != nil {
+		return fmt.Errorf("secio: writing public key: %w", err)
+	}
+	if err := enc.Encode(wr); err != nil {
+		return fmt.Errorf("secio: writing kNN relation: %w", err)
+	}
+	return bw.Flush()
+}
+
+// ReadHostedKNNRelation deserializes a kNN database bundle.
+func ReadHostedKNNRelation(r io.Reader) (*knn.EncDatabase, int, *paillier.PublicKey, error) {
+	dec := gob.NewDecoder(bufio.NewReader(r))
+	var h header
+	if err := dec.Decode(&h); err != nil {
+		return nil, 0, nil, fmt.Errorf("secio: reading header: %w", err)
+	}
+	if err := h.check("hosted-knn-relation"); err != nil {
+		return nil, 0, nil, err
+	}
+	var wp wirePub
+	if err := dec.Decode(&wp); err != nil {
+		return nil, 0, nil, fmt.Errorf("secio: reading public key: %w", err)
+	}
+	pk, err := paillier.NewPublicKeyFromN(wp.N)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	var wr wireKNNRelation
+	if err := dec.Decode(&wr); err != nil {
+		return nil, 0, nil, fmt.Errorf("secio: reading kNN relation: %w", err)
+	}
+	if len(wr.Records) != wr.N {
+		return nil, 0, nil, fmt.Errorf("secio: kNN bundle has %d records for N=%d", len(wr.Records), wr.N)
+	}
+	db := &knn.EncDatabase{Name: wr.Name, N: wr.N, M: wr.M}
+	for i, row := range wr.Records {
+		if len(row.Values) != wr.M || len(row.EHL) == 0 {
+			return nil, 0, nil, fmt.Errorf("secio: malformed stored kNN record %d", i)
+		}
+		rec := knn.EncRecord{ID: &ehl.List{Kind: ehl.Kind(wr.EHLKind)}}
+		for _, v := range row.EHL {
+			if v == nil {
+				return nil, 0, nil, fmt.Errorf("secio: stored kNN record %d has nil id digest", i)
+			}
+			rec.ID.Cts = append(rec.ID.Cts, &paillier.Ciphertext{C: v})
+		}
+		for _, v := range row.Values {
+			if v == nil {
+				return nil, 0, nil, fmt.Errorf("secio: stored kNN record %d has nil value", i)
+			}
+			rec.Values = append(rec.Values, &paillier.Ciphertext{C: v})
+		}
+		db.Records = append(db.Records, rec)
+	}
+	return db, wr.MaxScoreBits, pk, nil
+}
+
+// wireJoinOwnerBundle persists everything a join owner needs to restore
+// its scheme: the factorization, the parameters, and the symmetric
+// secrets.
+type wireJoinOwnerBundle struct {
+	P, Q         *big.Int
+	KeyBits      int
+	EHLKind      int
+	EHLS, EHLH   int
+	MaxScoreBits int
+	Master, Perm []byte
+}
+
+// WriteJoinOwnerBundle persists the join owner's full scheme state. This
+// stream must never leave the owner.
+func WriteJoinOwnerBundle(w io.Writer, scheme *join.Scheme) error {
+	if scheme == nil {
+		return errors.New("secio: nil join scheme")
+	}
+	enc := gob.NewEncoder(w)
+	if err := enc.Encode(header{Magic: magic, Version: version, Kind: "join-owner"}); err != nil {
+		return err
+	}
+	params := scheme.Params()
+	secrets := scheme.Secrets()
+	keys := scheme.KeyMaterial()
+	return enc.Encode(wireJoinOwnerBundle{
+		P: keys.Paillier.P, Q: keys.Paillier.Q,
+		KeyBits: params.KeyBits,
+		EHLKind: int(params.EHL.Kind), EHLS: params.EHL.S, EHLH: params.EHL.H,
+		MaxScoreBits: params.MaxScoreBits,
+		Master:       secrets.Master, Perm: secrets.Perm,
+	})
+}
+
+// ReadJoinOwnerBundle restores a join owner's scheme.
+func ReadJoinOwnerBundle(r io.Reader) (*join.Scheme, error) {
+	dec := gob.NewDecoder(r)
+	var h header
+	if err := dec.Decode(&h); err != nil {
+		return nil, err
+	}
+	if err := h.check("join-owner"); err != nil {
+		return nil, err
+	}
+	var wb wireJoinOwnerBundle
+	if err := dec.Decode(&wb); err != nil {
+		return nil, err
+	}
+	sk, err := paillier.FromPrimes(wb.P, wb.Q)
+	if err != nil {
+		return nil, fmt.Errorf("secio: rebuilding key: %w", err)
+	}
+	keys, err := cloud.KeyMaterialFromPaillier(sk)
+	if err != nil {
+		return nil, err
+	}
+	params := join.Params{
+		KeyBits:      wb.KeyBits,
+		EHL:          ehl.Params{Kind: ehl.Kind(wb.EHLKind), S: wb.EHLS, H: wb.EHLH},
+		MaxScoreBits: wb.MaxScoreBits,
+	}
+	return join.RestoreScheme(params, keys, join.Secrets{Master: wb.Master, Perm: wb.Perm})
+}
+
+// SaveJoinOwnerBundle writes the join owner bundle to a 0600 file.
+func SaveJoinOwnerBundle(path string, scheme *join.Scheme) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o600)
+	if err != nil {
+		return err
+	}
+	if err := WriteJoinOwnerBundle(f, scheme); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadJoinOwnerBundle reads a join owner bundle from a file.
+func LoadJoinOwnerBundle(path string) (*join.Scheme, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadJoinOwnerBundle(f)
+}

@@ -1,0 +1,172 @@
+package sectopk
+
+import (
+	"bytes"
+	"context"
+	"net"
+
+	"repro/internal/secerr"
+	"repro/internal/secio"
+	"repro/internal/transport"
+)
+
+// Client is the authorized-querier role: it holds trapdoors issued by an
+// owner and submits queries to a remote DataCloud over the client wire
+// protocol (see ServeClients). One client multiplexes any number of
+// concurrent Execute calls on a single connection; it is safe for
+// concurrent use. The client never holds key material — it ships tokens
+// and receives encrypted answers, which travel back to the owner for
+// revealing.
+type Client struct {
+	conn  transport.ConnCaller
+	stats *transport.Stats
+}
+
+// Dial connects to a DataCloud serving clients at addr (TCP), negotiates
+// the multiplexed framing, and runs the client-plane version handshake.
+func Dial(ctx context.Context, addr string) (*Client, error) {
+	var dialer net.Dialer
+	conn, err := dialer.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, secerr.Wrap(secerr.CodeTransport, err, "sectopk: dialing data cloud")
+	}
+	c, err := NewClient(ctx, conn)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// NewClient wraps an established connection to a DataCloud client
+// listener (TCP, unix socket, ...): it negotiates the multiplexed
+// framing and runs the version handshake. The connection is owned by the
+// client from here on and closed by Close.
+func NewClient(ctx context.Context, conn net.Conn) (*Client, error) {
+	stats := transport.NewStats()
+	mc, err := transport.Connect(ctx, conn, stats)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{conn: mc, stats: stats}
+	if err := c.hello(ctx); err != nil {
+		mc.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// hello runs the client-plane version handshake.
+func (c *Client) hello(ctx context.Context) error {
+	var rep clientHelloReply
+	req := clientHello{Min: clientMinProtocolVersion, Max: clientProtocolVersion}
+	if err := c.conn.Call(ctx, methodClientHello, req, &rep); err != nil {
+		return err
+	}
+	if rep.Version < clientMinProtocolVersion || rep.Version > clientProtocolVersion {
+		return secerr.New(secerr.CodeProtocolVersion,
+			"sectopk: server negotiated query plane v%d, this client speaks v%d..v%d",
+			rep.Version, clientMinProtocolVersion, clientProtocolVersion)
+	}
+	return nil
+}
+
+// Execute submits one request of any workload and returns its encrypted
+// answer — the remote counterpart of DataCloud.Execute, down to the
+// error taxonomy: a failure reported by the server matches the same
+// Err* sentinels under errors.Is as the in-process call would.
+// Cancellation abandons only this request's frame; other in-flight
+// requests on the connection proceed undisturbed. The answer's Traffic
+// is measured on the shared connection counters, so with concurrent
+// Execute calls on one client the per-answer numbers are approximate
+// (Client.Traffic stays exact cumulatively).
+func (c *Client) Execute(ctx context.Context, req Request) (*Answer, error) {
+	w, err := req.workload()
+	if err != nil {
+		return nil, err
+	}
+	token, err := encodeWireToken(req, w)
+	if err != nil {
+		return nil, err
+	}
+	wreq := clientExecuteRequest{
+		Relation: req.Relation,
+		Workload: string(w),
+		Token:    token,
+		Options:  buildQueryConfig(req.Options).wire(),
+	}
+	before := c.stats.Total()
+	var rep clientExecuteReply
+	if err := c.conn.Call(ctx, methodClientExecute, wreq, &rep); err != nil {
+		return nil, err
+	}
+	after := c.stats.Total()
+	ans, err := decodeWireAnswer(w, rep.Answer)
+	if err != nil {
+		return nil, err
+	}
+	ans.Traffic = Traffic{
+		Rounds: after.Calls - before.Calls,
+		Bytes:  (after.BytesSent + after.BytesReceived) - (before.BytesSent + before.BytesReceived),
+	}
+	return ans, nil
+}
+
+// encodeWireToken serializes the request's trapdoor with the persistence
+// codec of its workload.
+func encodeWireToken(req Request, w Workload) ([]byte, error) {
+	var buf bytes.Buffer
+	var err error
+	switch w {
+	case WorkloadTopK:
+		err = secio.WriteToken(&buf, req.TopK.tk)
+	case WorkloadJoin:
+		err = secio.WriteJoinToken(&buf, req.Join.tk)
+	case WorkloadKNN:
+		err = secio.WriteKNNToken(&buf, req.KNN.point, req.KNN.k)
+	}
+	if err != nil {
+		return nil, secerr.Wrap(secerr.CodeInvalidToken, err, "sectopk: encoding %s token", w)
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeWireAnswer parses the server's answer payload with the
+// persistence codec of the request's workload.
+func decodeWireAnswer(w Workload, payload []byte) (*Answer, error) {
+	r := bytes.NewReader(payload)
+	ans := &Answer{}
+	switch w {
+	case WorkloadTopK:
+		items, depth, halted, err := secio.ReadQueryResult(r)
+		if err != nil {
+			return nil, secerr.Wrap(secerr.CodeTransport, err, "sectopk: decoding top-k answer")
+		}
+		ans.TopK = &EncryptedResult{items: items, Depth: depth, Halted: halted}
+	case WorkloadJoin:
+		tuples, err := secio.ReadJoinResult(r)
+		if err != nil {
+			return nil, secerr.Wrap(secerr.CodeTransport, err, "sectopk: decoding join answer")
+		}
+		ans.Join = &EncryptedJoinResult{tuples: tuples}
+	case WorkloadKNN:
+		items, err := secio.ReadKNNResult(r)
+		if err != nil {
+			return nil, secerr.Wrap(secerr.CodeTransport, err, "sectopk: decoding kNN answer")
+		}
+		ans.KNN = &EncryptedKNNResult{items: items}
+	}
+	return ans, nil
+}
+
+// Traffic returns the cumulative wire usage over this client's
+// connection (handshake included).
+func (c *Client) Traffic() Traffic {
+	return Traffic{Rounds: c.stats.Rounds(), Bytes: c.stats.Bytes()}
+}
+
+// Close tears the connection down; in-flight requests fail promptly with
+// a typed transport error. Safe to call more than once.
+func (c *Client) Close() error {
+	return c.conn.Close()
+}

@@ -8,7 +8,6 @@ import (
 	"sync"
 
 	"repro/internal/cloud"
-	"repro/internal/core"
 	"repro/internal/join"
 	"repro/internal/secerr"
 	"repro/internal/shard"
@@ -32,12 +31,22 @@ type DataCloud struct {
 	ledger *cloud.Ledger
 	stats  *transport.Stats
 
+	// admit is the unified admission gate (WithSessionLimit): every
+	// Execute — any workload, in-process or remote — claims a slot for
+	// the duration of its run. nil means unbounded.
+	admit chan struct{}
+	// clientGate lazily builds the remote plane's default gate when no
+	// session limit was configured (see ServeClients).
+	clientGateOnce sync.Once
+	clientGateCh   chan struct{}
+
 	mu        sync.Mutex
 	caller    transport.Caller     // what hosted clients issue rounds on
 	conn      transport.ConnCaller // owning handle for a network transport
 	batcher   *cloud.Batcher       // non-nil when batching is enabled
 	relations map[string]*hostedRelation
 	joins     map[string]*hostedJoin
+	knns      map[string]*hostedKNN
 	closed    bool
 }
 
@@ -61,12 +70,19 @@ type hostedJoin struct {
 // NewDataCloud builds an unconnected data cloud. Options configure the
 // S1-side worker pools and nonce paths.
 func NewDataCloud(opts ...Option) *DataCloud {
+	cfg := buildConfig(opts)
+	var admit chan struct{}
+	if cfg.sessionLimit > 0 {
+		admit = make(chan struct{}, cfg.sessionLimit)
+	}
 	return &DataCloud{
-		cfg:       buildConfig(opts),
+		cfg:       cfg,
 		ledger:    cloud.NewLedger(),
 		stats:     transport.NewStats(),
+		admit:     admit,
 		relations: map[string]*hostedRelation{},
 		joins:     map[string]*hostedJoin{},
+		knns:      map[string]*hostedKNN{},
 	}
 }
 
@@ -229,16 +245,13 @@ func (d *DataCloud) Host(ctx context.Context, id string, er *EncryptedRelation) 
 }
 
 // hostableLocked re-checks (under d.mu) that the data cloud is still
-// open and the ID is free in BOTH registries — a concurrent Host and
-// HostJoin for the same ID must not both succeed.
+// open and the ID is free in EVERY workload registry — concurrent Host,
+// HostJoin, and HostKNN calls for the same ID must not all succeed.
 func (d *DataCloud) hostableLocked(id string) error {
 	if d.closed {
 		return secerr.New(secerr.CodeInternal, "sectopk: data cloud is closed")
 	}
-	if _, taken := d.relations[id]; taken {
-		return secerr.New(secerr.CodeRelationExists, "sectopk: relation %q already hosted", id)
-	}
-	if _, taken := d.joins[id]; taken {
+	if d.relations[id] != nil || d.joins[id] != nil || d.knns[id] != nil {
 		return secerr.New(secerr.CodeRelationExists, "sectopk: relation %q already hosted", id)
 	}
 	return nil
@@ -288,15 +301,18 @@ func (d *DataCloud) HostJoin(ctx context.Context, id string, er1, er2 *Encrypted
 	return nil
 }
 
-// Hosted lists the hosted relation IDs (top-k and join), unsorted.
+// Hosted lists the hosted relation IDs (top-k, join, and kNN), unsorted.
 func (d *DataCloud) Hosted() []string {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	out := make([]string, 0, len(d.relations)+len(d.joins))
+	out := make([]string, 0, len(d.relations)+len(d.joins)+len(d.knns))
 	for id := range d.relations {
 		out = append(out, id)
 	}
 	for id := range d.joins {
+		out = append(out, id)
+	}
+	for id := range d.knns {
 		out = append(out, id)
 	}
 	return out
@@ -326,10 +342,12 @@ func (d *DataCloud) Close() {
 	d.mu.Lock()
 	rels := d.relations
 	joins := d.joins
+	knns := d.knns
 	conn := d.conn
 	batcher := d.batcher
 	d.relations = map[string]*hostedRelation{}
 	d.joins = map[string]*hostedJoin{}
+	d.knns = map[string]*hostedKNN{}
 	d.caller = nil
 	d.conn = nil
 	d.batcher = nil
@@ -340,6 +358,9 @@ func (d *DataCloud) Close() {
 	}
 	for _, j := range joins {
 		j.client.Close()
+	}
+	for _, k := range knns {
+		k.client.Close()
 	}
 	// Close the connection before draining the batcher: in-flight
 	// envelopes run under the background context, so the dying link is
@@ -355,12 +376,13 @@ func (d *DataCloud) Close() {
 
 // Session is one top-k query's lifecycle: built from a token, executed
 // against the crypto cloud, yielding an encrypted result the client
-// reveals with the owner's keys.
+// reveals with the owner's keys. It is a thin wrapper over
+// DataCloud.Execute that adds eager validation and result retention.
 type Session struct {
-	dc  *DataCloud
-	rel *hostedRelation
-	tk  *core.Token
-	cfg queryConfig
+	dc       *DataCloud
+	relation string
+	tk       *Token
+	cfg      queryConfig
 
 	mu      sync.Mutex
 	res     *EncryptedResult
@@ -374,34 +396,29 @@ func (d *DataCloud) NewSession(relation string, tk *Token, opts ...QueryOption) 
 	if tk == nil {
 		return nil, secerr.New(secerr.CodeInvalidToken, "sectopk: nil token")
 	}
-	d.mu.Lock()
-	rel := d.relations[relation]
-	d.mu.Unlock()
-	if rel == nil {
-		return nil, secerr.New(secerr.CodeUnknownRelation, "sectopk: relation %q not hosted", relation)
+	rel, err := d.hostedTopK(relation)
+	if err != nil {
+		return nil, err
 	}
 	if err := rel.engine.ValidateToken(tk.tk); err != nil {
 		return nil, err
 	}
-	return &Session{dc: d, rel: rel, tk: tk.tk, cfg: buildQueryConfig(opts)}, nil
+	return &Session{dc: d, relation: relation, tk: tk, cfg: buildQueryConfig(opts)}, nil
 }
 
 // Execute runs the query (SecQuery, Algorithm 3). Cancellation via ctx
 // is cooperative and bounded by one protocol round. The result is also
 // retained on the session (Result).
 func (s *Session) Execute(ctx context.Context) (*EncryptedResult, error) {
-	before := s.dc.Traffic()
-	res, err := s.rel.engine.SecQuery(ctx, s.tk, s.cfg.coreOptions())
+	ans, err := s.dc.execute(ctx, Request{Relation: s.relation, TopK: s.tk}, s.cfg, s.dc.admit)
 	if err != nil {
 		return nil, err
 	}
-	after := s.dc.Traffic()
-	out := &EncryptedResult{items: res.Items, Depth: res.Depth, Halted: res.Halted}
 	s.mu.Lock()
-	s.res = out
-	s.traffic = Traffic{Rounds: after.Rounds - before.Rounds, Bytes: after.Bytes - before.Bytes}
+	s.res = ans.TopK
+	s.traffic = ans.Traffic
 	s.mu.Unlock()
-	return out, nil
+	return ans.TopK, nil
 }
 
 // Result returns the last Execute outcome (nil before the first).
@@ -420,12 +437,13 @@ func (s *Session) Traffic() Traffic {
 	return s.traffic
 }
 
-// JoinSession is one top-k equi-join's lifecycle.
+// JoinSession is one top-k equi-join's lifecycle — a thin wrapper over
+// DataCloud.Execute.
 type JoinSession struct {
-	dc  *DataCloud
-	hj  *hostedJoin
-	tk  *join.Token
-	cfg queryConfig
+	dc       *DataCloud
+	relation string
+	tk       *JoinToken
+	cfg      queryConfig
 
 	mu      sync.Mutex
 	res     *EncryptedJoinResult
@@ -437,30 +455,24 @@ func (d *DataCloud) NewJoinSession(relation string, tk *JoinToken, opts ...Query
 	if tk == nil {
 		return nil, secerr.New(secerr.CodeInvalidToken, "sectopk: nil join token")
 	}
-	d.mu.Lock()
-	hj := d.joins[relation]
-	d.mu.Unlock()
-	if hj == nil {
-		return nil, secerr.New(secerr.CodeUnknownRelation, "sectopk: join relation %q not hosted", relation)
+	if _, err := d.hostedJoinRelation(relation); err != nil {
+		return nil, err
 	}
-	return &JoinSession{dc: d, hj: hj, tk: tk.tk, cfg: buildQueryConfig(opts)}, nil
+	return &JoinSession{dc: d, relation: relation, tk: tk, cfg: buildQueryConfig(opts)}, nil
 }
 
 // Execute runs the oblivious nested-loop equi-join (SecJoin, Algorithm
 // 11) followed by SecFilter and top-k selection.
 func (s *JoinSession) Execute(ctx context.Context) (*EncryptedJoinResult, error) {
-	before := s.dc.Traffic()
-	tuples, err := s.hj.engine.SecJoin(ctx, s.tk)
+	ans, err := s.dc.execute(ctx, Request{Relation: s.relation, Join: s.tk}, s.cfg, s.dc.admit)
 	if err != nil {
 		return nil, err
 	}
-	after := s.dc.Traffic()
-	out := &EncryptedJoinResult{tuples: tuples}
 	s.mu.Lock()
-	s.res = out
-	s.traffic = Traffic{Rounds: after.Rounds - before.Rounds, Bytes: after.Bytes - before.Bytes}
+	s.res = ans.Join
+	s.traffic = ans.Traffic
 	s.mu.Unlock()
-	return out, nil
+	return ans.Join, nil
 }
 
 // Result returns the last Execute outcome (nil before the first).
@@ -477,25 +489,28 @@ func (s *JoinSession) Traffic() Traffic {
 	return s.traffic
 }
 
-// SessionPool executes queries over one hosted relation with bounded
-// concurrency: each Execute claims a slot, runs its own Session, and
-// releases the slot. On a multiplexed connection the concurrent
-// sessions' protocol rounds genuinely overlap (and the batch scheduler
-// coalesces them into shared envelopes), which is what turns S2's idle
-// cores into throughput. Safe for concurrent use from any number of
-// goroutines.
+// SessionPool executes requests over one hosted relation with bounded
+// concurrency: each Execute claims a slot, runs through the unified
+// DataCloud.Execute path, and releases the slot. Admission is uniform
+// across workloads — a pool over a join or kNN relation bounds those
+// queries exactly like a top-k pool does. On a multiplexed connection
+// the concurrent requests' protocol rounds genuinely overlap (and the
+// batch scheduler coalesces them into shared envelopes), which is what
+// turns S2's idle cores into throughput. Safe for concurrent use from
+// any number of goroutines.
 type SessionPool struct {
 	dc       *DataCloud
 	relation string
 	sem      chan struct{}
 }
 
-// NewSessionPool prepares a pool over a hosted relation. maxConcurrent
-// bounds the simultaneously executing sessions (<= 0 picks GOMAXPROCS).
-// Unknown relations fail with ErrUnknownRelation.
+// NewSessionPool prepares a pool over a hosted relation of any workload
+// (top-k, join, or kNN). maxConcurrent bounds the simultaneously
+// executing requests (<= 0 picks GOMAXPROCS). Unknown relations fail
+// with ErrUnknownRelation.
 func (d *DataCloud) NewSessionPool(relation string, maxConcurrent int) (*SessionPool, error) {
 	d.mu.Lock()
-	_, ok := d.relations[relation]
+	ok := d.relations[relation] != nil || d.joins[relation] != nil || d.knns[relation] != nil
 	d.mu.Unlock()
 	if !ok {
 		return nil, secerr.New(secerr.CodeUnknownRelation, "sectopk: relation %q not hosted", relation)
@@ -506,18 +521,49 @@ func (d *DataCloud) NewSessionPool(relation string, maxConcurrent int) (*Session
 	return &SessionPool{dc: d, relation: relation, sem: make(chan struct{}, maxConcurrent)}, nil
 }
 
-// Execute runs one query through the pool: it blocks for a slot (or the
-// context), then validates, executes, and returns the encrypted result.
-func (p *SessionPool) Execute(ctx context.Context, tk *Token, opts ...QueryOption) (*EncryptedResult, error) {
+// ExecuteRequest runs one request of any workload through the pool: it
+// blocks for a slot (or the context), then executes via the unified
+// entry point. The request's Relation must be empty (the pool's
+// relation fills in) or equal to the pool's relation.
+func (p *SessionPool) ExecuteRequest(ctx context.Context, req Request) (*Answer, error) {
+	if req.Relation == "" {
+		req.Relation = p.relation
+	} else if req.Relation != p.relation {
+		return nil, secerr.New(secerr.CodeBadRequest,
+			"sectopk: session pool serves relation %q, request names %q", p.relation, req.Relation)
+	}
 	select {
 	case p.sem <- struct{}{}:
 	case <-ctx.Done():
 		return nil, fmt.Errorf("sectopk: session pool: %w", ctx.Err())
 	}
 	defer func() { <-p.sem }()
-	sess, err := p.dc.NewSession(p.relation, tk, opts...)
+	return p.dc.Execute(ctx, req)
+}
+
+// Execute runs one top-k query through the pool.
+func (p *SessionPool) Execute(ctx context.Context, tk *Token, opts ...QueryOption) (*EncryptedResult, error) {
+	ans, err := p.ExecuteRequest(ctx, TopKRequest("", tk, opts...))
 	if err != nil {
 		return nil, err
 	}
-	return sess.Execute(ctx)
+	return ans.TopK, nil
+}
+
+// ExecuteJoin runs one top-k equi-join through the pool.
+func (p *SessionPool) ExecuteJoin(ctx context.Context, tk *JoinToken, opts ...QueryOption) (*EncryptedJoinResult, error) {
+	ans, err := p.ExecuteRequest(ctx, JoinRequest("", tk, opts...))
+	if err != nil {
+		return nil, err
+	}
+	return ans.Join, nil
+}
+
+// ExecuteKNN runs one k-nearest-neighbors query through the pool.
+func (p *SessionPool) ExecuteKNN(ctx context.Context, tk *KNNToken, opts ...QueryOption) (*EncryptedKNNResult, error) {
+	ans, err := p.ExecuteRequest(ctx, KNNRequest("", tk, opts...))
+	if err != nil {
+		return nil, err
+	}
+	return ans.KNN, nil
 }

@@ -1,22 +1,31 @@
 // Package sectopk is the public v1 API of the SecTopK system: adaptively
 // CQA-secure top-k query processing over encrypted relations in the two
 // non-colluding clouds model of Meng, Zhu, and Kollios (ICDE 2018), plus
-// the secure top-k join operator of the paper's Section 12.
+// the secure top-k join operator of the paper's Section 12 and the
+// secure kNN operator of Section 11.3.
 //
-// The package exposes the four deployment roles as a coherent facade over
+// The package exposes the deployment roles as a coherent facade over
 // the internal implementation packages:
 //
-//   - Owner — the data owner: generates keys, encrypts relations,
-//     issues query tokens, and reveals encrypted results for authorized
-//     clients. JoinOwner is the multi-relation variant for equi-joins.
+//   - Owner — the data owner: generates keys, encrypts relations (top-k
+//     and kNN record stores), issues query tokens, and reveals encrypted
+//     results for authorized clients. JoinOwner is the multi-relation
+//     variant for equi-joins.
 //   - CryptoCloud — the crypto cloud S2: the only party holding
 //     decryption keys. It serves blinded protocol rounds for any number
 //     of registered relations, each under its own key material.
-//   - DataCloud — the data cloud S1: hosts encrypted relations and
-//     executes queries by driving protocol rounds against a CryptoCloud,
-//     in-process or over TCP.
+//   - DataCloud — the data cloud S1: hosts encrypted relations (Host,
+//     HostJoin, HostKNN) and executes queries by driving protocol rounds
+//     against a CryptoCloud, in-process or over TCP. One unified entry
+//     point — Execute(ctx, Request) — runs all three workloads;
+//     ServeClients puts it on the wire for remote queriers.
+//   - Client — the authorized querier: holds trapdoors, dials a
+//     DataCloud's client listener, and submits Requests over the client
+//     wire protocol. It never holds key material; encrypted answers
+//     travel back to the owner for revealing.
 //   - Session — one query's lifecycle on a DataCloud: token in,
-//     encrypted result out, with per-session traffic accounting.
+//     encrypted result out, with per-session traffic accounting (a thin
+//     wrapper over Execute, as are JoinSession and SessionPool).
 //
 // # Contexts and cancellation
 //
@@ -34,10 +43,13 @@
 // reported by the remote peer matches the same sentinels as one raised
 // in-process.
 //
-// # Wire protocol
+// # Wire protocols
 //
 // The S1↔S2 wire protocol is versioned; peers negotiate with a Hello
 // round when a DataCloud connects (and again when it hosts a relation,
-// which also confirms the crypto cloud serves that relation). See
-// DESIGN.md "Wire versioning and error codes" for the scheme.
+// which also confirms the crypto cloud serves that relation). The
+// querier↔S1 client plane is versioned separately and negotiated when a
+// Client dials in; both ride the same multiplexed framing and the same
+// structured error encoding. See DESIGN.md "Wire versioning and error
+// codes" and "Client wire protocol v1" for the schemes.
 package sectopk

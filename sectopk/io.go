@@ -1,9 +1,9 @@
 package sectopk
 
 import (
+	"io"
 	"os"
 
-	"repro/internal/core"
 	"repro/internal/ehl"
 	"repro/internal/secio"
 	"repro/internal/shard"
@@ -11,7 +11,32 @@ import (
 
 // Persistence for the artifacts a deployment moves between parties.
 // Every stream is versioned gob with a magic header; key-bearing files
-// are written with owner-only (0600) permissions.
+// are written with owner-only (0600) permissions. The same secio codecs
+// back the client wire protocol, so a stored token or encrypted answer
+// is byte-identical to its wire payload.
+
+// saveTo creates path and streams one artifact into it.
+func saveTo(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// loadFrom opens path and parses one artifact out of it.
+func loadFrom(path string, read func(io.Reader) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return read(f)
+}
 
 // Save persists the owner's full scheme state (keys and symmetric
 // secrets) to a 0600 file. The bundle must never leave the owner.
@@ -20,17 +45,36 @@ func (o *Owner) Save(path string) error {
 }
 
 // LoadOwner restores an owner from a saved bundle. Relations, tokens,
-// and results produced by the original owner remain valid. The bundle
-// fixes the key material, so key-generation options are ignored; pass
-// Enc-time options (WithShards) to re-apply them — the bundle does not
-// record them, and omitting them restores an unsharded owner.
+// and results produced by the original owner remain valid — including
+// kNN record stores, whose digest key is derived deterministically from
+// the bundled secrets (so even bundles written before the kNN workload
+// existed restore it). The bundle fixes the key material, so
+// key-generation options are ignored; pass Enc-time options
+// (WithShards) to re-apply them — the bundle does not record them, and
+// omitting them restores an unsharded owner.
 func LoadOwner(path string, opts ...Option) (*Owner, error) {
 	scheme, err := secio.LoadOwnerBundle(path)
 	if err != nil {
 		return nil, err
 	}
 	cfg := buildConfig(opts)
-	return &Owner{scheme: scheme, shards: cfg.shards, revealers: map[int]*core.Revealer{}}, nil
+	return newOwner(scheme, cfg.shards), nil
+}
+
+// Save persists the join owner's full scheme state to a 0600 file. The
+// bundle must never leave the owner.
+func (o *JoinOwner) Save(path string) error {
+	return secio.SaveJoinOwnerBundle(path, o.scheme)
+}
+
+// LoadJoinOwner restores a join owner from a saved bundle. Relations,
+// tokens, and results produced by the original owner remain valid.
+func LoadJoinOwner(path string) (*JoinOwner, error) {
+	scheme, err := secio.LoadJoinOwnerBundle(path)
+	if err != nil {
+		return nil, err
+	}
+	return &JoinOwner{scheme: scheme}, nil
 }
 
 // Save persists the key material for provisioning a CryptoCloud
@@ -53,142 +97,199 @@ func LoadKeys(path string) (*Keys, error) {
 // relations store every shard in one bundle (unsharded bundles keep the
 // legacy single-relation format).
 func (er *EncryptedRelation) Save(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := secio.WriteHostedShards(f, er.sh.Shards, er.pk); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return saveTo(path, func(w io.Writer) error {
+		return secio.WriteHostedShards(w, er.sh.Shards, er.pk)
+	})
 }
 
 // LoadEncryptedRelation reads an encrypted relation bundle (sharded or
 // legacy single-relation).
 func LoadEncryptedRelation(path string) (*EncryptedRelation, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	shards, pk, err := secio.ReadHostedShards(f)
-	if err != nil {
-		return nil, err
-	}
-	sh, err := shard.New(shards)
-	if err != nil {
-		return nil, err
-	}
-	return &EncryptedRelation{sh: sh, pk: pk}, nil
+	var out *EncryptedRelation
+	err := loadFrom(path, func(r io.Reader) error {
+		shards, pk, err := secio.ReadHostedShards(r)
+		if err != nil {
+			return err
+		}
+		sh, err := shard.New(shards)
+		if err != nil {
+			return err
+		}
+		out = &EncryptedRelation{sh: sh, pk: pk}
+		return nil
+	})
+	return out, err
 }
 
 // Save persists an encrypted join relation bundle.
 func (er *EncryptedJoinRelation) Save(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	params := ehl.Params{Kind: ehl.KindPlus, S: er.ehlS}
-	if err := secio.WriteHostedJoinRelation(f, er.er, params, er.maxScoreBits, er.pk); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return saveTo(path, func(w io.Writer) error {
+		params := ehl.Params{Kind: ehl.KindPlus, S: er.ehlS}
+		return secio.WriteHostedJoinRelation(w, er.er, params, er.maxScoreBits, er.pk)
+	})
 }
 
 // LoadEncryptedJoinRelation reads an encrypted join relation bundle.
 func LoadEncryptedJoinRelation(path string) (*EncryptedJoinRelation, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	er, params, maxScoreBits, pk, err := secio.ReadHostedJoinRelation(f)
-	if err != nil {
-		return nil, err
-	}
-	return &EncryptedJoinRelation{er: er, pk: pk, ehlS: params.S, maxScoreBits: maxScoreBits}, nil
+	var out *EncryptedJoinRelation
+	err := loadFrom(path, func(r io.Reader) error {
+		er, params, maxScoreBits, pk, err := secio.ReadHostedJoinRelation(r)
+		if err != nil {
+			return err
+		}
+		out = &EncryptedJoinRelation{er: er, pk: pk, ehlS: params.S, maxScoreBits: maxScoreBits}
+		return nil
+	})
+	return out, err
+}
+
+// Save persists an encrypted kNN relation bundle for upload to a data
+// cloud. Only public/encrypted material is written.
+func (er *EncryptedKNNRelation) Save(path string) error {
+	return saveTo(path, func(w io.Writer) error {
+		return secio.WriteHostedKNNRelation(w, er.db, er.maxScoreBits, er.pk)
+	})
+}
+
+// LoadEncryptedKNNRelation reads an encrypted kNN relation bundle.
+func LoadEncryptedKNNRelation(path string) (*EncryptedKNNRelation, error) {
+	var out *EncryptedKNNRelation
+	err := loadFrom(path, func(r io.Reader) error {
+		db, maxScoreBits, pk, err := secio.ReadHostedKNNRelation(r)
+		if err != nil {
+			return err
+		}
+		out = &EncryptedKNNRelation{db: db, pk: pk, maxScoreBits: maxScoreBits}
+		return nil
+	})
+	return out, err
 }
 
 // Save persists a query token (what an authorized client sends to S1).
 func (t *Token) Save(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := secio.WriteToken(f, t.tk); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return saveTo(path, func(w io.Writer) error {
+		return secio.WriteToken(w, t.tk)
+	})
 }
 
 // LoadToken reads a query token.
 func LoadToken(path string) (*Token, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	tk, err := secio.ReadToken(f)
-	if err != nil {
-		return nil, err
-	}
-	return &Token{tk: tk}, nil
+	var out *Token
+	err := loadFrom(path, func(r io.Reader) error {
+		tk, err := secio.ReadToken(r)
+		if err != nil {
+			return err
+		}
+		out = &Token{tk: tk}
+		return nil
+	})
+	return out, err
 }
 
 // Save persists a join token.
 func (t *JoinToken) Save(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := secio.WriteJoinToken(f, t.tk); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return saveTo(path, func(w io.Writer) error {
+		return secio.WriteJoinToken(w, t.tk)
+	})
 }
 
 // LoadJoinToken reads a join token.
 func LoadJoinToken(path string) (*JoinToken, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	tk, err := secio.ReadJoinToken(f)
-	if err != nil {
-		return nil, err
-	}
-	return &JoinToken{tk: tk}, nil
+	var out *JoinToken
+	err := loadFrom(path, func(r io.Reader) error {
+		tk, err := secio.ReadJoinToken(r)
+		if err != nil {
+			return err
+		}
+		out = &JoinToken{tk: tk}
+		return nil
+	})
+	return out, err
+}
+
+// Save persists a kNN token (what an authorized client sends to S1).
+func (t *KNNToken) Save(path string) error {
+	return saveTo(path, func(w io.Writer) error {
+		return secio.WriteKNNToken(w, t.point, t.k)
+	})
+}
+
+// LoadKNNToken reads a kNN token.
+func LoadKNNToken(path string) (*KNNToken, error) {
+	var out *KNNToken
+	err := loadFrom(path, func(r io.Reader) error {
+		point, k, err := secio.ReadKNNToken(r)
+		if err != nil {
+			return err
+		}
+		out = &KNNToken{point: point, k: k}
+		return nil
+	})
+	return out, err
 }
 
 // Save persists an encrypted query result (what S1 returns to the
 // client for revealing).
 func (r *EncryptedResult) Save(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := secio.WriteQueryResult(f, r.items, r.Depth, r.Halted); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return saveTo(path, func(w io.Writer) error {
+		return secio.WriteQueryResult(w, r.items, r.Depth, r.Halted)
+	})
 }
 
 // LoadEncryptedResult reads an encrypted query result.
 func LoadEncryptedResult(path string) (*EncryptedResult, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	items, depth, halted, err := secio.ReadQueryResult(f)
-	if err != nil {
-		return nil, err
-	}
-	return &EncryptedResult{items: items, Depth: depth, Halted: halted}, nil
+	var out *EncryptedResult
+	err := loadFrom(path, func(r io.Reader) error {
+		items, depth, halted, err := secio.ReadQueryResult(r)
+		if err != nil {
+			return err
+		}
+		out = &EncryptedResult{items: items, Depth: depth, Halted: halted}
+		return nil
+	})
+	return out, err
+}
+
+// Save persists an encrypted join result (what S1 returns to the client
+// for revealing).
+func (r *EncryptedJoinResult) Save(path string) error {
+	return saveTo(path, func(w io.Writer) error {
+		return secio.WriteJoinResult(w, r.tuples)
+	})
+}
+
+// LoadEncryptedJoinResult reads an encrypted join result.
+func LoadEncryptedJoinResult(path string) (*EncryptedJoinResult, error) {
+	var out *EncryptedJoinResult
+	err := loadFrom(path, func(r io.Reader) error {
+		tuples, err := secio.ReadJoinResult(r)
+		if err != nil {
+			return err
+		}
+		out = &EncryptedJoinResult{tuples: tuples}
+		return nil
+	})
+	return out, err
+}
+
+// Save persists an encrypted kNN result (what S1 returns to the client
+// for revealing).
+func (r *EncryptedKNNResult) Save(path string) error {
+	return saveTo(path, func(w io.Writer) error {
+		return secio.WriteKNNResult(w, r.items)
+	})
+}
+
+// LoadEncryptedKNNResult reads an encrypted kNN result.
+func LoadEncryptedKNNResult(path string) (*EncryptedKNNResult, error) {
+	var out *EncryptedKNNResult
+	err := loadFrom(path, func(r io.Reader) error {
+		items, err := secio.ReadKNNResult(r)
+		if err != nil {
+			return err
+		}
+		out = &EncryptedKNNResult{items: items}
+		return nil
+	})
+	return out, err
 }

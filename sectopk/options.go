@@ -22,6 +22,7 @@ type config struct {
 	noncePools   bool
 	shards       int
 	batching     bool
+	sessionLimit int
 }
 
 func defaultConfig() config {
@@ -136,6 +137,22 @@ func WithShards(p int) Option {
 // v1 behavior exactly.
 func WithBatching(on bool) Option {
 	return func(c *config) { c.batching = on }
+}
+
+// WithSessionLimit bounds the requests a DataCloud executes
+// concurrently, across every workload and entry point: DataCloud.Execute,
+// Session/JoinSession, SessionPool runs, and requests admitted from
+// remote clients (ServeClients) all claim one admission slot for the
+// duration of their run. n <= 0 (the default) leaves in-process
+// execution unbounded; the remote client plane then falls back to a
+// GOMAXPROCS-sized gate of its own, so an open listener never admits
+// unbounded concurrent work.
+func WithSessionLimit(n int) Option {
+	return func(c *config) {
+		if n > 0 {
+			c.sessionLimit = n
+		}
+	}
 }
 
 // Mode selects the query-processing variant (Section 11.2).

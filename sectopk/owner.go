@@ -6,6 +6,8 @@ import (
 	"repro/internal/cloud"
 	"repro/internal/core"
 	"repro/internal/join"
+	"repro/internal/knn"
+	"repro/internal/prf"
 	"repro/internal/secerr"
 	"repro/internal/shard"
 )
@@ -25,9 +27,17 @@ type Keys struct {
 type Owner struct {
 	scheme *core.Scheme
 	shards int
+	// knnMaster keys the kNN id-digest table. It is derived
+	// deterministically from the owner's persisted scheme secrets
+	// (domain-separated), so a restored owner — including one restored
+	// from a bundle written before the kNN workload existed — always
+	// reveals kNN answers over record stores the original encrypted.
+	knnMaster prf.Key
 
-	mu        sync.Mutex
-	revealers map[int]*core.Revealer
+	mu           sync.Mutex
+	revealers    map[int]*core.Revealer
+	knn          *knn.Scheme // lazily built on first kNN use
+	knnRevealers map[int]*knn.Revealer
 }
 
 // NewOwner generates an owner with fresh key material.
@@ -37,7 +47,56 @@ func NewOwner(opts ...Option) (*Owner, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Owner{scheme: scheme, shards: cfg.shards, revealers: map[int]*core.Revealer{}}, nil
+	return newOwner(scheme, cfg.shards), nil
+}
+
+// newOwner assembles an owner around a (fresh or restored) scheme.
+func newOwner(scheme *core.Scheme, shards int) *Owner {
+	knnMaster := prf.Key(prf.Eval(prf.Key(scheme.Secrets().Master),
+		[]byte("sectopk/knn-digest-master/v1")))
+	return &Owner{
+		scheme: scheme, shards: shards, knnMaster: knnMaster,
+		revealers:    map[int]*core.Revealer{},
+		knnRevealers: map[int]*knn.Revealer{},
+	}
+}
+
+// knnScheme returns the (lazily built) kNN owner scheme, which shares the
+// owner's Paillier keys but hashes record ids under the dedicated kNN
+// master key.
+func (o *Owner) knnScheme() (*knn.Scheme, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.knn != nil {
+		return o.knn, nil
+	}
+	p := o.scheme.Params()
+	s, err := knn.NewSchemeWithMaster(o.scheme.KeyMaterial(), o.knnMaster, p.EHL, p.MaxScoreBits)
+	if err != nil {
+		return nil, err
+	}
+	o.knn = s
+	return s, nil
+}
+
+// knnRevealer returns the (cached) kNN digest resolver for record stores
+// of n rows.
+func (o *Owner) knnRevealer(n int) (*knn.Revealer, error) {
+	s, err := o.knnScheme()
+	if err != nil {
+		return nil, err
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if r, ok := o.knnRevealers[n]; ok {
+		return r, nil
+	}
+	r, err := s.NewRevealer(n)
+	if err != nil {
+		return nil, err
+	}
+	o.knnRevealers[n] = r
+	return r, nil
 }
 
 // Keys returns the secret key material to provision to a CryptoCloud.

@@ -1,0 +1,244 @@
+package sectopk
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/secerr"
+)
+
+// Workload names one of the query kinds the unified Request surface
+// executes. The string values are part of the client wire protocol.
+type Workload string
+
+const (
+	// WorkloadTopK is a SecTopK top-k selection query (Algorithm 3).
+	WorkloadTopK Workload = "topk"
+	// WorkloadJoin is a secure top-k equi-join (Section 12).
+	WorkloadJoin Workload = "join"
+	// WorkloadKNN is a secure k-nearest-neighbors query (Section 11.3).
+	WorkloadKNN Workload = "knn"
+)
+
+// Request is the unified query surface: one hosted relation ID plus
+// exactly one workload trapdoor — a top-k Token, a JoinToken, or a
+// KNNToken — and the per-query options. Build one with TopKRequest,
+// JoinRequest, or KNNRequest, then hand it to DataCloud.Execute (in
+// process) or Client.Execute (over the wire); both return the same
+// *Answer.
+type Request struct {
+	// Relation is the hosted relation ID the request targets.
+	Relation string
+	// TopK, Join, KNN: exactly one must be non-nil; it selects the
+	// workload.
+	TopK *Token
+	Join *JoinToken
+	KNN  *KNNToken
+	// Options configure this query's execution (mode, halting, depth
+	// caps, per-query parallelism). Join and kNN runs currently ignore
+	// the top-k-specific options.
+	Options []QueryOption
+}
+
+// TopKRequest builds a top-k request.
+func TopKRequest(relation string, tk *Token, opts ...QueryOption) Request {
+	return Request{Relation: relation, TopK: tk, Options: opts}
+}
+
+// JoinRequest builds a top-k equi-join request.
+func JoinRequest(relation string, tk *JoinToken, opts ...QueryOption) Request {
+	return Request{Relation: relation, Join: tk, Options: opts}
+}
+
+// KNNRequest builds a k-nearest-neighbors request.
+func KNNRequest(relation string, tk *KNNToken, opts ...QueryOption) Request {
+	return Request{Relation: relation, KNN: tk, Options: opts}
+}
+
+// workload validates the sum shape and returns the selected workload.
+func (r Request) workload() (Workload, error) {
+	if r.Relation == "" {
+		return "", secerr.New(secerr.CodeBadRequest, "sectopk: request names no relation")
+	}
+	var (
+		w Workload
+		n int
+	)
+	if r.TopK != nil {
+		w, n = WorkloadTopK, n+1
+	}
+	if r.Join != nil {
+		w, n = WorkloadJoin, n+1
+	}
+	if r.KNN != nil {
+		w, n = WorkloadKNN, n+1
+	}
+	switch n {
+	case 1:
+		return w, nil
+	case 0:
+		return "", secerr.New(secerr.CodeInvalidToken, "sectopk: request carries no token")
+	default:
+		return "", secerr.New(secerr.CodeBadRequest, "sectopk: request carries %d tokens, want exactly one", n)
+	}
+}
+
+// Answer is the encrypted outcome of one executed Request: exactly the
+// field matching the request's workload is non-nil. Traffic is the wire
+// usage attributable to the execution — the S1↔S2 rounds for in-process
+// execution, or this call's client↔S1 rounds when the answer crossed
+// the client wire. Either way the numbers come from the shared
+// connection's counters, so they are approximate when requests execute
+// concurrently on one connection.
+type Answer struct {
+	TopK *EncryptedResult
+	Join *EncryptedJoinResult
+	KNN  *EncryptedKNNResult
+
+	Traffic Traffic
+}
+
+// Workload returns which workload produced this answer.
+func (a *Answer) Workload() Workload {
+	switch {
+	case a.TopK != nil:
+		return WorkloadTopK
+	case a.Join != nil:
+		return WorkloadJoin
+	default:
+		return WorkloadKNN
+	}
+}
+
+// Execute runs one request of any workload against a hosted relation:
+// it validates the sum shape, resolves the relation in the matching
+// registry, and drives the workload's protocol against the connected
+// crypto cloud. Unknown (or workload-mismatched) relation IDs fail with
+// ErrUnknownRelation; malformed trapdoors with ErrInvalidToken. With
+// WithSessionLimit the call first claims an admission slot, so any
+// number of concurrent callers degrade to bounded concurrency instead
+// of unbounded fan-out. Session, JoinSession, SessionPool, and the
+// remote client plane (ServeClients) are all thin wrappers over this
+// entry point.
+func (d *DataCloud) Execute(ctx context.Context, req Request) (*Answer, error) {
+	return d.execute(ctx, req, buildQueryConfig(req.Options), d.admit)
+}
+
+// execute is the shared execution path: every wrapper funnels here with
+// its resolved query config and admission gate (nil = unbounded).
+func (d *DataCloud) execute(ctx context.Context, req Request, cfg queryConfig, gate chan struct{}) (*Answer, error) {
+	w, err := req.workload()
+	if err != nil {
+		return nil, err
+	}
+	if gate != nil {
+		select {
+		case gate <- struct{}{}:
+			defer func() { <-gate }()
+		case <-ctx.Done():
+			return nil, fmt.Errorf("sectopk: awaiting admission: %w", ctx.Err())
+		}
+	}
+	before := d.Traffic()
+	ans := &Answer{}
+	switch w {
+	case WorkloadTopK:
+		rel, err := d.hostedTopK(req.Relation)
+		if err != nil {
+			return nil, err
+		}
+		if err := rel.engine.ValidateToken(req.TopK.tk); err != nil {
+			return nil, err
+		}
+		res, err := rel.engine.SecQuery(ctx, req.TopK.tk, cfg.coreOptions())
+		if err != nil {
+			return nil, err
+		}
+		ans.TopK = &EncryptedResult{items: res.Items, Depth: res.Depth, Halted: res.Halted}
+	case WorkloadJoin:
+		hj, err := d.hostedJoinRelation(req.Relation)
+		if err != nil {
+			return nil, err
+		}
+		tuples, err := hj.engine.SecJoin(ctx, req.Join.tk)
+		if err != nil {
+			return nil, err
+		}
+		ans.Join = &EncryptedJoinResult{tuples: tuples}
+	case WorkloadKNN:
+		hk, err := d.hostedKNNRelation(req.Relation)
+		if err != nil {
+			return nil, err
+		}
+		if got, want := len(req.KNN.point), hk.er.db.M; got != want {
+			return nil, secerr.New(secerr.CodeInvalidToken,
+				"sectopk: kNN token has %d coordinates, relation has %d attributes", got, want)
+		}
+		// Re-validate k and the coordinate bounds here, not just at token
+		// issue time: a token rebuilt from the wire (or a tampered file)
+		// must fail exactly like an in-process one would.
+		if req.KNN.k <= 0 {
+			return nil, secerr.New(secerr.CodeInvalidToken, "sectopk: kNN k=%d must be positive", req.KNN.k)
+		}
+		if err := validateKNNPoint(req.KNN.point, hk.er.maxScoreBits); err != nil {
+			return nil, err
+		}
+		items, err := hk.engine.Query(ctx, req.KNN.point, req.KNN.k)
+		if err != nil {
+			return nil, err
+		}
+		ans.KNN = &EncryptedKNNResult{items: items}
+	}
+	after := d.Traffic()
+	ans.Traffic = Traffic{Rounds: after.Rounds - before.Rounds, Bytes: after.Bytes - before.Bytes}
+	return ans, nil
+}
+
+// hostedTopK resolves a top-k relation, reporting workload mismatches as
+// unknown-relation errors that name the actual kind.
+func (d *DataCloud) hostedTopK(relation string) (*hostedRelation, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if rel := d.relations[relation]; rel != nil {
+		return rel, nil
+	}
+	return nil, d.unknownRelationLocked(relation, WorkloadTopK)
+}
+
+// hostedJoinRelation resolves a join relation pair.
+func (d *DataCloud) hostedJoinRelation(relation string) (*hostedJoin, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if hj := d.joins[relation]; hj != nil {
+		return hj, nil
+	}
+	return nil, d.unknownRelationLocked(relation, WorkloadJoin)
+}
+
+// hostedKNNRelation resolves a kNN record store.
+func (d *DataCloud) hostedKNNRelation(relation string) (*hostedKNN, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if hk := d.knns[relation]; hk != nil {
+		return hk, nil
+	}
+	return nil, d.unknownRelationLocked(relation, WorkloadKNN)
+}
+
+// unknownRelationLocked (d.mu held) builds the unknown-relation error,
+// naming the hosted workload when the ID exists under a different one.
+func (d *DataCloud) unknownRelationLocked(relation string, want Workload) error {
+	var got Workload
+	switch {
+	case d.relations[relation] != nil:
+		got = WorkloadTopK
+	case d.joins[relation] != nil:
+		got = WorkloadJoin
+	case d.knns[relation] != nil:
+		got = WorkloadKNN
+	default:
+		return secerr.New(secerr.CodeUnknownRelation, "sectopk: relation %q not hosted", relation)
+	}
+	return secerr.New(secerr.CodeUnknownRelation,
+		"sectopk: relation %q is hosted for %s queries, not %s", relation, got, want)
+}

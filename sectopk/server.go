@@ -1,0 +1,220 @@
+package sectopk
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"runtime"
+
+	"repro/internal/secerr"
+	"repro/internal/secio"
+	"repro/internal/transport"
+)
+
+// Client wire protocol v1 (querier ↔ data cloud).
+//
+// The client plane rides on the same framing stack as the S1↔S2 wire:
+// connections negotiate the frame-ID multiplexed v2 framing (transport
+// preface), so one querier connection keeps any number of requests in
+// flight, replies match by frame ID, and a canceled request abandons
+// only its own frame. On top of that framing the client plane defines
+// its own method set and version number:
+//
+//	Client.Hello    {Min, Max}            -> {Version}
+//	Client.Execute  {Relation, Workload,  -> {Answer}
+//	                 Token, Options}
+//
+// Token and Answer are secio streams — byte-identical to the on-disk
+// persistence formats — of the kind selected by Workload ("topk",
+// "join", "knn"). Handler errors cross the wire as the structured
+// (code, message) pairs of internal/secerr, so errors.Is against the
+// sectopk.Err* sentinels behaves identically for remote and in-process
+// callers. See DESIGN.md "Client wire protocol v1".
+const (
+	// clientProtocolVersion is the highest client-plane version this
+	// build speaks.
+	clientProtocolVersion = 1
+	// clientMinProtocolVersion is the oldest version still accepted.
+	clientMinProtocolVersion = 1
+
+	methodClientHello   = "Client.Hello"
+	methodClientExecute = "Client.Execute"
+)
+
+// clientHello announces the querier's supported version range.
+type clientHello struct {
+	Min, Max int
+}
+
+// clientHelloReply confirms the negotiated version.
+type clientHelloReply struct {
+	Version int
+}
+
+// wireQueryOptions flattens a query configuration for the wire. Zero
+// values mean "default", matching the in-process QueryOption semantics.
+type wireQueryOptions struct {
+	Mode        int
+	Halt        int
+	Sort        int
+	BatchDepth  int
+	MaxDepth    int
+	Parallelism int
+}
+
+// wire flattens a resolved query config.
+func (q queryConfig) wire() wireQueryOptions {
+	return wireQueryOptions{
+		Mode: int(q.mode), Halt: int(q.halt), Sort: int(q.sort),
+		BatchDepth: q.batchDepth, MaxDepth: q.maxDepth, Parallelism: q.parallelism,
+	}
+}
+
+// queryConfigFromWire rebuilds a query config from its wire form.
+func queryConfigFromWire(w wireQueryOptions) queryConfig {
+	return queryConfig{
+		mode: Mode(w.Mode), halt: Halting(w.Halt), sort: SortStrategy(w.Sort),
+		batchDepth: w.BatchDepth, maxDepth: w.MaxDepth, parallelism: w.Parallelism,
+	}
+}
+
+// clientExecuteRequest carries one query: the relation ID, the workload
+// discriminator, the workload's token as a secio stream, and the query
+// options.
+type clientExecuteRequest struct {
+	Relation string
+	Workload string
+	Token    []byte
+	Options  wireQueryOptions
+}
+
+// clientExecuteReply carries the encrypted answer as a secio stream of
+// the workload's result kind.
+type clientExecuteReply struct {
+	Answer []byte
+}
+
+// ServeClients accepts querier connections on the listener and serves
+// the client wire protocol until the listener closes or the context is
+// canceled (which also closes the listener and every open connection).
+// Each connection is served on its own goroutine and multiplexes any
+// number of in-flight requests; every admitted request executes through
+// the same unified path as in-process callers, gated by the data cloud's
+// admission bound (WithSessionLimit, defaulting to a GOMAXPROCS-sized
+// gate for the remote plane), so N remote clients get the same
+// bounded-concurrency guarantees a SessionPool gives local callers.
+// Handler errors are reported to the peer as structured (code, message)
+// pairs, never by tearing the serving loop down.
+func (d *DataCloud) ServeClients(ctx context.Context, l net.Listener) error {
+	return transport.Serve(ctx, l, &clientResponder{dc: d, gate: d.clientAdmission()})
+}
+
+// clientAdmission returns the gate remote requests execute under: the
+// configured session limit when one is set, else a shared
+// GOMAXPROCS-sized gate built on first use.
+func (d *DataCloud) clientAdmission() chan struct{} {
+	if d.admit != nil {
+		return d.admit
+	}
+	d.clientGateOnce.Do(func() {
+		d.clientGateCh = make(chan struct{}, runtime.GOMAXPROCS(0))
+	})
+	return d.clientGateCh
+}
+
+// clientResponder handles client-plane methods. It is stateless per
+// connection, so one responder serves every accepted connection.
+type clientResponder struct {
+	dc   *DataCloud
+	gate chan struct{}
+}
+
+// Serve implements transport.Responder.
+func (r *clientResponder) Serve(ctx context.Context, method string, body []byte) ([]byte, error) {
+	switch method {
+	case methodClientHello:
+		var req clientHello
+		if err := transport.Decode(body, &req); err != nil {
+			return nil, secerr.Wrap(secerr.CodeBadRequest, err, "sectopk: decoding client hello")
+		}
+		if req.Max < clientMinProtocolVersion || req.Min > clientProtocolVersion {
+			return nil, secerr.New(secerr.CodeProtocolVersion,
+				"sectopk: client speaks query plane v%d..v%d, this server v%d..v%d",
+				req.Min, req.Max, clientMinProtocolVersion, clientProtocolVersion)
+		}
+		v := clientProtocolVersion
+		if req.Max < v {
+			v = req.Max
+		}
+		return transport.Encode(clientHelloReply{Version: v})
+	case methodClientExecute:
+		var wreq clientExecuteRequest
+		if err := transport.Decode(body, &wreq); err != nil {
+			return nil, secerr.Wrap(secerr.CodeBadRequest, err, "sectopk: decoding execute request")
+		}
+		req, err := decodeWireRequest(&wreq)
+		if err != nil {
+			return nil, err
+		}
+		ans, err := r.dc.execute(ctx, req, queryConfigFromWire(wreq.Options), r.gate)
+		if err != nil {
+			return nil, err
+		}
+		payload, err := encodeWireAnswer(ans)
+		if err != nil {
+			return nil, err
+		}
+		return transport.Encode(clientExecuteReply{Answer: payload})
+	default:
+		return nil, secerr.New(secerr.CodeUnknownMethod, "sectopk: unknown client method %q", method)
+	}
+}
+
+// decodeWireRequest rebuilds a Request from its wire form; the token
+// payload is parsed with the persistence codec of the request's
+// workload. Malformed payloads fail with ErrInvalidToken, unknown
+// workloads with ErrBadRequest.
+func decodeWireRequest(wreq *clientExecuteRequest) (Request, error) {
+	r := bytes.NewReader(wreq.Token)
+	switch Workload(wreq.Workload) {
+	case WorkloadTopK:
+		tk, err := secio.ReadToken(r)
+		if err != nil {
+			return Request{}, secerr.Wrap(secerr.CodeInvalidToken, err, "sectopk: decoding top-k token")
+		}
+		return Request{Relation: wreq.Relation, TopK: &Token{tk: tk}}, nil
+	case WorkloadJoin:
+		tk, err := secio.ReadJoinToken(r)
+		if err != nil {
+			return Request{}, secerr.Wrap(secerr.CodeInvalidToken, err, "sectopk: decoding join token")
+		}
+		return Request{Relation: wreq.Relation, Join: &JoinToken{tk: tk}}, nil
+	case WorkloadKNN:
+		point, k, err := secio.ReadKNNToken(r)
+		if err != nil {
+			return Request{}, secerr.Wrap(secerr.CodeInvalidToken, err, "sectopk: decoding kNN token")
+		}
+		return Request{Relation: wreq.Relation, KNN: &KNNToken{point: point, k: k}}, nil
+	default:
+		return Request{}, secerr.New(secerr.CodeBadRequest, "sectopk: unknown workload %q", wreq.Workload)
+	}
+}
+
+// encodeWireAnswer serializes an answer with the persistence codec of
+// its workload.
+func encodeWireAnswer(ans *Answer) ([]byte, error) {
+	var buf bytes.Buffer
+	var err error
+	switch ans.Workload() {
+	case WorkloadTopK:
+		err = secio.WriteQueryResult(&buf, ans.TopK.items, ans.TopK.Depth, ans.TopK.Halted)
+	case WorkloadJoin:
+		err = secio.WriteJoinResult(&buf, ans.Join.tuples)
+	case WorkloadKNN:
+		err = secio.WriteKNNResult(&buf, ans.KNN.items)
+	}
+	if err != nil {
+		return nil, secerr.Wrap(secerr.CodeInternal, err, "sectopk: encoding answer")
+	}
+	return buf.Bytes(), nil
+}
