@@ -19,7 +19,11 @@ import (
 type MicroResult struct {
 	// Op names the operation and the nonce path it ran on, e.g.
 	// "paillier/encrypt/crt".
-	Op      string  `json:"op"`
+	Op string `json:"op"`
+	// Name mirrors Op under the key downstream row consumers expect;
+	// rows used to deserialize with name null. Op is kept for
+	// compatibility with older readers.
+	Name    string  `json:"name"`
 	NsPerOp float64 `json:"ns_per_op"`
 	Iters   int     `json:"iters"`
 }
@@ -123,6 +127,42 @@ func RunMicro(cfg Config) (*MicroReport, error) {
 		units[i] = u
 	}
 
+	// Montgomery-vs-big.Int comparison operands. The modmul chain runs in
+	// the plaintext group Z_N — the Mult protocol's product domain — where
+	// the engine amortizes domain entry over the whole chain. The modexp
+	// and multiexp operands are ciphertext-sized elements of Z_{N^2}.
+	engN, engN2 := pk.EngineN(), pk.EngineN2()
+	if engN == nil || engN2 == nil {
+		return nil, fmt.Errorf("bench: micro: key carries no Montgomery engines")
+	}
+	muls := make([]*big.Int, invBatch)
+	for i := range muls {
+		u, err := zmath.RandInt(rand.Reader, pk.N)
+		if err != nil {
+			return nil, err
+		}
+		muls[i] = u
+	}
+	expBase, err := zmath.RandUnit(rand.Reader, pk.N2)
+	if err != nil {
+		return nil, err
+	}
+	expE, err := zmath.RandInt(rand.Reader, pk.N)
+	if err != nil {
+		return nil, err
+	}
+	const multiBases = 4
+	mxBases := make([]*big.Int, multiBases)
+	mxExps := make([]*big.Int, multiBases)
+	for i := range mxBases {
+		if mxBases[i], err = zmath.RandUnit(rand.Reader, pk.N2); err != nil {
+			return nil, err
+		}
+		if mxExps[i], err = zmath.RandInt(rand.Reader, pk.N); err != nil {
+			return nil, err
+		}
+	}
+
 	ops := []struct {
 		name string
 		f    func() error
@@ -147,6 +187,40 @@ func RunMicro(cfg Config) (*MicroReport, error) {
 			_, err := zmath.BatchModInverse(units, pk.N2)
 			return err
 		}},
+		{fmt.Sprintf("zmath/modmul-big/%d", invBatch), func() error {
+			acc := new(big.Int).Set(muls[0])
+			for _, x := range muls[1:] {
+				acc.Mul(acc, x)
+				acc.Mod(acc, pk.N)
+			}
+			return nil
+		}},
+		{fmt.Sprintf("zmath/modmul-mont/%d", invBatch), func() error {
+			engN.ProdMod(muls)
+			return nil
+		}},
+		{"zmath/modexp-big", func() error {
+			new(big.Int).Exp(expBase, expE, pk.N2)
+			return nil
+		}},
+		{"zmath/modexp-mont", func() error {
+			engN2.ExpMod(expBase, expE)
+			return nil
+		}},
+		{fmt.Sprintf("zmath/multiexp-big/%d", multiBases), func() error {
+			acc := big.NewInt(1)
+			t := new(big.Int)
+			for i := range mxBases {
+				t.Exp(mxBases[i], mxExps[i], pk.N2)
+				acc.Mul(acc, t)
+				acc.Mod(acc, pk.N2)
+			}
+			return nil
+		}},
+		{fmt.Sprintf("zmath/multiexp-mont/%d", multiBases), func() error {
+			_, err := engN2.MultiExpMod(mxBases, mxExps)
+			return err
+		}},
 	}
 	for _, op := range ops {
 		res, err := timeOp(op.f)
@@ -154,6 +228,7 @@ func RunMicro(cfg Config) (*MicroReport, error) {
 			return nil, fmt.Errorf("bench: micro %s: %w", op.name, err)
 		}
 		res.Op = op.name
+		res.Name = op.name
 		rep.Results = append(rep.Results, res)
 	}
 	return rep, nil
@@ -211,6 +286,12 @@ func (r *MicroReport) Report() *Report {
 			spec = "dj/encrypt/spec"
 		case fmt.Sprintf("zmath/inverse-batch/%d", invBatch):
 			spec = fmt.Sprintf("zmath/inverse-loop/%d", invBatch)
+		case fmt.Sprintf("zmath/modmul-mont/%d", invBatch):
+			spec = fmt.Sprintf("zmath/modmul-big/%d", invBatch)
+		case "zmath/modexp-mont":
+			spec = "zmath/modexp-big"
+		case "zmath/multiexp-mont/4":
+			spec = "zmath/multiexp-big/4"
 		}
 		vs := "-"
 		if spec != "" {

@@ -388,8 +388,13 @@ func (s *Server) mult(ctx context.Context, req *MultRequest) (*MultReply, error)
 		if err != nil {
 			return fmt.Errorf("cloud: Mult b[%d]: %w", i, err)
 		}
-		prod := new(big.Int).Mul(a, b)
-		prod.Mod(prod, pk.N)
+		var prod *big.Int
+		if eng := pk.EngineN(); eng != nil {
+			prod = eng.MulMod(a, b)
+		} else {
+			prod = new(big.Int).Mul(a, b)
+			prod.Mod(prod, pk.N)
+		}
 		ct, err := s.pkEnc.Encrypt(prod)
 		if err != nil {
 			return err
@@ -571,14 +576,10 @@ func (s *Server) dedup(ctx context.Context, req *DedupRequest) (*DedupReply, err
 				for _, col := range req.MergeCols {
 					for _, other := range members[1:] {
 						// Homomorphic sum of blinded scores...
-						sum := new(big.Int).Mul(mergedCopy.Scores[col], req.Rows[other].Scores[col])
-						sum.Mod(sum, pk.N2)
-						mergedCopy.Scores[col] = sum
+						mergedCopy.Scores[col] = mulModN2(pk, mergedCopy.Scores[col], req.Rows[other].Scores[col])
 						// ...and of their blinds under the ephemeral key.
 						bIdx := len(merged.EHL) + col
-						bsum := new(big.Int).Mul(mergedCopy.Blinds[bIdx], req.Rows[other].Blinds[bIdx])
-						bsum.Mod(bsum, ephPK.N2)
-						mergedCopy.Blinds[bIdx] = bsum
+						mergedCopy.Blinds[bIdx] = mulModN2(ephPK, mergedCopy.Blinds[bIdx], req.Rows[other].Blinds[bIdx])
 					}
 				}
 				merged = mergedCopy
@@ -607,6 +608,17 @@ func (s *Server) dedup(ctx context.Context, req *DedupRequest) (*DedupReply, err
 		out[perm[i]] = rows[i]
 	}
 	return &DedupReply{Rows: out}, nil
+}
+
+// mulModN2 multiplies two ciphertext group elements mod pk.N^2 through the
+// key's Montgomery engine when it carries one, falling back to a plain
+// big.Int multiply-and-reduce. Both paths return the canonical residue.
+func mulModN2(pk *paillier.PublicKey, a, b *big.Int) *big.Int {
+	if eng := pk.EngineN2(); eng != nil {
+		return eng.MulMod(a, b)
+	}
+	v := new(big.Int).Mul(a, b)
+	return v.Mod(v, pk.N2)
 }
 
 // sentinelRow builds the replacement row for a duplicate in Replace mode:
@@ -671,16 +683,12 @@ func (s *Server) reblindRow(pk, ephPK *paillier.PublicKey, row *WireRow) error {
 		if err != nil {
 			return err
 		}
-		v := new(big.Int).Mul(*slot, dct.C)
-		v.Mod(v, pk.N2)
-		*slot = v
+		*slot = mulModN2(pk, *slot, dct.C)
 		bct, err := ephPK.Encrypt(delta)
 		if err != nil {
 			return err
 		}
-		b := new(big.Int).Mul(*blind, bct.C)
-		b.Mod(b, ephPK.N2)
-		*blind = b
+		*blind = mulModN2(ephPK, *blind, bct.C)
 		return nil
 	}
 	for j := range row.EHL {
@@ -758,9 +766,7 @@ func (s *Server) filter(ctx context.Context, req *FilterRequest) (*FilterReply, 
 		if err != nil {
 			return err
 		}
-		v.Mul(v, z.C)
-		v.Mod(v, pk.N2)
-		row.Scores[0] = v
+		row.Scores[0] = mulModN2(pk, v, z.C)
 		b := new(big.Int).Exp(row.Blinds[0], gammaInv, ephPK.N2)
 		row.Blinds[0] = b
 
@@ -774,16 +780,12 @@ func (s *Server) filter(ctx context.Context, req *FilterRequest) (*FilterReply, 
 			if err != nil {
 				return err
 			}
-			sv := new(big.Int).Mul(row.Scores[j], dct.C)
-			sv.Mod(sv, pk.N2)
-			row.Scores[j] = sv
+			row.Scores[j] = mulModN2(pk, row.Scores[j], dct.C)
 			bct, err := ephPK.Encrypt(delta)
 			if err != nil {
 				return err
 			}
-			bv := new(big.Int).Mul(row.Blinds[j], bct.C)
-			bv.Mod(bv, ephPK.N2)
-			row.Blinds[j] = bv
+			row.Blinds[j] = mulModN2(ephPK, row.Blinds[j], bct.C)
 		}
 		return nil
 	})

@@ -445,14 +445,13 @@ func (e *Engine) batchBest(bottoms []*paillier.Ciphertext, par int) bestFunc {
 	return func(ctx context.Context, items []protocols.Item) ([]*paillier.Ciphertext, error) {
 		pk := e.client.PK()
 		m := len(bottoms)
-		sumBottoms, err := e.client.Enc().EncryptZero()
+		zero, err := e.client.Enc().EncryptZero()
 		if err != nil {
 			return nil, err
 		}
-		for _, b := range bottoms {
-			if sumBottoms, err = pk.Add(sumBottoms, b); err != nil {
-				return nil, err
-			}
+		sumBottoms, err := pk.AddAll(append([]*paillier.Ciphertext{zero}, bottoms...))
+		if err != nil {
+			return nil, err
 		}
 		var as, bs []*paillier.Ciphertext
 		for _, it := range items {
@@ -468,21 +467,22 @@ func (e *Engine) batchBest(bottoms []*paillier.Ciphertext, par int) bestFunc {
 		if err != nil {
 			return nil, err
 		}
+		negs := make([]*paillier.Ciphertext, len(prods))
+		for i, p := range prods {
+			if negs[i], err = pk.Neg(p); err != nil {
+				return nil, err
+			}
+		}
 		out := make([]*paillier.Ciphertext, len(items))
 		err = parallel.ForEachCtx(ctx, par, len(items), func(i int) error {
-			b := items[i].Scores[0] // W
-			var err error
-			if b, err = pk.Add(b, sumBottoms); err != nil {
+			// B = W + sum_j bottom_j - sum_j v_j*bottom_j, folded in one
+			// product chain over N^2.
+			terms := make([]*paillier.Ciphertext, 0, 2+m)
+			terms = append(terms, items[i].Scores[0], sumBottoms)
+			terms = append(terms, negs[i*m:(i+1)*m]...)
+			b, err := pk.AddAll(terms)
+			if err != nil {
 				return err
-			}
-			for j := 0; j < m; j++ {
-				neg, err := pk.Neg(prods[i*m+j])
-				if err != nil {
-					return err
-				}
-				if b, err = pk.Add(b, neg); err != nil {
-					return err
-				}
 			}
 			out[i] = b
 			return nil
@@ -539,14 +539,13 @@ func (e *Engine) checkHalt(ctx context.Context, T []protocols.Item, k, magBits i
 	// Strict NRA halting: every tracked non-top-k bound plus the
 	// unseen-object bound (sum of the current bottoms) must be dominated
 	// by W_k.
-	sum, err := e.client.Enc().EncryptZero()
+	zero, err := e.client.Enc().EncryptZero()
 	if err != nil {
 		return false, nil, err
 	}
-	for _, b := range bottoms {
-		if sum, err = pk.Add(sum, b); err != nil {
-			return false, nil, err
-		}
+	sum, err := pk.AddAll(append([]*paillier.Ciphertext{zero}, bottoms...))
+	if err != nil {
+		return false, nil, err
 	}
 	bounds = append(bounds, sum)
 	wks := make([]*paillier.Ciphertext, len(bounds))
@@ -651,15 +650,13 @@ func (e *Engine) SecQueryCandidates(ctx context.Context, tk *Token, opts Options
 	if !info.fullScan && len(info.bottoms) > 0 {
 		// Objects never seen in any list are bounded by the sum of the
 		// current bottoms; after a full scan there are none.
-		sum, err := e.client.Enc().EncryptZero()
+		zero, err := e.client.Enc().EncryptZero()
 		if err != nil {
 			return nil, err
 		}
-		pk := e.client.PK()
-		for _, b := range info.bottoms {
-			if sum, err = pk.Add(sum, b); err != nil {
-				return nil, err
-			}
+		sum, err := e.client.PK().AddAll(append([]*paillier.Ciphertext{zero}, info.bottoms...))
+		if err != nil {
+			return nil, err
 		}
 		out.Residuals = append(out.Residuals, sum)
 	}

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/zmath"
+)
+
+// TestQueryModesBitEquivalentAcrossEngines runs the paper's running
+// example through all three query modes with the Montgomery engine forced
+// on and then forced off. The revealed top-k (objects and exact worst
+// scores) must be identical: the engine is an arithmetic backend swap,
+// never a semantic change.
+func TestQueryModesBitEquivalentAcrossEngines(t *testing.T) {
+	r := getRig(t)
+	er := encryptFig3(t, r)
+
+	prev := zmath.MontgomeryEnabled()
+	defer zmath.SetMontgomeryEnabled(prev)
+
+	modes := []struct {
+		name string
+		opts Options
+	}{
+		{"QryF", Options{Mode: QryF, Halt: HaltPaper}},
+		{"QryE", Options{Mode: QryE, Halt: HaltPaper}},
+		{"QryBa", Options{Mode: QryBa, Halt: HaltPaper, BatchDepth: 2}},
+	}
+	for _, mode := range modes {
+		t.Run(mode.name, func(t *testing.T) {
+			var ref []RevealedResult
+			for _, on := range []bool{true, false} {
+				zmath.SetMontgomeryEnabled(on)
+				_, revealed := runQuery(t, r, er, []int{0, 1, 2}, nil, 2, mode.opts)
+				if ref == nil {
+					ref = revealed
+					continue
+				}
+				if len(revealed) != len(ref) {
+					t.Fatalf("engine toggle changed result count: %d vs %d", len(revealed), len(ref))
+				}
+				for i := range ref {
+					if revealed[i].Obj != ref[i].Obj || revealed[i].Worst != ref[i].Worst {
+						t.Errorf("result %d diverges across engines: mont-on (%d, %d) vs mont-off (%d, %d)",
+							i, ref[i].Obj, ref[i].Worst, revealed[i].Obj, revealed[i].Worst)
+					}
+				}
+			}
+		})
+	}
+}

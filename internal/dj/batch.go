@@ -28,9 +28,7 @@ func (pk *PublicKey) encryptWithRN(m, rn *big.Int) (*Ciphertext, error) {
 		return nil, err
 	}
 	gm := pk.expOnePlusN(mm)
-	c := gm.Mul(gm, rn)
-	c.Mod(c, pk.NS1)
-	return &Ciphertext{C: c}, nil
+	return &Ciphertext{C: pk.mulNS1(gm, rn)}, nil
 }
 
 // EncryptBatch encrypts every message with fresh randomness over at most

@@ -43,6 +43,24 @@ type PublicKey struct {
 	NS1 *big.Int // N^{s+1}, the ciphertext modulus
 	// nPow[i] = N^i for i in [0, s+1]; shared by the decrypt extraction.
 	nPow []*big.Int
+
+	// engNS1 is the reduction engine for the ciphertext modulus N^{s+1},
+	// precomputed by NewPublicKey; nil on literal-constructed keys, in
+	// which case every helper falls back to plain big.Int arithmetic.
+	engNS1 *zmath.Modulus
+}
+
+// EngineNS1 returns the reduction engine for the ciphertext modulus
+// N^{s+1} (nil on keys built without NewPublicKey). Read-only.
+func (pk *PublicKey) EngineNS1() *zmath.Modulus { return pk.engNS1 }
+
+// mulNS1 multiplies mod N^{s+1} through the engine when available.
+func (pk *PublicKey) mulNS1(a, b *big.Int) *big.Int {
+	if pk.engNS1 != nil {
+		return pk.engNS1.MulMod(a, b)
+	}
+	out := new(big.Int).Mul(a, b)
+	return out.Mod(out, pk.NS1)
 }
 
 // PrivateKey carries the decryption exponent d with d = 1 mod N^s and
@@ -86,6 +104,11 @@ func NewPublicKey(pk *paillier.PublicKey, s int) (*PublicKey, error) {
 	}
 	out.NS = out.nPow[s]
 	out.NS1 = out.nPow[s+1]
+	// N is odd for every valid Paillier modulus, hence so is N^{s+1};
+	// the guard only spares hand-built test keys with toy moduli.
+	if out.NS1.Bit(0) == 1 {
+		out.engNS1 = zmath.MustModulus(out.NS1)
+	}
 	return out, nil
 }
 
@@ -165,9 +188,7 @@ func (pk *PublicKey) EncryptWithNonce(m, r *big.Int) (*Ciphertext, error) {
 	}
 	gm := pk.expOnePlusN(mm)
 	rn := new(big.Int).Exp(r, pk.NS, pk.NS1)
-	c := gm.Mul(gm, rn)
-	c.Mod(c, pk.NS1)
-	return &Ciphertext{C: c}, nil
+	return &Ciphertext{C: pk.mulNS1(gm, rn)}, nil
 }
 
 // EncryptInt64 is a convenience wrapper around Encrypt.
@@ -287,9 +308,7 @@ func (pk *PublicKey) Add(a, b *Ciphertext) (*Ciphertext, error) {
 	if err := pk.validateCiphertext(b); err != nil {
 		return nil, err
 	}
-	c := new(big.Int).Mul(a.C, b.C)
-	c.Mod(c, pk.NS1)
-	return &Ciphertext{C: c}, nil
+	return &Ciphertext{C: pk.mulNS1(a.C, b.C)}, nil
 }
 
 // ExpConst returns E(k*x) = E(x)^k for a plaintext exponent k in Z_{N^s}.

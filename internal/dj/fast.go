@@ -148,7 +148,14 @@ func NewFastEncryptor(pk *PublicKey, expBits int) (*FastEncryptor, error) {
 	h := new(big.Int).Mul(x, x)
 	h.Mod(h, pk.N)
 	hNs := new(big.Int).Exp(h, pk.NS, pk.NS1)
-	table, err := zmath.NewFixedBaseTable(hNs, pk.NS1, paillier.FastNonceWindow, expBits)
+	// Keep the table entries in Montgomery form when the key carries an
+	// engine, so nonce draws run their window chains division-free.
+	var table *zmath.FixedBaseTable
+	if eng := pk.EngineNS1(); eng != nil {
+		table, err = zmath.NewFixedBaseTableMod(hNs, eng, paillier.FastNonceWindow, expBits)
+	} else {
+		table, err = zmath.NewFixedBaseTable(hNs, pk.NS1, paillier.FastNonceWindow, expBits)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("dj: building fast-nonce table: %w", err)
 	}

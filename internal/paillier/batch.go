@@ -29,12 +29,11 @@ func (pk *PublicKey) encryptWithRN(m, rn *big.Int) (*Ciphertext, error) {
 	if err != nil {
 		return nil, err
 	}
+	// gm = 1 + m*N < N^2 already, so the only reduction is the engine's
+	// nonce multiply.
 	gm := new(big.Int).Mul(mm, pk.N)
 	gm.Add(gm, zmath.One)
-	gm.Mod(gm, pk.N2)
-	c := gm.Mul(gm, rn)
-	c.Mod(c, pk.N2)
-	return &Ciphertext{C: c}, nil
+	return &Ciphertext{C: pk.mulN2(gm, rn)}, nil
 }
 
 // EncryptBatch encrypts every message with fresh randomness, fanning the

@@ -171,7 +171,14 @@ func NewFastEncryptor(pk *PublicKey, expBits int) (*FastEncryptor, error) {
 	h := new(big.Int).Mul(x, x)
 	h.Mod(h, pk.N)
 	hN := new(big.Int).Exp(h, pk.N, pk.N2)
-	table, err := zmath.NewFixedBaseTable(hN, pk.N2, FastNonceWindow, expBits)
+	// With an engine on the key the table keeps its entries in Montgomery
+	// form, so every nonce draw runs its whole window chain division-free.
+	var table *zmath.FixedBaseTable
+	if eng := pk.EngineN2(); eng != nil {
+		table, err = zmath.NewFixedBaseTableMod(hN, eng, FastNonceWindow, expBits)
+	} else {
+		table, err = zmath.NewFixedBaseTable(hN, pk.N2, FastNonceWindow, expBits)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("paillier: building fast-nonce table: %w", err)
 	}

@@ -1,0 +1,122 @@
+package paillier
+
+import (
+	"math/big"
+	"testing"
+
+	"repro/internal/zmath"
+)
+
+// withEngineModes runs f once with the Montgomery engine enabled and once
+// with it disabled, restoring the previous toggle state afterwards.
+func withEngineModes(t *testing.T, f func(t *testing.T)) {
+	t.Helper()
+	prev := zmath.MontgomeryEnabled()
+	defer zmath.SetMontgomeryEnabled(prev)
+	for _, mode := range []struct {
+		name string
+		on   bool
+	}{{"mont-on", true}, {"mont-off", false}} {
+		zmath.SetMontgomeryEnabled(mode.on)
+		t.Run(mode.name, f)
+	}
+}
+
+// TestFixedNonceBitEquality pins the engine-routed operations to the
+// big.Int reference path bit for bit: with the nonce fixed, encryption
+// and every homomorphic operator must produce byte-identical ciphertexts
+// whichever arithmetic backend is active.
+func TestFixedNonceBitEquality(t *testing.T) {
+	sk := testKeyPair(t)
+	pk := &sk.PublicKey
+	if pk.EngineN() == nil || pk.EngineN2() == nil {
+		t.Fatal("generated key carries no Montgomery engines")
+	}
+
+	nonce := big.NewInt(0x5eed)
+	m1, m2 := big.NewInt(424242), big.NewInt(987654321)
+	k := big.NewInt(1337)
+
+	type snapshot struct {
+		enc, sum, all, plain, mul *big.Int
+	}
+	var ref *snapshot
+	withEngineModes(t, func(t *testing.T) {
+		c1, err := pk.EncryptWithNonce(m1, nonce)
+		if err != nil {
+			t.Fatalf("EncryptWithNonce: %v", err)
+		}
+		c2, err := pk.EncryptWithNonce(m2, nonce)
+		if err != nil {
+			t.Fatalf("EncryptWithNonce: %v", err)
+		}
+		sum, err := pk.Add(c1, c2)
+		if err != nil {
+			t.Fatalf("Add: %v", err)
+		}
+		all, err := pk.AddAll([]*Ciphertext{c1, c2, sum})
+		if err != nil {
+			t.Fatalf("AddAll: %v", err)
+		}
+		plain, err := pk.AddPlain(c1, k)
+		if err != nil {
+			t.Fatalf("AddPlain: %v", err)
+		}
+		mul, err := pk.MulConst(c1, k)
+		if err != nil {
+			t.Fatalf("MulConst: %v", err)
+		}
+		got := &snapshot{enc: c1.C, sum: sum.C, all: all.C, plain: plain.C, mul: mul.C}
+		if ref == nil {
+			ref = got
+			return
+		}
+		for _, cmp := range []struct {
+			name     string
+			want, at *big.Int
+		}{
+			{"EncryptWithNonce", ref.enc, got.enc},
+			{"Add", ref.sum, got.sum},
+			{"AddAll", ref.all, got.all},
+			{"AddPlain", ref.plain, got.plain},
+			{"MulConst", ref.mul, got.mul},
+		} {
+			if cmp.want.Cmp(cmp.at) != 0 {
+				t.Errorf("%s: engine paths diverge:\n  mont-on  %v\n  mont-off %v", cmp.name, cmp.want, cmp.at)
+			}
+		}
+	})
+}
+
+// TestAddAllMatchesSequentialAdd pins the product-chain accumulator to the
+// pairwise operator on both backends.
+func TestAddAllMatchesSequentialAdd(t *testing.T) {
+	sk := testKeyPair(t)
+	pk := &sk.PublicKey
+	cts := make([]*Ciphertext, 9)
+	for i := range cts {
+		var err error
+		if cts[i], err = pk.Encrypt(big.NewInt(int64(i * i))); err != nil {
+			t.Fatalf("Encrypt: %v", err)
+		}
+	}
+	want := cts[0]
+	for _, c := range cts[1:] {
+		var err error
+		if want, err = pk.Add(want, c); err != nil {
+			t.Fatalf("Add: %v", err)
+		}
+	}
+	withEngineModes(t, func(t *testing.T) {
+		got, err := pk.AddAll(cts)
+		if err != nil {
+			t.Fatalf("AddAll: %v", err)
+		}
+		if got.C.Cmp(want.C) != 0 {
+			t.Fatal("AddAll diverges from sequential Add")
+		}
+	})
+	if _, err := pk.AddAll(nil); err == nil {
+		t.Fatal("AddAll accepted an empty batch")
+	}
+}

@@ -42,6 +42,39 @@ var (
 type PublicKey struct {
 	N  *big.Int // modulus
 	N2 *big.Int // N^2, the ciphertext modulus
+
+	// engN and engN2 are the Montgomery/Barrett reduction engines for the
+	// two long-lived moduli, precomputed by the constructors. They are nil
+	// on literal-constructed keys, in which case every helper falls back
+	// to plain big.Int arithmetic with identical outputs.
+	engN  *zmath.Modulus
+	engN2 *zmath.Modulus
+}
+
+// EngineN returns the reduction engine for N (nil on keys built without
+// constructors). Callers must treat it as read-only.
+func (pk *PublicKey) EngineN() *zmath.Modulus { return pk.engN }
+
+// EngineN2 returns the reduction engine for the ciphertext modulus N^2.
+func (pk *PublicKey) EngineN2() *zmath.Modulus { return pk.engN2 }
+
+// attachEngines populates the reduction engines; N is odd for every valid
+// key (a product of odd primes — the guard only spares hand-built toy
+// keys), so construction cannot fail.
+func (pk *PublicKey) attachEngines() {
+	if pk.N.Bit(0) == 1 {
+		pk.engN = zmath.MustModulus(pk.N)
+		pk.engN2 = zmath.MustModulus(pk.N2)
+	}
+}
+
+// mulN2 multiplies mod N^2 through the engine when the key has one.
+func (pk *PublicKey) mulN2(a, b *big.Int) *big.Int {
+	if pk.engN2 != nil {
+		return pk.engN2.MulMod(a, b)
+	}
+	out := new(big.Int).Mul(a, b)
+	return out.Mod(out, pk.N2)
 }
 
 // PrivateKey holds the factorization and the CRT decryption caches.
@@ -114,8 +147,10 @@ func newPrivateKey(p, q *big.Int) (*PrivateKey, error) {
 	if new(big.Int).GCD(nil, nil, n, phi).Cmp(zmath.One) != 0 {
 		return nil, errors.New("paillier: gcd(N, phi) != 1")
 	}
+	pub := PublicKey{N: n, N2: new(big.Int).Mul(n, n)}
+	pub.attachEngines()
 	sk := &PrivateKey{
-		PublicKey: PublicKey{N: n, N2: new(big.Int).Mul(n, n)},
+		PublicKey: pub,
 		P:         new(big.Int).Set(p),
 		Q:         new(big.Int).Set(q),
 		p2:        new(big.Int).Mul(p, p),
@@ -165,7 +200,12 @@ func NewPublicKeyFromN(n *big.Int) (*PublicKey, error) {
 	if n == nil || n.BitLen() < MinKeyBits {
 		return nil, fmt.Errorf("paillier: modulus missing or below %d bits", MinKeyBits)
 	}
-	return &PublicKey{N: new(big.Int).Set(n), N2: new(big.Int).Mul(n, n)}, nil
+	if n.Bit(0) == 0 {
+		return nil, errors.New("paillier: modulus must be odd")
+	}
+	pk := &PublicKey{N: new(big.Int).Set(n), N2: new(big.Int).Mul(n, n)}
+	pk.attachEngines()
+	return pk, nil
 }
 
 // validateMessage normalizes m into [0, N), accepting negative inputs as
@@ -197,13 +237,12 @@ func (pk *PublicKey) EncryptWithNonce(m, r *big.Int) (*Ciphertext, error) {
 	if r == nil || r.Sign() <= 0 || r.Cmp(pk.N) >= 0 {
 		return nil, errors.New("paillier: nonce outside (0, N)")
 	}
+	// gm = 1 + m*N is already < N^2 (m < N), so no reduction is needed
+	// before the nonce multiply.
 	gm := new(big.Int).Mul(mm, pk.N)
 	gm.Add(gm, zmath.One)
-	gm.Mod(gm, pk.N2)
 	rn := new(big.Int).Exp(r, pk.N, pk.N2)
-	c := gm.Mul(gm, rn)
-	c.Mod(c, pk.N2)
-	return &Ciphertext{C: c}, nil
+	return &Ciphertext{C: pk.mulN2(gm, rn)}, nil
 }
 
 // EncryptInt64 is a convenience wrapper around Encrypt.
@@ -261,9 +300,34 @@ func (pk *PublicKey) Add(a, b *Ciphertext) (*Ciphertext, error) {
 	if err := pk.validateCiphertext(b); err != nil {
 		return nil, err
 	}
-	c := new(big.Int).Mul(a.C, b.C)
-	c.Mod(c, pk.N2)
-	return &Ciphertext{C: c}, nil
+	return &Ciphertext{C: pk.mulN2(a.C, b.C)}, nil
+}
+
+// AddAll returns Enc(x_1 + ... + x_n) by folding the whole batch through
+// one reduction chain (ProdMod) instead of a multiply-divide pair per
+// element — the engine form of the homomorphic-sum loops. An empty batch
+// is invalid (there is no canonical encryption of zero without
+// randomness).
+func (pk *PublicKey) AddAll(cts []*Ciphertext) (*Ciphertext, error) {
+	if len(cts) == 0 {
+		return nil, errors.New("paillier: AddAll of empty batch")
+	}
+	vals := make([]*big.Int, len(cts))
+	for i, ct := range cts {
+		if err := pk.validateCiphertext(ct); err != nil {
+			return nil, err
+		}
+		vals[i] = ct.C
+	}
+	if pk.engN2 != nil {
+		return &Ciphertext{C: pk.engN2.ProdMod(vals)}, nil
+	}
+	acc := new(big.Int).Set(vals[0])
+	for _, v := range vals[1:] {
+		acc.Mul(acc, v)
+		acc.Mod(acc, pk.N2)
+	}
+	return &Ciphertext{C: acc}, nil
 }
 
 // AddPlain returns Enc(x + k) for plaintext k without consuming randomness:
@@ -275,10 +339,7 @@ func (pk *PublicKey) AddPlain(a *Ciphertext, k *big.Int) (*Ciphertext, error) {
 	kk := new(big.Int).Mod(k, pk.N)
 	gk := new(big.Int).Mul(kk, pk.N)
 	gk.Add(gk, zmath.One)
-	gk.Mod(gk, pk.N2)
-	c := gk.Mul(gk, a.C)
-	c.Mod(c, pk.N2)
-	return &Ciphertext{C: c}, nil
+	return &Ciphertext{C: pk.mulN2(gk, a.C)}, nil
 }
 
 // MulConst returns Enc(k * x) = Enc(x)^k. Negative k is interpreted mod N.

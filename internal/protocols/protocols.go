@@ -107,11 +107,19 @@ func RecoverEnc(ctx context.Context, c *cloud.Client, cts []*dj.Ciphertext) ([]*
 	for i, b := range blinds {
 		blindVals[i] = b.C
 	}
-	invs, err := zmath.BatchModInverse(blindVals, pk.N2)
+	var invs []*big.Int
+	if eng := pk.EngineN2(); eng != nil {
+		invs, err = zmath.BatchModInverseMod(blindVals, eng)
+	} else {
+		invs, err = zmath.BatchModInverse(blindVals, pk.N2)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("protocols: RecoverEnc unblind: %w", err)
 	}
 	return parallel.MapErrCtx(ctx, c.Parallelism(), recovered, func(i int, rec *paillier.Ciphertext) (*paillier.Ciphertext, error) {
+		if eng := pk.EngineN2(); eng != nil {
+			return &paillier.Ciphertext{C: eng.MulMod(rec.C, invs[i])}, nil
+		}
 		v := new(big.Int).Mul(rec.C, invs[i])
 		v.Mod(v, pk.N2)
 		return &paillier.Ciphertext{C: v}, nil

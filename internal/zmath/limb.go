@@ -1,0 +1,140 @@
+package zmath
+
+import "math/bits"
+
+// Fixed-width limb kernels for the Montgomery engine. All slices are
+// little-endian uint64 limb vectors of exactly k = len(n) limbs unless
+// noted; callers guarantee the shapes, so the kernels carry no validation.
+// The temporaries come from the owning Modulus's scratch pool — none of
+// these functions allocate.
+
+// ciosMul is the fused CIOS (coarsely integrated operand scanning)
+// Montgomery multiplication: z = x * y * 2^{-64k} mod n, for x, y < n and
+// odd n with n0inv = -n^{-1} mod 2^64. t is a scratch vector of at least
+// k+1 limbs. The multiplication and the REDC reduction interleave one
+// outer-loop row at a time, so the double-width product never
+// materializes and the word shift after each reduction row is implicit in
+// the t[j-1] store — the structure that makes this the fastest path for
+// half-width moduli (see DESIGN.md "Montgomery engine": the pure-Go
+// kernel beats math/big's divide-based Mod below ~12 limbs, while the
+// redc hybrid wins above).
+func ciosMul(z, x, y, n []uint64, n0inv uint64, t []uint64) {
+	k := len(n)
+	t = t[:k+1]
+	for i := range t {
+		t[i] = 0
+	}
+	y = y[:k]
+	var tk1 uint64 // the (k+2)-th accumulator word, always 0 or 1
+	for i := 0; i < k; i++ {
+		xi := x[i]
+		// t += x[i] * y
+		var c uint64
+		for j := 0; j < k; j++ {
+			hi, lo := bits.Mul64(xi, y[j])
+			var cc uint64
+			lo, cc = bits.Add64(lo, t[j], 0)
+			hi += cc
+			lo, cc = bits.Add64(lo, c, 0)
+			t[j] = lo
+			c = hi + cc
+		}
+		var cc uint64
+		t[k], cc = bits.Add64(t[k], c, 0)
+		tk1 = cc
+		// Reduction row: add m*n and divide by 2^64, folding the shift
+		// into the t[j-1] stores.
+		m := t[0] * n0inv
+		hi, lo := bits.Mul64(m, n[0])
+		_, cc = bits.Add64(lo, t[0], 0) // low word becomes zero by choice of m
+		c = hi + cc
+		for j := 1; j < k; j++ {
+			hi, lo := bits.Mul64(m, n[j])
+			var c2 uint64
+			lo, c2 = bits.Add64(lo, t[j], 0)
+			hi += c2
+			lo, c2 = bits.Add64(lo, c, 0)
+			t[j-1] = lo
+			c = hi + c2
+		}
+		t[k-1], cc = bits.Add64(t[k], c, 0)
+		t[k] = tk1 + cc
+		tk1 = 0
+	}
+	if t[k] != 0 || !limbsLess(t[:k], n) {
+		limbsSub(z, t[:k], n)
+	} else {
+		copy(z, t[:k])
+	}
+}
+
+// redc performs the standalone Montgomery reduction z = t * 2^{-64k} mod n
+// over a full double-width accumulator t of exactly 2k+1 limbs (the top
+// limb absorbs the final carry; callers zero-extend shorter values). t is
+// destroyed. Requires t's value < n * 2^{64k}, which holds for products of
+// reduced operands and for plain domain exits. This is the second half of
+// the hybrid multiply path: the k x k product comes from math/big's
+// assembly multiplier, and this pass strips the 2^{64k} factor.
+func redc(z, n []uint64, n0inv uint64, t []uint64) {
+	k := len(n)
+	for i := 0; i < k; i++ {
+		m := t[i] * n0inv
+		var c uint64
+		for j := 0; j < k; j++ {
+			hi, lo := bits.Mul64(m, n[j])
+			var cc uint64
+			lo, cc = bits.Add64(lo, t[i+j], 0)
+			hi += cc
+			lo, cc = bits.Add64(lo, c, 0)
+			t[i+j] = lo
+			c = hi + cc
+		}
+		for p := i + k; c != 0; p++ {
+			t[p], c = bits.Add64(t[p], c, 0)
+		}
+	}
+	u := t[k : 2*k+1]
+	if u[k] != 0 || !limbsLess(u[:k], n) {
+		limbsSub(z, u[:k], n)
+	} else {
+		copy(z, u[:k])
+	}
+}
+
+// limbsLess reports a < b for equal-length limb vectors.
+func limbsLess(a, b []uint64) bool {
+	for i := len(a) - 1; i >= 0; i-- {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// limbsSub sets z = a - b for equal-length vectors with a >= b.
+func limbsSub(z, a, b []uint64) {
+	var borrow uint64
+	for i := range a {
+		z[i], borrow = bits.Sub64(a[i], b[i], borrow)
+	}
+}
+
+// limbsZero reports whether the vector is zero.
+func limbsZero(a []uint64) bool {
+	for _, w := range a {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// negInvMod64 returns -n^{-1} mod 2^64 for odd n[0] by Newton iteration
+// (each step doubles the number of correct low bits).
+func negInvMod64(n0 uint64) uint64 {
+	inv := n0 // 3 correct bits to start (n0 odd)
+	for i := 0; i < 5; i++ {
+		inv *= 2 - n0*inv
+	}
+	return -inv
+}

@@ -1,0 +1,141 @@
+package zmath
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// multiExpWindow picks the Straus window width for the largest exponent:
+// wider windows amortize squarings over more bases but cost 2^w - 1 table
+// entries per base.
+func multiExpWindow(maxBits int) uint {
+	switch {
+	case maxBits >= 256:
+		return 5
+	case maxBits >= 64:
+		return 4
+	case maxBits >= 16:
+		return 3
+	default:
+		return 2
+	}
+}
+
+// MultiExpMod returns the product of bases[i]^exps[i] mod n using Straus's
+// interleaved ladder: all bases enter the Montgomery domain once, their
+// window tables are built in-domain, and a single run of squarings is
+// shared by every base — for t bases the squaring work is 1/t of t
+// separate exponentiations, which is where the randomized EHL equality
+// operator and the selection gadgets spend their time. Exponents must be
+// non-negative (invert the base first for a negative power; the callers
+// in this codebase all hold nonces or blinds, which are positive by
+// construction). With the engine disabled it computes the same value as a
+// plain big.Int exponentiation loop.
+func (m *Modulus) MultiExpMod(bases, exps []*big.Int) (*big.Int, error) {
+	if len(bases) != len(exps) {
+		return nil, fmt.Errorf("zmath: MultiExpMod length mismatch %d bases vs %d exponents", len(bases), len(exps))
+	}
+	maxBits := 0
+	for i, e := range exps {
+		if e == nil || e.Sign() < 0 {
+			return nil, fmt.Errorf("zmath: MultiExpMod exponent %d must be non-negative", i)
+		}
+		if b := e.BitLen(); b > maxBits {
+			maxBits = b
+		}
+	}
+	if len(bases) == 0 || maxBits == 0 {
+		return new(big.Int).Mod(One, m.n), nil
+	}
+	if !m.active() {
+		acc := new(big.Int).Mod(One, m.n)
+		t := new(big.Int)
+		for i := range bases {
+			t.Exp(bases[i], exps[i], m.n)
+			acc.Mul(acc, t)
+			acc.Mod(acc, m.n)
+		}
+		return acc, nil
+	}
+
+	w := multiExpWindow(maxBits)
+	size := 1 << w
+	s := m.pool.Get().(*montScratch)
+	defer m.pool.Put(s)
+
+	// Per-base in-domain window tables: tbl[i][d-1] = bases[i]^d * R.
+	tbl := make([][][]uint64, len(bases))
+	for i, b := range bases {
+		row := make([][]uint64, size-1)
+		ent := make([]uint64, m.k)
+		natFromBig(ent, m.canon(s.red1, b))
+		m.montMul(ent, ent, m.r2l, s) // enter the domain
+		row[0] = ent
+		for d := 2; d < size; d++ {
+			nxt := make([]uint64, m.k)
+			m.montMul(nxt, row[d-2], ent, s)
+			row[d-1] = nxt
+		}
+		tbl[i] = row
+	}
+
+	acc := make([]uint64, m.k)
+	copy(acc, m.rl)  // Montgomery form of 1
+	started := false // skip squarings while the accumulator is still 1
+	windows := (maxBits + int(w) - 1) / int(w)
+	for wpos := windows - 1; wpos >= 0; wpos-- {
+		if started {
+			for sq := 0; sq < int(w); sq++ {
+				m.montMul(acc, acc, acc, s)
+			}
+		}
+		base := wpos * int(w)
+		for i, e := range exps {
+			var d uint
+			for b := 0; b < int(w); b++ {
+				d |= uint(e.Bit(base+b)) << b
+			}
+			if d == 0 {
+				continue
+			}
+			m.montMul(acc, acc, tbl[i][d-1], s)
+			started = true
+		}
+	}
+	m.montMul(acc, acc, m.onel, s) // exit the domain
+	return natToBig(acc), nil
+}
+
+// BatchModInverseMod is BatchModInverse with the prefix/suffix product
+// chains routed through a precomputed Modulus, so the 3(len-1)
+// multiplications of the batch trick stop paying the division tax. A nil
+// engine falls back to the plain implementation.
+func BatchModInverseMod(xs []*big.Int, m *Modulus) ([]*big.Int, error) {
+	if m == nil {
+		return nil, fmt.Errorf("zmath: BatchModInverseMod requires a modulus")
+	}
+	if !m.active() {
+		return BatchModInverse(xs, m.n)
+	}
+	if len(xs) == 0 {
+		return nil, nil
+	}
+	s := m.pool.Get().(*montScratch)
+	defer m.pool.Put(s)
+	prefix := make([]*big.Int, len(xs))
+	prefix[0] = new(big.Int).Set(m.canon(s.red1, xs[0]))
+	for i := 1; i < len(xs); i++ {
+		prefix[i] = m.mulModInto(new(big.Int), prefix[i-1], xs[i], s)
+	}
+	inv := new(big.Int).ModInverse(prefix[len(xs)-1], m.n)
+	if inv == nil {
+		return nil, ErrNotInvertible
+	}
+	out := make([]*big.Int, len(xs))
+	for i := len(xs) - 1; i > 0; i-- {
+		out[i] = m.mulModInto(new(big.Int), inv, prefix[i-1], s)
+		m.mulModInto(inv, inv, xs[i], s)
+	}
+	out[0] = inv
+	return out, nil
+}

@@ -197,12 +197,35 @@ type FixedBaseTable struct {
 	maxBits int
 	// pow[j][i-1] = base^(i << (window*j)) mod m
 	pow [][]*big.Int
+
+	// Montgomery acceleration (optional): with an engine attached the
+	// same entries are also stored in Montgomery form, so Exp runs the
+	// whole per-window multiplication chain in-domain — one REDC multiply
+	// per nonzero window, one exit at the end, and no divisions at all.
+	mod *Modulus
+	// powMont[j][i-1] = pow[j][i-1] * R mod m
+	powMont [][][]uint64
 }
 
 // NewFixedBaseTable builds the table for exponents up to maxBits bits.
 // window must be in [1, 16]; 6 is a good default for 256..512-bit
 // exponents.
 func NewFixedBaseTable(base, m *big.Int, window uint, maxBits int) (*FixedBaseTable, error) {
+	return newFixedBaseTable(base, m, nil, window, maxBits)
+}
+
+// NewFixedBaseTableMod is NewFixedBaseTable with a precomputed Modulus:
+// the table keeps its entries in Montgomery form alongside the plain
+// ones, and Exp multiplies in-domain whenever the engine is active. mod
+// must satisfy mod.N() == m's value.
+func NewFixedBaseTableMod(base *big.Int, mod *Modulus, window uint, maxBits int) (*FixedBaseTable, error) {
+	if mod == nil {
+		return nil, fmt.Errorf("zmath: fixed-base table requires a modulus engine")
+	}
+	return newFixedBaseTable(base, mod.N(), mod, window, maxBits)
+}
+
+func newFixedBaseTable(base, m *big.Int, mod *Modulus, window uint, maxBits int) (*FixedBaseTable, error) {
 	if m == nil || m.Cmp(Two) < 0 {
 		return nil, fmt.Errorf("zmath: fixed-base modulus must be >= 2")
 	}
@@ -241,6 +264,21 @@ func NewFixedBaseTable(base, m *big.Int, window uint, maxBits int) (*FixedBaseTa
 			g = next.Mod(next, m)
 		}
 	}
+	if mod != nil && !mod.fallback {
+		t.mod = mod
+		t.powMont = make([][][]uint64, windows)
+		s := mod.pool.Get().(*montScratch)
+		for j, row := range t.pow {
+			mrow := make([][]uint64, len(row))
+			for i, e := range row {
+				ent := natFromBig(make([]uint64, mod.k), e)
+				mod.montMul(ent, ent, mod.r2l, s) // enter the domain once
+				mrow[i] = ent
+			}
+			t.powMont[j] = mrow
+		}
+		mod.pool.Put(s)
+	}
 	return t, nil
 }
 
@@ -255,6 +293,9 @@ func (t *FixedBaseTable) Exp(e *big.Int) (*big.Int, error) {
 	}
 	if e.BitLen() > t.maxBits {
 		return nil, fmt.Errorf("zmath: fixed-base exponent %d bits exceeds table limit %d", e.BitLen(), t.maxBits)
+	}
+	if t.mod.active() {
+		return t.expMont(e), nil
 	}
 	out := big.NewInt(1)
 	mask := uint(1<<t.window) - 1
@@ -274,4 +315,32 @@ func (t *FixedBaseTable) Exp(e *big.Int) (*big.Int, error) {
 		out.Mod(out, t.m)
 	}
 	return out, nil
+}
+
+// expMont is the Montgomery-domain window chain: the table entries are
+// pre-entered, the accumulator starts at the domain's 1 (R mod m), and
+// only the final exit multiply leaves the domain. Outputs are canonical
+// residues, bit-identical to the plain path.
+func (t *FixedBaseTable) expMont(e *big.Int) *big.Int {
+	mod := t.mod
+	s := mod.pool.Get().(*montScratch)
+	acc := make([]uint64, mod.k)
+	copy(acc, mod.rl)
+	mask := uint(1<<t.window) - 1
+	bits := e.BitLen()
+	for j := 0; j*int(t.window) < bits; j++ {
+		var idx uint
+		base := j * int(t.window)
+		for b := 0; b < int(t.window); b++ {
+			idx |= uint(e.Bit(base+b)) << b
+		}
+		idx &= mask
+		if idx == 0 {
+			continue
+		}
+		mod.montMul(acc, acc, t.powMont[j][idx-1], s)
+	}
+	mod.montMul(acc, acc, mod.onel, s)
+	mod.pool.Put(s)
+	return natToBig(acc)
 }
