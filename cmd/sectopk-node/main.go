@@ -19,10 +19,13 @@
 //	sectopk-node s1 -dir ./deploy -connect 127.0.0.1:9042 -mode e
 //
 //	# Data cloud S1, server mode: host every provisioned workload and
-//	# serve remote queriers on the client wire protocol.
+//	# serve remote queriers on the client wire protocol. -probe-listen
+//	# adds /healthz and /readyz for orchestration; -drain-timeout makes
+//	# shutdown graceful (in-flight queries finish, new ones shed).
 //	sectopk-node s1 -dir ./deploy -connect 127.0.0.1:9042 \
 //	    -join-relation join -knn-relation knn \
-//	    -client-listen 127.0.0.1:9142
+//	    -client-listen 127.0.0.1:9142 \
+//	    -probe-listen 127.0.0.1:9143 -drain-timeout 30s
 //
 //	# Querier: dial the data cloud's client listener, submit the stored
 //	# token of any workload, store the encrypted answer.
@@ -41,15 +44,17 @@ package main
 
 import (
 	"context"
-	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -342,7 +347,9 @@ func runS1(ctx context.Context, args []string) error {
 	joinRelation := fs.String("join-relation", "", "host the join pair under this relation ID")
 	knnRelation := fs.String("knn-relation", "", "host the kNN store under this relation ID")
 	clientListen := fs.String("client-listen", "", "serve remote queriers on this address (long-running server mode)")
-	sessionLimit := fs.Int("session-limit", 0, "bound concurrently executing requests (0 = GOMAXPROCS for remote clients)")
+	probeListen := fs.String("probe-listen", "", "serve /healthz and /readyz on this address")
+	sessionLimit := fs.Int("session-limit", 0, "bound concurrently executing requests; overflow sheds with a typed overloaded error (0 = GOMAXPROCS queueing gate for remote clients)")
+	drain := fs.Duration("drain-timeout", 0, "graceful shutdown window: let in-flight queries finish this long before aborting (0 = abort immediately)")
 	mode := fs.String("mode", "e", "query mode: f|e|ba (one-shot mode only)")
 	strict := fs.Bool("strict", true, "use strict NRA halting (one-shot mode only)")
 	par := fs.Int("parallelism", 0, "S1 worker goroutines (0 = all cores, 1 = serial)")
@@ -362,9 +369,30 @@ func runS1(ctx context.Context, args []string) error {
 	if *sessionLimit > 0 {
 		opts = append(opts, sectopk.WithSessionLimit(*sessionLimit))
 	}
+	if *drain > 0 {
+		opts = append(opts, sectopk.WithDrainTimeout(*drain))
+	}
 	dc := sectopk.NewDataCloud(opts...)
 	defer dc.Close()
-	if err := dc.Dial(ctx, *connect); err != nil {
+
+	// Probes come up before the S2 dial: /healthz answers as soon as the
+	// process lives, /readyz flips only once the handshakes are done and
+	// the relations are hosted (and back off again while draining).
+	var hosted atomic.Bool
+	if *probeListen != "" {
+		pl, err := net.Listen("tcp", *probeListen)
+		if err != nil {
+			return err
+		}
+		defer pl.Close()
+		startProbes(pl, s1Ready(dc, &hosted))
+		fmt.Printf("probes on http://%s/healthz and /readyz\n", pl.Addr())
+	}
+
+	// The self-healing transport rides out an S2 that is still starting
+	// (or restarts later): dialing backs off under the default policy,
+	// and every fresh link re-runs the handshakes before serving rounds.
+	if err := dc.DialRetry(ctx, *connect); err != nil {
 		return err
 	}
 	if er != nil {
@@ -394,6 +422,7 @@ func runS1(ctx context.Context, args []string) error {
 			return err
 		}
 	}
+	hosted.Store(len(dc.Hosted()) > 0)
 
 	if *clientListen != "" {
 		if len(dc.Hosted()) == 0 {
@@ -434,6 +463,42 @@ func runS1(ctx context.Context, args []string) error {
 	return res.Save(filepath.Join(*dir, resultFile))
 }
 
+// s1Ready is the readiness predicate behind /readyz: the S2 handshakes
+// are done (the transport is connected), the relations are hosted, and
+// the data cloud is not draining for shutdown.
+func s1Ready(dc *sectopk.DataCloud, hosted *atomic.Bool) func() (bool, string) {
+	return func() (bool, string) {
+		switch {
+		case dc.Draining():
+			return false, "draining"
+		case !dc.Connected():
+			return false, "not connected to S2"
+		case !hosted.Load():
+			return false, "relations not hosted"
+		}
+		return true, "ready"
+	}
+}
+
+// startProbes serves /healthz (liveness: the process is up) and /readyz
+// (readiness per the predicate; 503 with the reason otherwise) on the
+// listener until it closes.
+func startProbes(l net.Listener, ready func() (bool, string)) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		ok, reason := ready()
+		if !ok {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		io.WriteString(w, reason+"\n")
+	})
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(l)
+}
+
 // parseQueryOpts maps the shared -mode / -strict flags to query options.
 func parseQueryOpts(mode string, strict bool) (sectopk.Mode, sectopk.Halting, error) {
 	var qmode sectopk.Mode
@@ -454,26 +519,18 @@ func parseQueryOpts(mode string, strict bool) (sectopk.Mode, sectopk.Halting, er
 	return qmode, halt, nil
 }
 
-// dialClient dials the data cloud's client listener, retrying
-// connection-level failures until the wait window expires — the querier
-// typically races the server's startup. A non-transport failure
-// (version mismatch, wrong endpoint answering the handshake) is final
-// and surfaces immediately.
+// dialClient dials the data cloud's client listener through the shared
+// recovery stack: capped exponential backoff with jitter bounded by the
+// wait window (the querier typically races the server's startup), and a
+// client that keeps re-dialing and retrying shed/transport failures for
+// the session. A protocol-version mismatch is final and surfaces
+// immediately.
 func dialClient(ctx context.Context, addr string, wait time.Duration) (*sectopk.Client, error) {
-	deadline := time.Now().Add(wait)
-	for {
-		client, err := sectopk.Dial(ctx, addr)
-		if err == nil {
-			return client, nil
-		}
-		if ctx.Err() != nil {
-			return nil, ctx.Err()
-		}
-		if !errors.Is(err, sectopk.ErrTransport) || time.Now().After(deadline) {
-			return nil, err
-		}
-		time.Sleep(200 * time.Millisecond)
-	}
+	return sectopk.DialRetry(ctx, addr, sectopk.WithRetry(sectopk.RetryPolicy{
+		Initial:    50 * time.Millisecond,
+		Max:        time.Second,
+		MaxElapsed: wait,
+	}))
 }
 
 func runQuery(ctx context.Context, args []string) error {

@@ -1,0 +1,170 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/sectopk"
+)
+
+// flakyListener closes its first failFirst accepted connections before
+// any byte is exchanged, then serves normally — the shape of a querier
+// racing a data cloud that is still starting.
+type flakyListener struct {
+	net.Listener
+	mu        sync.Mutex
+	failFirst int
+}
+
+func (l *flakyListener) Accept() (net.Conn, error) {
+	for {
+		conn, err := l.Listener.Accept()
+		if err != nil {
+			return nil, err
+		}
+		l.mu.Lock()
+		reject := l.failFirst > 0
+		if reject {
+			l.failFirst--
+		}
+		l.mu.Unlock()
+		if !reject {
+			return conn, nil
+		}
+		conn.Close()
+	}
+}
+
+// TestDialClientFlakyListener checks the querier's dial path rides out a
+// listener that tears down its first connections (backoff instead of the
+// old fixed-interval loop) and then completes the client handshake.
+func TestDialClientFlakyListener(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The client plane's Hello needs no hosted relations or S2 link, so
+	// an empty data cloud serves as the handshake peer.
+	dc := sectopk.NewDataCloud()
+	defer dc.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- dc.ServeClients(ctx, &flakyListener{Listener: l, failFirst: 2}) }()
+	defer func() {
+		cancel()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Error("ServeClients did not stop")
+		}
+	}()
+
+	client, err := dialClient(context.Background(), l.Addr().String(), 30*time.Second)
+	if err != nil {
+		t.Fatalf("dialClient through flaky listener: %v", err)
+	}
+	client.Close()
+}
+
+// TestDialClientGivesUpTyped checks dialClient fails fast and typed when
+// nothing ever listens: the wait window bounds the backoff, and the
+// terminal error keeps the transport classification.
+func TestDialClientGivesUpTyped(t *testing.T) {
+	// Reserve an address nothing listens on.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	start := time.Now()
+	_, err = dialClient(context.Background(), addr, 300*time.Millisecond)
+	if err == nil {
+		t.Fatal("dialClient succeeded against a dead address")
+	}
+	if !errors.Is(err, sectopk.ErrTransport) {
+		t.Fatalf("err = %v, want ErrTransport classification", err)
+	}
+	if took := time.Since(start); took > 5*time.Second {
+		t.Fatalf("dialClient took %v, want the wait window to bound it", took)
+	}
+}
+
+// TestProbeEndpoints drives /healthz and /readyz through every readiness
+// phase: not connected, connected+hosted (ready), and draining/closed.
+func TestProbeEndpoints(t *testing.T) {
+	ctx := context.Background()
+	pl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pl.Close()
+
+	dc := sectopk.NewDataCloud(sectopk.WithKeyBits(256))
+	defer dc.Close()
+	var hosted atomic.Bool
+	startProbes(pl, s1Ready(dc, &hosted))
+	base := "http://" + pl.Addr().String()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	if code, _ := get("/healthz"); code != http.StatusOK {
+		t.Fatalf("/healthz = %d, want 200", code)
+	}
+	if code, body := get("/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz before connect = %d (%q), want 503", code, body)
+	}
+
+	// Stand up the minimal stack: keys on S2, one hosted relation on S1.
+	owner, err := sectopk.NewOwner(sectopk.WithKeyBits(256), sectopk.WithEHLDigests(3), sectopk.WithMaxScoreBits(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	er, err := owner.Encrypt(&sectopk.Relation{Name: "demo", Rows: [][]int64{{3, 1}, {2, 2}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc := sectopk.NewCryptoCloud(sectopk.WithKeyBits(256))
+	defer cc.Close()
+	if err := cc.Register("demo", owner.Keys()); err != nil {
+		t.Fatal(err)
+	}
+	if err := dc.ConnectLocal(ctx, cc); err != nil {
+		t.Fatal(err)
+	}
+	if code, body := get("/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz before hosting = %d (%q), want 503", code, body)
+	}
+	if err := dc.Host(ctx, "demo", er); err != nil {
+		t.Fatal(err)
+	}
+	hosted.Store(true)
+	if code, body := get("/readyz"); code != http.StatusOK {
+		t.Fatalf("/readyz when serving = %d (%q), want 200", code, body)
+	}
+
+	dc.Close()
+	if code, body := get("/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz after Close = %d (%q), want 503", code, body)
+	}
+	if code, _ := get("/healthz"); code != http.StatusOK {
+		t.Fatalf("/healthz after Close = %d, want 200 (liveness is process-level)", code)
+	}
+}

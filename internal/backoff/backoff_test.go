@@ -1,0 +1,147 @@
+package backoff
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestDelaySchedule pins the jitter-free exponential schedule: growth by
+// Factor from Initial, capped at Max.
+func TestDelaySchedule(t *testing.T) {
+	p := Policy{Initial: 10 * time.Millisecond, Max: 80 * time.Millisecond, Factor: 2, Jitter: -1}
+	want := []time.Duration{
+		10 * time.Millisecond,
+		20 * time.Millisecond,
+		40 * time.Millisecond,
+		80 * time.Millisecond,
+		80 * time.Millisecond, // capped
+	}
+	for i, w := range want {
+		if got := p.Delay(i + 1); got != w {
+			t.Errorf("Delay(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+}
+
+// TestDelayJitterBounds checks jittered delays stay within the
+// [d*(1-j), d] envelope and use the injected randomness.
+func TestDelayJitterBounds(t *testing.T) {
+	for _, u := range []float64{0, 0.5, 0.999} {
+		p := Policy{Initial: 100 * time.Millisecond, Max: time.Second, Jitter: 0.4, Rand: func() float64 { return u }}
+		d := p.Delay(1)
+		lo := 60 * time.Millisecond
+		hi := 100 * time.Millisecond
+		if d < lo || d > hi {
+			t.Errorf("u=%v: Delay = %v, want within [%v, %v]", u, d, lo, hi)
+		}
+	}
+}
+
+// TestRetrySucceedsAfterTransientFailures pins the basic recovery path:
+// the first failures retry, the eventual success returns nil.
+func TestRetrySucceedsAfterTransientFailures(t *testing.T) {
+	calls := 0
+	err := Retry(context.Background(), "op", Policy{Initial: time.Millisecond, Jitter: -1}, nil,
+		func(context.Context) error {
+			calls++
+			if calls < 3 {
+				return errors.New("transient")
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatalf("Retry: %v", err)
+	}
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+}
+
+// TestRetryExhaustsAttemptsWithHistory checks the terminal error carries
+// every attempt and unwraps to the final cause.
+func TestRetryExhaustsAttemptsWithHistory(t *testing.T) {
+	sentinel := errors.New("still down")
+	calls := 0
+	err := Retry(context.Background(), "op", Policy{Initial: time.Millisecond, MaxAttempts: 3, Jitter: -1}, nil,
+		func(context.Context) error { calls++; return sentinel })
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+	var ex *ExhaustedError
+	if !errors.As(err, &ex) {
+		t.Fatalf("err = %T, want *ExhaustedError", err)
+	}
+	if len(ex.Attempts) != 3 || ex.GaveUp != "attempts" {
+		t.Fatalf("history = %d attempts, gaveUp = %q; want 3, attempts", len(ex.Attempts), ex.GaveUp)
+	}
+	if !errors.Is(err, sentinel) {
+		t.Fatal("terminal error does not unwrap to the final cause")
+	}
+}
+
+// TestRetryNonRetryableSurfacesImmediately checks the retryable
+// predicate stops the loop on the first ineligible failure.
+func TestRetryNonRetryableSurfacesImmediately(t *testing.T) {
+	fatal := errors.New("fatal")
+	calls := 0
+	err := Retry(context.Background(), "op", Policy{Initial: time.Millisecond, Jitter: -1},
+		func(err error) bool { return !errors.Is(err, fatal) },
+		func(context.Context) error { calls++; return fatal })
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1", calls)
+	}
+	var ex *ExhaustedError
+	if !errors.As(err, &ex) || ex.GaveUp != "non-retryable" {
+		t.Fatalf("err = %v, want non-retryable ExhaustedError", err)
+	}
+	if !errors.Is(err, fatal) {
+		t.Fatal("terminal error does not unwrap to the cause")
+	}
+}
+
+// TestRetryContextCanceledMidBackoff checks a context canceled while
+// sleeping between attempts surfaces context.Canceled promptly.
+func TestRetryContextCanceledMidBackoff(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	done := make(chan error, 1)
+	go func() {
+		done <- Retry(ctx, "op", Policy{Initial: time.Minute, Jitter: -1}, nil,
+			func(context.Context) error { calls++; return errors.New("transient") })
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Retry did not return promptly after cancellation")
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1", calls)
+	}
+}
+
+// TestRetryElapsedWindow checks MaxElapsed with no attempt cap keeps
+// retrying until the window closes, then reports "elapsed".
+func TestRetryElapsedWindow(t *testing.T) {
+	calls := 0
+	start := time.Now()
+	err := Retry(context.Background(), "op",
+		Policy{Initial: time.Millisecond, Max: time.Millisecond, MaxElapsed: 50 * time.Millisecond, Jitter: -1},
+		nil, func(context.Context) error { calls++; return errors.New("down") })
+	var ex *ExhaustedError
+	if !errors.As(err, &ex) || ex.GaveUp != "elapsed" {
+		t.Fatalf("err = %v, want elapsed ExhaustedError", err)
+	}
+	if calls < 5 {
+		t.Fatalf("calls = %d, want many within the window", calls)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("retry window ran far past MaxElapsed")
+	}
+}

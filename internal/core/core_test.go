@@ -348,6 +348,46 @@ func TestLeakageProfile(t *testing.T) {
 	}
 }
 
+// TestQueryPatternIdempotencyKey checks the QueryID dedup: re-executing
+// a run under the same QueryID (a client-plane retry) does not inflate
+// the token's repeat count, while a fresh QueryID still does.
+func TestQueryPatternIdempotencyKey(t *testing.T) {
+	r := getRig(t)
+	er := encryptFig3(t, r)
+	engine, err := NewEngine(r.client, er)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk, err := r.scheme.Token(er, []int{0, 1, 2}, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.s1led.Reset()
+	opts := Options{Mode: QryE, Halt: HaltPaper, MaxDepth: 1, QueryID: "q-1"}
+	for i := 0; i < 2; i++ { // same QueryID twice: one retry
+		if _, err := engine.SecQuery(context.Background(), tk, opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(r.s1led.ByMethod("Token")); got != 1 {
+		t.Fatalf("token events after a retried run = %d, want 1 (retry must not recount): %v",
+			got, r.s1led.ByMethod("Token"))
+	}
+	opts.QueryID = "q-2" // a genuinely new run of the same token
+	if _, err := engine.SecQuery(context.Background(), tk, opts); err != nil {
+		t.Fatal(err)
+	}
+	var sawSecond bool
+	for _, ev := range r.s1led.ByMethod("Token") {
+		if ev.Detail == "query pattern: repeat #2 of this token (m=3, k=2)" {
+			sawSecond = true
+		}
+	}
+	if !sawSecond {
+		t.Fatalf("fresh QueryID did not count as a repeat: %v", r.s1led.ByMethod("Token"))
+	}
+}
+
 func TestTokenValidation(t *testing.T) {
 	r := getRig(t)
 	er := encryptFig3(t, r)

@@ -92,6 +92,12 @@ type Options struct {
 	// the exact aggregate. The shard merge uses it as its fallback when
 	// the NRA merge-bound check cannot certify an early-halted merge.
 	ExactScan bool
+	// QueryID, when non-empty, is the run's idempotency key: a
+	// re-execution carrying the same QueryID (the client plane retrying
+	// after a link failure) counts as the SAME run in the query-pattern
+	// ledger instead of inflating the token's repeat count — a retried
+	// query is one query, not a pattern of repeats.
+	QueryID string
 }
 
 // QueryResult is the outcome of SecQuery: the encrypted top-k items
@@ -110,8 +116,11 @@ type Engine struct {
 	client *cloud.Client
 	er     *EncryptedRelation
 
-	mu         sync.Mutex // guards seenTokens
+	mu         sync.Mutex // guards seenTokens and seenRuns
 	seenTokens map[string]int
+	// seenRuns dedupes query-pattern accounting by (token, QueryID) so a
+	// retried run does not double-count as a repeated token.
+	seenRuns map[string]struct{}
 }
 
 // NewEngine builds the S1 engine for an encrypted relation.
@@ -125,7 +134,7 @@ func NewEngine(client *cloud.Client, er *EncryptedRelation) (*Engine, error) {
 	if er.MaxScoreBits <= 0 {
 		return nil, errors.New("core: encrypted relation missing MaxScoreBits")
 	}
-	return &Engine{client: client, er: er, seenTokens: map[string]int{}}, nil
+	return &Engine{client: client, er: er, seenTokens: map[string]int{}, seenRuns: map[string]struct{}{}}, nil
 }
 
 // par resolves the effective engine parallelism for one query: the
@@ -181,8 +190,12 @@ func (e *Engine) ValidateToken(tk *Token) error {
 }
 
 // recordQueryPattern logs the query-pattern leakage QP (Section 9): S1
-// observes whether a token repeats.
-func (e *Engine) recordQueryPattern(tk *Token) {
+// observes whether a token repeats. A non-empty queryID dedupes the
+// accounting: a re-execution of an already-counted (token, queryID) run —
+// the client plane retrying after a link failure — is the same query
+// arriving twice, not a repeated query, so it neither bumps the repeat
+// count nor adds a ledger entry.
+func (e *Engine) recordQueryPattern(tk *Token, queryID string) {
 	h := sha256.New()
 	fmt.Fprintf(h, "k=%d;", tk.K)
 	for _, l := range tk.Lists {
@@ -193,6 +206,14 @@ func (e *Engine) recordQueryPattern(tk *Token) {
 	}
 	key := string(h.Sum(nil))
 	e.mu.Lock()
+	if queryID != "" {
+		runKey := key + "|" + queryID
+		if _, done := e.seenRuns[runKey]; done {
+			e.mu.Unlock()
+			return
+		}
+		e.seenRuns[runKey] = struct{}{}
+	}
 	e.seenTokens[key]++
 	repeat := e.seenTokens[key]
 	e.mu.Unlock()
@@ -231,7 +252,7 @@ func (e *Engine) SecQuery(ctx context.Context, tk *Token, opts Options) (*QueryR
 	if err := e.ValidateToken(tk); err != nil {
 		return nil, err
 	}
-	e.recordQueryPattern(tk)
+	e.recordQueryPattern(tk, opts.QueryID)
 	res, _, err := e.run(ctx, tk, opts)
 	if err != nil {
 		return nil, err
@@ -616,7 +637,7 @@ func (e *Engine) SecQueryCandidates(ctx context.Context, tk *Token, opts Options
 	if err := e.ValidateToken(tk); err != nil {
 		return nil, err
 	}
-	e.recordQueryPattern(tk)
+	e.recordQueryPattern(tk, opts.QueryID)
 	res, info, err := e.run(ctx, tk, opts)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,175 @@
+package faultnet
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"time"
+)
+
+// Conn wraps a net.Conn with fault injection under the framing layer:
+// each Read and Write consumes one schedule index. A reset closes the
+// underlying connection (both directions observe the loss, like a real
+// RST); a stall blocks until the relevant deadline fires or the
+// connection closes (a black-holed peer honoring nothing); a delay holds
+// the byte flow briefly. Deadlines set through SetDeadline /
+// SetReadDeadline / SetWriteDeadline are tracked so stalls respect them
+// exactly like kernel sockets do.
+type Conn struct {
+	inner net.Conn
+	sched *Schedule
+
+	mu      sync.Mutex
+	readDL  time.Time
+	writeDL time.Time
+
+	closeOnce sync.Once
+	closed    chan struct{}
+	closeErr  error
+}
+
+// WrapConn wraps conn with the schedule.
+func WrapConn(conn net.Conn, sched *Schedule) *Conn {
+	return &Conn{inner: conn, sched: sched, closed: make(chan struct{})}
+}
+
+// Read implements net.Conn.
+func (c *Conn) Read(b []byte) (int, error) {
+	if err := c.fault("read", c.readDeadline); err != nil {
+		return 0, err
+	}
+	return c.inner.Read(b)
+}
+
+// Write implements net.Conn.
+func (c *Conn) Write(b []byte) (int, error) {
+	if err := c.fault("write", c.writeDeadline); err != nil {
+		return 0, err
+	}
+	return c.inner.Write(b)
+}
+
+// fault consumes one schedule index and applies its fault to this
+// operation; deadline supplies the operation's current deadline for
+// stalls.
+func (c *Conn) fault(op string, deadline func() time.Time) error {
+	switch f := c.sched.take("conn", op); f.Kind {
+	case KindReset:
+		c.Close()
+		return fmt.Errorf("faultnet: injected connection reset during %s: %w", op, net.ErrClosed)
+	case KindStall:
+		return c.stall(deadline())
+	case KindDelay:
+		t := time.NewTimer(f.Delay)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-c.closed:
+			return net.ErrClosed
+		}
+	}
+	return nil
+}
+
+// stall blocks until the deadline fires or the connection closes. A zero
+// deadline stalls until close — exactly the hang an undeadlined read
+// against a black-holed peer produces.
+func (c *Conn) stall(dl time.Time) error {
+	if dl.IsZero() {
+		<-c.closed
+		return net.ErrClosed
+	}
+	t := time.NewTimer(time.Until(dl))
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return os.ErrDeadlineExceeded
+	case <-c.closed:
+		return net.ErrClosed
+	}
+}
+
+func (c *Conn) readDeadline() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.readDL
+}
+
+func (c *Conn) writeDeadline() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.writeDL
+}
+
+// Close implements net.Conn; it also releases every stalled operation.
+func (c *Conn) Close() error {
+	c.closeOnce.Do(func() {
+		close(c.closed)
+		c.closeErr = c.inner.Close()
+	})
+	return c.closeErr
+}
+
+// LocalAddr implements net.Conn.
+func (c *Conn) LocalAddr() net.Addr { return c.inner.LocalAddr() }
+
+// RemoteAddr implements net.Conn.
+func (c *Conn) RemoteAddr() net.Addr { return c.inner.RemoteAddr() }
+
+// SetDeadline implements net.Conn.
+func (c *Conn) SetDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.readDL, c.writeDL = t, t
+	c.mu.Unlock()
+	return c.inner.SetDeadline(t)
+}
+
+// SetReadDeadline implements net.Conn.
+func (c *Conn) SetReadDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.readDL = t
+	c.mu.Unlock()
+	return c.inner.SetReadDeadline(t)
+}
+
+// SetWriteDeadline implements net.Conn.
+func (c *Conn) SetWriteDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.writeDL = t
+	c.mu.Unlock()
+	return c.inner.SetWriteDeadline(t)
+}
+
+// Listener wraps a net.Listener so every accepted connection carries a
+// fresh fault schedule from NewSchedule (nil leaves a connection
+// fault-free).
+type Listener struct {
+	net.Listener
+	// NewSchedule supplies the schedule for the i-th accepted
+	// connection (0-based).
+	NewSchedule func(i int) *Schedule
+
+	mu sync.Mutex
+	n  int
+}
+
+// Accept implements net.Listener.
+func (l *Listener) Accept() (net.Conn, error) {
+	conn, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	i := l.n
+	l.n++
+	l.mu.Unlock()
+	if l.NewSchedule == nil {
+		return conn, nil
+	}
+	sched := l.NewSchedule(i)
+	if sched == nil {
+		return conn, nil
+	}
+	return WrapConn(conn, sched), nil
+}

@@ -1,0 +1,200 @@
+// Package faultnet injects deterministic faults into the system's
+// transports so the failure model is testable: connection resets,
+// read/write stalls, and frame delays, scheduled either explicitly or
+// from a seed. It wraps both layers a deployment can lose —
+// transport.Caller (one protocol round) and net.Conn (the byte stream
+// under the framing) — so chaos suites can prove that every query
+// either completes with a revealed-equivalent answer or fails fast with
+// a typed secerr code: no hangs, no goroutine leaks, no wrong results.
+//
+// Schedules are deterministic: an explicit schedule triggers exactly the
+// faults it was given, at the operation indexes it was given them for,
+// and a seeded schedule derives its fault pattern from a fixed seed via
+// a stable PRNG, so a failing chaos run reproduces from its seed alone.
+package faultnet
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/secerr"
+	"repro/internal/transport"
+)
+
+// Kind is the fault class injected at one operation.
+type Kind int
+
+const (
+	// KindNone lets the operation through untouched.
+	KindNone Kind = iota
+	// KindReset fails the operation as a torn connection (and, at the
+	// conn layer, actually closes the underlying connection, so both
+	// directions observe the loss like a real RST).
+	KindReset
+	// KindStall blocks the operation until the caller's context (or the
+	// connection's deadline) fires — a black-holed peer.
+	KindStall
+	// KindDelay holds the operation for Delay, then lets it through — a
+	// congested link rather than a dead one.
+	KindDelay
+)
+
+// String names the kind for logs and test output.
+func (k Kind) String() string {
+	switch k {
+	case KindReset:
+		return "reset"
+	case KindStall:
+		return "stall"
+	case KindDelay:
+		return "delay"
+	default:
+		return "none"
+	}
+}
+
+// Fault is one scheduled misbehavior.
+type Fault struct {
+	Kind Kind
+	// Delay is the hold time for KindDelay.
+	Delay time.Duration
+	// Persistent latches the fault: once triggered, every later
+	// operation on the same schedule fails the same way (a dead link),
+	// instead of a one-shot glitch the next operation survives.
+	Persistent bool
+}
+
+// Schedule maps operation indexes (0-based, in execution order) to
+// faults. One schedule tracks one stream of operations — share it
+// between wrappers only when they should consume a single combined
+// index space. Safe for concurrent use.
+type Schedule struct {
+	mu      sync.Mutex
+	faults  map[int]Fault
+	next    int
+	latched *Fault
+	log     []string
+}
+
+// NewSchedule returns an empty (fault-free) schedule.
+func NewSchedule() *Schedule {
+	return &Schedule{faults: map[int]Fault{}}
+}
+
+// At schedules a fault for the op-th operation (0-based). Returns the
+// schedule for chaining.
+func (s *Schedule) At(op int, f Fault) *Schedule {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.faults[op] = f
+	return s
+}
+
+// Profile parameterizes a seeded schedule.
+type Profile struct {
+	// Ops is how many leading operations are fault-eligible (later ones
+	// always pass; keeps runs terminating under persistent retries).
+	Ops int
+	// Rate is the per-operation fault probability in [0, 1].
+	Rate float64
+	// Kinds are the eligible fault kinds (defaults to reset/stall/delay).
+	Kinds []Kind
+	// Delay is the hold time used for KindDelay faults.
+	Delay time.Duration
+	// PersistRate is the probability a chosen fault is persistent.
+	PersistRate float64
+}
+
+// Seeded derives a deterministic schedule from the seed: the same seed
+// and profile always produce the same fault pattern.
+func Seeded(seed int64, p Profile) *Schedule {
+	rng := rand.New(rand.NewSource(seed))
+	kinds := p.Kinds
+	if len(kinds) == 0 {
+		kinds = []Kind{KindReset, KindStall, KindDelay}
+	}
+	delay := p.Delay
+	if delay <= 0 {
+		delay = 5 * time.Millisecond
+	}
+	s := NewSchedule()
+	for op := 0; op < p.Ops; op++ {
+		if rng.Float64() >= p.Rate {
+			continue
+		}
+		f := Fault{Kind: kinds[rng.Intn(len(kinds))], Delay: delay}
+		if rng.Float64() < p.PersistRate {
+			f.Persistent = true
+		}
+		s.faults[op] = f
+	}
+	return s
+}
+
+// take consumes the next operation index and returns its fault (or the
+// latched persistent fault).
+func (s *Schedule) take(layer, op string) Fault {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.latched != nil {
+		return *s.latched
+	}
+	idx := s.next
+	s.next++
+	f := s.faults[idx]
+	if f.Kind != KindNone {
+		s.log = append(s.log, fmt.Sprintf("%s op %d (%s): %s%s", layer, idx, op, f.Kind,
+			map[bool]string{true: " [persistent]", false: ""}[f.Persistent]))
+		if f.Persistent {
+			latched := f
+			s.latched = &latched
+		}
+	}
+	return f
+}
+
+// Injected reports the faults actually triggered so far, in order —
+// useful in failing-test output alongside the seed.
+func (s *Schedule) Injected() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.log...)
+}
+
+// Caller wraps a transport.Caller with fault injection: each Call
+// consumes one schedule index before reaching the inner transport.
+// Injected failures carry secerr.CodeTransport, exactly like genuine
+// link failures, so recovery layers cannot tell them apart.
+type Caller struct {
+	inner transport.Caller
+	sched *Schedule
+}
+
+// NewCaller wraps inner with the schedule.
+func NewCaller(inner transport.Caller, sched *Schedule) *Caller {
+	return &Caller{inner: inner, sched: sched}
+}
+
+// Call implements transport.Caller.
+func (c *Caller) Call(ctx context.Context, method string, req, resp any) error {
+	switch f := c.sched.take("call", method); f.Kind {
+	case KindReset:
+		return secerr.New(secerr.CodeTransport, "faultnet: injected connection reset before %s", method)
+	case KindStall:
+		// A black-holed peer: nothing moves until the caller gives up.
+		<-ctx.Done()
+		return fmt.Errorf("transport: %s: %w", method, ctx.Err())
+	case KindDelay:
+		t := time.NewTimer(f.Delay)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			return fmt.Errorf("transport: %s: %w", method, ctx.Err())
+		}
+	}
+	return c.inner.Call(ctx, method, req, resp)
+}

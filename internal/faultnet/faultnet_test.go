@@ -1,0 +1,219 @@
+package faultnet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/secerr"
+)
+
+// okCaller is an inner transport that always succeeds and counts calls.
+type okCaller struct{ calls int }
+
+func (c *okCaller) Call(context.Context, string, any, any) error {
+	c.calls++
+	return nil
+}
+
+// TestSeededDeterministic checks the same seed and profile reproduce the
+// same fault pattern, and a different seed diverges.
+func TestSeededDeterministic(t *testing.T) {
+	profile := Profile{Ops: 64, Rate: 0.3, PersistRate: 0.2}
+	drive := func(s *Schedule) []string {
+		for i := 0; i < 64; i++ {
+			s.take("call", fmt.Sprintf("op%d", i))
+		}
+		return s.Injected()
+	}
+	a := drive(Seeded(42, profile))
+	b := drive(Seeded(42, profile))
+	if len(a) == 0 {
+		t.Fatal("seed 42 injected no faults; profile too sparse for the test")
+	}
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("same seed diverged:\n%v\n%v", a, b)
+	}
+	c := drive(Seeded(43, profile))
+	if fmt.Sprint(a) == fmt.Sprint(c) {
+		t.Fatal("different seeds produced identical fault patterns")
+	}
+}
+
+// TestCallerOneShotReset checks a one-shot reset fails exactly one call
+// with the transport code, and the next call goes through.
+func TestCallerOneShotReset(t *testing.T) {
+	inner := &okCaller{}
+	c := NewCaller(inner, NewSchedule().At(0, Fault{Kind: KindReset}))
+	err := c.Call(context.Background(), "m", nil, nil)
+	if !errors.Is(err, secerr.ErrTransport) {
+		t.Fatalf("err = %v, want transport code", err)
+	}
+	if inner.calls != 0 {
+		t.Fatalf("inner reached %d times during reset, want 0", inner.calls)
+	}
+	if err := c.Call(context.Background(), "m", nil, nil); err != nil {
+		t.Fatalf("call after one-shot reset: %v", err)
+	}
+}
+
+// TestCallerPersistentReset checks a persistent fault latches: every
+// later call fails the same way.
+func TestCallerPersistentReset(t *testing.T) {
+	inner := &okCaller{}
+	c := NewCaller(inner, NewSchedule().At(1, Fault{Kind: KindReset, Persistent: true}))
+	if err := c.Call(context.Background(), "m", nil, nil); err != nil {
+		t.Fatalf("call before fault: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := c.Call(context.Background(), "m", nil, nil); !errors.Is(err, secerr.ErrTransport) {
+			t.Fatalf("call %d after latch: %v, want transport code", i, err)
+		}
+	}
+	if inner.calls != 1 {
+		t.Fatalf("inner calls = %d, want 1", inner.calls)
+	}
+}
+
+// TestCallerStallHonorsContext checks a stalled call returns the
+// context's error promptly once the caller gives up.
+func TestCallerStallHonorsContext(t *testing.T) {
+	c := NewCaller(&okCaller{}, NewSchedule().At(0, Fault{Kind: KindStall}))
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := c.Call(ctx, "m", nil, nil)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("stalled call did not return promptly after context expiry")
+	}
+}
+
+// TestConnResetTearsBothDirections checks a conn-layer reset closes the
+// underlying connection so the peer observes the loss too.
+func TestConnResetTearsBothDirections(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	c := WrapConn(a, NewSchedule().At(0, Fault{Kind: KindReset}))
+	if _, err := c.Write([]byte("x")); !errors.Is(err, net.ErrClosed) {
+		t.Fatalf("write during reset: %v, want net.ErrClosed", err)
+	}
+	if _, err := b.Read(make([]byte, 1)); err != io.EOF && !errors.Is(err, io.ErrClosedPipe) {
+		t.Fatalf("peer read after reset: %v, want closed", err)
+	}
+}
+
+// TestConnStallRespectsDeadline checks a stalled read times out at the
+// deadline the caller configured, like a kernel socket would.
+func TestConnStallRespectsDeadline(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	c := WrapConn(a, NewSchedule().At(0, Fault{Kind: KindStall}))
+	if err := c.SetReadDeadline(time.Now().Add(30 * time.Millisecond)); err != nil {
+		t.Fatalf("SetReadDeadline: %v", err)
+	}
+	start := time.Now()
+	_, err := c.Read(make([]byte, 1))
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("stalled read: %v, want deadline exceeded", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("stalled read did not honor its deadline")
+	}
+}
+
+// TestConnStallUnblocksOnClose checks an undeadlined stalled read is
+// released by Close rather than hanging forever.
+func TestConnStallUnblocksOnClose(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	c := WrapConn(a, NewSchedule().At(0, Fault{Kind: KindStall}))
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Read(make([]byte, 1))
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	c.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, net.ErrClosed) {
+			t.Fatalf("stalled read after close: %v, want net.ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("stalled read not released by Close")
+	}
+}
+
+// TestConnDelayPassesThrough checks a delayed write still delivers its
+// bytes after the hold.
+func TestConnDelayPassesThrough(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	c := WrapConn(a, NewSchedule().At(0, Fault{Kind: KindDelay, Delay: 5 * time.Millisecond}))
+	go func() {
+		c.Write([]byte("ok"))
+	}()
+	buf := make([]byte, 2)
+	if _, err := io.ReadFull(b, buf); err != nil {
+		t.Fatalf("read delayed bytes: %v", err)
+	}
+	if string(buf) != "ok" {
+		t.Fatalf("read %q, want %q", buf, "ok")
+	}
+}
+
+// TestListenerPerConnSchedules checks each accepted connection gets its
+// own schedule by index, with nil meaning fault-free.
+func TestListenerPerConnSchedules(t *testing.T) {
+	base, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	l := &Listener{Listener: base, NewSchedule: func(i int) *Schedule {
+		if i == 0 {
+			return NewSchedule().At(0, Fault{Kind: KindReset})
+		}
+		return nil
+	}}
+	defer l.Close()
+
+	accepted := make(chan net.Conn, 2)
+	go func() {
+		for i := 0; i < 2; i++ {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			accepted <- conn
+		}
+	}()
+
+	for i := 0; i < 2; i++ {
+		d, err := net.Dial("tcp", base.Addr().String())
+		if err != nil {
+			t.Fatalf("dial %d: %v", i, err)
+		}
+		defer d.Close()
+	}
+
+	first := <-accepted
+	defer first.Close()
+	if _, err := first.Write([]byte("x")); !errors.Is(err, net.ErrClosed) {
+		t.Fatalf("first conn write: %v, want injected reset", err)
+	}
+	second := <-accepted
+	defer second.Close()
+	if _, err := second.Write([]byte("x")); err != nil {
+		t.Fatalf("second conn write: %v, want fault-free", err)
+	}
+}

@@ -38,6 +38,11 @@ const (
 	// CodeTransport marks a failure of the link itself (connection loss,
 	// framing errors) as opposed to an error reported by the peer.
 	CodeTransport Code = "transport"
+	// CodeOverloaded marks a request shed by an admission bound: the
+	// serving party is at capacity (or draining toward shutdown) and
+	// refused the work instead of queueing it. Overloaded failures are
+	// safe to retry after backing off.
+	CodeOverloaded Code = "overloaded"
 	// CodeInternal marks any other server-side failure.
 	CodeInternal Code = "internal"
 )
@@ -53,6 +58,7 @@ var (
 	ErrUnknownMethod   = &Error{Code: CodeUnknownMethod, Msg: "unknown method"}
 	ErrBadRequest      = &Error{Code: CodeBadRequest, Msg: "malformed request"}
 	ErrTransport       = &Error{Code: CodeTransport, Msg: "transport failure"}
+	ErrOverloaded      = &Error{Code: CodeOverloaded, Msg: "overloaded"}
 	ErrInternal        = &Error{Code: CodeInternal, Msg: "internal error"}
 )
 

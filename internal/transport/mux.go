@@ -88,6 +88,14 @@ func Connect(ctx context.Context, conn net.Conn, stats *Stats) (ConnCaller, erro
 		ctx, cancel = context.WithTimeout(ctx, prefaceTimeout)
 		defer cancel()
 	}
+	// Bound the whole exchange — the preface write and both reads — with a
+	// connection deadline set up front, not armed only at cancellation:
+	// arming on cancel leaves each individual I/O unbounded if the watcher
+	// goroutine loses its race with a blocking read, whereas an upfront
+	// deadline makes every step of the exchange expire together.
+	if dl, ok := ctx.Deadline(); ok {
+		conn.SetDeadline(dl)
+	}
 	fired := make(chan struct{})
 	stop := context.AfterFunc(ctx, func() {
 		conn.SetDeadline(time.Now())

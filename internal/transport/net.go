@@ -295,19 +295,83 @@ func ServeConn(ctx context.Context, conn net.Conn, responder Responder) error {
 // goroutine until the listener closes or the context is canceled (which
 // also closes the listener and every open connection).
 func Serve(ctx context.Context, l net.Listener, responder Responder) error {
+	return ServeWith(ctx, l, responder, ServeOptions{})
+}
+
+// ServeOptions tunes ServeWith's shutdown behavior.
+type ServeOptions struct {
+	// Drain, when positive, makes cancellation graceful: the listener
+	// closes immediately and no new frames are read, but handlers already
+	// in flight keep running (on a context that survives the
+	// cancellation) and flush their replies for up to Drain before the
+	// remaining connections are aborted. Zero keeps the immediate-abort
+	// behavior: cancellation closes every connection at once.
+	Drain time.Duration
+}
+
+// ServeWith is Serve with explicit shutdown options. With a drain window
+// configured, cancellation walks a three-step ladder: stop accepting,
+// stop reading new frames (a read deadline interrupts the frame loops
+// without touching in-flight handlers, whose replies still flush —
+// serveMux waits for its handlers before the connection goroutine
+// closes the conn), and finally — when the window closes — cancel the
+// surviving handlers and tear the connections down. On a canceled
+// context ServeWith returns only after every connection goroutine has
+// finished, so callers know in-flight work has either completed or been
+// aborted by the time it returns.
+func ServeWith(ctx context.Context, l net.Listener, responder Responder, opts ServeOptions) error {
+	// Handlers run on a context that survives cancellation when draining,
+	// so cancellation stops frame intake without aborting work already
+	// admitted; the drain timer (or ServeWith's return) cancels them.
+	handlerCtx := ctx
+	cancelHandlers := context.CancelFunc(func() {})
+	if opts.Drain > 0 {
+		handlerCtx, cancelHandlers = context.WithCancel(context.WithoutCancel(ctx))
+	}
+	defer cancelHandlers()
+
 	var (
-		mu    sync.Mutex
-		conns = map[net.Conn]struct{}{}
+		mu         sync.Mutex
+		conns      = map[net.Conn]struct{}{}
+		drainTimer *time.Timer
+		wg         sync.WaitGroup
 	)
-	stop := context.AfterFunc(ctx, func() {
-		l.Close()
+	closeAll := func() {
 		mu.Lock()
 		defer mu.Unlock()
 		for conn := range conns {
 			conn.Close()
 		}
+	}
+	stop := context.AfterFunc(ctx, func() {
+		l.Close()
+		if opts.Drain <= 0 {
+			closeAll()
+			return
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		for conn := range conns {
+			conn.SetReadDeadline(time.Now())
+		}
+		drainTimer = time.AfterFunc(opts.Drain, func() {
+			cancelHandlers()
+			closeAll()
+		})
 	})
 	defer stop()
+	defer func() {
+		if ctx.Err() != nil {
+			// Bounded: read deadlines have stopped frame intake and the
+			// drain timer aborts whatever outlives the window.
+			wg.Wait()
+		}
+		mu.Lock()
+		if drainTimer != nil {
+			drainTimer.Stop()
+		}
+		mu.Unlock()
+	}()
 	for {
 		conn, err := l.Accept()
 		if err != nil {
@@ -321,15 +385,22 @@ func Serve(ctx context.Context, l net.Listener, responder Responder) error {
 		}
 		mu.Lock()
 		conns[conn] = struct{}{}
+		if ctx.Err() != nil {
+			// Lost the race with the cancellation walk: apply its
+			// read-deadline step here so this conn drains too.
+			conn.SetReadDeadline(time.Now())
+		}
 		mu.Unlock()
+		wg.Add(1)
 		go func() {
+			defer wg.Done()
 			defer func() {
 				conn.Close()
 				mu.Lock()
 				delete(conns, conn)
 				mu.Unlock()
 			}()
-			_ = ServeConn(ctx, conn, responder)
+			_ = ServeConn(handlerCtx, conn, responder)
 		}()
 	}
 }

@@ -3,8 +3,11 @@ package sectopk
 import (
 	"bytes"
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"net"
 
+	"repro/internal/backoff"
 	"repro/internal/secerr"
 	"repro/internal/secio"
 	"repro/internal/transport"
@@ -17,9 +20,16 @@ import (
 // concurrent use. The client never holds key material — it ships tokens
 // and receives encrypted answers, which travel back to the owner for
 // revealing.
+//
+// A client built with DialRetry additionally recovers from failures:
+// the connection re-dials itself, and failed Execute calls are retried
+// under the configured policy (see DialRetry).
 type Client struct {
 	conn  transport.ConnCaller
 	stats *transport.Stats
+	// retry, when non-nil, re-issues failed Execute calls (transport
+	// failures and overload sheds) under this policy. Set by DialRetry.
+	retry *backoff.Policy
 }
 
 // Dial connects to a DataCloud serving clients at addr (TCP), negotiates
@@ -58,9 +68,16 @@ func NewClient(ctx context.Context, conn net.Conn) (*Client, error) {
 
 // hello runs the client-plane version handshake.
 func (c *Client) hello(ctx context.Context) error {
+	return clientHelloOn(ctx, c.conn)
+}
+
+// clientHelloOn runs the client-plane version handshake over any caller
+// — the freshly connected client, or each reconnect of a self-healing
+// transport (ReconnectCaller's OnConnect).
+func clientHelloOn(ctx context.Context, caller transport.Caller) error {
 	var rep clientHelloReply
 	req := clientHello{Min: clientMinProtocolVersion, Max: clientProtocolVersion}
-	if err := c.conn.Call(ctx, methodClientHello, req, &rep); err != nil {
+	if err := caller.Call(ctx, methodClientHello, req, &rep); err != nil {
 		return err
 	}
 	if rep.Version < clientMinProtocolVersion || rep.Version > clientProtocolVersion {
@@ -69,6 +86,48 @@ func (c *Client) hello(ctx context.Context) error {
 			rep.Version, clientMinProtocolVersion, clientProtocolVersion)
 	}
 	return nil
+}
+
+// DialRetry connects to a DataCloud like Dial, but through the
+// self-healing transport: the connection is dialed (and, after link
+// failures, re-dialed) under the retry policy of WithRetry (package
+// defaults otherwise; other options are ignored), with the version
+// handshake re-run on every fresh link. Execute calls additionally
+// retry on transport failures and overload sheds (ErrOverloaded — e.g.
+// a data cloud at its WithSessionLimit, or one draining for shutdown),
+// carrying an idempotency key so the server accounts a retried query as
+// one query, not a repeated query pattern. Errors the server computed —
+// unknown relation, invalid token, bad request — surface immediately,
+// wrapped with the attempt history.
+func DialRetry(ctx context.Context, addr string, opts ...Option) (*Client, error) {
+	cfg := buildConfig(opts)
+	policy := cfg.retryPolicy()
+	stats := transport.NewStats()
+	rc := transport.NewReconnectCaller(transport.ReconnectConfig{
+		Dial: func(ctx context.Context) (transport.ConnCaller, error) {
+			var dialer net.Dialer
+			conn, err := dialer.DialContext(ctx, "tcp", addr)
+			if err != nil {
+				return nil, secerr.Wrap(secerr.CodeTransport, err, "sectopk: dialing data cloud")
+			}
+			mc, err := transport.Connect(ctx, conn, stats)
+			if err != nil {
+				conn.Close()
+				return nil, err
+			}
+			return mc, nil
+		},
+		OnConnect: clientHelloOn,
+		Policy:    policy,
+	})
+	// Eager first dial (the version handshake rides OnConnect): fail
+	// DialRetry after the policy's attempts rather than the first
+	// Execute when the data cloud is unreachable.
+	if err := rc.Connect(ctx); err != nil {
+		rc.Close()
+		return nil, err
+	}
+	return &Client{conn: rc, stats: stats, retry: &policy}, nil
 }
 
 // Execute submits one request of any workload and returns its encrypted
@@ -90,14 +149,25 @@ func (c *Client) Execute(ctx context.Context, req Request) (*Answer, error) {
 		return nil, err
 	}
 	wreq := clientExecuteRequest{
-		Relation: req.Relation,
-		Workload: string(w),
-		Token:    token,
-		Options:  buildQueryConfig(req.Options).wire(),
+		Relation:    req.Relation,
+		Workload:    string(w),
+		Token:       token,
+		Options:     buildQueryConfig(req.Options).wire(),
+		Idempotency: newIdempotencyKey(),
 	}
 	before := c.stats.Total()
 	var rep clientExecuteReply
-	if err := c.conn.Call(ctx, methodClientExecute, wreq, &rep); err != nil {
+	if c.retry != nil {
+		err = backoff.Retry(ctx, methodClientExecute, *c.retry, executeRetryable,
+			func(ctx context.Context) error {
+				wreq.Attempt++
+				rep = clientExecuteReply{}
+				return c.conn.Call(ctx, methodClientExecute, wreq, &rep)
+			})
+	} else {
+		err = c.conn.Call(ctx, methodClientExecute, wreq, &rep)
+	}
+	if err != nil {
 		return nil, err
 	}
 	after := c.stats.Total()
@@ -110,6 +180,30 @@ func (c *Client) Execute(ctx context.Context, req Request) (*Answer, error) {
 		Bytes:  (after.BytesSent + after.BytesReceived) - (before.BytesSent + before.BytesReceived),
 	}
 	return ans, nil
+}
+
+// executeRetryable decides which Execute failures are worth repeating:
+// link failures (the request or its reply was lost) and overload sheds
+// (the server asked us to back off). Errors the server computed would
+// fail identically again and surface immediately.
+func executeRetryable(err error) bool {
+	switch secerr.CodeOf(err) {
+	case secerr.CodeTransport, secerr.CodeOverloaded:
+		return true
+	default:
+		return false
+	}
+}
+
+// newIdempotencyKey draws a fresh random run key for one logical query.
+func newIdempotencyKey() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// No entropy means no dedup, not no query: an empty key keeps
+		// the pre-idempotency accounting semantics.
+		return ""
+	}
+	return hex.EncodeToString(b[:])
 }
 
 // encodeWireToken serializes the request's trapdoor with the persistence

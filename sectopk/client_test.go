@@ -436,8 +436,9 @@ func TestClientErrorsAcrossWire(t *testing.T) {
 
 // TestClientConcurrentOverTCP drives several clients with overlapping
 // requests over one listener; every answer must reveal to the same
-// pinned result (exercises the shared admission gate and per-connection
-// multiplexing under -race).
+// pinned result (exercises the shedding admission gate — more in-flight
+// requests than WithSessionLimit slots, absorbed by client retries —
+// and per-connection multiplexing under -race).
 func TestClientConcurrentOverTCP(t *testing.T) {
 	r := newFullRig(t, sectopk.WithSessionLimit(3))
 	ctx := context.Background()
@@ -454,9 +455,11 @@ func TestClientConcurrentOverTCP(t *testing.T) {
 	var wg sync.WaitGroup
 	errCh := make(chan error, clients*perClient)
 	for c := 0; c < clients; c++ {
-		client, err := sectopk.Dial(ctx, addr)
+		client, err := sectopk.DialRetry(ctx, addr, sectopk.WithRetry(sectopk.RetryPolicy{
+			Initial: 5 * time.Millisecond, Max: 100 * time.Millisecond, MaxElapsed: 2 * time.Minute,
+		}))
 		if err != nil {
-			t.Fatalf("Dial client %d: %v", c, err)
+			t.Fatalf("DialRetry client %d: %v", c, err)
 		}
 		defer client.Close()
 		for q := 0; q < perClient; q++ {

@@ -6,6 +6,7 @@ import (
 	"net"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/cloud"
 	"repro/internal/join"
@@ -13,6 +14,45 @@ import (
 	"repro/internal/shard"
 	"repro/internal/transport"
 )
+
+// admission is one concurrency gate for DataCloud.execute. slots bounds
+// the simultaneously executing requests (nil = unbounded); shed selects
+// the overflow behavior — true fails a request arriving with every slot
+// taken immediately with ErrOverloaded, false queues it until a slot
+// frees or the context ends.
+type admission struct {
+	slots chan struct{}
+	shed  bool
+}
+
+// acquire claims a slot (or returns a typed error); release must be
+// called iff acquire returned nil.
+func (a *admission) acquire(ctx context.Context) error {
+	if a == nil || a.slots == nil {
+		return nil
+	}
+	if a.shed {
+		select {
+		case a.slots <- struct{}{}:
+			return nil
+		default:
+			return secerr.New(secerr.CodeOverloaded,
+				"sectopk: session limit %d reached, request shed", cap(a.slots))
+		}
+	}
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("sectopk: awaiting admission: %w", ctx.Err())
+	}
+}
+
+func (a *admission) release() {
+	if a != nil && a.slots != nil {
+		<-a.slots
+	}
+}
 
 // DataCloud is the data cloud role (S1): it hosts encrypted relations
 // and executes queries by driving blinded protocol rounds against a
@@ -33,12 +73,13 @@ type DataCloud struct {
 
 	// admit is the unified admission gate (WithSessionLimit): every
 	// Execute — any workload, in-process or remote — claims a slot for
-	// the duration of its run. nil means unbounded.
-	admit chan struct{}
+	// the duration of its run, and overflow sheds with ErrOverloaded.
+	// nil means unbounded.
+	admit *admission
 	// clientGate lazily builds the remote plane's default gate when no
 	// session limit was configured (see ServeClients).
 	clientGateOnce sync.Once
-	clientGateCh   chan struct{}
+	clientGate     *admission
 
 	mu        sync.Mutex
 	caller    transport.Caller     // what hosted clients issue rounds on
@@ -48,6 +89,13 @@ type DataCloud struct {
 	joins     map[string]*hostedJoin
 	knns      map[string]*hostedKNN
 	closed    bool
+
+	// Drain state (WithDrainTimeout): once draining, new executes shed
+	// with ErrOverloaded while the inflight ones run to completion;
+	// drainDone is closed when the last one finishes.
+	draining  bool
+	inflight  int
+	drainDone chan struct{}
 }
 
 // hostedRelation is one relation this data cloud serves queries for. The
@@ -71,9 +119,9 @@ type hostedJoin struct {
 // S1-side worker pools and nonce paths.
 func NewDataCloud(opts ...Option) *DataCloud {
 	cfg := buildConfig(opts)
-	var admit chan struct{}
+	var admit *admission
 	if cfg.sessionLimit > 0 {
-		admit = make(chan struct{}, cfg.sessionLimit)
+		admit = &admission{slots: make(chan struct{}, cfg.sessionLimit), shed: true}
 	}
 	return &DataCloud{
 		cfg:       cfg,
@@ -99,8 +147,13 @@ func (d *DataCloud) setCaller(raw transport.Caller, conn transport.ConnCaller) e
 		return secerr.New(secerr.CodeInternal, "sectopk: data cloud already connected")
 	}
 	caller := raw
+	if d.cfg.retry != nil {
+		// Round-retry sits below the batcher: a retried round is the
+		// actual wire envelope, re-issued only per the retryability table.
+		caller = cloud.NewRetryCaller(caller, d.cfg.retryPolicy())
+	}
 	if d.cfg.batching {
-		d.batcher = cloud.NewBatcher(raw)
+		d.batcher = cloud.NewBatcher(caller)
 		caller = d.batcher
 	}
 	d.caller = caller
@@ -186,6 +239,111 @@ func (d *DataCloud) Dial(ctx context.Context, addr string) error {
 		return err
 	}
 	return nil
+}
+
+// DialRetry connects to a CryptoCloud at addr through the self-healing
+// transport: the link is (re-)dialed on demand under the configured
+// retry policy (WithRetry; package defaults otherwise), and every
+// reconnect re-runs the version handshake plus one Hello per hosted
+// relation before any round travels. A round that was in flight when
+// the link died still fails — re-issuing rounds is the round-retry
+// layer's job (WithRetry), which composes on top of this transport.
+func (d *DataCloud) DialRetry(ctx context.Context, addr string) error {
+	rc := transport.NewReconnectCaller(transport.ReconnectConfig{
+		Dial: func(ctx context.Context) (transport.ConnCaller, error) {
+			var dialer net.Dialer
+			conn, err := dialer.DialContext(ctx, "tcp", addr)
+			if err != nil {
+				return nil, secerr.Wrap(secerr.CodeTransport, err, "sectopk: dialing crypto cloud")
+			}
+			nc, err := transport.Connect(ctx, conn, d.stats)
+			if err != nil {
+				conn.Close()
+				return nil, err
+			}
+			return nc, nil
+		},
+		OnConnect: func(ctx context.Context, c transport.Caller) error {
+			if err := cloud.Handshake(ctx, c, ""); err != nil {
+				return err
+			}
+			// Re-prove every hosted relation on the fresh link, so a
+			// crypto cloud that restarted without its registrations is
+			// caught at reconnect time, not mid-query.
+			for _, id := range d.Hosted() {
+				if err := cloud.Handshake(ctx, c, id); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		Policy: d.cfg.retryPolicy(),
+	})
+	// Eager first dial (the version handshake rides OnConnect): fail
+	// DialRetry after the policy's attempts rather than the first query
+	// when the crypto cloud is unreachable.
+	if err := rc.Connect(ctx); err != nil {
+		rc.Close()
+		return err
+	}
+	if err := d.setCaller(rc, rc); err != nil {
+		rc.Close()
+		return err
+	}
+	return nil
+}
+
+// Connected reports whether the data cloud holds a usable transport: it
+// is wired up (ConnectLocal, Connect, Dial, or DialRetry), not closed,
+// and — on a self-healing transport — the link is currently established
+// rather than awaiting a re-dial.
+func (d *DataCloud) Connected() bool {
+	d.mu.Lock()
+	caller := d.caller
+	conn := d.conn
+	closed := d.closed
+	d.mu.Unlock()
+	if closed || caller == nil {
+		return false
+	}
+	if rc, ok := conn.(*transport.ReconnectCaller); ok {
+		return rc.Connected()
+	}
+	return true
+}
+
+// Draining reports whether the data cloud is in its drain window:
+// shutdown has begun, in-flight requests are completing, and new ones
+// shed with ErrOverloaded. Readiness probes should report not-ready.
+func (d *DataCloud) Draining() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.draining
+}
+
+// beginExecute brackets one request into the drain accounting; callers
+// must call endExecute iff it returned nil.
+func (d *DataCloud) beginExecute() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return secerr.New(secerr.CodeInternal, "sectopk: data cloud is closed")
+	}
+	if d.draining {
+		return secerr.New(secerr.CodeOverloaded, "sectopk: data cloud is draining, request shed")
+	}
+	d.inflight++
+	return nil
+}
+
+func (d *DataCloud) endExecute() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.inflight--
+	if d.inflight == 0 && d.drainDone != nil {
+		close(d.drainDone)
+		d.drainDone = nil
+	}
 }
 
 // connectedCaller returns the transport or a typed error.
@@ -337,9 +495,30 @@ func (d *DataCloud) LeakageEvents() []string {
 }
 
 // Close releases every hosted relation's background pools and closes the
-// network connection, if any. Safe to call more than once.
+// network connection, if any. With WithDrainTimeout it is graceful:
+// admission stops immediately (new requests shed with ErrOverloaded),
+// requests already executing get up to the drain window to finish, and
+// only then is the transport torn down — so a drained shutdown never
+// turns a completing query into a transport error. Safe to call more
+// than once.
 func (d *DataCloud) Close() {
 	d.mu.Lock()
+	if !d.closed {
+		d.draining = true
+		if d.cfg.drainTimeout > 0 && d.inflight > 0 {
+			done := make(chan struct{})
+			d.drainDone = done
+			d.mu.Unlock()
+			timer := time.NewTimer(d.cfg.drainTimeout)
+			select {
+			case <-done:
+			case <-timer.C:
+			}
+			timer.Stop()
+			d.mu.Lock()
+			d.drainDone = nil
+		}
+	}
 	rels := d.relations
 	joins := d.joins
 	knns := d.knns

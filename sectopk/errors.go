@@ -24,4 +24,10 @@ var (
 	// ErrTransport marks a failure of the link itself, as opposed to an
 	// error reported by the peer.
 	ErrTransport error = secerr.ErrTransport
+	// ErrOverloaded marks a request shed by an admission bound: the data
+	// cloud is at its configured session limit (or draining toward
+	// shutdown) and refused the work instead of queueing it. Overloaded
+	// requests are safe to retry after backing off; the retrying client
+	// plane (DialRetry) does so automatically.
+	ErrOverloaded error = secerr.ErrOverloaded
 )

@@ -1,6 +1,9 @@
 package sectopk
 
 import (
+	"time"
+
+	"repro/internal/backoff"
 	"repro/internal/cloud"
 	"repro/internal/core"
 	"repro/internal/ehl"
@@ -23,6 +26,18 @@ type config struct {
 	shards       int
 	batching     bool
 	sessionLimit int
+	retry        *RetryPolicy
+	drainTimeout time.Duration
+}
+
+// retryPolicy resolves the effective backoff policy: the configured one,
+// or the package defaults when retries were requested implicitly (e.g.
+// DialRetry with no WithRetry option).
+func (c config) retryPolicy() backoff.Policy {
+	if c.retry != nil {
+		return c.retry.backoff()
+	}
+	return backoff.Policy{}
 }
 
 func defaultConfig() config {
@@ -143,14 +158,77 @@ func WithBatching(on bool) Option {
 // concurrently, across every workload and entry point: DataCloud.Execute,
 // Session/JoinSession, SessionPool runs, and requests admitted from
 // remote clients (ServeClients) all claim one admission slot for the
-// duration of their run. n <= 0 (the default) leaves in-process
-// execution unbounded; the remote client plane then falls back to a
-// GOMAXPROCS-sized gate of its own, so an open listener never admits
-// unbounded concurrent work.
+// duration of their run. An explicit limit SHEDS on overflow: a request
+// arriving with every slot taken fails immediately with ErrOverloaded
+// (which also crosses the client wire typed, and which the retrying
+// client plane backs off and retries) instead of queueing into an
+// unbounded backlog. n <= 0 (the default) leaves in-process execution
+// unbounded; the remote client plane then falls back to a
+// GOMAXPROCS-sized queueing gate of its own, so an open listener never
+// admits unbounded concurrent work.
 func WithSessionLimit(n int) Option {
 	return func(c *config) {
 		if n > 0 {
 			c.sessionLimit = n
+		}
+	}
+}
+
+// RetryPolicy is the public face of the shared backoff schedule: capped
+// exponential delays with randomized jitter, bounded by attempts and/or
+// a total elapsed window. The zero value picks the package defaults
+// (first retry after ~25ms, doubling to a 2s cap, 4 attempts).
+type RetryPolicy struct {
+	// Initial is the base delay before the first retry.
+	Initial time.Duration
+	// Max caps the per-retry delay after exponential growth.
+	Max time.Duration
+	// Factor is the growth factor between retries (default 2).
+	Factor float64
+	// Jitter is the randomized fraction of each delay in [0, 1]
+	// (default 0.5); negative disables jitter entirely.
+	Jitter float64
+	// MaxAttempts bounds total tries, first call included (0 = default,
+	// negative = exactly one attempt).
+	MaxAttempts int
+	// MaxElapsed, when positive, bounds the total retry window; with
+	// MaxAttempts left 0 it becomes the only bound.
+	MaxElapsed time.Duration
+}
+
+func (p RetryPolicy) backoff() backoff.Policy {
+	return backoff.Policy{
+		Initial: p.Initial, Max: p.Max, Factor: p.Factor, Jitter: p.Jitter,
+		MaxAttempts: p.MaxAttempts, MaxElapsed: p.MaxElapsed,
+	}
+}
+
+// WithRetry opts a role into recovery-by-retry under the given policy.
+//
+// On a DataCloud it wraps the S1→S2 transport with the round-retry
+// layer: failed protocol rounds are re-issued when — and only when —
+// the method is in the retryability table (every current method is: S2's
+// handlers are stateless crypto transforms) and the failure was
+// link-level or an overload shed. Peer-computed errors surface
+// immediately. Combine with DialRetry for re-dialing too.
+//
+// On a querier Client (DialRetry) it sets the schedule used both for
+// re-dialing the data cloud and for re-issuing failed Execute calls
+// (which carry an idempotency key, so a retried query is accounted as
+// one query, not a repeated pattern).
+func WithRetry(p RetryPolicy) Option {
+	return func(c *config) { c.retry = &p }
+}
+
+// WithDrainTimeout makes a DataCloud's shutdown graceful: Close (and a
+// canceled ServeClients) stops admitting new requests immediately —
+// they shed with ErrOverloaded — but lets requests already executing
+// run to completion for up to d before aborting what remains. Zero (the
+// default) keeps the immediate-abort behavior.
+func WithDrainTimeout(d time.Duration) Option {
+	return func(c *config) {
+		if d > 0 {
+			c.drainTimeout = d
 		}
 	}
 }
@@ -228,6 +306,10 @@ type queryConfig struct {
 	batchDepth  int
 	maxDepth    int
 	parallelism int
+	// queryID is the run's idempotency key (set by the client wire, not a
+	// public QueryOption): re-executions of the same logical query carry
+	// the same ID so the leakage ledger counts them once.
+	queryID string
 }
 
 func buildQueryConfig(opts []QueryOption) queryConfig {
@@ -246,6 +328,7 @@ func (q queryConfig) coreOptions() core.Options {
 		BatchDepth:  q.batchDepth,
 		MaxDepth:    q.maxDepth,
 		Parallelism: q.parallelism,
+		QueryID:     q.queryID,
 	}
 }
 

@@ -2,7 +2,6 @@ package sectopk
 
 import (
 	"context"
-	"fmt"
 
 	"repro/internal/secerr"
 )
@@ -115,30 +114,31 @@ func (a *Answer) Workload() Workload {
 // registry, and drives the workload's protocol against the connected
 // crypto cloud. Unknown (or workload-mismatched) relation IDs fail with
 // ErrUnknownRelation; malformed trapdoors with ErrInvalidToken. With
-// WithSessionLimit the call first claims an admission slot, so any
-// number of concurrent callers degrade to bounded concurrency instead
-// of unbounded fan-out. Session, JoinSession, SessionPool, and the
-// remote client plane (ServeClients) are all thin wrappers over this
-// entry point.
+// WithSessionLimit the call first claims an admission slot — a request
+// arriving with every slot taken sheds immediately with ErrOverloaded
+// rather than queueing. A draining data cloud (Close under
+// WithDrainTimeout) likewise sheds new requests while the in-flight
+// ones finish. Session, JoinSession, SessionPool, and the remote client
+// plane (ServeClients) are all thin wrappers over this entry point.
 func (d *DataCloud) Execute(ctx context.Context, req Request) (*Answer, error) {
 	return d.execute(ctx, req, buildQueryConfig(req.Options), d.admit)
 }
 
 // execute is the shared execution path: every wrapper funnels here with
 // its resolved query config and admission gate (nil = unbounded).
-func (d *DataCloud) execute(ctx context.Context, req Request, cfg queryConfig, gate chan struct{}) (*Answer, error) {
+func (d *DataCloud) execute(ctx context.Context, req Request, cfg queryConfig, adm *admission) (*Answer, error) {
 	w, err := req.workload()
 	if err != nil {
 		return nil, err
 	}
-	if gate != nil {
-		select {
-		case gate <- struct{}{}:
-			defer func() { <-gate }()
-		case <-ctx.Done():
-			return nil, fmt.Errorf("sectopk: awaiting admission: %w", ctx.Err())
-		}
+	if err := d.beginExecute(); err != nil {
+		return nil, err
 	}
+	defer d.endExecute()
+	if err := adm.acquire(ctx); err != nil {
+		return nil, err
+	}
+	defer adm.release()
 	before := d.Traffic()
 	ans := &Answer{}
 	switch w {

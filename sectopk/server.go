@@ -80,12 +80,18 @@ func queryConfigFromWire(w wireQueryOptions) queryConfig {
 
 // clientExecuteRequest carries one query: the relation ID, the workload
 // discriminator, the workload's token as a secio stream, and the query
-// options.
+// options. Idempotency, when non-empty, is the query's run key: retries
+// of the same logical query carry the same key (with Attempt counting
+// up), so the server's leakage ledger counts a retried query once
+// instead of recording a phantom repeated-query pattern. Old clients
+// that omit the fields get the old behavior (every arrival counts).
 type clientExecuteRequest struct {
-	Relation string
-	Workload string
-	Token    []byte
-	Options  wireQueryOptions
+	Relation    string
+	Workload    string
+	Token       []byte
+	Options     wireQueryOptions
+	Idempotency string
+	Attempt     int
 }
 
 // clientExecuteReply carries the encrypted answer as a secio stream of
@@ -96,37 +102,44 @@ type clientExecuteReply struct {
 
 // ServeClients accepts querier connections on the listener and serves
 // the client wire protocol until the listener closes or the context is
-// canceled (which also closes the listener and every open connection).
-// Each connection is served on its own goroutine and multiplexes any
-// number of in-flight requests; every admitted request executes through
-// the same unified path as in-process callers, gated by the data cloud's
-// admission bound (WithSessionLimit, defaulting to a GOMAXPROCS-sized
-// gate for the remote plane), so N remote clients get the same
+// canceled. Each connection is served on its own goroutine and
+// multiplexes any number of in-flight requests; every admitted request
+// executes through the same unified path as in-process callers, gated
+// by the data cloud's admission bound (WithSessionLimit — which sheds
+// overflow with ErrOverloaded — defaulting to a GOMAXPROCS-sized
+// queueing gate for the remote plane), so N remote clients get the same
 // bounded-concurrency guarantees a SessionPool gives local callers.
 // Handler errors are reported to the peer as structured (code, message)
 // pairs, never by tearing the serving loop down.
+//
+// Cancellation honors WithDrainTimeout: with a drain window configured,
+// a canceled context stops accepting connections and new frames but
+// lets in-flight requests finish (and their replies flush) for up to
+// the window before aborting them; without one, everything aborts
+// immediately.
 func (d *DataCloud) ServeClients(ctx context.Context, l net.Listener) error {
-	return transport.Serve(ctx, l, &clientResponder{dc: d, gate: d.clientAdmission()})
+	return transport.ServeWith(ctx, l, &clientResponder{dc: d, gate: d.clientAdmission()},
+		transport.ServeOptions{Drain: d.cfg.drainTimeout})
 }
 
 // clientAdmission returns the gate remote requests execute under: the
 // configured session limit when one is set, else a shared
-// GOMAXPROCS-sized gate built on first use.
-func (d *DataCloud) clientAdmission() chan struct{} {
+// GOMAXPROCS-sized queueing gate built on first use.
+func (d *DataCloud) clientAdmission() *admission {
 	if d.admit != nil {
 		return d.admit
 	}
 	d.clientGateOnce.Do(func() {
-		d.clientGateCh = make(chan struct{}, runtime.GOMAXPROCS(0))
+		d.clientGate = &admission{slots: make(chan struct{}, runtime.GOMAXPROCS(0))}
 	})
-	return d.clientGateCh
+	return d.clientGate
 }
 
 // clientResponder handles client-plane methods. It is stateless per
 // connection, so one responder serves every accepted connection.
 type clientResponder struct {
 	dc   *DataCloud
-	gate chan struct{}
+	gate *admission
 }
 
 // Serve implements transport.Responder.
@@ -156,7 +169,9 @@ func (r *clientResponder) Serve(ctx context.Context, method string, body []byte)
 		if err != nil {
 			return nil, err
 		}
-		ans, err := r.dc.execute(ctx, req, queryConfigFromWire(wreq.Options), r.gate)
+		cfg := queryConfigFromWire(wreq.Options)
+		cfg.queryID = wreq.Idempotency
+		ans, err := r.dc.execute(ctx, req, cfg, r.gate)
 		if err != nil {
 			return nil, err
 		}
