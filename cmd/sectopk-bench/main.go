@@ -32,7 +32,7 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "", "experiment id (micro, qps, fig7, fig8, fig9, fig10, fig11, fig12, tab3, fig13, knn, fig14, ablation, or 'all')")
+		exp       = flag.String("exp", "", "experiment id (micro, qps, mutate, fig7, fig8, fig9, fig10, fig11, fig12, tab3, fig13, knn, fig14, ablation, or 'all')")
 		list      = flag.Bool("list", false, "list experiment ids and exit")
 		keyBits   = flag.Int("keybits", 256, "Paillier modulus bits (paper-scale: 512)")
 		ehlS      = flag.Int("ehl-s", 3, "number of EHL+ digests s (paper: 5)")
@@ -52,6 +52,7 @@ func main() {
 	if *list {
 		fmt.Println("micro")
 		fmt.Println("qps")
+		fmt.Println("mutate")
 		for _, id := range bench.ExperimentIDs() {
 			fmt.Println(id)
 		}
@@ -85,6 +86,10 @@ func main() {
 	}
 	if *exp == "qps" {
 		runQPS(cfg, *md, *jsonPath)
+		return
+	}
+	if *exp == "mutate" {
+		runMutate(cfg, *md, *jsonPath)
 		return
 	}
 
@@ -144,6 +149,36 @@ func runMicro(cfg bench.Config, md bool, jsonPath string) {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "[micro done in %s; perf record -> %s]\n",
+		time.Since(start).Round(time.Millisecond), path)
+}
+
+// runMutate measures the incremental-write plane (delta apply cost,
+// compaction, post-mutation query latency vs a fresh re-encryption) and
+// merges the machine-readable record into BENCH_<date>.json.
+func runMutate(cfg bench.Config, md bool, jsonPath string) {
+	start := time.Now()
+	rep, err := bench.RunMutate(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sectopk-bench: mutate: %v\n", err)
+		os.Exit(1)
+	}
+	table := rep.Report()
+	var renderErr error
+	if md {
+		renderErr = table.Markdown(os.Stdout)
+	} else {
+		renderErr = table.Render(os.Stdout)
+	}
+	if renderErr != nil {
+		fmt.Fprintf(os.Stderr, "sectopk-bench: %v\n", renderErr)
+		os.Exit(1)
+	}
+	path, err := rep.SaveJSON(jsonPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sectopk-bench: writing perf record: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "[mutate done in %s; perf record -> %s]\n",
 		time.Since(start).Round(time.Millisecond), path)
 }
 

@@ -36,6 +36,14 @@
 //	# Client: decrypt a stored answer with the owner's keys.
 //	sectopk-node reveal -dir ./deploy -workload topk
 //
+//	# Owner: mutate the live relation without re-encrypting it. Each
+//	# flag's mutation becomes one encrypted delta shipped to S1 over the
+//	# client wire (deletes, then updates, then inserts), -compact folds
+//	# the accumulated tombstones, and the owner's mirror + the hosted
+//	# bundle are re-saved at the new epoch so query/reveal keep working.
+//	sectopk-node apply -dir ./deploy -connect 127.0.0.1:9142 \
+//	    -delete 0,4 -update "2=8,8,8" -insert "3,5,7;2,9,1" -compact
+//
 // The owner's key files never travel to S1; the encrypted relations
 // never travel to S2; the querier holds only tokens and encrypted
 // answers. All serving roles honor SIGINT/SIGTERM by canceling the
@@ -67,6 +75,7 @@ const (
 	ownerFile      = "owner.bundle"      // full scheme state -> stays with owner
 	joinOwnerFile  = "join-owner.bundle" // join scheme state -> stays with owner
 	relationFile   = "relation.er"       // encrypted relation (+ public key) -> data cloud
+	mirrorFile     = "relation.mr"       // owner's mutable mirror (plaintext + shadow) -> stays with owner
 	join1File      = "join1.er"          // encrypted join relation 1 -> data cloud
 	join2File      = "join2.er"          // encrypted join relation 2 -> data cloud
 	knnFile        = "knn.er"            // encrypted kNN record store -> data cloud
@@ -94,6 +103,8 @@ func main() {
 		err = runS1(ctx, os.Args[2:])
 	case "query":
 		err = runQuery(ctx, os.Args[2:])
+	case "apply":
+		err = runApply(ctx, os.Args[2:])
 	case "reveal":
 		err = runReveal(os.Args[2:])
 	default:
@@ -106,7 +117,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: sectopk-node {owner|s2|s1|query|reveal} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: sectopk-node {owner|s2|s1|query|apply|reveal} [flags]")
 	os.Exit(2)
 }
 
@@ -195,6 +206,15 @@ func runOwner(args []string) error {
 			return err
 		}
 		if err := tk.Save(filepath.Join(*dir, tokenFile)); err != nil {
+			return err
+		}
+		// The mutable mirror is what lets the owner produce encrypted
+		// deltas later (sectopk-node apply) without re-encrypting.
+		mr, err := owner.NewMutable(rel, er)
+		if err != nil {
+			return err
+		}
+		if err := mr.Save(filepath.Join(*dir, mirrorFile)); err != nil {
 			return err
 		}
 	}
@@ -385,7 +405,7 @@ func runS1(ctx context.Context, args []string) error {
 			return err
 		}
 		defer pl.Close()
-		startProbes(pl, s1Ready(dc, &hosted))
+		startProbes(pl, s1Ready(dc, &hosted, *relation))
 		fmt.Printf("probes on http://%s/healthz and /readyz\n", pl.Addr())
 	}
 
@@ -465,8 +485,10 @@ func runS1(ctx context.Context, args []string) error {
 
 // s1Ready is the readiness predicate behind /readyz: the S2 handshakes
 // are done (the transport is connected), the relations are hosted, and
-// the data cloud is not draining for shutdown.
-func s1Ready(dc *sectopk.DataCloud, hosted *atomic.Bool) func() (bool, string) {
+// the data cloud is not draining for shutdown. A ready top-k relation
+// also reports its epoch, so an orchestrator (or a curious owner) can
+// watch deltas land without issuing a query.
+func s1Ready(dc *sectopk.DataCloud, hosted *atomic.Bool, relation string) func() (bool, string) {
 	return func() (bool, string) {
 		switch {
 		case dc.Draining():
@@ -475,6 +497,9 @@ func s1Ready(dc *sectopk.DataCloud, hosted *atomic.Bool) func() (bool, string) {
 			return false, "not connected to S2"
 		case !hosted.Load():
 			return false, "relations not hosted"
+		}
+		if epoch, err := dc.Epoch(relation); err == nil {
+			return true, fmt.Sprintf("ready (relation %s at epoch %d)", relation, epoch)
 		}
 		return true, "ready"
 	}
@@ -606,6 +631,184 @@ func runQuery(ctx context.Context, args []string) error {
 	default:
 		return ans.KNN.Save(path)
 	}
+}
+
+// runApply is the owner's live-update loop: load the mutable mirror,
+// turn the flags into encrypted deltas (deletes, then updates, then
+// inserts — three independent mutations in a fixed order), ship each to
+// the data cloud over the client wire, adopt the epochs the Applies
+// report, and persist the advanced owner state. The mirror is re-saved
+// after every landed delta, so a failure mid-sequence leaves the disk
+// state consistent with the hosting (the unshipped mutations are simply
+// not applied anywhere).
+func runApply(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("apply", flag.ExitOnError)
+	dir := fs.String("dir", ".", "artifact directory")
+	connect := fs.String("connect", "127.0.0.1:9142", "data cloud client-listen address")
+	relation := fs.String("relation", "default", "relation ID")
+	insertFlag := fs.String("insert", "", "rows to insert: semicolon-separated comma-lists, e.g. '3,5,7;2,9,1'")
+	deleteFlag := fs.String("delete", "", "global row ids to delete: comma list, e.g. '0,4'")
+	updateFlag := fs.String("update", "", "rows to update: semicolon-separated id=comma-list, e.g. '2=8,8,8'")
+	compact := fs.Bool("compact", false, "fold accumulated tombstones after the mutations land")
+	wait := fs.Duration("wait", 15*time.Second, "how long to retry dialing the server")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *insertFlag == "" && *deleteFlag == "" && *updateFlag == "" && !*compact {
+		return fmt.Errorf("nothing to do: give -insert, -delete, -update, or -compact")
+	}
+	owner, err := sectopk.LoadOwner(filepath.Join(*dir, ownerFile))
+	if err != nil {
+		return err
+	}
+	mr, err := owner.LoadMutable(filepath.Join(*dir, mirrorFile))
+	if err != nil {
+		return err
+	}
+	client, err := dialClient(ctx, *connect, *wait)
+	if err != nil {
+		return fmt.Errorf("dialing %s: %w", *connect, err)
+	}
+	defer client.Close()
+
+	mirrorPath := filepath.Join(*dir, mirrorFile)
+	ship := func(d *sectopk.Delta, what string) error {
+		epoch, err := client.Apply(ctx, *relation, d)
+		if err != nil {
+			return fmt.Errorf("%s: %w", what, err)
+		}
+		if err := mr.Adopt(epoch); err != nil {
+			return err
+		}
+		ins, del := d.Rows()
+		fmt.Printf("%s applied: +%d/-%d rows -> epoch %d\n", what, ins, del, epoch)
+		return mr.Save(mirrorPath)
+	}
+	if *deleteFlag != "" {
+		ids, err := parseInts(*deleteFlag)
+		if err != nil {
+			return err
+		}
+		d, err := mr.DeleteRows(ids)
+		if err != nil {
+			return err
+		}
+		if err := ship(d, "delete"); err != nil {
+			return err
+		}
+	}
+	if *updateFlag != "" {
+		updates, err := parseUpdates(*updateFlag)
+		if err != nil {
+			return err
+		}
+		d, err := mr.UpdateScores(updates)
+		if err != nil {
+			return err
+		}
+		if err := ship(d, "update"); err != nil {
+			return err
+		}
+	}
+	if *insertFlag != "" {
+		rows, err := parseRows(*insertFlag)
+		if err != nil {
+			return err
+		}
+		d, err := mr.InsertRows(rows)
+		if err != nil {
+			return err
+		}
+		if err := ship(d, "insert"); err != nil {
+			return err
+		}
+	}
+	if *compact {
+		epoch, err := client.Compact(ctx, *relation)
+		if err != nil {
+			return err
+		}
+		if err := mr.Adopt(epoch); err != nil {
+			return err
+		}
+		fmt.Printf("compacted -> epoch %d\n", epoch)
+		if err := mr.Save(mirrorPath); err != nil {
+			return err
+		}
+	}
+	// Refresh the hosted bundle at the new epoch: reveal sizes its
+	// revealer off this file, which must cover the grown id space.
+	er, err := mr.Encrypted()
+	if err != nil {
+		return err
+	}
+	if err := er.Save(filepath.Join(*dir, relationFile)); err != nil {
+		return err
+	}
+	fmt.Printf("relation %s now at epoch %d: %d live rows, %d awaiting compaction\n",
+		*relation, mr.Epoch(), mr.LiveRows(), mr.DeadRows())
+	return nil
+}
+
+// parseRows parses the -insert syntax: rows split by ';', attribute
+// scores by ','.
+func parseRows(s string) ([][]int64, error) {
+	var out [][]int64
+	for _, part := range strings.Split(s, ";") {
+		if part = strings.TrimSpace(part); part == "" {
+			continue
+		}
+		row, err := parseInt64s(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, row)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no rows in %q", s)
+	}
+	return out, nil
+}
+
+// parseUpdates parses the -update syntax: 'id=scores' pairs split by
+// ';', scores by ','.
+func parseUpdates(s string) (map[int][]int64, error) {
+	out := map[int][]int64{}
+	for _, part := range strings.Split(s, ";") {
+		if part = strings.TrimSpace(part); part == "" {
+			continue
+		}
+		id, scores, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("update %q is not id=scores", part)
+		}
+		v, err := strconv.Atoi(strings.TrimSpace(id))
+		if err != nil {
+			return nil, fmt.Errorf("parsing update id %q: %w", id, err)
+		}
+		row, err := parseInt64s(scores)
+		if err != nil {
+			return nil, err
+		}
+		out[v] = row
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no updates in %q", s)
+	}
+	return out, nil
+}
+
+func parseInt64s(s string) ([]int64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("parsing score list %q: %w", s, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 func runReveal(args []string) error {

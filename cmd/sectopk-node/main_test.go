@@ -6,6 +6,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -111,7 +112,7 @@ func TestProbeEndpoints(t *testing.T) {
 	dc := sectopk.NewDataCloud(sectopk.WithKeyBits(256))
 	defer dc.Close()
 	var hosted atomic.Bool
-	startProbes(pl, s1Ready(dc, &hosted))
+	startProbes(pl, s1Ready(dc, &hosted, "demo"))
 	base := "http://" + pl.Addr().String()
 
 	get := func(path string) (int, string) {
@@ -158,6 +159,8 @@ func TestProbeEndpoints(t *testing.T) {
 	hosted.Store(true)
 	if code, body := get("/readyz"); code != http.StatusOK {
 		t.Fatalf("/readyz when serving = %d (%q), want 200", code, body)
+	} else if !strings.Contains(body, "epoch 1") {
+		t.Fatalf("/readyz body = %q, want the hosted relation's epoch", body)
 	}
 
 	dc.Close()

@@ -128,6 +128,27 @@ func TestSmokeFastExperiments(t *testing.T) {
 	}
 }
 
+// TestSmokeMutateExperiment runs the mutation-plane benchmark end to end
+// with a tiny configuration and checks the record is well-formed.
+func TestSmokeMutateExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench smoke tests are not short")
+	}
+	rep, err := RunMutate(tinyConfig())
+	if err != nil {
+		t.Fatalf("RunMutate: %v", err)
+	}
+	if len(rep.Results) < 6 {
+		t.Fatalf("mutate report has %d result rows, want >= 6", len(rep.Results))
+	}
+	if rep.SpeedupVsReencrypt <= 0 {
+		t.Fatalf("speedup vs re-encrypt = %v, want > 0", rep.SpeedupVsReencrypt)
+	}
+	if len(rep.Report().Rows) != len(rep.Results) {
+		t.Fatal("rendered table drops result rows")
+	}
+}
+
 func TestSmokeKNNExperiment(t *testing.T) {
 	if testing.Short() {
 		t.Skip("bench smoke tests are not short")

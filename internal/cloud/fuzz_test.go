@@ -13,7 +13,17 @@ import (
 var fuzzMethods = []string{
 	MethodHello, MethodEqBits, MethodRecover, MethodCompare,
 	MethodCompareHidden, MethodMult, MethodDedup, MethodFilter,
-	MethodBatch, "Bogus",
+	MethodBatch, MethodApply, "Bogus",
+}
+
+// applyEnvelope mirrors the client plane's Apply request shape: a
+// relation name plus an opaque serialized delta. S2 deliberately has no
+// Apply handler (the crypto cloud holds no relation state to mutate), so
+// these envelopes must earn typed unknown-method errors, never a panic —
+// including when smuggled inside a batch envelope.
+type applyEnvelope struct {
+	Relation string
+	Delta    []byte
 }
 
 // fuzzSeedBodies are structurally plausible but hostile request bodies:
@@ -63,6 +73,15 @@ func fuzzSeedBodies(t testing.TB) [][]byte {
 			{Method: "Bogus"},
 			{Method: MethodBatch, Body: enc(&BatchRequest{})},
 			{Method: MethodRecover, Body: enc(&RecoverRequest{Cts: []*big.Int{nil}})},
+		}}),
+		// Apply envelopes: a plausible one, an empty one, a garbage delta,
+		// and one nested in a batch. S2 has no Apply handler, so every
+		// shape must come back unknown_method / per-item error.
+		enc(&applyEnvelope{Relation: "r", Delta: []byte{0xde, 0xad}}),
+		enc(&applyEnvelope{}),
+		enc(&applyEnvelope{Relation: "r", Delta: enc(&HelloRequest{Version: 2})}),
+		enc(&BatchRequest{Items: []BatchItem{
+			{Method: MethodApply, Body: enc(&applyEnvelope{Relation: "r"})},
 		}}),
 	}
 }

@@ -29,6 +29,13 @@ var methodRetryable = map[string]bool{
 	MethodDedup:         true,
 	MethodFilter:        true,
 	MethodBatch:         true,
+	// Apply mutates hosted state: a lost reply leaves the caller unable
+	// to tell whether the delta landed, so the wire layer must NOT blindly
+	// re-issue it. The entry is spelled out (rather than relying on the
+	// unknown-method default) so the fail-closed choice is pinned by test
+	// and survives anyone "completing" this table mechanically. Retries
+	// happen above this layer, guarded by the delta's idempotency key.
+	MethodApply: false,
 }
 
 // MethodRetryable reports whether a failed round of the method is safe

@@ -111,3 +111,24 @@ func TestRetryCallerEveryWireMethodIsTabled(t *testing.T) {
 		}
 	}
 }
+
+// TestMethodApplyFailClosed pins the mutation plane's wire-layer choice:
+// Apply has side effects (it advances a hosted relation's epoch), so a
+// failed round must NOT be blindly re-issued here — exactly-once comes
+// from the delta's idempotency key one layer up. Both the table entry
+// and the RetryCaller behaviour are pinned so neither can be "completed"
+// mechanically into retry-everything.
+func TestMethodApplyFailClosed(t *testing.T) {
+	if MethodRetryable(MethodApply) {
+		t.Fatal("MethodApply is marked retryable; it mutates hosted state")
+	}
+	inner := &flakySeq{errs: []error{secerr.New(secerr.CodeTransport, "link lost mid-apply")}}
+	rc := NewRetryCaller(inner, retryTestPolicy)
+	err := rc.Call(context.Background(), MethodApply, nil, nil)
+	if !errors.Is(err, secerr.ErrTransport) {
+		t.Fatalf("Call: %v, want the transport failure surfaced unretried", err)
+	}
+	if inner.calls != 1 {
+		t.Fatalf("calls = %d, want exactly 1 (no blind re-issue of Apply)", inner.calls)
+	}
+}

@@ -27,6 +27,13 @@ const (
 	MethodDedup         = "Dedup"
 	MethodFilter        = "Filter"
 	MethodBatch         = "Batch"
+	// MethodApply is the mutation plane's delta application. Unlike the
+	// protocol rounds above it has SIDE EFFECTS — it advances a hosted
+	// relation's epoch — so it is deliberately absent from S2's handler
+	// set (the crypto cloud holds no relation state to mutate) and
+	// explicitly non-retryable at the wire layer; exactly-once semantics
+	// come from the idempotency key inside the delta, one layer up.
+	MethodApply = "Apply"
 )
 
 // BatchItem is one coalesced protocol call inside a batch envelope: the

@@ -308,6 +308,47 @@ func (s *Scheme) EncryptRelationWithIDs(rel *dataset.Relation, ids []int) (*Encr
 	return er, nil
 }
 
+// EncryptEntry encrypts a single (object id, score) cell under the
+// scheme keys: EHL(id) plus Enc(score). It is the unit the mutation
+// plane builds deltas from — a fresh row contributes one EncryptEntry
+// per attribute list, bit-compatible with what EncryptRelationWithIDs
+// would have produced for the same id at the same position.
+func (s *Scheme) EncryptEntry(id int, score int64) (EncItem, error) {
+	if id < 0 {
+		return EncItem{}, fmt.Errorf("core: negative object id %d", id)
+	}
+	if score < 0 || score >= 1<<uint(s.params.MaxScoreBits) {
+		return EncItem{}, fmt.Errorf("core: score %d out of range [0, 2^%d)", score, s.params.MaxScoreBits)
+	}
+	l, err := s.hasher.Build(uint64(id))
+	if err != nil {
+		return EncItem{}, err
+	}
+	ct, err := s.enc.Encrypt(big.NewInt(score))
+	if err != nil {
+		return EncItem{}, err
+	}
+	return EncItem{EHL: l, Score: ct}, nil
+}
+
+// PermutedPositions maps each attribute j in [0, m) to the permuted
+// list position P_K(j), i.e. out[j] is the stored index of attribute
+// j's sorted list. Delta construction needs the full mapping to place
+// per-attribute entries into the permuted list layout.
+func (s *Scheme) PermutedPositions(m int) ([]int, error) {
+	perm, err := prf.NewPerm(s.permKey, m)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, m)
+	for j := 0; j < m; j++ {
+		if out[j], err = perm.Apply(j); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
 type plainEntry struct {
 	obj   int
 	score int64

@@ -43,6 +43,12 @@ const (
 	// refused the work instead of queueing it. Overloaded failures are
 	// safe to retry after backing off.
 	CodeOverloaded Code = "overloaded"
+	// CodeRelationStale marks an operation pinned to a relation epoch
+	// that is no longer the hosted one: a concurrent Apply or Compact
+	// advanced the relation. The caller must refresh its view of the
+	// relation (epoch, token) and retry deliberately — the failure is
+	// fail-fast by design, never retried blindly.
+	CodeRelationStale Code = "relation_stale"
 	// CodeInternal marks any other server-side failure.
 	CodeInternal Code = "internal"
 )
@@ -59,6 +65,7 @@ var (
 	ErrBadRequest      = &Error{Code: CodeBadRequest, Msg: "malformed request"}
 	ErrTransport       = &Error{Code: CodeTransport, Msg: "transport failure"}
 	ErrOverloaded      = &Error{Code: CodeOverloaded, Msg: "overloaded"}
+	ErrRelationStale   = &Error{Code: CodeRelationStale, Msg: "relation epoch is stale"}
 	ErrInternal        = &Error{Code: CodeInternal, Msg: "internal error"}
 )
 

@@ -124,6 +124,13 @@ func ReadHostedShards(r io.Reader) ([]*core.EncryptedRelation, *paillier.PublicK
 	if err := dec.Decode(&h); err != nil {
 		return nil, nil, fmt.Errorf("secio: reading header: %w", err)
 	}
+	return readHostedShardsBody(dec, h)
+}
+
+// readHostedShardsBody decodes a hosted bundle after its header has been
+// consumed (shared with the mutable-hosted reader, which sniffs the kind
+// first to adopt pre-mutation bundles).
+func readHostedShardsBody(dec *gob.Decoder, h header) ([]*core.EncryptedRelation, *paillier.PublicKey, error) {
 	kind := h.Kind
 	if kind != "hosted-shards" {
 		kind = "hosted-relation"

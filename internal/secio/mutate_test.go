@@ -1,0 +1,318 @@
+package secio
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ehl"
+	"repro/internal/mutate"
+	"repro/internal/secerr"
+)
+
+// futureStream encodes a header claiming format version 99 for the given
+// kind, with no body — readers must reject it on the header alone.
+func futureStream(t *testing.T, kind string) io.Reader {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(header{Magic: magic, Version: 99, Kind: kind}); err != nil {
+		t.Fatalf("encoding future header: %v", err)
+	}
+	return &buf
+}
+
+// TestFutureVersionRejectedEveryKind pins version negotiation for EVERY
+// stream kind: a header stamped with an unknown future version fails
+// typed bad_request, and the message names both the found version and
+// the supported range — what a stranded operator needs to see.
+func TestFutureVersionRejectedEveryKind(t *testing.T) {
+	readers := map[string]func(r io.Reader) error{
+		"relation":      func(r io.Reader) error { _, err := ReadRelation(r); return err },
+		"join-relation": func(r io.Reader) error { _, _, err := ReadJoinRelation(r); return err },
+		"token":         func(r io.Reader) error { _, err := ReadToken(r); return err },
+		"hosted-relation": func(r io.Reader) error {
+			_, _, err := ReadHostedRelation(r)
+			return err
+		},
+		"hosted-shards": func(r io.Reader) error {
+			_, _, err := ReadHostedShards(r)
+			return err
+		},
+		"hosted-join-relation": func(r io.Reader) error {
+			_, _, _, _, err := ReadHostedJoinRelation(r)
+			return err
+		},
+		"join-token": func(r io.Reader) error { _, err := ReadJoinToken(r); return err },
+		"result": func(r io.Reader) error {
+			_, _, _, err := ReadQueryResult(r)
+			return err
+		},
+		"knn-token":   func(r io.Reader) error { _, _, err := ReadKNNToken(r); return err },
+		"join-result": func(r io.Reader) error { _, err := ReadJoinResult(r); return err },
+		"knn-result":  func(r io.Reader) error { _, err := ReadKNNResult(r); return err },
+		"hosted-knn-relation": func(r io.Reader) error {
+			_, _, _, err := ReadHostedKNNRelation(r)
+			return err
+		},
+		"join-owner": func(r io.Reader) error { _, err := ReadJoinOwnerBundle(r); return err },
+		"keys":       func(r io.Reader) error { _, err := ReadKeyMaterial(r); return err },
+		"owner":      func(r io.Reader) error { _, err := ReadOwnerBundle(r); return err },
+		"pubkey":     func(r io.Reader) error { _, err := ReadPublicKey(r); return err },
+		"items":      func(r io.Reader) error { _, err := ReadItems(r); return err },
+		"delta":      func(r io.Reader) error { _, _, err := ReadDelta(r); return err },
+		"hosted-mutable": func(r io.Reader) error {
+			_, _, err := ReadMutableHosted(r)
+			return err
+		},
+		"mutable-owner": func(r io.Reader) error {
+			_, _, _, err := ReadOwnerMutable(r)
+			return err
+		},
+	}
+	for kind, read := range readers {
+		t.Run(kind, func(t *testing.T) {
+			err := read(futureStream(t, kind))
+			if err == nil {
+				t.Fatalf("%s reader accepted a version-99 stream", kind)
+			}
+			if !errors.Is(err, secerr.ErrBadRequest) {
+				t.Fatalf("%s: err = %v (code %q), want bad_request", kind, err, secerr.CodeOf(err))
+			}
+			msg := err.Error()
+			if !strings.Contains(msg, "99") {
+				t.Fatalf("%s: error %q does not name the found version", kind, msg)
+			}
+			if !strings.Contains(msg, "1..2") {
+				t.Fatalf("%s: error %q does not name the supported range", kind, msg)
+			}
+		})
+	}
+	// The legacy-adoption sniff in ReadMutableHosted must not bypass the
+	// version gate for the kinds it adopts.
+	for _, kind := range []string{"hosted-relation", "hosted-shards"} {
+		if _, _, err := ReadMutableHosted(futureStream(t, kind)); !errors.Is(err, secerr.ErrBadRequest) {
+			t.Fatalf("ReadMutableHosted(%s v99): err = %v, want bad_request", kind, err)
+		}
+	}
+}
+
+// TestDeltaRoundTrip serializes a mutation delta (the Client.Apply wire
+// payload) and checks every field — idempotency key, base epoch, shard
+// targeting, delete positions, insert ciphertexts — survives, along with
+// the EHL parameters the decoder validated against.
+func TestDeltaRoundTrip(t *testing.T) {
+	r := getRig(t)
+	params := ehl.Params{Kind: ehl.KindPlus, S: 3}
+	item, err := r.scheme.EncryptEntry(7, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &mutate.Delta{
+		BaseEpoch: 3,
+		ID:        "delta-abc123",
+		Shards: []mutate.ShardDelta{
+			{
+				Shard:   1,
+				Deletes: []mutate.DeleteRow{{ID: 4, Pos: []int{0, 2, 1}}},
+				Inserts: []mutate.InsertRow{{ID: 7, Pos: []int{2, 0, 1}, Items: []core.EncItem{item, item, item}}},
+			},
+			{Shard: 0, Deletes: []mutate.DeleteRow{{ID: 2, Pos: []int{1, 1, 0}}}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteDelta(&buf, d, params); err != nil {
+		t.Fatalf("WriteDelta: %v", err)
+	}
+	got, gotParams, err := ReadDelta(&buf)
+	if err != nil {
+		t.Fatalf("ReadDelta: %v", err)
+	}
+	if gotParams != params {
+		t.Fatalf("params mismatch: %+v vs %+v", gotParams, params)
+	}
+	if got.BaseEpoch != d.BaseEpoch || got.ID != d.ID || len(got.Shards) != len(d.Shards) {
+		t.Fatalf("delta metadata mismatch: %+v", got)
+	}
+	sd := got.Shards[0]
+	if sd.Shard != 1 || len(sd.Deletes) != 1 || len(sd.Inserts) != 1 {
+		t.Fatalf("shard 0 shape wrong: %+v", sd)
+	}
+	if sd.Deletes[0].ID != 4 || len(sd.Deletes[0].Pos) != 3 || sd.Deletes[0].Pos[1] != 2 {
+		t.Fatalf("delete row mismatch: %+v", sd.Deletes[0])
+	}
+	ins := sd.Inserts[0]
+	if ins.ID != 7 || len(ins.Items) != 3 || len(ins.Items[0].EHL.Cts) != params.Width() {
+		t.Fatalf("insert row mismatch: %+v", ins)
+	}
+	if ins.Items[0].Score.C.Cmp(item.Score.C) != 0 {
+		t.Fatal("insert score ciphertext mutated in transit")
+	}
+	if got.Shards[1].Shard != 0 || len(got.Shards[1].Inserts) != 0 {
+		t.Fatalf("shard 1 mismatch: %+v", got.Shards[1])
+	}
+	// Error paths.
+	if err := WriteDelta(io.Discard, nil, params); err == nil {
+		t.Fatal("expected error for nil delta")
+	}
+	var wrongKind bytes.Buffer
+	if err := WriteToken(&wrongKind, &core.Token{K: 1, Lists: []int{0}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadDelta(&wrongKind); !errors.Is(err, secerr.ErrBadRequest) {
+		t.Fatalf("ReadDelta(token stream) = %v, want bad_request", err)
+	}
+}
+
+// TestMutableHostedRoundTrip serializes an epoch-stamped hosted relation
+// with tombstone debt and checks the mutable bookkeeping — epoch, id
+// space, live prefixes, dead tails, tombstoned ids — all survive.
+func TestMutableHostedRoundTrip(t *testing.T) {
+	r := getRig(t)
+	er, err := r.scheme.EncryptRelation(testRelation())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := mutate.New([]*core.EncryptedRelation{er}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hand-roll post-mutation state: epoch advanced, last row of each
+	// list tombstoned (lists stay full depth; N shrinks to the live
+	// prefix), id space grown past the row count.
+	st.Epoch = 5
+	st.IDSpace = 9
+	sh := st.Shards[0]
+	sh.ER.N--
+	sh.Dead = 1
+	sh.DeadIDs = []int{4}
+	var buf bytes.Buffer
+	if err := WriteMutableHosted(&buf, st, r.scheme.PublicKey()); err != nil {
+		t.Fatalf("WriteMutableHosted: %v", err)
+	}
+	got, pk, err := ReadMutableHosted(&buf)
+	if err != nil {
+		t.Fatalf("ReadMutableHosted: %v", err)
+	}
+	if pk.N.Cmp(r.scheme.PublicKey().N) != 0 {
+		t.Fatal("public key mismatch")
+	}
+	if got.Epoch != 5 || got.IDSpace != 9 || len(got.Shards) != 1 {
+		t.Fatalf("mutable metadata mismatch: epoch=%d idspace=%d shards=%d", got.Epoch, got.IDSpace, len(got.Shards))
+	}
+	gs := got.Shards[0]
+	if gs.ER.N != sh.ER.N || gs.Dead != 1 || len(gs.DeadIDs) != 1 || gs.DeadIDs[0] != 4 {
+		t.Fatalf("tombstone bookkeeping mismatch: %+v", gs)
+	}
+	for p, list := range gs.ER.Lists {
+		if len(list) != gs.ER.N+gs.Dead {
+			t.Fatalf("list %d stored %d entries, want live+dead = %d", p, len(list), gs.ER.N+gs.Dead)
+		}
+	}
+	// The live view must be queryable shape: N live entries per list.
+	live := got.LiveShards()[0]
+	for p, list := range live.Lists {
+		if len(list) != live.N {
+			t.Fatalf("live view list %d has %d entries for N=%d", p, len(list), live.N)
+		}
+	}
+	if err := WriteMutableHosted(io.Discard, nil, r.scheme.PublicKey()); err == nil {
+		t.Fatal("expected error for nil mutable relation")
+	}
+}
+
+// TestMutableHostedAdoptsLegacy checks ReadMutableHosted accepts the
+// pre-mutation hosted kinds, adopting them as epoch-1 state with no
+// tombstone debt — every bundle an older build wrote hosts cleanly.
+func TestMutableHostedAdoptsLegacy(t *testing.T) {
+	r := getRig(t)
+	er1, err := r.scheme.EncryptRelation(testRelation())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sharded legacy bundle ("hosted-shards").
+	var buf bytes.Buffer
+	if err := WriteHostedShards(&buf, []*core.EncryptedRelation{er1, er1}, r.scheme.PublicKey()); err != nil {
+		t.Fatalf("WriteHostedShards: %v", err)
+	}
+	st, _, err := ReadMutableHosted(&buf)
+	if err != nil {
+		t.Fatalf("ReadMutableHosted(hosted-shards): %v", err)
+	}
+	if st.Epoch != 1 || st.DeadRows() != 0 || len(st.Shards) != 2 {
+		t.Fatalf("adopted state wrong: epoch=%d dead=%d shards=%d", st.Epoch, st.DeadRows(), len(st.Shards))
+	}
+	if st.LiveRows() != 2*er1.N {
+		t.Fatalf("adopted live rows = %d, want %d", st.LiveRows(), 2*er1.N)
+	}
+	// Single-relation legacy bundle ("hosted-relation").
+	buf.Reset()
+	if err := WriteHostedRelation(&buf, er1, r.scheme.PublicKey()); err != nil {
+		t.Fatalf("WriteHostedRelation: %v", err)
+	}
+	st, _, err = ReadMutableHosted(&buf)
+	if err != nil {
+		t.Fatalf("ReadMutableHosted(hosted-relation): %v", err)
+	}
+	if st.Epoch != 1 || len(st.Shards) != 1 || st.IDSpace != er1.N {
+		t.Fatalf("adopted single-shard state wrong: %+v", st)
+	}
+}
+
+// TestOwnerMutableRoundTrip serializes the owner's mirror bundle
+// (plaintext rows + encrypted shadow) and checks both halves survive.
+func TestOwnerMutableRoundTrip(t *testing.T) {
+	r := getRig(t)
+	er, err := r.scheme.EncryptRelation(testRelation())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := mutate.New([]*core.EncryptedRelation{er}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Epoch = 2
+	mir := &OwnerMirror{
+		Name: "fig3", P: 1, M: 3, NextID: 6, Epoch: 2,
+		IDs:  []int{0, 1, 2, 3, 5},
+		Rows: [][]int64{{10, 3, 2}, {8, 8, 0}, {5, 7, 6}, {3, 2, 8}, {9, 9, 9}},
+	}
+	var buf bytes.Buffer
+	if err := WriteOwnerMutable(&buf, mir, st, r.scheme.PublicKey()); err != nil {
+		t.Fatalf("WriteOwnerMutable: %v", err)
+	}
+	gotMir, gotSt, pk, err := ReadOwnerMutable(&buf)
+	if err != nil {
+		t.Fatalf("ReadOwnerMutable: %v", err)
+	}
+	if pk.N.Cmp(r.scheme.PublicKey().N) != 0 {
+		t.Fatal("public key mismatch")
+	}
+	if gotMir.Name != mir.Name || gotMir.P != 1 || gotMir.M != 3 || gotMir.NextID != 6 || gotMir.Epoch != 2 {
+		t.Fatalf("mirror metadata mismatch: %+v", gotMir)
+	}
+	if len(gotMir.IDs) != 5 || gotMir.IDs[4] != 5 || gotMir.Rows[4][0] != 9 {
+		t.Fatalf("mirror rows mismatch: %+v", gotMir)
+	}
+	if gotSt.Epoch != 2 || gotSt.LiveRows() != er.N {
+		t.Fatalf("shadow state mismatch: epoch=%d live=%d", gotSt.Epoch, gotSt.LiveRows())
+	}
+	// Error paths: nil mirror, mismatched ids/rows, wrong kind.
+	if err := WriteOwnerMutable(io.Discard, nil, st, r.scheme.PublicKey()); err == nil {
+		t.Fatal("expected error for nil mirror")
+	}
+	bad := &OwnerMirror{Name: "x", IDs: []int{1, 2}, Rows: [][]int64{{1}}}
+	if err := WriteOwnerMutable(io.Discard, bad, st, r.scheme.PublicKey()); err == nil {
+		t.Fatal("expected error for mismatched ids/rows")
+	}
+	buf.Reset()
+	if err := WriteMutableHosted(&buf, st, r.scheme.PublicKey()); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := ReadOwnerMutable(&buf); !errors.Is(err, secerr.ErrBadRequest) {
+		t.Fatalf("ReadOwnerMutable(hosted-mutable stream) = %v, want bad_request", err)
+	}
+}

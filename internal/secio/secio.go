@@ -21,12 +21,19 @@ import (
 	"repro/internal/ehl"
 	"repro/internal/join"
 	"repro/internal/paillier"
+	"repro/internal/secerr"
 )
 
-// magic identifies sectopk gob streams; version gates format changes.
+// magic identifies sectopk gob streams; the version range gates format
+// changes. Writers stamp the current version; readers accept the whole
+// [minVersion, version] range, so every v1 artifact stays loadable.
+// Version 2 added the mutation-plane kinds ("delta", "hosted-mutable",
+// "mutable-owner"); the pre-mutation kinds carry the same payloads in
+// both versions.
 const (
-	magic   = "sectopk-er"
-	version = 1
+	magic      = "sectopk-er"
+	version    = 2
+	minVersion = 1
 )
 
 // header leads every stream.
@@ -149,15 +156,21 @@ func decodeRelation(wr *wireRelation) (*core.EncryptedRelation, error) {
 	return er, nil
 }
 
+// check validates a stream header. All failures are typed
+// secerr.CodeBadRequest so callers (and wire peers) can distinguish "you
+// handed me a bad/foreign/future artifact" from internal faults; the
+// version branch names both the found version and the supported range,
+// which is what a stranded operator needs to see.
 func (h header) check(kind string) error {
 	if h.Magic != magic {
-		return fmt.Errorf("secio: not a sectopk stream (magic %q)", h.Magic)
+		return secerr.New(secerr.CodeBadRequest, "secio: not a sectopk stream (magic %q)", h.Magic)
 	}
-	if h.Version != version {
-		return fmt.Errorf("secio: unsupported version %d (want %d)", h.Version, version)
+	if h.Version < minVersion || h.Version > version {
+		return secerr.New(secerr.CodeBadRequest,
+			"secio: unsupported format version %d (supported %d..%d)", h.Version, minVersion, version)
 	}
 	if h.Kind != kind {
-		return fmt.Errorf("secio: stream holds %q, expected %q", h.Kind, kind)
+		return secerr.New(secerr.CodeBadRequest, "secio: stream holds %q, expected %q", h.Kind, kind)
 	}
 	return nil
 }

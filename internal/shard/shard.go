@@ -234,6 +234,12 @@ func (e *Engine) runShards(ctx context.Context, tk *core.Token, opts core.Option
 	for i := range e.engines {
 		sub := e.engines[i]
 		shardN := e.rel.Shards[i].N
+		if shardN == 0 {
+			// A shard drained empty by deletions contributes nothing: no
+			// candidates, no residual bound (it hosts no unseen objects).
+			sets[i] = &core.CandidateSet{Halted: true}
+			continue
+		}
 		local := &core.Token{K: tk.K, Lists: tk.Lists, Weights: tk.Weights}
 		if local.K > shardN {
 			local.K = shardN

@@ -3,6 +3,7 @@ package sectopk_test
 import (
 	"context"
 	"errors"
+	"math/rand"
 	"net"
 	"os"
 	"reflect"
@@ -658,5 +659,145 @@ func TestDialRetryFlakyListener(t *testing.T) {
 	}
 	if !reflect.DeepEqual(got, rig.want) {
 		t.Fatalf("revealed %v, want %v", got, rig.want)
+	}
+}
+
+// TestChaosApplyExactlyOnce drives live mutations through a
+// fault-injected client wire and pins the mutation plane's exactly-once
+// contract: every delta lands exactly once no matter how many times the
+// link dies mid-Apply. The wire layer never blindly re-issues Apply
+// (fail closed); it is the delta's idempotency key that makes the
+// caller's deliberate re-issue safe — so each delta must advance the
+// epoch by exactly one, a replay of a landed delta must report the
+// recorded epoch without moving the relation, and the post-chaos answers
+// must still match the plaintext oracle.
+func TestChaosApplyExactlyOnce(t *testing.T) {
+	for _, seed := range chaosSeeds(t) {
+		t.Run("seed="+strconv.FormatInt(seed, 10), func(t *testing.T) {
+			baseline := runtime.NumGoroutine()
+			rng := rand.New(rand.NewSource(seed))
+			rig := newMutationRig(t, 2, 8, 3, rng)
+
+			var mu sync.Mutex
+			var scheds []*faultnet.Schedule
+			injected := func() string {
+				mu.Lock()
+				defer mu.Unlock()
+				var all []string
+				for i, s := range scheds {
+					for _, f := range s.Injected() {
+						all = append(all, "conn"+strconv.Itoa(i)+": "+f)
+					}
+				}
+				return strings.Join(all, "; ")
+			}
+			l, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			fl := &faultnet.Listener{Listener: l, NewSchedule: func(i int) *faultnet.Schedule {
+				s := faultnet.Seeded(seed+int64(i)*1021, chaosProfile())
+				mu.Lock()
+				scheds = append(scheds, s)
+				mu.Unlock()
+				return s
+			}}
+			stop := serveClientsOn(t, rig.dc, fl)
+
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+			defer cancel()
+			client, err := sectopk.DialRetry(ctx, l.Addr().String(), sectopk.WithRetry(sectopk.RetryPolicy{
+				Initial: 2 * time.Millisecond, Max: 50 * time.Millisecond, MaxElapsed: 90 * time.Second,
+			}))
+			if err != nil {
+				t.Fatalf("DialRetry: %v\ninjected: %s", err, injected())
+			}
+
+			// shipChaos lands one delta through the faulty wire: re-issuing
+			// the SAME delta (same idempotency key) until an epoch comes
+			// back. A stale failure here would mean the delta applied twice.
+			shipChaos := func(d *sectopk.Delta, wantEpoch uint64) {
+				t.Helper()
+				for attempt := 0; ; attempt++ {
+					actx, acancel := context.WithTimeout(ctx, 30*time.Second)
+					epoch, err := client.Apply(actx, "mut", d)
+					acancel()
+					if err == nil {
+						if epoch != wantEpoch {
+							t.Fatalf("Apply -> epoch %d, want %d (exactly-once violated)\ninjected: %s",
+								epoch, wantEpoch, injected())
+						}
+						if err := rig.mr.Adopt(epoch); err != nil {
+							t.Fatalf("Adopt(%d): %v", epoch, err)
+						}
+						return
+					}
+					if errors.Is(err, sectopk.ErrRelationStale) {
+						t.Fatalf("re-issued delta came back stale — it applied twice: %v\ninjected: %s",
+							err, injected())
+					}
+					if errors.Is(err, context.DeadlineExceeded) {
+						t.Fatalf("Apply hung until its deadline: %v\ninjected: %s", err, injected())
+					}
+					if code := secerr.CodeOf(err); code == secerr.CodeInternal {
+						t.Fatalf("Apply failed untyped: %v\ninjected: %s", err, injected())
+					}
+					if attempt >= 20 {
+						t.Fatalf("delta never landed after %d re-issues: %v\ninjected: %s",
+							attempt, err, injected())
+					}
+				}
+			}
+
+			// One of each mutation class, each chaining onto the last epoch.
+			ins := randomRows(rng, 1, 3)
+			d, err := rig.mr.InsertRows(ins)
+			if err != nil {
+				t.Fatal(err)
+			}
+			shipChaos(d, 2)
+			rig.oracle[rig.nextID] = append([]int64(nil), ins[0]...)
+			rig.nextID++
+
+			upd := []int64{777, 3, 3}
+			if d, err = rig.mr.UpdateScores(map[int][]int64{1: upd}); err != nil {
+				t.Fatal(err)
+			}
+			shipChaos(d, 3)
+			rig.oracle[1] = upd
+
+			if d, err = rig.mr.DeleteRows([]int{0}); err != nil {
+				t.Fatal(err)
+			}
+			shipChaos(d, 4)
+			delete(rig.oracle, 0)
+
+			// Idempotency key reuse, pinned under faults too: replaying the
+			// landed delete reports its recorded epoch, relation unmoved.
+			for attempt := 0; ; attempt++ {
+				actx, acancel := context.WithTimeout(ctx, 30*time.Second)
+				again, err := client.Apply(actx, "mut", d)
+				acancel()
+				if err == nil {
+					if again != 4 {
+						t.Fatalf("replay Apply -> epoch %d, want 4\ninjected: %s", again, injected())
+					}
+					break
+				}
+				if attempt >= 20 {
+					t.Fatalf("replay never answered: %v\ninjected: %s", err, injected())
+				}
+			}
+			if got, err := rig.dc.Epoch("mut"); err != nil || got != 4 {
+				t.Fatalf("relation epoch after chaos = (%d, %v), want (4, nil)", got, err)
+			}
+
+			// The surviving state still answers per the oracle.
+			rig.checkEquivalence(t, []int{0, 1, 2}, 3)
+			t.Logf("seed %d: 3 deltas + 1 replay landed exactly once; injected: %s", seed, injected())
+			client.Close()
+			stop()
+			waitForGoroutines(t, baseline)
+		})
 	}
 }

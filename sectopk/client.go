@@ -6,6 +6,7 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"net"
+	"sync/atomic"
 
 	"repro/internal/backoff"
 	"repro/internal/secerr"
@@ -30,6 +31,11 @@ type Client struct {
 	// retry, when non-nil, re-issues failed Execute calls (transport
 	// failures and overload sheds) under this policy. Set by DialRetry.
 	retry *backoff.Policy
+	// version is the negotiated client-plane protocol version (updated
+	// atomically — a self-healing connection renegotiates on every
+	// reconnect). Apply requires v2; a v1 server fails it typed instead
+	// of getting a method it cannot decode.
+	version atomic.Int32
 }
 
 // Dial connects to a DataCloud serving clients at addr (TCP), negotiates
@@ -68,24 +74,36 @@ func NewClient(ctx context.Context, conn net.Conn) (*Client, error) {
 
 // hello runs the client-plane version handshake.
 func (c *Client) hello(ctx context.Context) error {
-	return clientHelloOn(ctx, c.conn)
+	return c.helloOn(ctx, c.conn)
 }
 
-// clientHelloOn runs the client-plane version handshake over any caller
-// — the freshly connected client, or each reconnect of a self-healing
-// transport (ReconnectCaller's OnConnect).
-func clientHelloOn(ctx context.Context, caller transport.Caller) error {
+// helloOn runs the client-plane version handshake over any caller — the
+// freshly connected client, or each reconnect of a self-healing
+// transport (ReconnectCaller's OnConnect) — and records the negotiated
+// version.
+func (c *Client) helloOn(ctx context.Context, caller transport.Caller) error {
+	v, err := clientHelloOn(ctx, caller)
+	if err != nil {
+		return err
+	}
+	c.version.Store(int32(v))
+	return nil
+}
+
+// clientHelloOn runs the client-plane version handshake and returns the
+// negotiated version.
+func clientHelloOn(ctx context.Context, caller transport.Caller) (int, error) {
 	var rep clientHelloReply
 	req := clientHello{Min: clientMinProtocolVersion, Max: clientProtocolVersion}
 	if err := caller.Call(ctx, methodClientHello, req, &rep); err != nil {
-		return err
+		return 0, err
 	}
 	if rep.Version < clientMinProtocolVersion || rep.Version > clientProtocolVersion {
-		return secerr.New(secerr.CodeProtocolVersion,
+		return 0, secerr.New(secerr.CodeProtocolVersion,
 			"sectopk: server negotiated query plane v%d, this client speaks v%d..v%d",
 			rep.Version, clientMinProtocolVersion, clientProtocolVersion)
 	}
-	return nil
+	return rep.Version, nil
 }
 
 // DialRetry connects to a DataCloud like Dial, but through the
@@ -103,6 +121,7 @@ func DialRetry(ctx context.Context, addr string, opts ...Option) (*Client, error
 	cfg := buildConfig(opts)
 	policy := cfg.retryPolicy()
 	stats := transport.NewStats()
+	c := &Client{stats: stats, retry: &policy}
 	rc := transport.NewReconnectCaller(transport.ReconnectConfig{
 		Dial: func(ctx context.Context) (transport.ConnCaller, error) {
 			var dialer net.Dialer
@@ -117,7 +136,7 @@ func DialRetry(ctx context.Context, addr string, opts ...Option) (*Client, error
 			}
 			return mc, nil
 		},
-		OnConnect: clientHelloOn,
+		OnConnect: c.helloOn,
 		Policy:    policy,
 	})
 	// Eager first dial (the version handshake rides OnConnect): fail
@@ -127,7 +146,8 @@ func DialRetry(ctx context.Context, addr string, opts ...Option) (*Client, error
 		rc.Close()
 		return nil, err
 	}
-	return &Client{conn: rc, stats: stats, retry: &policy}, nil
+	c.conn = rc
+	return c, nil
 }
 
 // Execute submits one request of any workload and returns its encrypted
@@ -180,6 +200,62 @@ func (c *Client) Execute(ctx context.Context, req Request) (*Answer, error) {
 		Bytes:  (after.BytesSent + after.BytesReceived) - (before.BytesSent + before.BytesReceived),
 	}
 	return ans, nil
+}
+
+// Apply ships one mutation delta to the remote DataCloud and returns
+// the epoch the relation reached — the remote counterpart of
+// DataCloud.Apply. The method needs client-plane v2; against a v1
+// server it fails typed (ErrProtocolVersion) without touching the
+// wire. A client built with DialRetry retries Apply like Execute:
+// the retry is safe even though Apply mutates, because the delta's
+// embedded idempotency key makes the server replay the recorded epoch
+// instead of reapplying.
+func (c *Client) Apply(ctx context.Context, relation string, delta *Delta) (uint64, error) {
+	if delta == nil {
+		return 0, secerr.New(secerr.CodeBadRequest, "sectopk: nil delta")
+	}
+	if v := c.version.Load(); v < 2 {
+		return 0, secerr.New(secerr.CodeProtocolVersion,
+			"sectopk: Apply needs client wire protocol v2, connection negotiated v%d", v)
+	}
+	var buf bytes.Buffer
+	if err := secio.WriteDelta(&buf, delta.d, delta.params); err != nil {
+		return 0, secerr.Wrap(secerr.CodeInternal, err, "sectopk: encoding delta")
+	}
+	wreq := clientApplyRequest{Relation: relation, Delta: buf.Bytes()}
+	var rep clientApplyReply
+	var err error
+	if c.retry != nil {
+		err = backoff.Retry(ctx, methodClientApply, *c.retry, executeRetryable,
+			func(ctx context.Context) error {
+				rep = clientApplyReply{}
+				return c.conn.Call(ctx, methodClientApply, wreq, &rep)
+			})
+	} else {
+		err = c.conn.Call(ctx, methodClientApply, wreq, &rep)
+	}
+	if err != nil {
+		return 0, err
+	}
+	return rep.Epoch, nil
+}
+
+// Compact asks the remote DataCloud to fold a relation's tombstones and
+// returns the new epoch — the remote counterpart of DataCloud.Compact.
+// Unlike Apply, a compaction carries no idempotency key, so this call
+// is never retried: a transport failure leaves it ambiguous whether the
+// compaction landed, and the owner resolves that by re-hosting from its
+// bundle rather than by guessing.
+func (c *Client) Compact(ctx context.Context, relation string) (uint64, error) {
+	if v := c.version.Load(); v < 2 {
+		return 0, secerr.New(secerr.CodeProtocolVersion,
+			"sectopk: Compact needs client wire protocol v2, connection negotiated v%d", v)
+	}
+	var rep clientApplyReply
+	if err := c.conn.Call(ctx, methodClientCompact, clientCompactRequest{Relation: relation}, &rep); err != nil {
+		return 0, err
+	}
+	return rep.Epoch, nil
 }
 
 // executeRetryable decides which Execute failures are worth repeating:

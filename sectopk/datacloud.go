@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/cloud"
 	"repro/internal/join"
+	"repro/internal/mutate"
 	"repro/internal/secerr"
 	"repro/internal/shard"
 	"repro/internal/transport"
@@ -101,10 +102,92 @@ type DataCloud struct {
 // hostedRelation is one relation this data cloud serves queries for. The
 // engine is the sharded one; an unsharded relation is its P = 1 case
 // (which executes exactly the single core engine).
+//
+// Hosted state is versioned: queries take an immutable (engine, epoch)
+// snapshot and run on it start to finish, while Apply/Compact build the
+// next epoch copy-on-write and swap it in under mu. An in-flight query
+// therefore always answers over exactly one epoch — the one it pinned
+// (WithEpoch) or whatever was current when it started — and a pinned
+// query that arrives after the relation moved fails ErrRelationStale.
 type hostedRelation struct {
 	client *cloud.Client
+
+	mu     sync.Mutex
+	state  *mutate.Relation
 	engine *shard.Engine
 	er     *EncryptedRelation
+	// applied records every landed delta's idempotency key and the epoch
+	// its application produced, making Apply exactly-once: a retry of a
+	// delta that already landed reports the recorded epoch and changes
+	// nothing. (Entries live as long as the hosting; deltas are rare
+	// relative to queries, so the table stays small.)
+	applied map[string]uint64
+}
+
+// snapshot returns the consistent view one query executes against.
+func (h *hostedRelation) snapshot() (*shard.Engine, uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.engine, h.state.Epoch
+}
+
+// apply lands one delta (exactly once) and returns the resulting epoch.
+// threshold > 0 folds tombstones in the same transition once the dead
+// count reaches it.
+func (h *hostedRelation) apply(d *mutate.Delta, threshold int) (uint64, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if d.ID != "" {
+		if epoch, done := h.applied[d.ID]; done {
+			return epoch, nil
+		}
+	}
+	next, err := h.state.Apply(d)
+	if err != nil {
+		return 0, err
+	}
+	if threshold > 0 && next.DeadRows() >= threshold {
+		next = next.Compact()
+	}
+	if err := h.swapLocked(next); err != nil {
+		return 0, err
+	}
+	if d.ID != "" {
+		h.applied[d.ID] = next.Epoch
+	}
+	return next.Epoch, nil
+}
+
+// compact folds the relation's tombstones and returns the new epoch.
+// Compacting a relation with no dead rows still advances the epoch —
+// the caller asked for a transition and gets a fenceable one.
+func (h *hostedRelation) compact() (uint64, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	next := h.state.Compact()
+	if err := h.swapLocked(next); err != nil {
+		return 0, err
+	}
+	return next.Epoch, nil
+}
+
+// swapLocked (h.mu held) rebuilds the query engine over the next
+// snapshot's live views and installs it. Building the engine cannot
+// disturb in-flight queries: they hold the old engine, whose relations
+// the copy-on-write snapshots never touch.
+func (h *hostedRelation) swapLocked(next *mutate.Relation) error {
+	sh, err := shard.New(next.LiveShards())
+	if err != nil {
+		return err
+	}
+	engine, err := shard.NewEngine(h.client, sh)
+	if err != nil {
+		return err
+	}
+	h.state = next
+	h.engine = engine
+	h.er = &EncryptedRelation{sh: sh, pk: h.er.pk, mst: next}
+	return nil
 }
 
 // hostedJoin is one join-relation pair this data cloud serves joins for.
@@ -392,14 +475,112 @@ func (d *DataCloud) Host(ctx context.Context, id string, er *EncryptedRelation) 
 		client.Close()
 		return err
 	}
+	// Materialize the mutable state the mutation plane versions: either
+	// the epoch-stamped state the relation was loaded with, or a fresh
+	// epoch-1 wrapping of the shards.
+	state := er.mst
+	if state == nil {
+		state, err = mutate.New(er.sh.Shards, 0)
+		if err != nil {
+			client.Close()
+			return err
+		}
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if err := d.hostableLocked(id); err != nil {
 		client.Close()
 		return err
 	}
-	d.relations[id] = &hostedRelation{client: client, engine: engine, er: er}
+	d.relations[id] = &hostedRelation{
+		client: client, state: state, engine: engine, er: er,
+		applied: map[string]uint64{},
+	}
 	return nil
+}
+
+// Apply lands one owner-produced mutation delta on a hosted top-k
+// relation and returns the resulting epoch (BaseEpoch+1, or one more
+// when WithCompactThreshold folded tombstones in the same transition —
+// the owner's Adopt handles both). Application is atomic and
+// exactly-once: a delta that fails validation (or targets a stale
+// epoch, ErrRelationStale) changes nothing, and a retry of a delta that
+// already landed — same idempotency key — reports the recorded epoch
+// without reapplying. Queries already executing finish on their own
+// pre-Apply snapshot; Apply never makes a query wrong, only (when
+// pinned with WithEpoch) stale.
+//
+// Join and kNN relations are encrypt-once (their ids are positional);
+// Apply on one fails typed, naming the hosted kind.
+func (d *DataCloud) Apply(ctx context.Context, relation string, delta *Delta) (uint64, error) {
+	if delta == nil {
+		return 0, secerr.New(secerr.CodeBadRequest, "sectopk: nil delta")
+	}
+	return d.applyDelta(ctx, relation, delta.d)
+}
+
+// applyDelta is the internal Apply entry point (shared with the client
+// wire, which decodes straight to the internal delta type).
+func (d *DataCloud) applyDelta(ctx context.Context, relation string, delta *mutate.Delta) (uint64, error) {
+	// Application is local to S1 (no protocol rounds), so cancellation
+	// only gates entry: once started, a delta lands atomically.
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	if err := d.beginExecute(); err != nil {
+		return 0, err
+	}
+	defer d.endExecute()
+	rel, err := d.hostedTopK(relation)
+	if err != nil {
+		return 0, err
+	}
+	ins, del := delta.Rows()
+	epoch, err := rel.apply(delta, d.cfg.compactGoal)
+	if err != nil {
+		return 0, err
+	}
+	// What S1 observably learns from a delta: which shards moved, how
+	// many rows appeared/disappeared, and at which list positions — but
+	// never which object a ciphertext encodes. See DESIGN.md "Mutation
+	// protocol" for the leakage accounting.
+	d.ledger.Record("S1", "Apply", "relation %s: +%d/-%d rows across %d shards -> epoch %d",
+		relation, ins, del, len(delta.Shards), epoch)
+	return epoch, nil
+}
+
+// Compact folds a hosted relation's tombstones away and returns the new
+// epoch. The live view is unchanged — queries keep answering
+// identically — but positions shift meaning, so the epoch advances and
+// in-flight deltas against the old epoch fail ErrRelationStale.
+func (d *DataCloud) Compact(ctx context.Context, relation string) (uint64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	if err := d.beginExecute(); err != nil {
+		return 0, err
+	}
+	defer d.endExecute()
+	rel, err := d.hostedTopK(relation)
+	if err != nil {
+		return 0, err
+	}
+	epoch, err := rel.compact()
+	if err != nil {
+		return 0, err
+	}
+	d.ledger.Record("S1", "Compact", "relation %s compacted -> epoch %d", relation, epoch)
+	return epoch, nil
+}
+
+// Epoch reports the current epoch of a hosted top-k relation.
+func (d *DataCloud) Epoch(relation string) (uint64, error) {
+	rel, err := d.hostedTopK(relation)
+	if err != nil {
+		return 0, err
+	}
+	_, epoch := rel.snapshot()
+	return epoch, nil
 }
 
 // hostableLocked re-checks (under d.mu) that the data cloud is still
@@ -579,7 +760,8 @@ func (d *DataCloud) NewSession(relation string, tk *Token, opts ...QueryOption) 
 	if err != nil {
 		return nil, err
 	}
-	if err := rel.engine.ValidateToken(tk.tk); err != nil {
+	engine, _ := rel.snapshot()
+	if err := engine.ValidateToken(tk.tk); err != nil {
 		return nil, err
 	}
 	return &Session{dc: d, relation: relation, tk: tk, cfg: buildQueryConfig(opts)}, nil

@@ -30,4 +30,10 @@ var (
 	// requests are safe to retry after backing off; the retrying client
 	// plane (DialRetry) does so automatically.
 	ErrOverloaded error = secerr.ErrOverloaded
+	// ErrRelationStale marks an operation pinned to a relation epoch that
+	// is no longer the hosted one: a concurrent Apply or Compact advanced
+	// the relation. The caller must refresh its view (epoch, positions)
+	// and retry deliberately — never blindly, which is why the failure is
+	// typed rather than retried by any recovery layer.
+	ErrRelationStale error = secerr.ErrRelationStale
 )

@@ -28,6 +28,7 @@ type config struct {
 	sessionLimit int
 	retry        *RetryPolicy
 	drainTimeout time.Duration
+	compactGoal  int
 }
 
 // retryPolicy resolves the effective backoff policy: the configured one,
@@ -220,6 +221,22 @@ func WithRetry(p RetryPolicy) Option {
 	return func(c *config) { c.retry = &p }
 }
 
+// WithCompactThreshold makes a DataCloud fold tombstones automatically:
+// when a relation's tombstoned-row count reaches n after an Apply, the
+// compaction runs in the same epoch transition (the Apply reports the
+// post-compaction epoch, so the owner adopts both steps at once). Zero
+// (the default) leaves compaction entirely owner-triggered
+// (DataCloud.Compact). Compaction trades the O(dead) storage debt for
+// an epoch bump: queries pinned to the pre-compaction epoch fail with
+// ErrRelationStale, exactly like they would across any other Apply.
+func WithCompactThreshold(n int) Option {
+	return func(c *config) {
+		if n > 0 {
+			c.compactGoal = n
+		}
+	}
+}
+
 // WithDrainTimeout makes a DataCloud's shutdown graceful: Close (and a
 // canceled ServeClients) stops admitting new requests immediately —
 // they shed with ErrOverloaded — but lets requests already executing
@@ -306,6 +323,11 @@ type queryConfig struct {
 	batchDepth  int
 	maxDepth    int
 	parallelism int
+	// epoch, when non-zero, pins the query to one relation epoch: if a
+	// concurrent Apply or Compact advanced the relation past it, the
+	// query fails fast with ErrRelationStale instead of answering over a
+	// state the querier did not ask about.
+	epoch uint64
 	// queryID is the run's idempotency key (set by the client wire, not a
 	// public QueryOption): re-executions of the same logical query carry
 	// the same ID so the leakage ledger counts them once.
@@ -363,4 +385,16 @@ func WithMaxDepth(d int) QueryOption {
 // DataCloud's knob (0 inherits it).
 func WithQueryParallelism(n int) QueryOption {
 	return func(c *queryConfig) { c.parallelism = n }
+}
+
+// WithEpoch pins the query to one relation epoch (DataCloud.Epoch or the
+// epoch an Apply reported). A query whose relation has since advanced —
+// a concurrent Apply or Compact landed — fails fast with
+// ErrRelationStale rather than silently answering over newer data. Note
+// the pin rejects only version skew visible at execution start; a query
+// already executing always finishes on the consistent snapshot it
+// started on, whatever mutations land meanwhile. 0 (the default) means
+// "whatever is current".
+func WithEpoch(epoch uint64) QueryOption {
+	return func(c *queryConfig) { c.epoch = epoch }
 }

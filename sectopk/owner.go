@@ -172,7 +172,11 @@ func (o *Owner) Reveal(er *EncryptedRelation, res *EncryptedResult) ([]Result, e
 	if er == nil || res == nil {
 		return nil, secerr.New(secerr.CodeBadRequest, "sectopk: nil relation or result")
 	}
-	rev, err := o.revealer(er.sh.N)
+	// Size the digest table by the id space, not the live row count: a
+	// mutated relation's live ids are sparse in [0, idSpace), and the
+	// extra digests for dead ids are harmless (they can never appear in a
+	// result — tombstones are structurally outside the query's view).
+	rev, err := o.revealer(er.idSpace())
 	if err != nil {
 		return nil, err
 	}

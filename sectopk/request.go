@@ -147,10 +147,19 @@ func (d *DataCloud) execute(ctx context.Context, req Request, cfg queryConfig, a
 		if err != nil {
 			return nil, err
 		}
-		if err := rel.engine.ValidateToken(req.TopK.tk); err != nil {
+		// The query runs start-to-finish on one immutable snapshot: a
+		// concurrent Apply/Compact swaps the hosted engine but never this
+		// one. An epoch pin (WithEpoch) fences version skew at entry —
+		// after that, the snapshot IS the pinned epoch.
+		engine, epoch := rel.snapshot()
+		if cfg.epoch != 0 && cfg.epoch != epoch {
+			return nil, secerr.New(secerr.CodeRelationStale,
+				"sectopk: query pinned to epoch %d, relation %q is at epoch %d", cfg.epoch, req.Relation, epoch)
+		}
+		if err := engine.ValidateToken(req.TopK.tk); err != nil {
 			return nil, err
 		}
-		res, err := rel.engine.SecQuery(ctx, req.TopK.tk, cfg.coreOptions())
+		res, err := engine.SecQuery(ctx, req.TopK.tk, cfg.coreOptions())
 		if err != nil {
 			return nil, err
 		}

@@ -6,12 +6,13 @@ import (
 	"net"
 	"runtime"
 
+	"repro/internal/cloud"
 	"repro/internal/secerr"
 	"repro/internal/secio"
 	"repro/internal/transport"
 )
 
-// Client wire protocol v1 (querier ↔ data cloud).
+// Client wire protocol v2 (querier ↔ data cloud).
 //
 // The client plane rides on the same framing stack as the S1↔S2 wire:
 // connections negotiate the frame-ID multiplexed v2 framing (transport
@@ -23,22 +24,32 @@ import (
 //	Client.Hello    {Min, Max}            -> {Version}
 //	Client.Execute  {Relation, Workload,  -> {Answer}
 //	                 Token, Options}
+//	Client.Apply    {Relation, Delta}     -> {Epoch}      (v2+)
+//	Client.Compact  {Relation}            -> {Epoch}      (v2+)
 //
-// Token and Answer are secio streams — byte-identical to the on-disk
-// persistence formats — of the kind selected by Workload ("topk",
-// "join", "knn"). Handler errors cross the wire as the structured
-// (code, message) pairs of internal/secerr, so errors.Is against the
-// sectopk.Err* sentinels behaves identically for remote and in-process
-// callers. See DESIGN.md "Client wire protocol v1".
+// Token, Answer, and Delta are secio streams — byte-identical to the
+// on-disk persistence formats — of the kind selected by Workload
+// ("topk", "join", "knn") or, for Apply, the "delta" kind. Handler
+// errors cross the wire as the structured (code, message) pairs of
+// internal/secerr, so errors.Is against the sectopk.Err* sentinels
+// behaves identically for remote and in-process callers. Version 2
+// added Client.Apply, Client.Compact, and the epoch pin in the query
+// options; a v1 peer negotiates down to v1 and simply has neither. See
+// DESIGN.md "Client wire protocol".
 const (
 	// clientProtocolVersion is the highest client-plane version this
 	// build speaks.
-	clientProtocolVersion = 1
+	clientProtocolVersion = 2
 	// clientMinProtocolVersion is the oldest version still accepted.
 	clientMinProtocolVersion = 1
 
 	methodClientHello   = "Client.Hello"
 	methodClientExecute = "Client.Execute"
+	// methodClientApply shares its suffix with the S1→S2 wire's
+	// MethodApply: both name the same side-effecting operation, and both
+	// are deliberately outside every blind-retry table.
+	methodClientApply   = "Client." + cloud.MethodApply
+	methodClientCompact = "Client.Compact"
 )
 
 // clientHello announces the querier's supported version range.
@@ -60,6 +71,9 @@ type wireQueryOptions struct {
 	BatchDepth  int
 	MaxDepth    int
 	Parallelism int
+	// Epoch pins the query to one relation epoch (v2; v1 streams decode
+	// it as 0 = unpinned, which is exactly the v1 behavior).
+	Epoch uint64
 }
 
 // wire flattens a resolved query config.
@@ -67,6 +81,7 @@ func (q queryConfig) wire() wireQueryOptions {
 	return wireQueryOptions{
 		Mode: int(q.mode), Halt: int(q.halt), Sort: int(q.sort),
 		BatchDepth: q.batchDepth, MaxDepth: q.maxDepth, Parallelism: q.parallelism,
+		Epoch: q.epoch,
 	}
 }
 
@@ -75,6 +90,7 @@ func queryConfigFromWire(w wireQueryOptions) queryConfig {
 	return queryConfig{
 		mode: Mode(w.Mode), halt: Halting(w.Halt), sort: SortStrategy(w.Sort),
 		batchDepth: w.BatchDepth, maxDepth: w.MaxDepth, parallelism: w.Parallelism,
+		epoch: w.Epoch,
 	}
 }
 
@@ -98,6 +114,27 @@ type clientExecuteRequest struct {
 // the workload's result kind.
 type clientExecuteReply struct {
 	Answer []byte
+}
+
+// clientApplyRequest carries one mutation delta as a secio "delta"
+// stream. The delta's embedded idempotency key is what makes retries of
+// this side-effecting call safe — the server's applied-table replays
+// the recorded epoch instead of reapplying.
+type clientApplyRequest struct {
+	Relation string
+	Delta    []byte
+}
+
+// clientApplyReply reports the epoch the application produced (or had
+// already produced, for an idempotent replay).
+type clientApplyReply struct {
+	Epoch uint64
+}
+
+// clientCompactRequest asks the data cloud to fold a relation's
+// tombstones; the reply is a clientApplyReply with the new epoch.
+type clientCompactRequest struct {
+	Relation string
 }
 
 // ServeClients accepts querier connections on the listener and serves
@@ -180,6 +217,30 @@ func (r *clientResponder) Serve(ctx context.Context, method string, body []byte)
 			return nil, err
 		}
 		return transport.Encode(clientExecuteReply{Answer: payload})
+	case methodClientApply:
+		var wreq clientApplyRequest
+		if err := transport.Decode(body, &wreq); err != nil {
+			return nil, secerr.Wrap(secerr.CodeBadRequest, err, "sectopk: decoding apply request")
+		}
+		delta, _, err := secio.ReadDelta(bytes.NewReader(wreq.Delta))
+		if err != nil {
+			return nil, secerr.Wrap(secerr.CodeBadRequest, err, "sectopk: decoding delta")
+		}
+		epoch, err := r.dc.applyDelta(ctx, wreq.Relation, delta)
+		if err != nil {
+			return nil, err
+		}
+		return transport.Encode(clientApplyReply{Epoch: epoch})
+	case methodClientCompact:
+		var wreq clientCompactRequest
+		if err := transport.Decode(body, &wreq); err != nil {
+			return nil, secerr.Wrap(secerr.CodeBadRequest, err, "sectopk: decoding compact request")
+		}
+		epoch, err := r.dc.Compact(ctx, wreq.Relation)
+		if err != nil {
+			return nil, err
+		}
+		return transport.Encode(clientApplyReply{Epoch: epoch})
 	default:
 		return nil, secerr.New(secerr.CodeUnknownMethod, "sectopk: unknown client method %q", method)
 	}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/join"
+	"repro/internal/mutate"
 	"repro/internal/paillier"
 	"repro/internal/protocols"
 	"repro/internal/secerr"
@@ -90,6 +91,30 @@ type Traffic struct {
 type EncryptedRelation struct {
 	sh *shard.Relation
 	pk *paillier.PublicKey
+	// mst, when non-nil, is the relation's mutable state: the epoch, the
+	// id space high-water mark, and the tombstone tails behind sh's live
+	// views. A freshly encrypted relation has none (nil = epoch-1 state
+	// with no tombstones); Host and the mutation plane materialize it.
+	mst *mutate.Relation
+}
+
+// Epoch returns the relation's mutation epoch (1 for a fresh
+// encryption; every applied delta or compaction advances it).
+func (er *EncryptedRelation) Epoch() uint64 {
+	if er.mst != nil {
+		return er.mst.Epoch
+	}
+	return 1
+}
+
+// idSpace is the exclusive upper bound on object ids ever assigned in
+// this relation, live or tombstoned — the digest range a revealer must
+// cover.
+func (er *EncryptedRelation) idSpace() int {
+	if er.mst != nil && er.mst.IDSpace > er.sh.N {
+		return er.mst.IDSpace
+	}
+	return er.sh.N
 }
 
 // Name returns the relation's name.
