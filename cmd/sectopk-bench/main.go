@@ -46,6 +46,11 @@ func main() {
 		queries   = flag.Int("queries", 4, "timed queries per client in the qps experiment (larger damps variance)")
 		md        = flag.Bool("md", false, "emit markdown tables instead of text")
 		jsonPath  = flag.String("json", "", "output path for the micro/qps experiments' JSON record (default BENCH_<date>.json)")
+
+		clusterConnect  = flag.String("cluster-connect", "", "qps: measure a running cluster front door at this client address instead of the in-process matrix (rows append to the existing qps record)")
+		clusterNodes    = flag.Int("cluster-nodes", 0, "qps: S1 member count behind -cluster-connect, recorded per row")
+		clusterToken    = flag.String("cluster-token", "query.tk", "qps: stored top-k trapdoor for the cluster rows (sectopk-node owner artifact)")
+		clusterRelation = flag.String("cluster-relation", "default", "qps: relation ID hosted by the cluster front door")
 	)
 	flag.Parse()
 
@@ -85,6 +90,19 @@ func main() {
 		return
 	}
 	if *exp == "qps" {
+		if *clusterConnect != "" {
+			runQPSCluster(bench.ClusterConfig{
+				Connect:          *clusterConnect,
+				Nodes:            *clusterNodes,
+				Shards:           *shards,
+				Relation:         *clusterRelation,
+				TokenPath:        *clusterToken,
+				KeyBits:          *keyBits,
+				Clients:          *clients,
+				QueriesPerClient: *queries,
+			}, *md, *jsonPath)
+			return
+		}
 		runQPS(cfg, *md, *jsonPath)
 		return
 	}
@@ -180,6 +198,36 @@ func runMutate(cfg bench.Config, md bool, jsonPath string) {
 	}
 	fmt.Fprintf(os.Stderr, "[mutate done in %s; perf record -> %s]\n",
 		time.Since(start).Round(time.Millisecond), path)
+}
+
+// runQPSCluster measures one cluster throughput row against a running
+// sectopk-node front door and appends it to the qps record in
+// BENCH_<date>.json (the in-process rows, if present, are kept).
+func runQPSCluster(ccfg bench.ClusterConfig, md bool, jsonPath string) {
+	start := time.Now()
+	rep, err := bench.RunQPSCluster(ccfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sectopk-bench: qps cluster: %v\n", err)
+		os.Exit(1)
+	}
+	table := rep.Report()
+	var renderErr error
+	if md {
+		renderErr = table.Markdown(os.Stdout)
+	} else {
+		renderErr = table.Render(os.Stdout)
+	}
+	if renderErr != nil {
+		fmt.Fprintf(os.Stderr, "sectopk-bench: %v\n", renderErr)
+		os.Exit(1)
+	}
+	path, err := rep.AppendJSON(jsonPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sectopk-bench: writing perf record: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "[qps cluster row (nodes=%d clients=%d) done in %s; appended -> %s]\n",
+		ccfg.Nodes, ccfg.Clients, time.Since(start).Round(time.Millisecond), path)
 }
 
 // runQPS measures data-plane throughput (transport x shards x clients)

@@ -44,6 +44,21 @@
 //	sectopk-node apply -dir ./deploy -connect 127.0.0.1:9142 \
 //	    -delete 0,4 -update "2=8,8,8" -insert "3,5,7;2,9,1" -compact
 //
+//	# Cluster: the owner cuts per-member shard subsets (-shards 4 -nodes 2
+//	# writes relation.node{0,1}-of-2.er), each member hosts its subset and
+//	# serves the cluster plane, and a front door assembles the placement
+//	# and serves queriers over the fleet. Answers are revealed-identical
+//	# to a single node hosting everything.
+//	sectopk-node s1 -dir ./deploy -connect 127.0.0.1:9042 \
+//	    -subset relation.node0-of-2.er -member-id m0 \
+//	    -cluster-listen 127.0.0.1:9242 -probe-listen 127.0.0.1:9243
+//	sectopk-node s1 -dir ./deploy -connect 127.0.0.1:9042 \
+//	    -subset relation.node1-of-2.er -member-id m1 \
+//	    -cluster-listen 127.0.0.1:9244 -probe-listen 127.0.0.1:9245
+//	sectopk-node s1 -dir ./deploy -connect 127.0.0.1:9042 \
+//	    -cluster-nodes 127.0.0.1:9242,127.0.0.1:9244 \
+//	    -client-listen 127.0.0.1:9142 -probe-listen 127.0.0.1:9143
+//
 // The owner's key files never travel to S1; the encrypted relations
 // never travel to S2; the querier holds only tokens and encrypted
 // answers. All serving roles honor SIGINT/SIGTERM by canceling the
@@ -60,6 +75,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 	"sync/atomic"
@@ -159,6 +175,7 @@ func runOwner(args []string) error {
 	par := fs.Int("parallelism", 0, "encryption worker goroutines (0 = all cores, 1 = serial)")
 	fastNonce := fs.Bool("fast-nonce", false, "short-exponent fixed-base nonce path (extra assumption; see DESIGN.md)")
 	shards := fs.Int("shards", 1, "partition the relation into p shards at encryption time (queries run shards concurrently)")
+	nodesFlag := fs.String("nodes", "", "also cut cluster shard subsets for these fleet sizes (comma list, e.g. 1,2): writes relation.node<i>-of-<n>.er per member")
 	workloadsFlag := fs.String("workloads", "topk", "workloads to provision: comma list of topk,join,knn")
 	joinRows := fs.Int("join-rows", 8, "rows per join relation (the oblivious join costs O(n1*n2))")
 	if err := fs.Parse(args); err != nil {
@@ -216,6 +233,37 @@ func runOwner(args []string) error {
 		}
 		if err := mr.Save(filepath.Join(*dir, mirrorFile)); err != nil {
 			return err
+		}
+		// Cluster provisioning: for each requested fleet size n, deal the
+		// relation's shards round-robin into n subset files — member i of
+		// an n-node fleet hosts relation.node<i>-of-<n>.er. The subsets
+		// tile the relation exactly, which the front door verifies when it
+		// assembles the placement.
+		if *nodesFlag != "" {
+			sizes, err := parseInts(*nodesFlag)
+			if err != nil {
+				return err
+			}
+			for _, n := range sizes {
+				if n < 1 || n > er.Shards() {
+					return fmt.Errorf("-nodes %d: fleet size must be in 1..%d (the shard count)", n, er.Shards())
+				}
+				for i := 0; i < n; i++ {
+					var indices []int
+					for j := i; j < er.Shards(); j += n {
+						indices = append(indices, j)
+					}
+					sub, err := er.Subset(indices...)
+					if err != nil {
+						return err
+					}
+					name := fmt.Sprintf("relation.node%d-of-%d.er", i, n)
+					if err := sub.Save(filepath.Join(*dir, name)); err != nil {
+						return err
+					}
+					fmt.Printf("cut %s: shards %v of %d\n", name, indices, er.Shards())
+				}
+			}
 		}
 	}
 
@@ -367,6 +415,10 @@ func runS1(ctx context.Context, args []string) error {
 	joinRelation := fs.String("join-relation", "", "host the join pair under this relation ID")
 	knnRelation := fs.String("knn-relation", "", "host the kNN store under this relation ID")
 	clientListen := fs.String("client-listen", "", "serve remote queriers on this address (long-running server mode)")
+	clusterListen := fs.String("cluster-listen", "", "serve the cluster plane on this address (member mode; implies server mode)")
+	clusterNodes := fs.String("cluster-nodes", "", "assemble a cluster front door over these member cluster addresses (comma separated)")
+	subset := fs.String("subset", "", "host this shard subset file (relative to -dir) instead of the full relation (cluster member mode)")
+	memberID := fs.String("member-id", "", "cluster member identity announced in Hellos and on /readyz")
 	probeListen := fs.String("probe-listen", "", "serve /healthz and /readyz on this address")
 	sessionLimit := fs.Int("session-limit", 0, "bound concurrently executing requests; overflow sheds with a typed overloaded error (0 = GOMAXPROCS queueing gate for remote clients)")
 	drain := fs.Duration("drain-timeout", 0, "graceful shutdown window: let in-flight queries finish this long before aborting (0 = abort immediately)")
@@ -377,15 +429,25 @@ func runS1(ctx context.Context, args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	serverMode := *clientListen != "" || *clusterListen != "" || *clusterNodes != ""
 	// The top-k relation is required in one-shot mode (it is the query
 	// that runs); in server mode an owner may have provisioned only
 	// join/knn workloads, so a missing relation file just skips hosting
-	// it.
-	er, erErr := sectopk.LoadEncryptedRelation(filepath.Join(*dir, relationFile))
-	if erErr != nil && (*clientListen == "" || !os.IsNotExist(erErr)) {
-		return erErr
+	// it. A cluster member given -subset hosts that instead of the full
+	// relation, and a front door (-cluster-nodes) hosts nothing locally —
+	// its relations come from the member fleet.
+	var er *sectopk.EncryptedRelation
+	if *subset == "" && *clusterNodes == "" {
+		var erErr error
+		er, erErr = sectopk.LoadEncryptedRelation(filepath.Join(*dir, relationFile))
+		if erErr != nil && (!serverMode || !os.IsNotExist(erErr)) {
+			return erErr
+		}
 	}
 	opts := commonOpts(*par, *fastNonce)
+	if *memberID != "" {
+		opts = append(opts, sectopk.WithMemberID(*memberID))
+	}
 	if *sessionLimit > 0 {
 		opts = append(opts, sectopk.WithSessionLimit(*sessionLimit))
 	}
@@ -415,7 +477,16 @@ func runS1(ctx context.Context, args []string) error {
 	if err := dc.DialRetry(ctx, *connect); err != nil {
 		return err
 	}
-	if er != nil {
+	if *subset != "" {
+		sub, err := sectopk.LoadShardSubset(filepath.Join(*dir, *subset))
+		if err != nil {
+			return err
+		}
+		if err := dc.HostShards(ctx, *relation, sub); err != nil {
+			return err
+		}
+		fmt.Printf("hosting shard subset %v of %d for relation %s\n", sub.Indices(), sub.Total(), *relation)
+	} else if er != nil {
 		if err := dc.Host(ctx, *relation, er); err != nil {
 			return err
 		}
@@ -442,19 +513,55 @@ func runS1(ctx context.Context, args []string) error {
 			return err
 		}
 	}
+	// Front-door mode: dial the member fleet, assemble the placement, and
+	// serve queriers over it. The members must be up and serving their
+	// cluster planes before this node starts.
+	if *clusterNodes != "" {
+		addrs := splitList(*clusterNodes)
+		if len(addrs) == 0 {
+			return fmt.Errorf("-cluster-nodes lists no addresses")
+		}
+		if err := dc.HostCluster(ctx, addrs); err != nil {
+			return err
+		}
+		fmt.Printf("front door over %d member(s), cluster relations %v\n", len(addrs), dc.ClusterRelations())
+	}
 	hosted.Store(len(dc.Hosted()) > 0)
 
-	if *clientListen != "" {
+	if serverMode {
 		if len(dc.Hosted()) == 0 {
-			return fmt.Errorf("nothing to host: no %s and no -join-relation/-knn-relation given", relationFile)
+			return fmt.Errorf("nothing to host: no %s and no -subset/-cluster-nodes/-join-relation/-knn-relation given", relationFile)
 		}
-		l, err := net.Listen("tcp", *clientListen)
-		if err != nil {
-			return err
+		// A member serves the cluster plane (which also answers the client
+		// wire for its whole-relation workloads); a front door serves
+		// queriers. Both listeners may run side by side.
+		var (
+			serves int
+			errc   = make(chan error, 2)
+		)
+		if *clusterListen != "" {
+			l, err := net.Listen("tcp", *clusterListen)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("data cloud S1 member %q hosting %v, cluster plane on %s (ctrl-c to stop)\n",
+				dc.MemberID(), dc.Hosted(), l.Addr())
+			serves++
+			go func() { errc <- dc.ServeCluster(ctx, l) }()
 		}
-		fmt.Printf("data cloud S1 hosting %v, serving queriers on %s (ctrl-c to stop)\n", dc.Hosted(), l.Addr())
-		if err := dc.ServeClients(ctx, l); err != nil && ctx.Err() == nil {
-			return err
+		if *clientListen != "" {
+			l, err := net.Listen("tcp", *clientListen)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("data cloud S1 hosting %v, serving queriers on %s (ctrl-c to stop)\n", dc.Hosted(), l.Addr())
+			serves++
+			go func() { errc <- dc.ServeClients(ctx, l) }()
+		}
+		for i := 0; i < serves; i++ {
+			if err := <-errc; err != nil && ctx.Err() == nil {
+				return err
+			}
 		}
 		return nil
 	}
@@ -484,10 +591,13 @@ func runS1(ctx context.Context, args []string) error {
 }
 
 // s1Ready is the readiness predicate behind /readyz: the S2 handshakes
-// are done (the transport is connected), the relations are hosted, and
-// the data cloud is not draining for shutdown. A ready top-k relation
-// also reports its epoch, so an orchestrator (or a curious owner) can
-// watch deltas land without issuing a query.
+// are done (the transport is connected), the relations are hosted, the
+// data cloud is not draining for shutdown, and no shard handoff is
+// mid-swap. A cluster member reports its identity and assigned shard
+// set; a front door verifies every member still answers a cluster Hello
+// before claiming ready. A ready top-k relation also reports its epoch,
+// so an orchestrator (or a curious owner) can watch deltas land without
+// issuing a query.
 func s1Ready(dc *sectopk.DataCloud, hosted *atomic.Bool, relation string) func() (bool, string) {
 	return func() (bool, string) {
 		switch {
@@ -495,13 +605,40 @@ func s1Ready(dc *sectopk.DataCloud, hosted *atomic.Bool, relation string) func()
 			return false, "draining"
 		case !dc.Connected():
 			return false, "not connected to S2"
+		case dc.HandoffInFlight():
+			return false, "shard handoff in flight"
 		case !hosted.Load():
 			return false, "relations not hosted"
 		}
-		if epoch, err := dc.Epoch(relation); err == nil {
-			return true, fmt.Sprintf("ready (relation %s at epoch %d)", relation, epoch)
+		var fields []string
+		if id := dc.MemberID(); id != "" {
+			fields = append(fields, "member="+id)
 		}
-		return true, "ready"
+		if subs := dc.HostedShardSubsets(); len(subs) > 0 {
+			rels := make([]string, 0, len(subs))
+			for rel := range subs {
+				rels = append(rels, rel)
+			}
+			sort.Strings(rels)
+			for _, rel := range rels {
+				fields = append(fields, fmt.Sprintf("shards[%s]=%v", rel, subs[rel]))
+			}
+		}
+		if nodes := dc.ClusterNodes(); len(nodes) > 0 {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			if err := dc.ClusterReachable(ctx); err != nil {
+				return false, fmt.Sprintf("cluster member unreachable: %v", err)
+			}
+			fields = append(fields, fmt.Sprintf("cluster=%d members reachable", len(nodes)))
+		}
+		if epoch, err := dc.Epoch(relation); err == nil {
+			fields = append(fields, fmt.Sprintf("relation %s at epoch %d", relation, epoch))
+		}
+		if len(fields) == 0 {
+			return true, "ready"
+		}
+		return true, "ready (" + strings.Join(fields, ", ") + ")"
 	}
 }
 
@@ -544,24 +681,53 @@ func parseQueryOpts(mode string, strict bool) (sectopk.Mode, sectopk.Halting, er
 	return qmode, halt, nil
 }
 
-// dialClient dials the data cloud's client listener through the shared
+// dialClient dials a data cloud client listener through the shared
 // recovery stack: capped exponential backoff with jitter bounded by the
 // wait window (the querier typically races the server's startup), and a
 // client that keeps re-dialing and retrying shed/transport failures for
 // the session. A protocol-version mismatch is final and surfaces
-// immediately.
-func dialClient(ctx context.Context, addr string, wait time.Duration) (*sectopk.Client, error) {
-	return sectopk.DialRetry(ctx, addr, sectopk.WithRetry(sectopk.RetryPolicy{
-		Initial:    50 * time.Millisecond,
-		Max:        time.Second,
-		MaxElapsed: wait,
-	}))
+// immediately. Given a comma-separated list the dial fans across the
+// nodes in order, splitting the wait window between them, and a fully
+// failed fan surfaces the LAST node's error: in a half-up cluster the
+// early entries fail with whatever transient state they were caught in,
+// while the final attempt ran with the most time elapsed — that is the
+// message that diagnoses what is still down.
+func dialClient(ctx context.Context, addrs string, wait time.Duration) (*sectopk.Client, error) {
+	list := splitList(addrs)
+	if len(list) == 0 {
+		return nil, fmt.Errorf("no data cloud address to dial")
+	}
+	per := wait / time.Duration(len(list))
+	var lastErr error
+	for _, addr := range list {
+		client, err := sectopk.DialRetry(ctx, addr, sectopk.WithRetry(sectopk.RetryPolicy{
+			Initial:    50 * time.Millisecond,
+			Max:        time.Second,
+			MaxElapsed: per,
+		}))
+		if err == nil {
+			return client, nil
+		}
+		lastErr = fmt.Errorf("dialing %s: %w", addr, err)
+	}
+	return nil, lastErr
+}
+
+// splitList splits a comma-separated flag value, dropping empties.
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 func runQuery(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("query", flag.ExitOnError)
 	dir := fs.String("dir", ".", "artifact directory")
-	connect := fs.String("connect", "127.0.0.1:9142", "data cloud client-listen address")
+	connect := fs.String("connect", "127.0.0.1:9142", "data cloud client-listen address(es), comma separated — first reachable wins")
 	workload := fs.String("workload", "topk", "workload: topk|join|knn")
 	relation := fs.String("relation", "", "relation ID (defaults to \"default\" for topk, the workload name otherwise)")
 	mode := fs.String("mode", "e", "query mode: f|e|ba (topk only)")
@@ -611,7 +777,7 @@ func runQuery(ctx context.Context, args []string) error {
 	}
 	client, err := dialClient(ctx, *connect, *wait)
 	if err != nil {
-		return fmt.Errorf("dialing %s: %w", *connect, err)
+		return err
 	}
 	defer client.Close()
 	start := time.Now()
@@ -667,7 +833,7 @@ func runApply(ctx context.Context, args []string) error {
 	}
 	client, err := dialClient(ctx, *connect, *wait)
 	if err != nil {
-		return fmt.Errorf("dialing %s: %w", *connect, err)
+		return err
 	}
 	defer client.Close()
 

@@ -16,6 +16,7 @@ import (
 	"repro/internal/ehl"
 	"repro/internal/shard"
 	"repro/internal/transport"
+	"repro/sectopk"
 )
 
 // The qps experiment measures the throughput-first data plane end to
@@ -26,14 +27,20 @@ import (
 // connection, no batch envelopes, unsharded relation — so the speedup
 // column tracks what the rearchitecture buys per PR.
 
-// QPSResult is one measured scenario.
+// QPSResult is one measured scenario. GoMaxProcs and KeyBits repeat per
+// row (not just in the report header) because cluster rows measured in a
+// separate process get merged into an existing BENCH_<date>.json — each
+// row must stay interpretable on its own.
 type QPSResult struct {
-	Transport string  `json:"transport"` // "single-flight-v1" or "mux-batch-v2"
-	Shards    int     `json:"shards"`
-	Clients   int     `json:"clients"`
-	Queries   int     `json:"queries"`
-	Seconds   float64 `json:"seconds"`
-	QPS       float64 `json:"qps"`
+	Transport  string  `json:"transport"` // "single-flight-v1", "mux-batch-v2", or "cluster-v2"
+	Shards     int     `json:"shards"`
+	Clients    int     `json:"clients"`
+	Nodes      int     `json:"nodes,omitempty"` // S1 member processes behind the front door (cluster rows)
+	Queries    int     `json:"queries"`
+	Seconds    float64 `json:"seconds"`
+	QPS        float64 `json:"qps"`
+	GoMaxProcs int     `json:"gomaxprocs"`
+	KeyBits    int     `json:"key_bits"`
 }
 
 // QPSReport is the machine-readable record merged into BENCH_<date>.json.
@@ -137,6 +144,7 @@ func RunQPS(cfg Config) (*QPSReport, error) {
 		if err != nil {
 			return nil, fmt.Errorf("bench: qps %+v: %w", sc, err)
 		}
+		res.KeyBits = cfg.KeyBits
 		rep.Results = append(rep.Results, *res)
 	}
 	return rep, nil
@@ -204,16 +212,36 @@ func runQPSScenario(svc *cloud.Service, scheme *core.Scheme, er *core.EncryptedR
 		}
 	}
 	opts := core.Options{Mode: core.QryE, Halt: core.HaltPaper}
-	// Warm-up (nonce pools, TCP, code paths); excluded from the timing.
-	if _, err := engines[0].SecQuery(ctx, tk, opts); err != nil {
-		return nil, err
-	}
 	total := clients * perClient
 	var (
 		wg       sync.WaitGroup
 		mu       sync.Mutex
 		firstErr error
 	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	// One warm-up query per client (nonce pools, TCP, first-touch code
+	// paths), excluded from the timing: with only a handful of timed
+	// queries per client, letting one client eat all the setup cost
+	// skews the sample.
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := engines[i].SecQuery(ctx, tk, opts); err != nil {
+				fail(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
 	start := time.Now()
 	for i := 0; i < clients; i++ {
 		wg.Add(1)
@@ -221,11 +249,7 @@ func runQPSScenario(svc *cloud.Service, scheme *core.Scheme, er *core.EncryptedR
 			defer wg.Done()
 			for q := 0; q < perClient; q++ {
 				if _, err := engines[i].SecQuery(ctx, tk, opts); err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
+					fail(err)
 					return
 				}
 			}
@@ -241,13 +265,131 @@ func runQPSScenario(svc *cloud.Service, scheme *core.Scheme, er *core.EncryptedR
 		kind = "mux-batch-v2"
 	}
 	return &QPSResult{
-		Transport: kind,
-		Shards:    shards,
-		Clients:   clients,
-		Queries:   total,
-		Seconds:   elapsed.Seconds(),
-		QPS:       float64(total) / elapsed.Seconds(),
+		Transport:  kind,
+		Shards:     shards,
+		Clients:    clients,
+		Queries:    total,
+		Seconds:    elapsed.Seconds(),
+		QPS:        float64(total) / elapsed.Seconds(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
 	}, nil
+}
+
+// ClusterConfig drives the external-cluster qps rows: the measured
+// system is a sectopk-node fleet already running elsewhere (S2, member
+// processes, and a front door over real TCP); this process only plays
+// the queriers.
+type ClusterConfig struct {
+	Connect          string // front door client-listen address
+	Nodes            int    // S1 member count behind the front door, recorded per row
+	Shards           int    // provisioned shard count, recorded per row
+	Relation         string // hosted relation ID
+	TokenPath        string // stored top-k trapdoor (sectopk-node owner's query.tk)
+	KeyBits          int    // recorded per row
+	Clients          int
+	QueriesPerClient int
+}
+
+// RunQPSCluster measures one cluster throughput row against a running
+// front door: Clients concurrent queriers, each on its own TCP
+// connection, each running one warm-up query and then QueriesPerClient
+// timed ones. Merge the row into an existing record with AppendJSON.
+func RunQPSCluster(cfg ClusterConfig) (*QPSReport, error) {
+	clients := cfg.Clients
+	if clients <= 0 {
+		clients = 8
+	}
+	perClient := cfg.QueriesPerClient
+	if perClient <= 0 {
+		perClient = 4
+	}
+	tk, err := sectopk.LoadToken(cfg.TokenPath)
+	if err != nil {
+		return nil, fmt.Errorf("bench: qps cluster token: %w", err)
+	}
+	ctx := context.Background()
+	conns := make([]*sectopk.Client, clients)
+	defer func() {
+		for _, c := range conns {
+			if c != nil {
+				c.Close()
+			}
+		}
+	}()
+	for i := range conns {
+		c, err := sectopk.DialRetry(ctx, cfg.Connect, sectopk.WithRetry(sectopk.RetryPolicy{
+			Initial:    50 * time.Millisecond,
+			Max:        time.Second,
+			MaxElapsed: 15 * time.Second,
+		}))
+		if err != nil {
+			return nil, fmt.Errorf("bench: qps cluster dial %s: %w", cfg.Connect, err)
+		}
+		conns[i] = c
+	}
+	req := sectopk.TopKRequest(cfg.Relation, tk)
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	// One warm-up query per client, as in the in-process scenarios.
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := conns[i].Execute(ctx, req); err != nil {
+				fail(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, fmt.Errorf("bench: qps cluster warm-up: %w", firstErr)
+	}
+	total := clients * perClient
+	start := time.Now()
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for q := 0; q < perClient; q++ {
+				if _, err := conns[i].Execute(ctx, req); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	rep := &QPSReport{
+		Date:       time.Now().Format("2006-01-02"),
+		KeyBits:    cfg.KeyBits,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	rep.Results = append(rep.Results, QPSResult{
+		Transport:  "cluster-v2",
+		Shards:     cfg.Shards,
+		Clients:    clients,
+		Nodes:      cfg.Nodes,
+		Queries:    total,
+		Seconds:    elapsed.Seconds(),
+		QPS:        float64(total) / elapsed.Seconds(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		KeyBits:    cfg.KeyBits,
+	})
+	return rep, nil
 }
 
 // SaveJSON merges the QPS record into path (BENCH_<date>.json when
@@ -255,6 +397,16 @@ func runQPSScenario(svc *cloud.Service, scheme *core.Scheme, er *core.EncryptedR
 // fields and gains/overwrites the "qps" key, so one file per date tracks
 // both trajectories.
 func (r *QPSReport) SaveJSON(path string) (string, error) {
+	return r.writeJSON(path, r)
+}
+
+// AppendJSON merges this report's rows into an existing qps record in
+// path instead of replacing it: the in-process scenario matrix keeps
+// its rows and gains the rows measured by this (separate) process —
+// the per-row gomaxprocs/key_bits fields keep mixed origins
+// interpretable. With no prior qps record it behaves like SaveJSON.
+func (r *QPSReport) AppendJSON(path string) (string, error) {
+	merged := r
 	if path == "" {
 		path = fmt.Sprintf("BENCH_%s.json", r.Date)
 	}
@@ -262,7 +414,28 @@ func (r *QPSReport) SaveJSON(path string) (string, error) {
 	if b, err := os.ReadFile(path); err == nil {
 		_ = json.Unmarshal(b, &doc)
 	}
-	doc["qps"] = r
+	if raw, ok := doc["qps"]; ok {
+		if b, err := json.Marshal(raw); err == nil {
+			prev := &QPSReport{}
+			if json.Unmarshal(b, prev) == nil && len(prev.Results) > 0 {
+				prev.Results = append(prev.Results, r.Results...)
+				merged = prev
+			}
+		}
+	}
+	return r.writeJSON(path, merged)
+}
+
+// writeJSON installs rep under the "qps" key of the dated record.
+func (r *QPSReport) writeJSON(path string, rep *QPSReport) (string, error) {
+	if path == "" {
+		path = fmt.Sprintf("BENCH_%s.json", r.Date)
+	}
+	doc := map[string]any{}
+	if b, err := os.ReadFile(path); err == nil {
+		_ = json.Unmarshal(b, &doc)
+	}
+	doc["qps"] = rep
 	if _, ok := doc["date"]; !ok {
 		doc["date"] = r.Date
 	}
@@ -280,27 +453,44 @@ func (r *QPSReport) SaveJSON(path string) (string, error) {
 }
 
 // Report renders the scenario table with the speedup over the
-// single-flight baseline at the same client count.
+// single-flight baseline at the same client count; cluster rows compare
+// against the 1-node cluster row instead (same wire path, scaled fleet).
 func (r *QPSReport) Report() *Report {
-	base := map[int]float64{} // clients -> single-flight unsharded QPS
+	base := map[int]float64{}        // clients -> single-flight unsharded QPS
+	clusterBase := map[int]float64{} // clients -> 1-node cluster QPS
 	for _, res := range r.Results {
 		if res.Transport == "single-flight-v1" && res.Shards == 1 {
 			base[res.Clients] = res.QPS
+		}
+		if res.Nodes == 1 {
+			clusterBase[res.Clients] = res.QPS
 		}
 	}
 	out := &Report{
 		ID:     "qps",
 		Title:  fmt.Sprintf("query throughput vs transport/shards/clients (%d-bit keys, %d rows, GOMAXPROCS=%d)", r.KeyBits, r.Rows, r.GoMaxProcs),
-		Header: []string{"transport", "shards", "clients", "queries", "qps", "vs single-flight"},
+		Header: []string{"transport", "shards", "nodes", "clients", "queries", "qps", "vs baseline"},
 	}
 	for _, res := range r.Results {
 		vs := "-"
-		if b, ok := base[res.Clients]; ok && b > 0 && !(res.Transport == "single-flight-v1" && res.Shards == 1) {
-			vs = fmt.Sprintf("%.2fx", res.QPS/b)
+		switch {
+		case res.Nodes > 1:
+			if b, ok := clusterBase[res.Clients]; ok && b > 0 {
+				vs = fmt.Sprintf("%.2fx", res.QPS/b)
+			}
+		case res.Nodes == 0:
+			if b, ok := base[res.Clients]; ok && b > 0 && !(res.Transport == "single-flight-v1" && res.Shards == 1) {
+				vs = fmt.Sprintf("%.2fx", res.QPS/b)
+			}
+		}
+		nodes := "-"
+		if res.Nodes > 0 {
+			nodes = fmt.Sprint(res.Nodes)
 		}
 		out.Rows = append(out.Rows, []string{
 			res.Transport,
 			fmt.Sprint(res.Shards),
+			nodes,
 			fmt.Sprint(res.Clients),
 			fmt.Sprint(res.Queries),
 			fmt.Sprintf("%.2f", res.QPS),
@@ -308,7 +498,8 @@ func (r *QPSReport) Report() *Report {
 		})
 	}
 	out.Notes = append(out.Notes,
-		"baseline = lockstep v1 transport, unsharded, same client count; acceptance target: >= 2x at 8 clients on a 4-core runner",
+		"baseline = lockstep v1 transport, unsharded, same client count; cluster rows compare against the 1-node cluster row",
+		"acceptance targets on a 4-core runner: mux+shards >= 2x at 8 clients; 2-node cluster >= 1.6x 1-node at 8 clients",
 		fmt.Sprintf("emitted into BENCH_%s.json under the \"qps\" key", r.Date))
 	return out
 }

@@ -1,0 +1,149 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/secerr"
+	"repro/internal/secio"
+	"repro/internal/shard"
+)
+
+// The coordinator's query protocol is round-structured: each round is a
+// state transition that either produces the next round or finishes the
+// query. The state carries everything a round needs, so rounds stay
+// side-effect-free except for the calls they make.
+
+// state is one distributed query's progress through the rounds.
+type state struct {
+	c       *Coordinator
+	tk      *core.Token
+	tkBytes []byte
+	opts    core.Options
+	// sets holds every shard's candidate set in GLOBAL shard order —
+	// the same order a single node hosting all shards would produce —
+	// so the merge is byte-for-byte the in-process merge.
+	sets []*core.CandidateSet
+	res  *core.QueryResult
+}
+
+// round is one protocol step; run returns the next round, or nil when
+// the query is complete (st.res is then set).
+type round interface {
+	run(ctx context.Context) (round, error)
+}
+
+// roundFanOut sends the token to every member concurrently and collects
+// their candidate sets. With exact set it requests the merge-bound
+// fallback rescan instead of the normal halting scan.
+type roundFanOut struct {
+	st    *state
+	exact bool
+}
+
+func (r *roundFanOut) run(ctx context.Context) (round, error) {
+	st := r.st
+	c := st.c
+	st.sets = make([]*core.CandidateSet, c.total)
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	for i := range c.members {
+		m := &c.members[i]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sets, err := r.call(ctx, m)
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+					cancel() // stop sibling members within this round
+				}
+				mu.Unlock()
+				return
+			}
+			// Reassemble in global shard order; members' replies align
+			// with their announced indices.
+			mu.Lock()
+			for j, cs := range sets {
+				st.sets[m.Info.Indices[j]] = cs
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return &roundMerge{st: st, exact: r.exact}, nil
+}
+
+// call runs one member's Candidates round and decodes its contribution.
+// A failed link is wrapped as a typed unavailable error naming the
+// member, so a half-up cluster is diagnosable from the message alone.
+func (r *roundFanOut) call(ctx context.Context, m *Contribution) ([]*core.CandidateSet, error) {
+	req := CandidatesRequest{
+		Relation: r.st.c.name,
+		Token:    r.st.tkBytes,
+		Options:  FromCore(r.st.opts),
+		Epoch:    r.st.c.epoch,
+		Exact:    r.exact,
+	}
+	var reply CandidatesReply
+	if err := m.Caller.Call(ctx, MethodCandidates, req, &reply); err != nil {
+		if secerr.CodeOf(err) == secerr.CodeTransport {
+			return nil, secerr.Wrap(secerr.CodeUnavailable, err, "cluster: member %s unreachable", m.Member)
+		}
+		return nil, secerr.Wrap(secerr.CodeOf(err), err, "cluster: member %s", m.Member)
+	}
+	if len(reply.Sets) != len(m.Info.Indices) {
+		return nil, secerr.New(secerr.CodeBadRequest,
+			"cluster: member %s returned %d candidate sets for %d hosted shards", m.Member, len(reply.Sets), len(m.Info.Indices))
+	}
+	sets := make([]*core.CandidateSet, len(reply.Sets))
+	for i, b := range reply.Sets {
+		cs, err := secio.ReadCandidates(bytes.NewReader(b))
+		if err != nil {
+			return nil, secerr.Wrap(secerr.CodeBadRequest, err, "cluster: member %s candidate set %d", m.Member, i)
+		}
+		sets[i] = cs
+	}
+	return sets, nil
+}
+
+// roundMerge unions the collected candidates and certifies the merged
+// top-k with the NRA bound check. Certification failure after a normal
+// fan-out triggers the exact rescan; after an exact fan-out it is an
+// internal error (every bound is then an exact aggregate, so the check
+// cannot fail on honest parties).
+type roundMerge struct {
+	st    *state
+	exact bool
+}
+
+func (r *roundMerge) run(ctx context.Context) (round, error) {
+	st := r.st
+	c := st.c
+	magBits := core.MagBits(c.maxScoreBits, st.tk)
+	res, certified, err := shard.Merge(ctx, c.client, st.tk.K, magBits, st.sets)
+	if err != nil {
+		return nil, err
+	}
+	if certified {
+		st.res = res
+		return nil, nil
+	}
+	if r.exact {
+		return nil, secerr.New(secerr.CodeInternal, "cluster: merge bound check failed after exact rescan")
+	}
+	c.client.Ledger().Record("S1", "ClusterMerge",
+		"merge bound check failed; exact rescan across %d members (%d shards)", len(c.members), c.total)
+	return &roundFanOut{st: st, exact: true}, nil
+}

@@ -1,0 +1,225 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"math/big"
+
+	"repro/internal/core"
+	"repro/internal/secerr"
+	"repro/internal/secio"
+	"repro/internal/shard"
+	"repro/internal/transport"
+)
+
+// Cluster wire v1: the two methods a member serves on its cluster
+// listener, multiplexed on the same wire-v2 mux as everything else. The
+// listener also falls through to the client-wire methods (the facade's
+// responder composes the two), so a front door can forward whole
+// queries — join and kNN, which are not shard-partitioned — to the
+// member that hosts them using the ordinary client encoding.
+const (
+	// ProtocolVersion is the current cluster wire version; MinProtocolVersion
+	// the oldest this build still serves.
+	ProtocolVersion    = 1
+	MinProtocolVersion = 1
+
+	// MethodHello negotiates versions and announces the member's
+	// inventory: which shard subsets and whole-relation routes it hosts.
+	MethodHello = "Cluster.Hello"
+	// MethodCandidates runs one token over the member's shards of a
+	// relation and returns the per-shard candidate sets for the
+	// coordinator's merge.
+	MethodCandidates = "Cluster.Candidates"
+)
+
+// HelloRequest opens a coordinator→member session: the version range the
+// coordinator speaks.
+type HelloRequest struct {
+	Min, Max int
+}
+
+// SubsetInfo is a member's announcement of one hosted shard subset: its
+// placement within the global relation plus the shape metadata the
+// coordinator needs to validate tiling and size its merge comparisons.
+type SubsetInfo struct {
+	Relation string
+	// Total is the relation's global shard count P; Indices the global
+	// shard indices hosted here; Rows the per-shard row counts aligned
+	// with Indices.
+	Total   int
+	Indices []int
+	Rows    []int
+	// M and MaxScoreBits are the relation's global shape; Epoch its
+	// version; PK the shared Paillier modulus.
+	M            int
+	MaxScoreBits int
+	Epoch        uint64
+	PK           *big.Int
+}
+
+// RouteInfo announces a relation the member hosts whole — join and kNN
+// workloads, which the front door forwards rather than fans out.
+type RouteInfo struct {
+	Relation string
+	Workload string
+}
+
+// HelloReply is the member's inventory.
+type HelloReply struct {
+	Version int
+	Member  string
+	Subsets []SubsetInfo
+	Routes  []RouteInfo
+}
+
+// Options carries core.Options across the cluster wire (ExactScan and
+// the idempotency key travel in the enclosing request).
+type Options struct {
+	Mode, Halt, Sort     int
+	BatchDepth, MaxDepth int
+	Parallelism          int
+	QueryID              string
+}
+
+// FromCore converts engine options to their wire form.
+func FromCore(o core.Options) Options {
+	return Options{
+		Mode: int(o.Mode), Halt: int(o.Halt), Sort: int(o.Sort),
+		BatchDepth: o.BatchDepth, MaxDepth: o.MaxDepth,
+		Parallelism: o.Parallelism, QueryID: o.QueryID,
+	}
+}
+
+// Core converts wire options back to engine options.
+func (o Options) Core() core.Options {
+	return core.Options{
+		Mode: core.Mode(o.Mode), Halt: core.HaltPolicy(o.Halt), Sort: core.SortStrategy(o.Sort),
+		BatchDepth: o.BatchDepth, MaxDepth: o.MaxDepth,
+		Parallelism: o.Parallelism, QueryID: o.QueryID,
+	}
+}
+
+// CandidatesRequest asks a member to run one token over its shards of a
+// relation. Epoch pins the member's hosted epoch (non-zero always: the
+// coordinator pins the epoch it assembled the placement at, so a cluster
+// never merges candidates from mixed epochs). Exact requests the
+// merge-bound fallback rescan: an exact full scan, after which every
+// returned bound is the exact aggregate.
+type CandidatesRequest struct {
+	Relation string
+	Token    []byte // secio "token" stream
+	Options  Options
+	Epoch    uint64
+	Exact    bool
+}
+
+// CandidatesReply carries one secio "candidates" stream per hosted
+// shard, aligned with the member's announced Indices.
+type CandidatesReply struct {
+	Epoch uint64
+	Sets  [][]byte
+}
+
+// Hosted is one shard subset a member serves: the engine over its local
+// shards plus the placement metadata it announces.
+type Hosted struct {
+	Engine *shard.Engine
+	Info   SubsetInfo
+}
+
+// Inventory is the member-side state the responder serves from. The
+// facade implements it over its hosted-subset registry.
+type Inventory interface {
+	// Member is this node's cluster identity, reported in Hello and in
+	// readiness probes.
+	Member() string
+	// Subsets lists every hosted shard subset; Subset resolves one.
+	Subsets() []*Hosted
+	Subset(relation string) (*Hosted, bool)
+	// Routes lists the whole-relation workloads this member serves.
+	Routes() []RouteInfo
+	// Begin brackets one candidate execution into the host's admission
+	// and drain accounting. The returned release must be called exactly
+	// once iff err is nil.
+	Begin(ctx context.Context) (func(), error)
+}
+
+// Respond serves one cluster-plane method. handled=false means the
+// method is not a cluster method and the caller should fall through to
+// its other responders (the facade chains the client-wire responder so
+// one listener serves both planes).
+func Respond(ctx context.Context, inv Inventory, method string, body []byte) (out []byte, handled bool, err error) {
+	switch method {
+	case MethodHello:
+		out, err = serveHello(inv, body)
+		return out, true, err
+	case MethodCandidates:
+		out, err = serveCandidates(ctx, inv, body)
+		return out, true, err
+	}
+	return nil, false, nil
+}
+
+func serveHello(inv Inventory, body []byte) ([]byte, error) {
+	var req HelloRequest
+	if err := transport.Decode(body, &req); err != nil {
+		return nil, secerr.Wrap(secerr.CodeBadRequest, err, "cluster: undecodable hello")
+	}
+	if req.Min > ProtocolVersion || req.Max < MinProtocolVersion {
+		return nil, secerr.New(secerr.CodeProtocolVersion,
+			"cluster: peer speaks v%d..v%d, this member v%d..v%d", req.Min, req.Max, MinProtocolVersion, ProtocolVersion)
+	}
+	ver := ProtocolVersion
+	if req.Max < ver {
+		ver = req.Max
+	}
+	reply := HelloReply{Version: ver, Member: inv.Member(), Routes: inv.Routes()}
+	for _, h := range inv.Subsets() {
+		reply.Subsets = append(reply.Subsets, h.Info)
+	}
+	return transport.Encode(reply)
+}
+
+func serveCandidates(ctx context.Context, inv Inventory, body []byte) ([]byte, error) {
+	var req CandidatesRequest
+	if err := transport.Decode(body, &req); err != nil {
+		return nil, secerr.Wrap(secerr.CodeBadRequest, err, "cluster: undecodable candidates request")
+	}
+	h, ok := inv.Subset(req.Relation)
+	if !ok {
+		return nil, secerr.New(secerr.CodeUnknownRelation,
+			"cluster: member %s hosts no shards of relation %q", inv.Member(), req.Relation)
+	}
+	if req.Epoch != 0 && req.Epoch != h.Info.Epoch {
+		return nil, secerr.New(secerr.CodeRelationStale,
+			"cluster: request pinned to epoch %d but member %s hosts epoch %d", req.Epoch, inv.Member(), h.Info.Epoch)
+	}
+	tk, err := secio.ReadToken(bytes.NewReader(req.Token))
+	if err != nil {
+		return nil, err
+	}
+	release, err := inv.Begin(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	opts := req.Options.Core()
+	if req.Exact {
+		opts.ExactScan = true
+		opts.MaxDepth = 0
+	}
+	sets, err := h.Engine.Candidates(ctx, tk, opts)
+	if err != nil {
+		return nil, err
+	}
+	reply := CandidatesReply{Epoch: h.Info.Epoch, Sets: make([][]byte, len(sets))}
+	for i, cs := range sets {
+		var buf bytes.Buffer
+		if err := secio.WriteCandidates(&buf, cs); err != nil {
+			return nil, err
+		}
+		reply.Sets[i] = buf.Bytes()
+	}
+	return transport.Encode(reply)
+}

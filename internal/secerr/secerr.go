@@ -49,6 +49,12 @@ const (
 	// relation (epoch, token) and retry deliberately — the failure is
 	// fail-fast by design, never retried blindly.
 	CodeRelationStale Code = "relation_stale"
+	// CodeUnavailable marks a required peer that cannot be reached: a
+	// cluster member whose link failed mid-query, or a forwarding target
+	// that is down. It always wraps the underlying transport failure and
+	// names the peer, so a half-up cluster is diagnosable from the
+	// message alone.
+	CodeUnavailable Code = "unavailable"
 	// CodeInternal marks any other server-side failure.
 	CodeInternal Code = "internal"
 )
@@ -66,6 +72,7 @@ var (
 	ErrTransport       = &Error{Code: CodeTransport, Msg: "transport failure"}
 	ErrOverloaded      = &Error{Code: CodeOverloaded, Msg: "overloaded"}
 	ErrRelationStale   = &Error{Code: CodeRelationStale, Msg: "relation epoch is stale"}
+	ErrUnavailable     = &Error{Code: CodeUnavailable, Msg: "peer unavailable"}
 	ErrInternal        = &Error{Code: CodeInternal, Msg: "internal error"}
 )
 

@@ -1,0 +1,200 @@
+package secio
+
+import (
+	"bufio"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+
+	"repro/internal/core"
+	"repro/internal/paillier"
+)
+
+// This file serializes the cluster plane's two artifacts. A hosted
+// subset is the handoff format for provisioning shards onto (or moving
+// them between) S1 cluster members: the member's shard blocks plus the
+// placement metadata — which global shard indices these are, how many
+// shards the whole relation has, and the epoch the subset was cut at —
+// that the member announces back to the coordinator in its Hello. A
+// candidate set is one shard's contribution to a distributed merge
+// (core.CandidateSet), shipped from member to coordinator over the
+// cluster wire.
+
+// wireSubsetMeta carries a subset's placement within the global
+// relation.
+type wireSubsetMeta struct {
+	// Total is the global shard count P of the relation being tiled.
+	Total int
+	// Indices are the global shard indices hosted by this subset, each
+	// in [0, Total); the relation blocks that follow align with them.
+	Indices []int
+	// Epoch is the relation epoch the subset was cut at. Coordinators
+	// pin candidate requests to it so a cluster never merges candidates
+	// from mixed epochs.
+	Epoch uint64
+}
+
+// WriteHostedSubset serializes one cluster member's shard subset: the
+// shared public key, the placement metadata, then one relation block per
+// hosted shard (kind "hosted-subset").
+func WriteHostedSubset(w io.Writer, total int, indices []int, shards []*core.EncryptedRelation, epoch uint64, pk *paillier.PublicKey) error {
+	if pk == nil || pk.N == nil {
+		return errors.New("secio: nil public key")
+	}
+	if err := checkSubsetPlacement(total, indices); err != nil {
+		return err
+	}
+	if len(shards) != len(indices) {
+		return fmt.Errorf("secio: subset has %d shards for %d indices", len(shards), len(indices))
+	}
+	bw := bufio.NewWriter(w)
+	enc := gob.NewEncoder(bw)
+	if err := enc.Encode(header{Magic: magic, Version: version, Kind: "hosted-subset"}); err != nil {
+		return fmt.Errorf("secio: writing header: %w", err)
+	}
+	if err := enc.Encode(wirePub{N: pk.N}); err != nil {
+		return fmt.Errorf("secio: writing public key: %w", err)
+	}
+	if err := enc.Encode(wireSubsetMeta{Total: total, Indices: indices, Epoch: epoch}); err != nil {
+		return fmt.Errorf("secio: writing subset metadata: %w", err)
+	}
+	for i, s := range shards {
+		wr, err := encodeRelation(s)
+		if err != nil {
+			return err
+		}
+		if err := enc.Encode(wr); err != nil {
+			return fmt.Errorf("secio: writing subset shard %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadHostedSubset deserializes a hosted shard subset.
+func ReadHostedSubset(r io.Reader) (total int, indices []int, shards []*core.EncryptedRelation, epoch uint64, pk *paillier.PublicKey, err error) {
+	dec := gob.NewDecoder(bufio.NewReader(r))
+	var h header
+	if err := dec.Decode(&h); err != nil {
+		return 0, nil, nil, 0, nil, fmt.Errorf("secio: reading header: %w", err)
+	}
+	if err := h.check("hosted-subset"); err != nil {
+		return 0, nil, nil, 0, nil, err
+	}
+	var wp wirePub
+	if err := dec.Decode(&wp); err != nil {
+		return 0, nil, nil, 0, nil, fmt.Errorf("secio: reading public key: %w", err)
+	}
+	pk, err = paillier.NewPublicKeyFromN(wp.N)
+	if err != nil {
+		return 0, nil, nil, 0, nil, err
+	}
+	var meta wireSubsetMeta
+	if err := dec.Decode(&meta); err != nil {
+		return 0, nil, nil, 0, nil, fmt.Errorf("secio: reading subset metadata: %w", err)
+	}
+	if err := checkSubsetPlacement(meta.Total, meta.Indices); err != nil {
+		return 0, nil, nil, 0, nil, err
+	}
+	shards = make([]*core.EncryptedRelation, len(meta.Indices))
+	for i := range shards {
+		var wr wireRelation
+		if err := dec.Decode(&wr); err != nil {
+			return 0, nil, nil, 0, nil, fmt.Errorf("secio: reading subset shard %d: %w", i, err)
+		}
+		er, err := decodeRelation(&wr)
+		if err != nil {
+			return 0, nil, nil, 0, nil, err
+		}
+		shards[i] = er
+	}
+	return meta.Total, meta.Indices, shards, meta.Epoch, pk, nil
+}
+
+// checkSubsetPlacement validates a subset's placement metadata: a sane
+// total, at least one hosted index, every index in range, no duplicates.
+func checkSubsetPlacement(total int, indices []int) error {
+	if total < 1 || total > maxShardCount {
+		return fmt.Errorf("secio: subset shard total %d out of range", total)
+	}
+	if len(indices) < 1 || len(indices) > total {
+		return fmt.Errorf("secio: subset hosts %d of %d shards", len(indices), total)
+	}
+	seen := make(map[int]bool, len(indices))
+	for _, ix := range indices {
+		if ix < 0 || ix >= total {
+			return fmt.Errorf("secio: subset shard index %d out of range [0,%d)", ix, total)
+		}
+		if seen[ix] {
+			return fmt.Errorf("secio: subset shard index %d duplicated", ix)
+		}
+		seen[ix] = true
+	}
+	return nil
+}
+
+// wireCandMeta carries a candidate set's scalar fields and residual
+// bounds; the items ride in a wireItems block after it.
+type wireCandMeta struct {
+	Depth     int
+	Halted    bool
+	Residuals []*big.Int
+}
+
+// WriteCandidates serializes one shard's candidate contribution to a
+// distributed merge (kind "candidates").
+func WriteCandidates(w io.Writer, cs *core.CandidateSet) error {
+	if cs == nil {
+		return errors.New("secio: nil candidate set")
+	}
+	wi, err := encodeItems(cs.Items)
+	if err != nil {
+		return err
+	}
+	meta := wireCandMeta{Depth: cs.Depth, Halted: cs.Halted}
+	meta.Residuals = make([]*big.Int, len(cs.Residuals))
+	for i, ct := range cs.Residuals {
+		if ct == nil || ct.C == nil {
+			return fmt.Errorf("secio: nil residual bound %d", i)
+		}
+		meta.Residuals[i] = ct.C
+	}
+	enc := gob.NewEncoder(w)
+	if err := enc.Encode(header{Magic: magic, Version: version, Kind: "candidates"}); err != nil {
+		return err
+	}
+	if err := enc.Encode(meta); err != nil {
+		return err
+	}
+	return enc.Encode(wi)
+}
+
+// ReadCandidates deserializes one shard's candidate contribution.
+func ReadCandidates(r io.Reader) (*core.CandidateSet, error) {
+	dec := gob.NewDecoder(r)
+	var h header
+	if err := dec.Decode(&h); err != nil {
+		return nil, err
+	}
+	if err := h.check("candidates"); err != nil {
+		return nil, err
+	}
+	var meta wireCandMeta
+	if err := dec.Decode(&meta); err != nil {
+		return nil, err
+	}
+	var wi wireItems
+	if err := dec.Decode(&wi); err != nil {
+		return nil, err
+	}
+	cs := &core.CandidateSet{Items: decodeItems(&wi), Depth: meta.Depth, Halted: meta.Halted}
+	cs.Residuals = make([]*paillier.Ciphertext, len(meta.Residuals))
+	for i, v := range meta.Residuals {
+		if v == nil {
+			return nil, fmt.Errorf("secio: nil residual bound %d", i)
+		}
+		cs.Residuals[i] = &paillier.Ciphertext{C: v}
+	}
+	return cs, nil
+}

@@ -72,6 +72,11 @@ func TestFutureVersionRejectedEveryKind(t *testing.T) {
 			_, _, _, err := ReadOwnerMutable(r)
 			return err
 		},
+		"hosted-subset": func(r io.Reader) error {
+			_, _, _, _, _, err := ReadHostedSubset(r)
+			return err
+		},
+		"candidates": func(r io.Reader) error { _, err := ReadCandidates(r); return err },
 	}
 	for kind, read := range readers {
 		t.Run(kind, func(t *testing.T) {

@@ -151,8 +151,40 @@ func NewEngine(client *cloud.Client, rel *Relation) (*Engine, error) {
 // Shards returns the shard count P.
 func (e *Engine) Shards() int { return len(e.engines) }
 
+// N returns the global row count across all shards.
+func (e *Engine) N() int { return e.rel.N }
+
+// M returns the attribute count shared by every shard.
+func (e *Engine) M() int { return e.rel.M }
+
+// MaxScoreBits returns the shared per-attribute score bound.
+func (e *Engine) MaxScoreBits() int { return e.rel.MaxScoreBits }
+
+// ShardSizes returns the per-shard row counts, in shard order.
+func (e *Engine) ShardSizes() []int {
+	sizes := make([]int, len(e.rel.Shards))
+	for i, er := range e.rel.Shards {
+		sizes[i] = er.N
+	}
+	return sizes
+}
+
 // ValidateToken checks a token against the *global* relation dimensions.
 func (e *Engine) ValidateToken(tk *core.Token) error {
+	if err := e.validateShape(tk); err != nil {
+		return err
+	}
+	if tk.K > e.rel.N {
+		return secerr.New(secerr.CodeInvalidToken, "shard: token k=%d out of range", tk.K)
+	}
+	return nil
+}
+
+// validateShape checks everything about a token except the upper bound
+// on k — a cluster member hosts only part of the relation, so the global
+// k may legitimately exceed the local row count (it is clamped per
+// shard; the coordinator validated it against the global N).
+func (e *Engine) validateShape(tk *core.Token) error {
 	if tk == nil {
 		return secerr.New(secerr.CodeInvalidToken, "shard: nil token")
 	}
@@ -167,7 +199,7 @@ func (e *Engine) ValidateToken(tk *core.Token) error {
 	if tk.Weights != nil && len(tk.Weights) != len(tk.Lists) {
 		return secerr.New(secerr.CodeInvalidToken, "shard: token has %d weights for %d lists", len(tk.Weights), len(tk.Lists))
 	}
-	if tk.K <= 0 || tk.K > e.rel.N {
+	if tk.K <= 0 {
 		return secerr.New(secerr.CodeInvalidToken, "shard: token k=%d out of range", tk.K)
 	}
 	return nil
@@ -221,6 +253,20 @@ func (e *Engine) SecQuery(ctx context.Context, tk *core.Token, opts core.Options
 	return res, nil
 }
 
+// Candidates runs the token over every shard concurrently and returns
+// the per-shard candidate sets *without* merging them. This is the
+// cluster member's half of a distributed query: each member contributes
+// its shards' candidates and the coordinator merges across members with
+// Merge. The token's shape is validated locally but its k is not bounded
+// by the local row count — the coordinator validated k against the
+// global relation and each shard clamps it to its own size.
+func (e *Engine) Candidates(ctx context.Context, tk *core.Token, opts core.Options) ([]*core.CandidateSet, error) {
+	if err := e.validateShape(tk); err != nil {
+		return nil, err
+	}
+	return e.runShards(ctx, tk, opts)
+}
+
 // runShards executes the clamped token on every shard concurrently.
 func (e *Engine) runShards(ctx context.Context, tk *core.Token, opts core.Options) ([]*core.CandidateSet, error) {
 	sets := make([]*core.CandidateSet, len(e.engines))
@@ -267,12 +313,21 @@ func (e *Engine) runShards(ctx context.Context, tk *core.Token, opts core.Option
 	return sets, nil
 }
 
-// merge unions the shard candidates, selects the global top-k with
+// merge delegates to the package-level Merge under this engine's global
+// k and magnitude bound.
+func (e *Engine) merge(ctx context.Context, tk *core.Token, sets []*core.CandidateSet) (*core.QueryResult, bool, error) {
+	return Merge(ctx, e.client, tk.K, e.magBits(tk), sets)
+}
+
+// Merge unions candidate sets, selects the global top-k with
 // EncSelectTop on the worst-score column, and runs the NRA-style bound
 // check: every non-selected candidate's upper bound and every shard
 // residual must be dominated by the merged k-th worst. The boolean
-// reports whether the check certified the merge.
-func (e *Engine) merge(ctx context.Context, tk *core.Token, sets []*core.CandidateSet) (*core.QueryResult, bool, error) {
+// reports whether the check certified the merge. magBits must be
+// core.MagBits over the *global* relation's MaxScoreBits — the same
+// bound the per-shard scans compared under — which is why the cluster
+// coordinator carries the relation's global shape metadata.
+func Merge(ctx context.Context, client *cloud.Client, k, magBits int, sets []*core.CandidateSet) (*core.QueryResult, bool, error) {
 	var (
 		union     []protocols.Item
 		residuals []*paillier.Ciphertext
@@ -290,12 +345,10 @@ func (e *Engine) merge(ctx context.Context, tk *core.Token, sets []*core.Candida
 	if len(union) == 0 {
 		return &core.QueryResult{Depth: depth, Halted: halted}, true, nil
 	}
-	k := tk.K
 	if k > len(union) {
 		k = len(union)
 	}
-	magBits := e.magBits(tk)
-	ranked, err := protocols.EncSelectTop(ctx, e.client, union, protocols.ColWorst, true, k, magBits)
+	ranked, err := protocols.EncSelectTop(ctx, client, union, protocols.ColWorst, true, k, magBits)
 	if err != nil {
 		return nil, false, fmt.Errorf("shard: merge selection: %w", err)
 	}
@@ -311,7 +364,7 @@ func (e *Engine) merge(ctx context.Context, tk *core.Token, sets []*core.Candida
 		for i := range wks {
 			wks[i] = wk
 		}
-		fs, err := protocols.EncCompareBatch(ctx, e.client, bounds, wks, magBits)
+		fs, err := protocols.EncCompareBatch(ctx, client, bounds, wks, magBits)
 		if err != nil {
 			return nil, false, fmt.Errorf("shard: merge bound check: %w", err)
 		}

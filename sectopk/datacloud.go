@@ -89,7 +89,13 @@ type DataCloud struct {
 	relations map[string]*hostedRelation
 	joins     map[string]*hostedJoin
 	knns      map[string]*hostedKNN
-	closed    bool
+	// shardHosts are the cluster-member subsets (HostShards); cluster is
+	// the front-door placement (HostCluster); handoffs counts in-flight
+	// HostShards replacements for readiness reporting.
+	shardHosts map[string]*hostedShards
+	cluster    *hostedCluster
+	handoffs   int
+	closed     bool
 
 	// Drain state (WithDrainTimeout): once draining, new executes shed
 	// with ErrOverloaded while the inflight ones run to completion;
@@ -207,13 +213,14 @@ func NewDataCloud(opts ...Option) *DataCloud {
 		admit = &admission{slots: make(chan struct{}, cfg.sessionLimit), shed: true}
 	}
 	return &DataCloud{
-		cfg:       cfg,
-		ledger:    cloud.NewLedger(),
-		stats:     transport.NewStats(),
-		admit:     admit,
-		relations: map[string]*hostedRelation{},
-		joins:     map[string]*hostedJoin{},
-		knns:      map[string]*hostedKNN{},
+		cfg:        cfg,
+		ledger:     cloud.NewLedger(),
+		stats:      transport.NewStats(),
+		admit:      admit,
+		relations:  map[string]*hostedRelation{},
+		joins:      map[string]*hostedJoin{},
+		knns:       map[string]*hostedKNN{},
+		shardHosts: map[string]*hostedShards{},
 	}
 }
 
@@ -527,6 +534,9 @@ func (d *DataCloud) applyDelta(ctx context.Context, relation string, delta *muta
 	if err := ctx.Err(); err != nil {
 		return 0, err
 	}
+	if err := d.clusterMutable(relation); err != nil {
+		return 0, err
+	}
 	if err := d.beginExecute(); err != nil {
 		return 0, err
 	}
@@ -557,6 +567,9 @@ func (d *DataCloud) Compact(ctx context.Context, relation string) (uint64, error
 	if err := ctx.Err(); err != nil {
 		return 0, err
 	}
+	if err := d.clusterMutable(relation); err != nil {
+		return 0, err
+	}
 	if err := d.beginExecute(); err != nil {
 		return 0, err
 	}
@@ -573,8 +586,14 @@ func (d *DataCloud) Compact(ctx context.Context, relation string) (uint64, error
 	return epoch, nil
 }
 
-// Epoch reports the current epoch of a hosted top-k relation.
+// Epoch reports the current epoch of a hosted top-k relation (for a
+// cluster-hosted relation, the epoch the placement is pinned to).
 func (d *DataCloud) Epoch(relation string) (uint64, error) {
+	if cl := d.clusterView(); cl != nil {
+		if cc := cl.coords[relation]; cc != nil {
+			return cc.coord.Epoch(), nil
+		}
+	}
 	rel, err := d.hostedTopK(relation)
 	if err != nil {
 		return 0, err
@@ -590,8 +609,11 @@ func (d *DataCloud) hostableLocked(id string) error {
 	if d.closed {
 		return secerr.New(secerr.CodeInternal, "sectopk: data cloud is closed")
 	}
-	if d.relations[id] != nil || d.joins[id] != nil || d.knns[id] != nil {
+	if d.relations[id] != nil || d.joins[id] != nil || d.knns[id] != nil || d.shardHosts[id] != nil {
 		return secerr.New(secerr.CodeRelationExists, "sectopk: relation %q already hosted", id)
+	}
+	if cl := d.cluster; cl != nil && (cl.coords[id] != nil || cl.routes[id] != nil) {
+		return secerr.New(secerr.CodeRelationExists, "sectopk: relation %q already cluster-hosted", id)
 	}
 	return nil
 }
@@ -640,11 +662,12 @@ func (d *DataCloud) HostJoin(ctx context.Context, id string, er1, er2 *Encrypted
 	return nil
 }
 
-// Hosted lists the hosted relation IDs (top-k, join, and kNN), unsorted.
+// Hosted lists the hosted relation IDs (top-k, join, kNN, cluster-member
+// shard subsets, and front-door cluster relations), unsorted.
 func (d *DataCloud) Hosted() []string {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	out := make([]string, 0, len(d.relations)+len(d.joins)+len(d.knns))
+	out := make([]string, 0, len(d.relations)+len(d.joins)+len(d.knns)+len(d.shardHosts))
 	for id := range d.relations {
 		out = append(out, id)
 	}
@@ -653,6 +676,17 @@ func (d *DataCloud) Hosted() []string {
 	}
 	for id := range d.knns {
 		out = append(out, id)
+	}
+	for id := range d.shardHosts {
+		out = append(out, id)
+	}
+	if d.cluster != nil {
+		for id := range d.cluster.coords {
+			out = append(out, id)
+		}
+		for id := range d.cluster.routes {
+			out = append(out, id)
+		}
 	}
 	return out
 }
@@ -703,11 +737,15 @@ func (d *DataCloud) Close() {
 	rels := d.relations
 	joins := d.joins
 	knns := d.knns
+	shardHosts := d.shardHosts
+	clu := d.cluster
 	conn := d.conn
 	batcher := d.batcher
 	d.relations = map[string]*hostedRelation{}
 	d.joins = map[string]*hostedJoin{}
 	d.knns = map[string]*hostedKNN{}
+	d.shardHosts = map[string]*hostedShards{}
+	d.cluster = nil
 	d.caller = nil
 	d.conn = nil
 	d.batcher = nil
@@ -721,6 +759,12 @@ func (d *DataCloud) Close() {
 	}
 	for _, k := range knns {
 		k.client.Close()
+	}
+	for _, hs := range shardHosts {
+		hs.client.Close()
+	}
+	if clu != nil {
+		clu.close()
 	}
 	// Close the connection before draining the batcher: in-flight
 	// envelopes run under the background context, so the dying link is
@@ -755,6 +799,14 @@ type Session struct {
 func (d *DataCloud) NewSession(relation string, tk *Token, opts ...QueryOption) (*Session, error) {
 	if tk == nil {
 		return nil, secerr.New(secerr.CodeInvalidToken, "sectopk: nil token")
+	}
+	if cl := d.clusterView(); cl != nil {
+		if cc := cl.coords[relation]; cc != nil {
+			if err := cc.coord.ValidateToken(tk.tk); err != nil {
+				return nil, err
+			}
+			return &Session{dc: d, relation: relation, tk: tk, cfg: buildQueryConfig(opts)}, nil
+		}
 	}
 	rel, err := d.hostedTopK(relation)
 	if err != nil {
@@ -872,6 +924,9 @@ type SessionPool struct {
 func (d *DataCloud) NewSessionPool(relation string, maxConcurrent int) (*SessionPool, error) {
 	d.mu.Lock()
 	ok := d.relations[relation] != nil || d.joins[relation] != nil || d.knns[relation] != nil
+	if cl := d.cluster; !ok && cl != nil {
+		ok = cl.coords[relation] != nil || cl.routes[relation] != nil
+	}
 	d.mu.Unlock()
 	if !ok {
 		return nil, secerr.New(secerr.CodeUnknownRelation, "sectopk: relation %q not hosted", relation)

@@ -36,4 +36,9 @@ var (
 	// and retry deliberately — never blindly, which is why the failure is
 	// typed rather than retried by any recovery layer.
 	ErrRelationStale error = secerr.ErrRelationStale
+	// ErrUnavailable marks a cluster member (or other required peer) that
+	// could not be reached mid-operation. It wraps the underlying
+	// transport failure and names the member, so errors.Is matches both
+	// ErrUnavailable and ErrTransport on a dead-node failure.
+	ErrUnavailable error = secerr.ErrUnavailable
 )

@@ -29,6 +29,7 @@ type config struct {
 	retry        *RetryPolicy
 	drainTimeout time.Duration
 	compactGoal  int
+	memberID     string
 }
 
 // retryPolicy resolves the effective backoff policy: the configured one,
@@ -219,6 +220,14 @@ func (p RetryPolicy) backoff() backoff.Policy {
 // one query, not a repeated pattern).
 func WithRetry(p RetryPolicy) Option {
 	return func(c *config) { c.retry = &p }
+}
+
+// WithMemberID names a DataCloud's cluster identity: the Member string
+// it announces in cluster Hellos and reports in readiness probes.
+// Unset (the default), a front door identifies the member by its dialed
+// address instead.
+func WithMemberID(id string) Option {
+	return func(c *config) { c.memberID = id }
 }
 
 // WithCompactThreshold makes a DataCloud fold tombstones automatically:

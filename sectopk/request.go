@@ -140,7 +140,19 @@ func (d *DataCloud) execute(ctx context.Context, req Request, cfg queryConfig, a
 	}
 	defer adm.release()
 	before := d.Traffic()
-	ans := &Answer{}
+	// Cluster-hosted relations execute through the front-door placement —
+	// coordinator fan-out for top-k, client-wire forwarding for join/kNN;
+	// everything else resolves in the local registries.
+	ans, handled, err := d.clusterAnswer(ctx, w, req, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if handled {
+		after := d.Traffic()
+		ans.Traffic = Traffic{Rounds: after.Rounds - before.Rounds, Bytes: after.Bytes - before.Bytes}
+		return ans, nil
+	}
+	ans = &Answer{}
 	switch w {
 	case WorkloadTopK:
 		rel, err := d.hostedTopK(req.Relation)
