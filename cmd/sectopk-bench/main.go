@@ -25,6 +25,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/bench"
@@ -32,7 +34,7 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "", "experiment id (micro, qps, mutate, fig7, fig8, fig9, fig10, fig11, fig12, tab3, fig13, knn, fig14, ablation, or 'all')")
+		exp       = flag.String("exp", "", "experiment id (micro, qps, mutate, soak, fig7, fig8, fig9, fig10, fig11, fig12, tab3, fig13, knn, fig14, ablation, or 'all')")
 		list      = flag.Bool("list", false, "list experiment ids and exit")
 		keyBits   = flag.Int("keybits", 256, "Paillier modulus bits (paper-scale: 512)")
 		ehlS      = flag.Int("ehl-s", 3, "number of EHL+ digests s (paper: 5)")
@@ -47,6 +49,11 @@ func main() {
 		md        = flag.Bool("md", false, "emit markdown tables instead of text")
 		jsonPath  = flag.String("json", "", "output path for the micro/qps experiments' JSON record (default BENCH_<date>.json)")
 
+		soakClients  = flag.Int("soak-clients", 200, "soak: total concurrent clients across all tenants")
+		soakDuration = flag.Duration("soak-duration", 8*time.Second, "soak: wall-clock budget for the timed window")
+		soakSessions = flag.Int("soak-sessions", 0, "soak: serving node session limit (0 = node default)")
+		soakTenants  = flag.String("soak-tenants", "", "soak: comma list of name=clients[@rate[:burst]] tenant slices, e.g. gold=8,bronze=8@2:2 (empty = gold/bronze default split)")
+
 		clusterConnect  = flag.String("cluster-connect", "", "qps: measure a running cluster front door at this client address instead of the in-process matrix (rows append to the existing qps record)")
 		clusterNodes    = flag.Int("cluster-nodes", 0, "qps: S1 member count behind -cluster-connect, recorded per row")
 		clusterToken    = flag.String("cluster-token", "query.tk", "qps: stored top-k trapdoor for the cluster rows (sectopk-node owner artifact)")
@@ -58,6 +65,7 @@ func main() {
 		fmt.Println("micro")
 		fmt.Println("qps")
 		fmt.Println("mutate")
+		fmt.Println("soak")
 		for _, id := range bench.ExperimentIDs() {
 			fmt.Println(id)
 		}
@@ -108,6 +116,22 @@ func main() {
 	}
 	if *exp == "mutate" {
 		runMutate(cfg, *md, *jsonPath)
+		return
+	}
+	if *exp == "soak" {
+		tenants, err := parseSoakTenants(*soakTenants)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sectopk-bench: %v\n", err)
+			os.Exit(2)
+		}
+		scfg := bench.SoakConfig{
+			Config:       cfg,
+			Duration:     *soakDuration,
+			SessionLimit: *soakSessions,
+			Tenants:      tenants,
+		}
+		scfg.Clients = *soakClients
+		runSoak(scfg, *md, *jsonPath)
 		return
 	}
 
@@ -198,6 +222,85 @@ func runMutate(cfg bench.Config, md bool, jsonPath string) {
 	}
 	fmt.Fprintf(os.Stderr, "[mutate done in %s; perf record -> %s]\n",
 		time.Since(start).Round(time.Millisecond), path)
+}
+
+// parseSoakTenants parses the -soak-tenants spec: a comma list of
+// name=clients[@rate[:burst]] slices. An omitted rate means the tenant
+// runs unlimited; an omitted burst takes the admission layer's default.
+func parseSoakTenants(s string) ([]bench.SoakTenant, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []bench.SoakTenant
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, rest, ok := strings.Cut(part, "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("-soak-tenants: %q is not name=clients[@rate[:burst]]", part)
+		}
+		t := bench.SoakTenant{Name: name}
+		clientsStr, rateStr, limited := strings.Cut(rest, "@")
+		n, err := strconv.Atoi(clientsStr)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("-soak-tenants: %q: bad client count %q", part, clientsStr)
+		}
+		t.Clients = n
+		if limited {
+			rs, bs, hasBurst := strings.Cut(rateStr, ":")
+			rate, err := strconv.ParseFloat(rs, 64)
+			if err != nil || rate <= 0 {
+				return nil, fmt.Errorf("-soak-tenants: %q: bad rate %q", part, rs)
+			}
+			t.PerSecond = rate
+			if hasBurst {
+				b, err := strconv.Atoi(bs)
+				if err != nil || b <= 0 {
+					return nil, fmt.Errorf("-soak-tenants: %q: bad burst %q", part, bs)
+				}
+				t.Burst = b
+			}
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// runSoak soaks the serving plane (mixed tenants and workloads over real
+// TCP) and merges the tail-latency/shed record into BENCH_<date>.json.
+// A run that fails with anything other than typed overload/deadline
+// sheds exits non-zero — the CI smoke leans on that.
+func runSoak(scfg bench.SoakConfig, md bool, jsonPath string) {
+	start := time.Now()
+	rep, err := bench.RunSoak(scfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sectopk-bench: soak: %v\n", err)
+		os.Exit(1)
+	}
+	table := rep.Report()
+	var renderErr error
+	if md {
+		renderErr = table.Markdown(os.Stdout)
+	} else {
+		renderErr = table.Render(os.Stdout)
+	}
+	if renderErr != nil {
+		fmt.Fprintf(os.Stderr, "sectopk-bench: %v\n", renderErr)
+		os.Exit(1)
+	}
+	path, err := rep.SaveJSON(jsonPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sectopk-bench: writing perf record: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "[soak done in %s; perf record -> %s]\n",
+		time.Since(start).Round(time.Millisecond), path)
+	if !rep.Clean() {
+		fmt.Fprintf(os.Stderr, "sectopk-bench: soak: non-typed errors observed: %v\n", rep.Errors)
+		os.Exit(1)
+	}
 }
 
 // runQPSCluster measures one cluster throughput row against a running

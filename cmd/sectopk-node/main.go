@@ -67,11 +67,13 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -82,6 +84,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/telemetry"
 	"repro/sectopk"
 )
 
@@ -419,8 +422,10 @@ func runS1(ctx context.Context, args []string) error {
 	clusterNodes := fs.String("cluster-nodes", "", "assemble a cluster front door over these member cluster addresses (comma separated)")
 	subset := fs.String("subset", "", "host this shard subset file (relative to -dir) instead of the full relation (cluster member mode)")
 	memberID := fs.String("member-id", "", "cluster member identity announced in Hellos and on /readyz")
-	probeListen := fs.String("probe-listen", "", "serve /healthz and /readyz on this address")
+	probeListen := fs.String("probe-listen", "", "serve /healthz, /readyz (JSON), and /metrics (Prometheus text) on this address")
+	pprofListen := fs.String("pprof-listen", "", "serve net/http/pprof profiling endpoints on this address")
 	sessionLimit := fs.Int("session-limit", 0, "bound concurrently executing requests; overflow sheds with a typed overloaded error (0 = GOMAXPROCS queueing gate for remote clients)")
+	tenantLimits := fs.String("tenant-limits", "", "per-tenant QoS admission budgets: comma list of name=rate[:burst] (requests/s), e.g. 'alice=5:10,bob=1'; unlisted tenants stay unlimited")
 	drain := fs.Duration("drain-timeout", 0, "graceful shutdown window: let in-flight queries finish this long before aborting (0 = abort immediately)")
 	mode := fs.String("mode", "e", "query mode: f|e|ba (one-shot mode only)")
 	strict := fs.Bool("strict", true, "use strict NRA halting (one-shot mode only)")
@@ -454,8 +459,25 @@ func runS1(ctx context.Context, args []string) error {
 	if *drain > 0 {
 		opts = append(opts, sectopk.WithDrainTimeout(*drain))
 	}
+	if *tenantLimits != "" {
+		limits, err := parseTenantLimits(*tenantLimits)
+		if err != nil {
+			return err
+		}
+		opts = append(opts, sectopk.WithTenantLimits(limits))
+	}
 	dc := sectopk.NewDataCloud(opts...)
 	defer dc.Close()
+
+	if *pprofListen != "" {
+		pl, err := net.Listen("tcp", *pprofListen)
+		if err != nil {
+			return err
+		}
+		defer pl.Close()
+		startPprof(pl)
+		fmt.Printf("pprof on http://%s/debug/pprof/\n", pl.Addr())
+	}
 
 	// Probes come up before the S2 dial: /healthz answers as soon as the
 	// process lives, /readyz flips only once the handshakes are done and
@@ -590,6 +612,19 @@ func runS1(ctx context.Context, args []string) error {
 	return res.Save(filepath.Join(*dir, resultFile))
 }
 
+// readyStatus is the structured /readyz body. State is "ready" (HTTP
+// 200) or "not_ready" (503); Reason explains either way. Epoch is the
+// named relation's current epoch (0 when none is hosted); Member and
+// Shards identify a cluster member; Members lists a front door's fleet.
+type readyStatus struct {
+	State   string           `json:"state"`
+	Reason  string           `json:"reason"`
+	Epoch   uint64           `json:"epoch,omitempty"`
+	Member  string           `json:"member,omitempty"`
+	Shards  map[string][]int `json:"shards,omitempty"`
+	Members []string         `json:"members,omitempty"`
+}
+
 // s1Ready is the readiness predicate behind /readyz: the S2 handshakes
 // are done (the transport is connected), the relations are hosted, the
 // data cloud is not draining for shutdown, and no shard handoff is
@@ -598,67 +633,114 @@ func runS1(ctx context.Context, args []string) error {
 // before claiming ready. A ready top-k relation also reports its epoch,
 // so an orchestrator (or a curious owner) can watch deltas land without
 // issuing a query.
-func s1Ready(dc *sectopk.DataCloud, hosted *atomic.Bool, relation string) func() (bool, string) {
-	return func() (bool, string) {
+func s1Ready(dc *sectopk.DataCloud, hosted *atomic.Bool, relation string) func() readyStatus {
+	return func() readyStatus {
+		st := readyStatus{State: "not_ready", Member: dc.MemberID()}
 		switch {
 		case dc.Draining():
-			return false, "draining"
+			st.Reason = "draining"
+			return st
 		case !dc.Connected():
-			return false, "not connected to S2"
+			st.Reason = "not connected to S2"
+			return st
 		case dc.HandoffInFlight():
-			return false, "shard handoff in flight"
+			st.Reason = "shard handoff in flight"
+			return st
 		case !hosted.Load():
-			return false, "relations not hosted"
-		}
-		var fields []string
-		if id := dc.MemberID(); id != "" {
-			fields = append(fields, "member="+id)
+			st.Reason = "relations not hosted"
+			return st
 		}
 		if subs := dc.HostedShardSubsets(); len(subs) > 0 {
-			rels := make([]string, 0, len(subs))
-			for rel := range subs {
-				rels = append(rels, rel)
-			}
-			sort.Strings(rels)
-			for _, rel := range rels {
-				fields = append(fields, fmt.Sprintf("shards[%s]=%v", rel, subs[rel]))
-			}
+			st.Shards = subs
 		}
 		if nodes := dc.ClusterNodes(); len(nodes) > 0 {
 			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 			defer cancel()
 			if err := dc.ClusterReachable(ctx); err != nil {
-				return false, fmt.Sprintf("cluster member unreachable: %v", err)
+				st.Reason = fmt.Sprintf("cluster member unreachable: %v", err)
+				return st
 			}
-			fields = append(fields, fmt.Sprintf("cluster=%d members reachable", len(nodes)))
+			sort.Strings(nodes)
+			st.Members = nodes
 		}
 		if epoch, err := dc.Epoch(relation); err == nil {
-			fields = append(fields, fmt.Sprintf("relation %s at epoch %d", relation, epoch))
+			st.Epoch = epoch
 		}
-		if len(fields) == 0 {
-			return true, "ready"
-		}
-		return true, "ready (" + strings.Join(fields, ", ") + ")"
+		st.State = "ready"
+		st.Reason = "ready"
+		return st
 	}
 }
 
-// startProbes serves /healthz (liveness: the process is up) and /readyz
-// (readiness per the predicate; 503 with the reason otherwise) on the
-// listener until it closes.
-func startProbes(l net.Listener, ready func() (bool, string)) {
+// startProbes serves the operational endpoints on the listener until it
+// closes: /healthz (liveness: the process is up), /readyz (readiness as
+// a structured JSON body; HTTP 200 when ready, 503 otherwise), and
+// /metrics (the process-wide telemetry registry in Prometheus text
+// exposition format).
+func startProbes(l net.Listener, ready func() readyStatus) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		io.WriteString(w, "ok\n")
 	})
 	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
-		ok, reason := ready()
-		if !ok {
+		st := ready()
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if st.State != "ready" {
 			w.WriteHeader(http.StatusServiceUnavailable)
 		}
-		io.WriteString(w, reason+"\n")
+		enc := json.NewEncoder(w)
+		enc.Encode(st)
 	})
+	mux.Handle("/metrics", telemetry.Default().Handler())
 	srv := &http.Server{Handler: mux}
 	go srv.Serve(l)
+}
+
+// startPprof serves the net/http/pprof profiling endpoints on the
+// listener until it closes (on its own mux, so the probe plane never
+// exposes profiling by accident).
+func startPprof(l net.Listener) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(l)
+}
+
+// parseTenantLimits parses the -tenant-limits syntax: comma-separated
+// name=rate[:burst] entries, rate in requests/second.
+func parseTenantLimits(s string) (map[string]sectopk.Rate, error) {
+	out := map[string]sectopk.Rate{}
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part == "" {
+			continue
+		}
+		name, spec, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("tenant limit %q is not name=rate[:burst]", part)
+		}
+		rateStr, burstStr, hasBurst := strings.Cut(spec, ":")
+		rate, err := strconv.ParseFloat(strings.TrimSpace(rateStr), 64)
+		if err != nil || rate <= 0 {
+			return nil, fmt.Errorf("tenant %q: rate %q must be a positive number", name, rateStr)
+		}
+		r := sectopk.Rate{PerSecond: rate}
+		if hasBurst {
+			b, err := strconv.Atoi(strings.TrimSpace(burstStr))
+			if err != nil || b <= 0 {
+				return nil, fmt.Errorf("tenant %q: burst %q must be a positive integer", name, burstStr)
+			}
+			r.Burst = b
+		}
+		out[strings.TrimSpace(name)] = r
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no tenant limits in %q", s)
+	}
+	return out, nil
 }
 
 // parseQueryOpts maps the shared -mode / -strict flags to query options.
@@ -692,7 +774,7 @@ func parseQueryOpts(mode string, strict bool) (sectopk.Mode, sectopk.Halting, er
 // early entries fail with whatever transient state they were caught in,
 // while the final attempt ran with the most time elapsed — that is the
 // message that diagnoses what is still down.
-func dialClient(ctx context.Context, addrs string, wait time.Duration) (*sectopk.Client, error) {
+func dialClient(ctx context.Context, addrs string, wait time.Duration, opts ...sectopk.Option) (*sectopk.Client, error) {
 	list := splitList(addrs)
 	if len(list) == 0 {
 		return nil, fmt.Errorf("no data cloud address to dial")
@@ -700,11 +782,11 @@ func dialClient(ctx context.Context, addrs string, wait time.Duration) (*sectopk
 	per := wait / time.Duration(len(list))
 	var lastErr error
 	for _, addr := range list {
-		client, err := sectopk.DialRetry(ctx, addr, sectopk.WithRetry(sectopk.RetryPolicy{
+		client, err := sectopk.DialRetry(ctx, addr, append([]sectopk.Option{sectopk.WithRetry(sectopk.RetryPolicy{
 			Initial:    50 * time.Millisecond,
 			Max:        time.Second,
 			MaxElapsed: per,
-		}))
+		})}, opts...)...)
 		if err == nil {
 			return client, nil
 		}
@@ -732,6 +814,7 @@ func runQuery(ctx context.Context, args []string) error {
 	relation := fs.String("relation", "", "relation ID (defaults to \"default\" for topk, the workload name otherwise)")
 	mode := fs.String("mode", "e", "query mode: f|e|ba (topk only)")
 	strict := fs.Bool("strict", true, "use strict NRA halting (topk only)")
+	tenant := fs.String("tenant", "", "tenant to identify as in the Hello (QoS admission bucket; empty = default tenant)")
 	wait := fs.Duration("wait", 15*time.Second, "how long to retry dialing the server")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -775,7 +858,11 @@ func runQuery(ctx context.Context, args []string) error {
 	default:
 		return fmt.Errorf("unknown workload %q (want topk, join, or knn)", *workload)
 	}
-	client, err := dialClient(ctx, *connect, *wait)
+	var dialOpts []sectopk.Option
+	if *tenant != "" {
+		dialOpts = append(dialOpts, sectopk.WithTenant(*tenant))
+	}
+	client, err := dialClient(ctx, *connect, *wait, dialOpts...)
 	if err != nil {
 		return err
 	}
@@ -785,8 +872,9 @@ func runQuery(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%s query done: elapsed=%s client-rounds=%d client-bytes=%d\n",
-		*workload, time.Since(start).Round(time.Millisecond), ans.Traffic.Rounds, ans.Traffic.Bytes)
+	fmt.Printf("%s query done: elapsed=%s client-rounds=%d client-bytes=%d s2-calls=%d fan-out=%d epoch=%d\n",
+		*workload, time.Since(start).Round(time.Millisecond), ans.Traffic.Rounds, ans.Traffic.Bytes,
+		ans.Traffic.S2Calls, ans.Traffic.FanOut, ans.Traffic.Epoch)
 	path := filepath.Join(*dir, out)
 	switch *workload {
 	case "topk":

@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"io"
 	"net"
@@ -99,8 +100,10 @@ func TestDialClientGivesUpTyped(t *testing.T) {
 	}
 }
 
-// TestProbeEndpoints drives /healthz and /readyz through every readiness
-// phase: not connected, connected+hosted (ready), and draining/closed.
+// TestProbeEndpoints drives /healthz, /readyz, and /metrics through
+// every readiness phase: not connected, connected+hosted (ready), and
+// draining/closed. /readyz bodies must parse as the structured JSON
+// status in every phase.
 func TestProbeEndpoints(t *testing.T) {
 	ctx := context.Background()
 	pl, err := net.Listen("tcp", "127.0.0.1:0")
@@ -126,11 +129,22 @@ func TestProbeEndpoints(t *testing.T) {
 		return resp.StatusCode, string(body)
 	}
 
+	parseReady := func(body string) readyStatus {
+		t.Helper()
+		var st readyStatus
+		if err := json.Unmarshal([]byte(body), &st); err != nil {
+			t.Fatalf("/readyz body %q is not JSON: %v", body, err)
+		}
+		return st
+	}
+
 	if code, _ := get("/healthz"); code != http.StatusOK {
 		t.Fatalf("/healthz = %d, want 200", code)
 	}
 	if code, body := get("/readyz"); code != http.StatusServiceUnavailable {
 		t.Fatalf("/readyz before connect = %d (%q), want 503", code, body)
+	} else if st := parseReady(body); st.State != "not_ready" || st.Reason == "" {
+		t.Fatalf("/readyz before connect = %+v, want not_ready with a reason", st)
 	}
 
 	// Stand up the minimal stack: keys on S2, one hosted relation on S1.
@@ -159,13 +173,29 @@ func TestProbeEndpoints(t *testing.T) {
 	hosted.Store(true)
 	if code, body := get("/readyz"); code != http.StatusOK {
 		t.Fatalf("/readyz when serving = %d (%q), want 200", code, body)
-	} else if !strings.Contains(body, "epoch 1") {
-		t.Fatalf("/readyz body = %q, want the hosted relation's epoch", body)
+	} else if st := parseReady(body); st.State != "ready" || st.Epoch != 1 {
+		t.Fatalf("/readyz when serving = %+v, want state=ready epoch=1", st)
+	}
+	// Land one query so the registry has families to expose, then check
+	// the exposition came through the probe listener.
+	tk, err := owner.Token(er, sectopk.Query{Attrs: []int{0, 1}, K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dc.Execute(ctx, sectopk.TopKRequest("demo", tk)); err != nil {
+		t.Fatal(err)
+	}
+	if code, body := get("/metrics"); code != http.StatusOK {
+		t.Fatalf("/metrics = %d, want 200", code)
+	} else if !strings.Contains(body, "# TYPE sectopk_queries_total counter") {
+		t.Fatalf("/metrics body = %q, want the query counter family", body)
 	}
 
 	dc.Close()
 	if code, body := get("/readyz"); code != http.StatusServiceUnavailable {
 		t.Fatalf("/readyz after Close = %d (%q), want 503", code, body)
+	} else if st := parseReady(body); st.State != "not_ready" || st.Reason != "draining" {
+		t.Fatalf("/readyz after Close = %+v, want not_ready/draining", st)
 	}
 	if code, _ := get("/healthz"); code != http.StatusOK {
 		t.Fatalf("/healthz after Close = %d, want 200 (liveness is process-level)", code)

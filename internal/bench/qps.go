@@ -39,6 +39,8 @@ type QPSResult struct {
 	Queries    int     `json:"queries"`
 	Seconds    float64 `json:"seconds"`
 	QPS        float64 `json:"qps"`
+	P50Ms      float64 `json:"p50_ms,omitempty"` // median per-query latency
+	P99Ms      float64 `json:"p99_ms,omitempty"` // tail per-query latency
 	GoMaxProcs int     `json:"gomaxprocs"`
 	KeyBits    int     `json:"key_bits"`
 }
@@ -242,16 +244,20 @@ func runQPSScenario(svc *cloud.Service, scheme *core.Scheme, er *core.EncryptedR
 	if firstErr != nil {
 		return nil, firstErr
 	}
+	durs := make([][]time.Duration, clients)
 	start := time.Now()
 	for i := 0; i < clients; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			durs[i] = make([]time.Duration, 0, perClient)
 			for q := 0; q < perClient; q++ {
+				t0 := time.Now()
 				if _, err := engines[i].SecQuery(ctx, tk, opts); err != nil {
 					fail(err)
 					return
 				}
+				durs[i] = append(durs[i], time.Since(t0))
 			}
 		}(i)
 	}
@@ -264,6 +270,7 @@ func runQPSScenario(svc *cloud.Service, scheme *core.Scheme, er *core.EncryptedR
 	if mux {
 		kind = "mux-batch-v2"
 	}
+	all := flattenDurations(durs)
 	return &QPSResult{
 		Transport:  kind,
 		Shards:     shards,
@@ -271,6 +278,8 @@ func runQPSScenario(svc *cloud.Service, scheme *core.Scheme, er *core.EncryptedR
 		Queries:    total,
 		Seconds:    elapsed.Seconds(),
 		QPS:        float64(total) / elapsed.Seconds(),
+		P50Ms:      percentileMs(all, 0.50),
+		P99Ms:      percentileMs(all, 0.99),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 	}, nil
 }
@@ -355,16 +364,20 @@ func RunQPSCluster(cfg ClusterConfig) (*QPSReport, error) {
 		return nil, fmt.Errorf("bench: qps cluster warm-up: %w", firstErr)
 	}
 	total := clients * perClient
+	durs := make([][]time.Duration, clients)
 	start := time.Now()
 	for i := 0; i < clients; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			durs[i] = make([]time.Duration, 0, perClient)
 			for q := 0; q < perClient; q++ {
+				t0 := time.Now()
 				if _, err := conns[i].Execute(ctx, req); err != nil {
 					fail(err)
 					return
 				}
+				durs[i] = append(durs[i], time.Since(t0))
 			}
 		}(i)
 	}
@@ -373,6 +386,7 @@ func RunQPSCluster(cfg ClusterConfig) (*QPSReport, error) {
 	if firstErr != nil {
 		return nil, firstErr
 	}
+	all := flattenDurations(durs)
 	rep := &QPSReport{
 		Date:       time.Now().Format("2006-01-02"),
 		KeyBits:    cfg.KeyBits,
@@ -386,6 +400,8 @@ func RunQPSCluster(cfg ClusterConfig) (*QPSReport, error) {
 		Queries:    total,
 		Seconds:    elapsed.Seconds(),
 		QPS:        float64(total) / elapsed.Seconds(),
+		P50Ms:      percentileMs(all, 0.50),
+		P99Ms:      percentileMs(all, 0.99),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		KeyBits:    cfg.KeyBits,
 	})
@@ -469,7 +485,7 @@ func (r *QPSReport) Report() *Report {
 	out := &Report{
 		ID:     "qps",
 		Title:  fmt.Sprintf("query throughput vs transport/shards/clients (%d-bit keys, %d rows, GOMAXPROCS=%d)", r.KeyBits, r.Rows, r.GoMaxProcs),
-		Header: []string{"transport", "shards", "nodes", "clients", "queries", "qps", "vs baseline"},
+		Header: []string{"transport", "shards", "nodes", "clients", "queries", "qps", "p50 ms", "p99 ms", "vs baseline"},
 	}
 	for _, res := range r.Results {
 		vs := "-"
@@ -494,6 +510,8 @@ func (r *QPSReport) Report() *Report {
 			fmt.Sprint(res.Clients),
 			fmt.Sprint(res.Queries),
 			fmt.Sprintf("%.2f", res.QPS),
+			fmt.Sprintf("%.1f", res.P50Ms),
+			fmt.Sprintf("%.1f", res.P99Ms),
 			vs,
 		})
 	}

@@ -4,9 +4,11 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/secerr"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 )
 
@@ -36,7 +38,16 @@ type Batcher struct {
 	timerArmed bool
 	closed     bool
 	wg         sync.WaitGroup
+
+	// items counts every call ever shipped in an envelope — the per-query
+	// S2-call accounting reads deltas of it (approximate under concurrency,
+	// like the shared connection's Traffic counters).
+	items atomic.Int64
 }
+
+// Items returns the cumulative count of protocol calls shipped to S2
+// through this batcher.
+func (b *Batcher) Items() int64 { return b.items.Load() }
 
 // batchCall is one queued protocol call awaiting its slot in an envelope.
 type batchCall struct {
@@ -114,9 +125,9 @@ func (b *Batcher) Call(ctx context.Context, method string, req, resp any) error 
 	case b.inflight == 0:
 		// Idle link: flush immediately, so a lone session pays no
 		// scheduling latency at all.
-		b.flushLocked()
+		b.flushLocked("idle")
 	case len(b.queue) >= b.maxItems:
-		b.flushLocked()
+		b.flushLocked("size")
 	default:
 		b.armTimerLocked()
 	}
@@ -139,8 +150,9 @@ func (b *Batcher) Call(ctx context.Context, method string, req, resp any) error 
 	}
 }
 
-// flushLocked ships the queued calls as one envelope (mu held).
-func (b *Batcher) flushLocked() {
+// flushLocked ships the queued calls as one envelope (mu held); reason
+// labels the flush trigger in the metrics.
+func (b *Batcher) flushLocked(reason string) {
 	if len(b.queue) == 0 {
 		return
 	}
@@ -151,6 +163,9 @@ func (b *Batcher) flushLocked() {
 		b.timerArmed = false
 	}
 	b.inflight++
+	b.items.Add(int64(len(calls)))
+	telemetry.Default().Counter("sectopk_batch_flushes_total", "reason", reason).Inc()
+	telemetry.Default().Counter("sectopk_batch_items_total").Add(int64(len(calls)))
 	b.wg.Add(1)
 	go b.send(calls)
 }
@@ -172,7 +187,7 @@ func (b *Batcher) onTick() {
 	b.mu.Lock()
 	b.timerArmed = false
 	if !b.closed {
-		b.flushLocked()
+		b.flushLocked("tick")
 	}
 	b.mu.Unlock()
 }
@@ -187,6 +202,7 @@ func (b *Batcher) send(calls []*batchCall) {
 		req.Items[i] = BatchItem{Method: c.method, Body: c.body}
 	}
 	var reply BatchReply
+	telemetry.Default().Counter("sectopk_s2_rounds_total").Inc()
 	err := b.caller.Call(context.Background(), MethodBatch, &req, &reply)
 	if err == nil && len(reply.Items) != len(calls) {
 		err = secerr.New(secerr.CodeTransport,
@@ -208,7 +224,7 @@ func (b *Batcher) send(calls []*batchCall) {
 	b.inflight--
 	if !b.closed && len(b.queue) > 0 {
 		// Drain the convoy that formed behind this round.
-		b.flushLocked()
+		b.flushLocked("drain")
 	}
 	b.mu.Unlock()
 }

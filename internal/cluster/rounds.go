@@ -9,6 +9,7 @@ import (
 	"repro/internal/secerr"
 	"repro/internal/secio"
 	"repro/internal/shard"
+	"repro/internal/telemetry"
 )
 
 // The coordinator's query protocol is round-structured: each round is a
@@ -145,5 +146,6 @@ func (r *roundMerge) run(ctx context.Context) (round, error) {
 	}
 	c.client.Ledger().Record("S1", "ClusterMerge",
 		"merge bound check failed; exact rescan across %d members (%d shards)", len(c.members), c.total)
+	telemetry.Default().Counter("sectopk_merge_fallbacks_total", "scope", "cluster").Inc()
 	return &roundFanOut{st: st, exact: true}, nil
 }

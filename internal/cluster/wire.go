@@ -3,6 +3,7 @@ package cluster
 import (
 	"bytes"
 	"context"
+	"errors"
 	"math/big"
 
 	"repro/internal/core"
@@ -211,6 +212,15 @@ func serveCandidates(ctx context.Context, inv Inventory, body []byte) ([]byte, e
 	}
 	sets, err := h.Engine.Candidates(ctx, tk, opts)
 	if err != nil {
+		// A canceled serve context means this member is draining or its
+		// peer link died mid-query; either way the member is unavailable
+		// for this call, and the coordinator's retry/typed-error contract
+		// depends on seeing that code rather than a bare cancellation
+		// bubbled up from deep inside the engine.
+		if ctx.Err() != nil || errors.Is(err, context.Canceled) {
+			return nil, secerr.Wrap(secerr.CodeUnavailable, err,
+				"cluster: member %s canceled mid-query", inv.Member())
+		}
 		return nil, err
 	}
 	reply := CandidatesReply{Epoch: h.Info.Epoch, Sets: make([][]byte, len(sets))}

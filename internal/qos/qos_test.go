@@ -1,0 +1,131 @@
+package qos
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/secerr"
+)
+
+// fakeClock drives a limiter deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newTestLimiter(limits map[string]Rate) (*Limiter, *fakeClock) {
+	l := NewLimiter(limits)
+	c := &fakeClock{t: time.Unix(1000, 0)}
+	l.now = c.now
+	return l, c
+}
+
+func TestBucketAdmitsBurstThenSheds(t *testing.T) {
+	l, _ := newTestLimiter(map[string]Rate{"gold": {PerSecond: 10, Burst: 3}})
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if err := l.Admit(ctx, "gold"); err != nil {
+			t.Fatalf("burst admit %d: %v", i, err)
+		}
+	}
+	err := l.Admit(ctx, "gold")
+	if err == nil {
+		t.Fatal("over-burst request admitted")
+	}
+	if secerr.CodeOf(err) != secerr.CodeOverloaded {
+		t.Fatalf("shed error code = %q, want overloaded", secerr.CodeOf(err))
+	}
+}
+
+func TestBucketRefills(t *testing.T) {
+	l, clk := newTestLimiter(map[string]Rate{"gold": {PerSecond: 2, Burst: 1}})
+	ctx := context.Background()
+	if err := l.Admit(ctx, "gold"); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Admit(ctx, "gold"); err == nil {
+		t.Fatal("empty bucket admitted")
+	}
+	clk.advance(600 * time.Millisecond) // 1.2 tokens at 2/s
+	if err := l.Admit(ctx, "gold"); err != nil {
+		t.Fatalf("refilled bucket shed: %v", err)
+	}
+	// Refill is capped at burst: a long idle stretch buys one slot, not
+	// an unbounded backlog of them.
+	clk.advance(time.Hour)
+	if err := l.Admit(ctx, "gold"); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Admit(ctx, "gold"); err == nil {
+		t.Fatal("burst cap not enforced after idle refill")
+	}
+}
+
+func TestUnconfiguredTenantUnlimited(t *testing.T) {
+	l, _ := newTestLimiter(map[string]Rate{"free": {PerSecond: 1, Burst: 1}})
+	ctx := context.Background()
+	for i := 0; i < 50; i++ {
+		if err := l.Admit(ctx, "gold"); err != nil {
+			t.Fatalf("unconfigured tenant shed: %v", err)
+		}
+	}
+}
+
+func TestEmptyTenantIsDefault(t *testing.T) {
+	l, _ := newTestLimiter(map[string]Rate{"": {PerSecond: 1, Burst: 1}})
+	ctx := context.Background()
+	if err := l.Admit(ctx, ""); err != nil {
+		t.Fatal(err)
+	}
+	// "" and "default" share one bucket.
+	if err := l.Admit(ctx, DefaultTenant); err == nil {
+		t.Fatal("default tenant did not share the \"\" bucket")
+	}
+}
+
+func TestPastDeadlineSheds(t *testing.T) {
+	l, clk := newTestLimiter(nil)
+	ctx, cancel := context.WithDeadline(context.Background(), clk.now().Add(-time.Second))
+	defer cancel()
+	err := l.Admit(ctx, "gold")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("past-deadline admit = %v, want DeadlineExceeded", err)
+	}
+}
+
+func TestTooShortDeadlineSheds(t *testing.T) {
+	l, clk := newTestLimiter(nil)
+	for i := 0; i < 20; i++ {
+		l.Observe(100 * time.Millisecond)
+	}
+	ctx, cancel := context.WithDeadline(context.Background(), clk.now().Add(10*time.Millisecond))
+	defer cancel()
+	err := l.Admit(ctx, "gold")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("doomed-deadline admit = %v, want DeadlineExceeded", err)
+	}
+	// A deadline comfortably above the EWMA admits.
+	ctx2, cancel2 := context.WithDeadline(context.Background(), clk.now().Add(time.Second))
+	defer cancel2()
+	if err := l.Admit(ctx2, "gold"); err != nil {
+		t.Fatalf("healthy-deadline admit = %v", err)
+	}
+}
+
+func TestObserveWarmsEWMA(t *testing.T) {
+	l, _ := newTestLimiter(nil)
+	if l.ewma != 0 {
+		t.Fatal("fresh limiter has a warmed EWMA")
+	}
+	l.Observe(100 * time.Millisecond)
+	if l.ewma != 100*time.Millisecond {
+		t.Fatalf("first observation ewma = %v, want 100ms (seeded, not averaged from zero)", l.ewma)
+	}
+	for i := 0; i < 100; i++ {
+		l.Observe(200 * time.Millisecond)
+	}
+	if l.ewma < 150*time.Millisecond || l.ewma > 200*time.Millisecond {
+		t.Fatalf("ewma = %v, want converged toward 200ms", l.ewma)
+	}
+}

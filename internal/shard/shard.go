@@ -40,6 +40,7 @@ import (
 	"repro/internal/paillier"
 	"repro/internal/protocols"
 	"repro/internal/secerr"
+	"repro/internal/telemetry"
 )
 
 // Split partitions a plaintext relation round-robin into p sub-relations
@@ -236,6 +237,7 @@ func (e *Engine) SecQuery(ctx context.Context, tk *core.Token, opts core.Options
 	// shard exactly, after which every bound is the exact aggregate and
 	// the merge is unconditionally correct.
 	e.client.Ledger().Record("S1", "ShardMerge", "merge bound check failed; exact rescan over %d shards", len(e.engines))
+	telemetry.Default().Counter("sectopk_merge_fallbacks_total", "scope", "shard").Inc()
 	exact := opts
 	exact.ExactScan = true
 	exact.MaxDepth = 0

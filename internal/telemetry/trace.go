@@ -1,0 +1,141 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// FrameEvent is one transport-mux frame observation: emitted by the
+// caller side when a reply (or failure) resolves a frame, and by the
+// serving side when a handler finishes. Bytes counts the method, body,
+// and reply payload attributable to the frame.
+type FrameEvent struct {
+	Side    string // "caller" or "server"
+	Method  string
+	Frame   uint64
+	Bytes   int
+	Code    string // secerr code; "" on success
+	Elapsed time.Duration
+}
+
+// QuerySpan is one executed request's span record: what the serving
+// plane observed between admission and answer. Approximate fields
+// (Rounds, Bytes, S2Calls, MergeFallbacks) are measured as deltas on
+// shared connection counters, matching the Answer.Traffic convention.
+type QuerySpan struct {
+	Relation       string
+	Workload       string
+	Tenant         string
+	Rounds         int64
+	Bytes          int64
+	S2Calls        int64
+	FanOut         int
+	MergeFallbacks int64
+	Epoch          uint64
+	Code           string // secerr code; "" on success
+	Elapsed        time.Duration
+}
+
+// TraceSink receives frame events and query spans. Implementations
+// must be safe for concurrent use and must not block: emits happen on
+// the serving hot path.
+type TraceSink interface {
+	Frame(FrameEvent)
+	Span(QuerySpan)
+}
+
+// SinkFuncs adapts plain functions to a TraceSink; nil fields drop
+// their event kind.
+type SinkFuncs struct {
+	OnFrame func(FrameEvent)
+	OnSpan  func(QuerySpan)
+}
+
+// Frame implements TraceSink.
+func (s SinkFuncs) Frame(ev FrameEvent) {
+	if s.OnFrame != nil {
+		s.OnFrame(ev)
+	}
+}
+
+// Span implements TraceSink.
+func (s SinkFuncs) Span(sp QuerySpan) {
+	if s.OnSpan != nil {
+		s.OnSpan(sp)
+	}
+}
+
+// sinkEntry gives each registration a unique identity, so sinks whose
+// dynamic type is not comparable (e.g. SinkFuncs) still unregister.
+type sinkEntry struct{ sink TraceSink }
+
+var (
+	sinkMu sync.RWMutex
+	sinks  []*sinkEntry
+)
+
+// RegisterSink subscribes a sink to every emitted frame event and query
+// span; the returned function unregisters it.
+func RegisterSink(s TraceSink) (unregister func()) {
+	e := &sinkEntry{sink: s}
+	sinkMu.Lock()
+	sinks = append(sinks, e)
+	sinkMu.Unlock()
+	return func() {
+		sinkMu.Lock()
+		defer sinkMu.Unlock()
+		for i, cur := range sinks {
+			if cur == e {
+				sinks = append(append([]*sinkEntry(nil), sinks[:i]...), sinks[i+1:]...)
+				return
+			}
+		}
+	}
+}
+
+// EmitFrame records a frame event into the default registry's mux
+// metrics and fans it out to the registered sinks.
+func EmitFrame(ev FrameEvent) {
+	r := defaultRegistry
+	r.Counter("sectopk_mux_frames_total", "side", ev.Side, "method", ev.Method).Inc()
+	r.Counter("sectopk_mux_frame_bytes_total", "side", ev.Side, "method", ev.Method).Add(int64(ev.Bytes))
+	if ev.Code != "" {
+		r.Counter("sectopk_mux_frame_errors_total", "side", ev.Side, "code", ev.Code).Inc()
+	}
+	r.Histogram("sectopk_mux_frame_seconds", nil, "side", ev.Side).ObserveDuration(ev.Elapsed)
+	sinkMu.RLock()
+	subs := sinks
+	sinkMu.RUnlock()
+	for _, s := range subs {
+		s.sink.Frame(ev)
+	}
+}
+
+// EmitSpan records a query span into the default registry's query
+// metrics and fans it out to the registered sinks.
+func EmitSpan(sp QuerySpan) {
+	r := defaultRegistry
+	code := sp.Code
+	if code == "" {
+		code = "ok"
+	}
+	tenant := sp.Tenant
+	if tenant == "" {
+		tenant = "default"
+	}
+	r.Counter("sectopk_queries_total", "workload", sp.Workload, "tenant", tenant, "code", code).Inc()
+	r.Histogram("sectopk_query_seconds", nil, "workload", sp.Workload).ObserveDuration(sp.Elapsed)
+	r.Counter("sectopk_query_rounds_total", "workload", sp.Workload).Add(sp.Rounds)
+	r.Counter("sectopk_query_bytes_total", "workload", sp.Workload).Add(sp.Bytes)
+	r.Counter("sectopk_query_s2_calls_total", "workload", sp.Workload).Add(sp.S2Calls)
+	r.Counter("sectopk_query_merge_fallbacks_total", "workload", sp.Workload).Add(sp.MergeFallbacks)
+	if sp.Relation != "" && sp.Epoch > 0 {
+		r.Gauge("sectopk_relation_epoch", "relation", sp.Relation).Set(float64(sp.Epoch))
+	}
+	sinkMu.RLock()
+	subs := sinks
+	sinkMu.RUnlock()
+	for _, s := range subs {
+		s.sink.Span(sp)
+	}
+}

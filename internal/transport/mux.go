@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/secerr"
+	"repro/internal/telemetry"
 )
 
 // Wire protocol v2: frame-ID multiplexing.
@@ -230,6 +231,7 @@ func (c *MuxCaller) Call(ctx context.Context, method string, req, resp any) erro
 	if err != nil {
 		return secerr.Wrap(secerr.CodeTransport, err, "encoding %s request", method)
 	}
+	start := time.Now()
 	c.mu.Lock()
 	if c.dead != nil {
 		dead := c.dead
@@ -252,20 +254,25 @@ func (c *MuxCaller) Call(ctx context.Context, method string, req, resp any) erro
 		// A failed frame write leaves the stream mid-frame: the connection
 		// is unusable for everyone, so fail the rest too.
 		c.fail(werr)
+		emitCallerFrame(method, id, len(body)+len(method), string(secerr.CodeTransport), start)
 		return secerr.Wrap(secerr.CodeTransport, werr, "sending %s (frame %d)", method, id)
 	}
 
 	select {
 	case rep := <-p.ch:
 		if rep.err != nil {
+			emitCallerFrame(method, id, len(body)+len(method), string(secerr.CodeOf(rep.err)), start)
 			return rep.err
 		}
 		if c.stats != nil {
 			c.stats.Record(method, len(body)+len(method), len(rep.payload)+1)
 		}
 		if rep.status == statusErr {
-			return fmt.Errorf("transport: %s: remote: %w", method, decodeWireError(rep.payload))
+			rerr := decodeWireError(rep.payload)
+			emitCallerFrame(method, id, len(body)+len(method)+len(rep.payload)+1, string(secerr.CodeOf(rerr)), start)
+			return fmt.Errorf("transport: %s: remote: %w", method, rerr)
 		}
+		emitCallerFrame(method, id, len(body)+len(method)+len(rep.payload)+1, "", start)
 		if resp == nil {
 			return nil
 		}
@@ -279,8 +286,18 @@ func (c *MuxCaller) Call(ctx context.Context, method string, req, resp any) erro
 		c.mu.Lock()
 		delete(c.pending, id)
 		c.mu.Unlock()
+		emitCallerFrame(method, id, len(body)+len(method), "canceled", start)
 		return fmt.Errorf("transport: %s (frame %d): %w", method, id, ctx.Err())
 	}
+}
+
+// emitCallerFrame records one resolved caller-side frame into the
+// telemetry layer (metrics plus any registered trace sinks).
+func emitCallerFrame(method string, id uint64, bytes int, code string, start time.Time) {
+	telemetry.EmitFrame(telemetry.FrameEvent{
+		Side: "caller", Method: method, Frame: id,
+		Bytes: bytes, Code: code, Elapsed: time.Since(start),
+	})
 }
 
 // Close tears the connection down: in-flight calls fail promptly with a
@@ -359,13 +376,20 @@ func serveMux(ctx context.Context, conn net.Conn, r *bufio.Reader, responder Res
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
+			start := time.Now()
 			out, herr := responder.Serve(ctx, string(method), body)
 			status := byte(statusOK)
 			payload := out
+			code := ""
 			if herr != nil {
 				status = statusErr
-				payload, _ = Encode(wireError{Code: string(secerr.CodeOf(herr)), Msg: herr.Error()})
+				code = string(secerr.CodeOf(herr))
+				payload, _ = Encode(wireError{Code: code, Msg: herr.Error()})
 			}
+			telemetry.EmitFrame(telemetry.FrameEvent{
+				Side: "server", Method: string(method), Frame: id,
+				Bytes: len(method) + len(body) + len(payload), Code: code, Elapsed: time.Since(start),
+			})
 			wmu.Lock()
 			werr := writeMuxReply(w, id, status, payload)
 			wmu.Unlock()

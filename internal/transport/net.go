@@ -307,6 +307,11 @@ type ServeOptions struct {
 	// remaining connections are aborted. Zero keeps the immediate-abort
 	// behavior: cancellation closes every connection at once.
 	Drain time.Duration
+	// NewResponder, when set, builds a fresh Responder per accepted
+	// connection instead of sharing the one passed to ServeWith — for
+	// protocols that carry per-connection state (e.g. the client wire's
+	// negotiated tenant identity).
+	NewResponder func() Responder
 }
 
 // ServeWith is Serve with explicit shutdown options. With a drain window
@@ -391,6 +396,10 @@ func ServeWith(ctx context.Context, l net.Listener, responder Responder, opts Se
 			conn.SetReadDeadline(time.Now())
 		}
 		mu.Unlock()
+		connResponder := responder
+		if opts.NewResponder != nil {
+			connResponder = opts.NewResponder()
+		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -400,7 +409,7 @@ func ServeWith(ctx context.Context, l net.Listener, responder Responder, opts Se
 				delete(conns, conn)
 				mu.Unlock()
 			}()
-			_ = ServeConn(handlerCtx, conn, responder)
+			_ = ServeConn(handlerCtx, conn, connResponder)
 		}()
 	}
 }

@@ -31,6 +31,9 @@ type Client struct {
 	// retry, when non-nil, re-issues failed Execute calls (transport
 	// failures and overload sheds) under this policy. Set by DialRetry.
 	retry *backoff.Policy
+	// tenant is the name announced in the Hello (WithTenant); the server
+	// buckets this connection's requests under it for QoS admission.
+	tenant string
 	// version is the negotiated client-plane protocol version (updated
 	// atomically — a self-healing connection renegotiates on every
 	// reconnect). Apply requires v2; a v1 server fails it typed instead
@@ -40,13 +43,15 @@ type Client struct {
 
 // Dial connects to a DataCloud serving clients at addr (TCP), negotiates
 // the multiplexed framing, and runs the client-plane version handshake.
-func Dial(ctx context.Context, addr string) (*Client, error) {
+// WithTenant names the tenant the connection identifies as; other
+// options are ignored.
+func Dial(ctx context.Context, addr string, opts ...Option) (*Client, error) {
 	var dialer net.Dialer
 	conn, err := dialer.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, secerr.Wrap(secerr.CodeTransport, err, "sectopk: dialing data cloud")
 	}
-	c, err := NewClient(ctx, conn)
+	c, err := NewClient(ctx, conn, opts...)
 	if err != nil {
 		conn.Close()
 		return nil, err
@@ -57,14 +62,15 @@ func Dial(ctx context.Context, addr string) (*Client, error) {
 // NewClient wraps an established connection to a DataCloud client
 // listener (TCP, unix socket, ...): it negotiates the multiplexed
 // framing and runs the version handshake. The connection is owned by the
-// client from here on and closed by Close.
-func NewClient(ctx context.Context, conn net.Conn) (*Client, error) {
+// client from here on and closed by Close. WithTenant names the tenant
+// the connection identifies as; other options are ignored.
+func NewClient(ctx context.Context, conn net.Conn, opts ...Option) (*Client, error) {
 	stats := transport.NewStats()
 	mc, err := transport.Connect(ctx, conn, stats)
 	if err != nil {
 		return nil, err
 	}
-	c := &Client{conn: mc, stats: stats}
+	c := &Client{conn: mc, stats: stats, tenant: buildConfig(opts).tenant}
 	if err := c.hello(ctx); err != nil {
 		mc.Close()
 		return nil, err
@@ -82,7 +88,7 @@ func (c *Client) hello(ctx context.Context) error {
 // transport (ReconnectCaller's OnConnect) — and records the negotiated
 // version.
 func (c *Client) helloOn(ctx context.Context, caller transport.Caller) error {
-	v, err := clientHelloOn(ctx, caller)
+	v, err := clientHelloOn(ctx, caller, c.tenant)
 	if err != nil {
 		return err
 	}
@@ -91,10 +97,11 @@ func (c *Client) helloOn(ctx context.Context, caller transport.Caller) error {
 }
 
 // clientHelloOn runs the client-plane version handshake and returns the
-// negotiated version.
-func clientHelloOn(ctx context.Context, caller transport.Caller) (int, error) {
+// negotiated version. The tenant rides the Hello (v3); a pre-v3 server
+// simply never decodes the field and buckets the peer as default.
+func clientHelloOn(ctx context.Context, caller transport.Caller, tenant string) (int, error) {
 	var rep clientHelloReply
-	req := clientHello{Min: clientMinProtocolVersion, Max: clientProtocolVersion}
+	req := clientHello{Min: clientMinProtocolVersion, Max: clientProtocolVersion, Tenant: tenant}
 	if err := caller.Call(ctx, methodClientHello, req, &rep); err != nil {
 		return 0, err
 	}
@@ -121,7 +128,7 @@ func DialRetry(ctx context.Context, addr string, opts ...Option) (*Client, error
 	cfg := buildConfig(opts)
 	policy := cfg.retryPolicy()
 	stats := transport.NewStats()
-	c := &Client{stats: stats, retry: &policy}
+	c := &Client{stats: stats, retry: &policy, tenant: cfg.tenant}
 	rc := transport.NewReconnectCaller(transport.ReconnectConfig{
 		Dial: func(ctx context.Context) (transport.ConnCaller, error) {
 			var dialer net.Dialer
@@ -198,6 +205,11 @@ func (c *Client) Execute(ctx context.Context, req Request) (*Answer, error) {
 	ans.Traffic = Traffic{
 		Rounds: after.Calls - before.Calls,
 		Bytes:  (after.BytesSent + after.BytesReceived) - (before.BytesSent + before.BytesReceived),
+		// The server-side span fields (v3; zero from older servers).
+		S2Calls:        rep.S2Calls,
+		FanOut:         rep.FanOut,
+		MergeFallbacks: rep.MergeFallbacks,
+		Epoch:          rep.Epoch,
 	}
 	return ans, nil
 }

@@ -657,7 +657,10 @@ func (d *DataCloud) clusterAnswer(ctx context.Context, w Workload, req Request, 
 		if err != nil {
 			return nil, true, err
 		}
-		return &Answer{TopK: &EncryptedResult{items: res.Items, Depth: res.Depth, Halted: res.Halted}}, true, nil
+		ans := &Answer{TopK: &EncryptedResult{items: res.Items, Depth: res.Depth, Halted: res.Halted}}
+		ans.Traffic.FanOut = cc.coord.Members()
+		ans.Traffic.Epoch = cc.coord.Epoch()
+		return ans, true, nil
 	}
 	if rt := cl.routes[req.Relation]; rt != nil {
 		if w != rt.workload {
@@ -692,5 +695,16 @@ func (d *DataCloud) forwardExecute(ctx context.Context, rt *clusterRoute, req Re
 		}
 		return nil, err
 	}
-	return decodeWireAnswer(w, rep.Answer)
+	ans, err := decodeWireAnswer(w, rep.Answer)
+	if err != nil {
+		return nil, err
+	}
+	// Carry the member's span fields through the front door (zero from a
+	// pre-v3 member; the front door's own rounds/bytes delta overwrites
+	// the wire-level counters either way).
+	ans.Traffic.S2Calls = rep.S2Calls
+	ans.Traffic.FanOut = rep.FanOut
+	ans.Traffic.MergeFallbacks = rep.MergeFallbacks
+	ans.Traffic.Epoch = rep.Epoch
+	return ans, nil
 }

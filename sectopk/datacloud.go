@@ -11,6 +11,7 @@ import (
 	"repro/internal/cloud"
 	"repro/internal/join"
 	"repro/internal/mutate"
+	"repro/internal/qos"
 	"repro/internal/secerr"
 	"repro/internal/shard"
 	"repro/internal/transport"
@@ -81,6 +82,10 @@ type DataCloud struct {
 	// session limit was configured (see ServeClients).
 	clientGateOnce sync.Once
 	clientGate     *admission
+	// qos is the per-tenant admission layer (WithTenantLimits). Always
+	// non-nil: with no limits configured it admits everything but still
+	// does deadline-aware shedding and per-tenant accounting.
+	qos *qos.Limiter
 
 	mu        sync.Mutex
 	caller    transport.Caller     // what hosted clients issue rounds on
@@ -217,6 +222,7 @@ func NewDataCloud(opts ...Option) *DataCloud {
 		ledger:     cloud.NewLedger(),
 		stats:      transport.NewStats(),
 		admit:      admit,
+		qos:        qos.NewLimiter(cfg.tenantLimits),
 		relations:  map[string]*hostedRelation{},
 		joins:      map[string]*hostedJoin{},
 		knns:       map[string]*hostedKNN{},
@@ -695,6 +701,20 @@ func (d *DataCloud) Hosted() []string {
 // connection.
 func (d *DataCloud) Traffic() Traffic {
 	return Traffic{Rounds: d.stats.Rounds(), Bytes: d.stats.Bytes()}
+}
+
+// s2Calls reads the cumulative count of protocol calls shipped to the
+// crypto cloud: the batch scheduler's item counter when batching is on,
+// else the raw round counter (one call per round then). Executions
+// measure deltas of it for their span accounting.
+func (d *DataCloud) s2Calls() int64 {
+	d.mu.Lock()
+	b := d.batcher
+	d.mu.Unlock()
+	if b != nil {
+		return b.Items()
+	}
+	return d.stats.Rounds()
 }
 
 // LeakageEvents returns everything this cloud could observe beyond the

@@ -7,6 +7,7 @@ import (
 	"repro/internal/cloud"
 	"repro/internal/core"
 	"repro/internal/ehl"
+	"repro/internal/qos"
 )
 
 // Option configures an Owner, JoinOwner, CryptoCloud, or DataCloud at
@@ -30,6 +31,13 @@ type config struct {
 	drainTimeout time.Duration
 	compactGoal  int
 	memberID     string
+	// tenant names the tenant a Client identifies as (WithTenant).
+	tenant string
+	// tenantLimits are a DataCloud's per-tenant QoS admission budgets
+	// (WithTenantLimits); nil leaves every tenant unlimited.
+	tenantLimits map[string]qos.Rate
+	// traceSink receives one QuerySpan per execution (WithTraceSink).
+	traceSink TraceSink
 }
 
 // retryPolicy resolves the effective backoff policy: the configured one,
@@ -341,6 +349,10 @@ type queryConfig struct {
 	// public QueryOption): re-executions of the same logical query carry
 	// the same ID so the leakage ledger counts them once.
 	queryID string
+	// tenant is the admission bucket the request runs under (set by the
+	// client wire from the connection's negotiated tenant, not a public
+	// QueryOption); "" is the default tenant.
+	tenant string
 }
 
 func buildQueryConfig(opts []QueryOption) queryConfig {

@@ -2,6 +2,7 @@ package sectopk
 
 import (
 	"context"
+	"time"
 
 	"repro/internal/secerr"
 )
@@ -125,16 +126,41 @@ func (d *DataCloud) Execute(ctx context.Context, req Request) (*Answer, error) {
 }
 
 // execute is the shared execution path: every wrapper funnels here with
-// its resolved query config and admission gate (nil = unbounded).
+// its resolved query config and admission gate (nil = unbounded). It
+// brackets the run for the telemetry plane — one QuerySpan per request,
+// shed and failed ones included — and feeds successful service times
+// into the QoS limiter's deadline estimator.
 func (d *DataCloud) execute(ctx context.Context, req Request, cfg queryConfig, adm *admission) (*Answer, error) {
 	w, err := req.workload()
 	if err != nil {
 		return nil, err
 	}
+	start := time.Now()
+	s2Before := d.s2Calls()
+	fbBefore := mergeFallbackCount()
+	ans, err := d.executeWorkload(ctx, w, req, cfg, adm)
+	elapsed := time.Since(start)
+	if err == nil {
+		ans.Traffic.S2Calls = d.s2Calls() - s2Before
+		ans.Traffic.MergeFallbacks = mergeFallbackCount() - fbBefore
+		d.qos.Observe(elapsed)
+	}
+	d.emitSpan(w, req.Relation, cfg.tenant, ans, err, elapsed)
+	return ans, err
+}
+
+// executeWorkload runs one validated request through admission and its
+// workload's protocol. Admission is layered: the drain/closed check
+// first, then the per-tenant QoS budget (which sheds typed, never
+// queues), then the session-limit gate.
+func (d *DataCloud) executeWorkload(ctx context.Context, w Workload, req Request, cfg queryConfig, adm *admission) (*Answer, error) {
 	if err := d.beginExecute(); err != nil {
 		return nil, err
 	}
 	defer d.endExecute()
+	if err := d.qos.Admit(ctx, cfg.tenant); err != nil {
+		return nil, err
+	}
 	if err := adm.acquire(ctx); err != nil {
 		return nil, err
 	}
@@ -149,7 +175,8 @@ func (d *DataCloud) execute(ctx context.Context, req Request, cfg queryConfig, a
 	}
 	if handled {
 		after := d.Traffic()
-		ans.Traffic = Traffic{Rounds: after.Rounds - before.Rounds, Bytes: after.Bytes - before.Bytes}
+		ans.Traffic.Rounds = after.Rounds - before.Rounds
+		ans.Traffic.Bytes = after.Bytes - before.Bytes
 		return ans, nil
 	}
 	ans = &Answer{}
@@ -176,6 +203,8 @@ func (d *DataCloud) execute(ctx context.Context, req Request, cfg queryConfig, a
 			return nil, err
 		}
 		ans.TopK = &EncryptedResult{items: res.Items, Depth: res.Depth, Halted: res.Halted}
+		ans.Traffic.FanOut = engine.Shards()
+		ans.Traffic.Epoch = epoch
 	case WorkloadJoin:
 		hj, err := d.hostedJoinRelation(req.Relation)
 		if err != nil {
@@ -211,7 +240,8 @@ func (d *DataCloud) execute(ctx context.Context, req Request, cfg queryConfig, a
 		ans.KNN = &EncryptedKNNResult{items: items}
 	}
 	after := d.Traffic()
-	ans.Traffic = Traffic{Rounds: after.Rounds - before.Rounds, Bytes: after.Bytes - before.Bytes}
+	ans.Traffic.Rounds = after.Rounds - before.Rounds
+	ans.Traffic.Bytes = after.Bytes - before.Bytes
 	return ans, nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"context"
 	"net"
 	"runtime"
+	"sync"
 
 	"repro/internal/cloud"
 	"repro/internal/secerr"
@@ -12,7 +13,7 @@ import (
 	"repro/internal/transport"
 )
 
-// Client wire protocol v2 (querier ↔ data cloud).
+// Client wire protocol v3 (querier ↔ data cloud).
 //
 // The client plane rides on the same framing stack as the S1↔S2 wire:
 // connections negotiate the frame-ID multiplexed v2 framing (transport
@@ -21,8 +22,8 @@ import (
 // only its own frame. On top of that framing the client plane defines
 // its own method set and version number:
 //
-//	Client.Hello    {Min, Max}            -> {Version}
-//	Client.Execute  {Relation, Workload,  -> {Answer}
+//	Client.Hello    {Min, Max, Tenant}    -> {Version}
+//	Client.Execute  {Relation, Workload,  -> {Answer, span fields}
 //	                 Token, Options}
 //	Client.Apply    {Relation, Delta}     -> {Epoch}      (v2+)
 //	Client.Compact  {Relation}            -> {Epoch}      (v2+)
@@ -34,12 +35,17 @@ import (
 // internal/secerr, so errors.Is against the sectopk.Err* sentinels
 // behaves identically for remote and in-process callers. Version 2
 // added Client.Apply, Client.Compact, and the epoch pin in the query
-// options; a v1 peer negotiates down to v1 and simply has neither. See
-// DESIGN.md "Client wire protocol".
+// options; a v1 peer negotiates down to v1 and simply has neither.
+// Version 3 added the tenant field in the Hello (QoS admission buckets
+// the connection's requests under it) and the span fields in the
+// Execute reply; both ride gob's missing-field tolerance, so v1/v2
+// peers interoperate unchanged — an absent tenant buckets as the
+// default tenant, absent span fields decode as zero. See DESIGN.md
+// "Client wire protocol" and "Telemetry and QoS".
 const (
 	// clientProtocolVersion is the highest client-plane version this
 	// build speaks.
-	clientProtocolVersion = 2
+	clientProtocolVersion = 3
 	// clientMinProtocolVersion is the oldest version still accepted.
 	clientMinProtocolVersion = 1
 
@@ -52,9 +58,12 @@ const (
 	methodClientCompact = "Client.Compact"
 )
 
-// clientHello announces the querier's supported version range.
+// clientHello announces the querier's supported version range and (v3)
+// the tenant it identifies as; pre-v3 hellos decode with Tenant "",
+// which buckets the connection as the default tenant.
 type clientHello struct {
 	Min, Max int
+	Tenant   string
 }
 
 // clientHelloReply confirms the negotiated version.
@@ -111,9 +120,15 @@ type clientExecuteRequest struct {
 }
 
 // clientExecuteReply carries the encrypted answer as a secio stream of
-// the workload's result kind.
+// the workload's result kind, plus (v3) the server-side span fields the
+// client merges into Answer.Traffic. Pre-v3 replies decode them as
+// zero.
 type clientExecuteReply struct {
-	Answer []byte
+	Answer         []byte
+	S2Calls        int64
+	FanOut         int
+	MergeFallbacks int64
+	Epoch          uint64
 }
 
 // clientApplyRequest carries one mutation delta as a secio "delta"
@@ -155,8 +170,14 @@ type clientCompactRequest struct {
 // the window before aborting them; without one, everything aborts
 // immediately.
 func (d *DataCloud) ServeClients(ctx context.Context, l net.Listener) error {
-	return transport.ServeWith(ctx, l, &clientResponder{dc: d, gate: d.clientAdmission()},
-		transport.ServeOptions{Drain: d.cfg.drainTimeout})
+	return transport.ServeWith(ctx, l, nil, transport.ServeOptions{
+		Drain: d.cfg.drainTimeout,
+		// Each connection gets its own responder: the tenant the peer
+		// announces in its Hello is per-connection protocol state.
+		NewResponder: func() transport.Responder {
+			return &clientResponder{dc: d, gate: d.clientAdmission()}
+		},
+	})
 }
 
 // clientAdmission returns the gate remote requests execute under: the
@@ -172,11 +193,31 @@ func (d *DataCloud) clientAdmission() *admission {
 	return d.clientGate
 }
 
-// clientResponder handles client-plane methods. It is stateless per
-// connection, so one responder serves every accepted connection.
+// clientResponder handles client-plane methods for ONE connection: the
+// tenant announced in the connection's Hello is held here and stamped
+// onto every request the connection executes.
 type clientResponder struct {
 	dc   *DataCloud
 	gate *admission
+
+	mu     sync.Mutex
+	tenant string
+}
+
+// setTenant records the Hello-announced tenant (a reconnecting peer
+// re-runs its Hello on the fresh connection's responder).
+func (r *clientResponder) setTenant(tenant string) {
+	r.mu.Lock()
+	r.tenant = tenant
+	r.mu.Unlock()
+}
+
+// tenantName returns the connection's announced tenant ("" until a v3
+// Hello names one).
+func (r *clientResponder) tenantName() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.tenant
 }
 
 // Serve implements transport.Responder.
@@ -196,6 +237,7 @@ func (r *clientResponder) Serve(ctx context.Context, method string, body []byte)
 		if req.Max < v {
 			v = req.Max
 		}
+		r.setTenant(req.Tenant)
 		return transport.Encode(clientHelloReply{Version: v})
 	case methodClientExecute:
 		var wreq clientExecuteRequest
@@ -208,6 +250,7 @@ func (r *clientResponder) Serve(ctx context.Context, method string, body []byte)
 		}
 		cfg := queryConfigFromWire(wreq.Options)
 		cfg.queryID = wreq.Idempotency
+		cfg.tenant = r.tenantName()
 		ans, err := r.dc.execute(ctx, req, cfg, r.gate)
 		if err != nil {
 			return nil, err
@@ -216,7 +259,13 @@ func (r *clientResponder) Serve(ctx context.Context, method string, body []byte)
 		if err != nil {
 			return nil, err
 		}
-		return transport.Encode(clientExecuteReply{Answer: payload})
+		return transport.Encode(clientExecuteReply{
+			Answer:         payload,
+			S2Calls:        ans.Traffic.S2Calls,
+			FanOut:         ans.Traffic.FanOut,
+			MergeFallbacks: ans.Traffic.MergeFallbacks,
+			Epoch:          ans.Traffic.Epoch,
+		})
 	case methodClientApply:
 		var wreq clientApplyRequest
 		if err := transport.Decode(body, &wreq); err != nil {

@@ -77,10 +77,28 @@ type Result struct {
 }
 
 // Traffic summarizes wire usage: request/response rounds and bytes in
-// both directions.
+// both directions. Answers produced by the serving plane additionally
+// carry the span fields below; they stay zero on the cumulative
+// connection-level accessors (DataCloud.Traffic, Client.Traffic) and on
+// answers from servers predating client wire v3. Like Rounds and Bytes,
+// the span counters are measured as deltas on shared per-process
+// counters, so they are approximate when requests execute concurrently.
 type Traffic struct {
 	Rounds int64
 	Bytes  int64
+	// S2Calls counts the protocol calls this execution shipped to the
+	// crypto cloud (the batch scheduler coalesces many into one round).
+	S2Calls int64
+	// FanOut is the parallel width the query spread over: the relation's
+	// shard count locally, or the member count through a cluster front
+	// door. 0 when not applicable (join/kNN, cumulative Traffic).
+	FanOut int
+	// MergeFallbacks counts merge-bound certification failures that
+	// forced an exact rescan during this execution.
+	MergeFallbacks int64
+	// Epoch is the relation epoch the query answered over (0 when the
+	// workload is not epoch-versioned).
+	Epoch uint64
 }
 
 // EncryptedRelation is an outsourced relation: one or more encrypted
